@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper figure: it runs the experiment
+driver once (``pedantic`` with a single round -- these are simulations,
+not microbenchmarks), prints the table of numbers the figure plots,
+and asserts the qualitative shape the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Execute an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, iterations=1,
+                                  rounds=1)
+
+    return runner

@@ -1,0 +1,196 @@
+"""Benches for the beyond-the-paper extensions (Section 7 future work
+and the DESIGN.md ablations)."""
+
+import math
+
+from repro.experiments import (ablations, ext_burst_mitigation,
+                               ext_convergence_time,
+                               ext_dctcp_baseline,
+                               ext_feedback_priority, ext_incast_pfc,
+                               ext_latency_cdf, ext_leaf_spine,
+                               ext_longflow_fairness,
+                               ext_noise_decorrelation,
+                               ext_parking_lot,
+                               ext_pi_switch_sim, ext_stability_map)
+
+
+def test_ext_parking_lot(run_once):
+    rows = run_once(ext_parking_lot.run)
+    print()
+    print(ext_parking_lot.report(rows))
+    by_key = {(r.protocol, r.n_segments): r for r in rows}
+    # DCQCN: graceful multiplicative beat-down with hop count.
+    dcqcn = [by_key[("dcqcn", n)].cross_fraction for n in (1, 2, 4)]
+    assert dcqcn[0] > dcqcn[1] > dcqcn[2] > 0.2
+    # Delay-based control: the multi-hop flow is starved outright (its
+    # RTT sums every hop's queue, so its absolute-RTT error never
+    # clears).
+    assert by_key[("patched_timely", 2)].cross_fraction < 0.2
+
+
+def test_ext_incast_pfc(run_once):
+    rows = run_once(ext_incast_pfc.run)
+    print()
+    print(ext_incast_pfc.report(rows))
+    by_config = {r.config: r for r in rows}
+    assert by_config["plain"].dropped_packets > 0
+    assert by_config["pfc"].dropped_packets == 0
+    assert by_config["pfc"].completed == by_config["pfc"].senders
+    assert by_config["dcqcn+pfc"].dropped_packets == 0
+    assert by_config["dcqcn+pfc"].pauses < by_config["pfc"].pauses
+    assert not math.isnan(by_config["dcqcn+pfc"].last_fct_ms)
+    # The delay-based protocol needs PFC exactly as much (line-rate
+    # start, no signal within the first RTT) and, unlike ECN, cannot
+    # reduce the PAUSE churn within the epoch.
+    assert by_config["timely"].dropped_packets > 0
+    assert by_config["timely+pfc"].dropped_packets == 0
+    assert by_config["dcqcn+pfc"].pauses < \
+        by_config["timely+pfc"].pauses
+
+
+def test_ext_pi_switch_sim(run_once):
+    rows = run_once(ext_pi_switch_sim.run)
+    print()
+    print(ext_pi_switch_sim.report(rows))
+    for row in rows:
+        assert row.pinned
+        assert row.jain_index > 0.95
+    assert rows[-1].p_final > rows[0].p_final
+
+
+def test_ext_burst_mitigation(run_once):
+    rows = run_once(ext_burst_mitigation.run)
+    print()
+    print(ext_burst_mitigation.report(rows))
+    by_fraction = {r.fraction: r for r in rows}
+    assert not by_fraction[1.0].healthy      # the Fig. 10(b) collapse
+    assert by_fraction[0.5].healthy          # the mitigation works...
+    assert not by_fraction[0.25].healthy     # ...but is fragile
+
+
+def test_ext_dctcp_baseline(run_once):
+    rows = run_once(ext_dctcp_baseline.run, loads=(0.8,),
+                    duration=0.2, drain=0.1)
+    print()
+    print(ext_dctcp_baseline.report(rows))
+    by_protocol = {r.protocol: r for r in rows}
+    dcqcn = by_protocol["dcqcn"]
+    dctcp = by_protocol["dctcp"]
+    # DCTCP's step marking holds the standing queue tighter...
+    assert dctcp.queue_p90_kb < dcqcn.queue_p90_kb
+    # ...but its slow-started small flows pay at the FCT tail versus
+    # DCQCN's line-rate start.
+    assert dctcp.p99_ms > dcqcn.p99_ms
+
+
+def test_ext_leaf_spine(run_once):
+    rows = run_once(ext_leaf_spine.run)
+    print()
+    print(ext_leaf_spine.report(rows))
+    one, two = rows
+    assert one.completed == one.flows
+    assert two.completed == two.flows
+    # Doubling the spine layer roughly halves the median FCT of the
+    # all-cross-rack permutation.
+    assert two.median_fct_ms < 0.7 * one.median_fct_ms
+    # Static ECMP hashing leaves visible imbalance (the p99 price).
+    assert two.spine_imbalance >= 1.0
+
+
+def test_ext_feedback_priority(run_once):
+    rows = run_once(ext_feedback_priority.run)
+    print()
+    print(ext_feedback_priority.report(rows))
+    by_discipline = {r.discipline: r for r in rows}
+    fifo = by_discipline["fifo"]
+    priority = by_discipline["priority"]
+    # Strict priority collapses CNP transit latency toward propagation
+    # and tightens the forward queue.
+    assert priority.cnp_delay_mean_us < 0.5 * fifo.cnp_delay_mean_us
+    assert priority.forward_queue_std_kb < fifo.forward_queue_std_kb
+
+
+def test_ext_convergence_time(run_once):
+    rows = run_once(ext_convergence_time.run)
+    print()
+    print(ext_convergence_time.report(rows))
+    for row in rows:
+        assert row.newcomer_settle_ms is not None
+    timid = next(r for r in rows if "C/20" in r.protocol)
+    confident = next(r for r in rows if "C/2 " in r.protocol)
+    assert timid.newcomer_settle_ms > 2 * confident.newcomer_settle_ms
+
+
+def test_ext_stability_map(run_once):
+    rows = run_once(ext_stability_map.run)
+    print()
+    print(ext_stability_map.report(rows))
+    frontier = dict(ext_stability_map.boundary(rows))
+    # The non-monotonic frontier: the tolerable delay dips in the
+    # N~6-10 region and recovers on both sides.
+    dip = min(v for v in frontier.values() if v is not None)
+    dip_n = next(n for n, v in frontier.items() if v == dip)
+    assert 4 <= dip_n <= 14
+    assert frontier[1] > dip
+    assert frontier[80] > dip
+
+
+def test_ext_noise_decorrelation(run_once):
+    rows = run_once(ext_noise_decorrelation.run)
+    print()
+    print(ext_noise_decorrelation.report(rows))
+    by_noise = {r.noise_packets: r for r in rows}
+    # Noiseless: Theorem 4 freezes the 7/3 asymmetry.
+    assert by_noise[0.0].max_min > 2.5
+    # Burst-scale noise de-correlates toward fairness (Fig. 10a's
+    # conjecture, in fluid form).
+    assert by_noise[16.0].max_min < 1.8
+    assert by_noise[64.0].jain_index > by_noise[0.0].jain_index
+
+
+def test_ext_latency_cdf(run_once):
+    rows = run_once(ext_latency_cdf.run)
+    print()
+    print(ext_latency_cdf.report(rows))
+    by_protocol = {r.protocol: r for r in rows}
+    dcqcn_p99 = by_protocol["dcqcn"].latency_us[99]
+    assert by_protocol["timely"].latency_us[99] > 1.5 * dcqcn_p99
+    assert by_protocol["patched_timely"].latency_us[99] > \
+        1.5 * dcqcn_p99
+
+
+def test_ext_longflow_fairness(run_once):
+    rows = run_once(ext_longflow_fairness.run)
+    print()
+    print(ext_longflow_fairness.report(rows))
+    by_protocol = {r.protocol: r for r in rows}
+    assert by_protocol["dcqcn"].jain_mean > 0.97
+    assert by_protocol["dcqcn"].long_flow_share > 0.4
+    assert by_protocol["timely"].long_flow_share < \
+        0.3 * by_protocol["dcqcn"].long_flow_share
+
+
+def test_ablations(run_once):
+    def all_ablations():
+        return {
+            "cnp_timer": ablations.cnp_timer(),
+            "ewma_gain": ablations.ewma_gain(),
+            "weight": ablations.weight_halfwidth(),
+            "clamp": ablations.gradient_clamp(),
+        }
+
+    results = run_once(all_ablations)
+    print()
+    print(ablations.report_cnp_timer(results["cnp_timer"]))
+    print()
+    print(ablations.report_ewma_gain(results["ewma_gain"]))
+    print()
+    print(ablations.report_weight_halfwidth(results["weight"]))
+    print()
+    print(ablations.report_gradient_clamp(results["clamp"]))
+    # Theorem 2's speed/gentleness tradeoff: every g converges.
+    for row in results["ewma_gain"]:
+        assert row.metrics[0] < 1.0
+    # The clamp rescues throughput under burst noise.
+    unclamped, clamped = results["clamp"]
+    assert clamped.metrics[0] > unclamped.metrics[0]

@@ -1,0 +1,17 @@
+"""Figure 2 bench: DCQCN fluid model vs packet simulation."""
+
+from repro.experiments import fig02_dcqcn_validation as fig02
+
+
+def test_fig02_dcqcn_validation(run_once):
+    rows = run_once(fig02.run, flow_counts=(2, 10), duration=0.03)
+    print()
+    print(fig02.report(rows))
+    for row in rows:
+        # Fluid and simulator agree on steady-state rate to a few
+        # percent and on the queue to tens of percent (packet-level
+        # marking noise), as the paper's overlaid curves show.
+        assert row.rate_error < 0.1
+        assert row.queue_error < 0.5
+    # The queue fixed point grows with N (Eq. 14 -> Eq. 9).
+    assert rows[1].fixed_point_queue_kb > rows[0].fixed_point_queue_kb

@@ -1,0 +1,50 @@
+"""Figure 3 bench: DCQCN phase-margin sweeps (all three panels)."""
+
+from repro.experiments import fig03_dcqcn_phase_margin as fig03
+
+
+def test_fig03a_margin_vs_delay_and_flows(run_once):
+    sweeps = run_once(fig03.panel_a)
+    print()
+    print(fig03.report(sweeps,
+                       "Fig. 3(a) -- phase margin vs N per delay"))
+    by_label = {s.label: s for s in sweeps}
+    # Non-monotonic margin with a dip that goes unstable at >= 85us.
+    for label in ("tau*=85us", "tau*=100us"):
+        sweep = by_label[label]
+        assert sweep.unstable_counts(), label
+        assert sweep.margins_deg[0] > sweep.min_margin()
+        assert sweep.margins_deg[-1] > sweep.min_margin()
+    # Small delays keep every flow count stable.
+    assert not by_label["tau*=4us"].unstable_counts()
+
+
+def test_fig03b_margin_vs_rate_ai(run_once):
+    sweeps = run_once(fig03.panel_b)
+    print()
+    print(fig03.report(sweeps,
+                       "Fig. 3(b) -- phase margin vs N per R_AI "
+                       "(100us delay)"))
+    # The paper's claim: with small R_AI, DCQCN stays stable even at
+    # 100us delay, while the default and larger steps go unstable in
+    # the low-to-mid N dip (at very large N the ordering flips -- the
+    # dip is what matters).
+    small, default, large = sweeps
+    assert not small.unstable_counts()
+    assert default.unstable_counts()
+    assert large.unstable_counts()
+    for i, n in enumerate(small.flow_counts):
+        if n <= 20:
+            assert small.margins_deg[i] > large.margins_deg[i], n
+
+
+def test_fig03c_margin_vs_kmax(run_once):
+    sweeps = run_once(fig03.panel_c)
+    print()
+    print(fig03.report(sweeps,
+                       "Fig. 3(c) -- phase margin vs N per K_max "
+                       "(100us delay)"))
+    narrow, mid, wide = sweeps
+    for i in range(len(narrow.flow_counts)):
+        assert wide.margins_deg[i] > narrow.margins_deg[i]
+    assert not wide.unstable_counts()

@@ -1,0 +1,17 @@
+"""Figure 4 bench: fluid-model (in)stability vs delay and flow count."""
+
+from repro.experiments import fig04_dcqcn_delay_impact as fig04
+
+
+def test_fig04_delay_impact(run_once):
+    rows = run_once(fig04.run)
+    print()
+    print(fig04.report(rows))
+    by_key = {(r.delay_us, r.num_flows): r for r in rows}
+    # 4us: stable for every N.
+    for n in (2, 10, 64):
+        assert not by_key[(4.0, n)].oscillating
+    # 85us: unstable exactly at N=10 -- the non-monotonic signature.
+    assert by_key[(85.0, 10)].oscillating
+    assert not by_key[(85.0, 2)].oscillating
+    assert not by_key[(85.0, 64)].oscillating

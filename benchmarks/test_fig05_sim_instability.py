@@ -1,0 +1,13 @@
+"""Figure 5 bench: packet-level confirmation of the DCQCN instability."""
+
+from repro.experiments import fig05_dcqcn_sim_instability as fig05
+
+
+def test_fig05_sim_instability(run_once):
+    rows = run_once(fig05.run, duration=0.05)
+    print()
+    print(fig05.report(rows))
+    baseline, delayed = rows
+    assert delayed.coefficient_of_variation > \
+        2 * baseline.coefficient_of_variation
+    assert delayed.queue_peak_kb > baseline.queue_peak_kb

@@ -1,0 +1,15 @@
+"""Figure 8 bench: TIMELY fluid model vs packet simulation."""
+
+from repro.experiments import fig08_timely_validation as fig08
+
+
+def test_fig08_timely_validation(run_once):
+    rows = run_once(fig08.run, flow_counts=(2, 10), duration=0.05)
+    print()
+    print(fig08.report(rows))
+    for row in rows:
+        assert row.rate_error < 0.25
+        # Both the fluid model and the simulator limit-cycle: the tail
+        # queue keeps a visibly nonzero swing in both.
+        assert row.fluid_queue_std_kb > 0.5
+        assert row.sim_queue_std_kb > 0.5

@@ -1,0 +1,22 @@
+"""Figure 9 bench: TIMELY's operating point vs starting conditions."""
+
+from repro.experiments import fig09_timely_unfairness as fig09
+
+
+def test_fig09_timely_unfairness(run_once):
+    rows = run_once(fig09.run)
+    print()
+    print(fig09.report(rows))
+    by_label = {r.label: r for r in rows}
+    symmetric = by_label["(a) both 5Gbps at t=0"]
+    late = by_label["(b) both 5Gbps, one 10ms late"]
+    skewed = by_label["(c) 7Gbps vs 3Gbps"]
+    # Identical symmetric starts stay symmetric...
+    assert symmetric.jain_index > 0.99
+    # ...while a late start or a skewed start lands on a persistently
+    # unfair member of the Theorem-4 family.
+    assert late.max_min > 1.3
+    assert skewed.max_min > 1.5
+    # And the system keeps oscillating in every case (no fixed point).
+    for row in rows:
+        assert row.queue_tail_std_kb > 1.0

@@ -1,0 +1,22 @@
+"""Figure 10 bench: per-burst pacing convergence vs incast collapse."""
+
+from repro.experiments import fig10_burst_pacing as fig10
+
+
+def test_fig10_burst_pacing(run_once):
+    rows = run_once(fig10.run)
+    print()
+    print(fig10.report(rows))
+    small, big = rows
+    # 16KB bursts: the noise de-correlates the flows and the pair
+    # converges near fair share at high utilization.
+    assert small.recovered
+    assert small.jain_index > 0.9
+    # 64KB bursts: the initial incast slams both flows down, and the
+    # delta-per-completion recovery is far too slow to refill the link
+    # within the run.
+    assert not big.recovered
+    assert big.early_total_gbps < 0.5 * small.early_total_gbps
+    # The colliding initial bursts stack most of two 64KB chunks into
+    # the bottleneck queue.
+    assert big.queue_peak_kb > 48.0

@@ -1,0 +1,24 @@
+"""Figure 11 bench: patched TIMELY phase margin vs flow count."""
+
+import math
+
+from repro.experiments import fig11_patched_phase_margin as fig11
+
+
+def test_fig11_patched_margin(run_once):
+    rows = run_once(fig11.run)
+    print()
+    print(fig11.report(rows))
+    crossover = fig11.crossover_flows(rows)
+    # Stable at moderate N, unstable past a crossover in the tens.
+    assert crossover is not None
+    assert 10 < crossover <= 40
+    # Past the crossover the margin falls monotonically: more flows ->
+    # bigger Eq. 31 queue -> longer Eq. 24 feedback delay.
+    past = [r.margin_deg for r in rows
+            if not math.isnan(r.margin_deg)
+            and r.num_flows >= crossover]
+    assert all(a > b for a, b in zip(past, past[1:]))
+    delays = [r.feedback_delay_us for r in rows
+              if not math.isnan(r.feedback_delay_us)]
+    assert all(a < b for a, b in zip(delays, delays[1:]))

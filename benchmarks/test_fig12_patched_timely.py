@@ -1,0 +1,24 @@
+"""Figure 12 bench: patched TIMELY convergence and stability."""
+
+from repro.experiments import fig12_patched_timely as fig12
+
+
+def test_fig12_patched_timely(run_once):
+    def full_run():
+        return ([fig12.run_asymmetric()]
+                + fig12.run_flow_sweep(flow_counts=(10, 40, 64),
+                                       duration=0.15))
+
+    rows = run_once(full_run)
+    print()
+    print(fig12.report(rows))
+    asymmetric = rows[0]
+    # (a): 7/3 Gbps starts converge to the fair share with the queue at
+    # Eq. 31's value -- the designed contrast to Fig. 9(c).
+    assert asymmetric.jain_index > 0.999
+    assert asymmetric.queue_error < 0.1
+    assert not asymmetric.oscillating
+    # (b)/(c): moderate N stable, large N oscillating.
+    by_n = {r.num_flows: r for r in rows[1:]}
+    assert not by_n[10].oscillating
+    assert by_n[64].oscillating

@@ -1,0 +1,24 @@
+"""Figure 14 bench: small-flow FCT vs load on the Fig. 13 dumbbell."""
+
+from repro.experiments import fct_study
+
+
+def test_fig14_fct_vs_load(run_once):
+    results = run_once(fct_study.run_load_sweep,
+                       loads=(0.2, 0.4, 0.6, 0.8))
+    print()
+    print(fct_study.report_fct_vs_load(results))
+    # FCT worsens with load for every protocol.
+    for protocol, runs in results.items():
+        p90s = [r.summary.p90_s for r in runs]
+        assert p90s[-1] > p90s[0], protocol
+    # At the highest load DCQCN's small-flow tail beats both
+    # delay-based protocols (the paper's headline comparison).
+    top = {p: runs[-1] for p, runs in results.items()}
+    assert top["dcqcn"].summary.p90_s < top["timely"].summary.p90_s
+    assert top["dcqcn"].summary.p90_s < \
+        top["patched_timely"].summary.p90_s
+    # Everyone still completes what was offered.
+    for protocol, runs in results.items():
+        for run in runs:
+            assert run.completion_fraction > 0.9, (protocol, run.load)

@@ -1,0 +1,25 @@
+"""Figure 16 bench: bottleneck queue behaviour at load 0.8."""
+
+import numpy as np
+
+from repro.experiments import fct_study
+
+
+def test_fig16_queue_timeseries(run_once):
+    def full_run():
+        return [fct_study.run_protocol(protocol, 0.8)
+                for protocol in fct_study.STUDY_PROTOCOLS]
+
+    runs = run_once(full_run)
+    print()
+    print(fct_study.report_queue_stats(runs))
+    by_protocol = {r.protocol: r for r in runs}
+    dcqcn = by_protocol["dcqcn"].queue_bytes
+    timely = by_protocol["timely"].queue_bytes
+    patched = by_protocol["patched_timely"].queue_bytes
+    # TIMELY's queue grows far beyond anything DCQCN sustains: its
+    # extreme excursions dwarf DCQCN's 99th percentile.
+    assert timely.max() > 2 * np.percentile(dcqcn, 99)
+    assert patched.max() > np.percentile(dcqcn, 99)
+    # DCQCN's p90 stays in the vicinity of the RED band (K_max=200KB).
+    assert np.percentile(dcqcn, 90) < 400 * 1024

@@ -1,0 +1,15 @@
+"""Figure 17 bench: egress vs ingress ECN marking stability."""
+
+from repro.experiments import fig17_ingress_marking as fig17
+
+
+def test_fig17_ingress_marking(run_once):
+    rows = run_once(fig17.run)
+    print()
+    print(fig17.report(rows))
+    by_point = {r.marking_point: r for r in rows}
+    ingress = by_point["ingress"]
+    egress = by_point["egress"]
+    assert ingress.coefficient_of_variation > \
+        1.5 * egress.coefficient_of_variation
+    assert ingress.queue_std_kb > egress.queue_std_kb

@@ -1,0 +1,22 @@
+"""Figure 18 bench: DCQCN with a PI marking controller."""
+
+import pytest
+
+from repro.experiments import fig18_dcqcn_pi as fig18
+
+
+def test_fig18_dcqcn_pi(run_once):
+    rows = run_once(fig18.run, flow_counts=(2, 10, 64))
+    print()
+    print(fig18.report(rows))
+    for row in rows:
+        # Queue pinned to the same reference regardless of N, with
+        # fair rates -- the RED operating point would instead drift
+        # from ~20KB to beyond K_max across this sweep.
+        assert row.pinned, f"N={row.num_flows}"
+        assert row.jain_index > 0.999
+        # The controller discovers each N's Eq. 11 marking rate.
+        assert row.p_mark == pytest.approx(row.p_star_red, rel=0.15)
+    # And p* itself varies by an order of magnitude across the sweep,
+    # which is exactly the adaptation RED cannot do at fixed queue.
+    assert rows[-1].p_mark > 5 * rows[0].p_mark

@@ -1,0 +1,92 @@
+"""Performance benchmarks: simulator and integrator throughput.
+
+Unlike the figure benches (one-shot experiment runs), these are real
+microbenchmarks -- pytest-benchmark repeats them and reports stable
+timings, so regressions in the hot loops (event heap, port
+serialization, DDE stepping) show up as numbers, not vibes.
+"""
+
+import numpy as np
+
+from repro.core.fluid import dde
+from repro.core.fluid.dcqcn import DCQCNFluidModel
+from repro.core.params import DCQCNParams
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def test_event_engine_throughput(benchmark):
+    """Raw scheduler: how many self-rescheduling events per second."""
+
+    def run_engine():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_engine)
+    assert events == 20_000
+
+
+def test_port_serialization_throughput(benchmark):
+    """Packets through a serializing port per benchmark round."""
+
+    class Sink:
+        name = "sink"
+
+        def receive(self, packet, ingress=None):
+            pass
+
+    def run_port():
+        sim = Simulator()
+        port = Port(sim, 1.25e9, Link(sim, 1e-6, Sink()))
+        for seq in range(10_000):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+        return port.packets_transmitted
+
+    transmitted = benchmark(run_port)
+    assert transmitted == 10_000
+
+
+def test_dcqcn_simulation_throughput(benchmark):
+    """End-to-end: the Fig. 2 scenario for 2 ms of simulated time."""
+
+    def run_sim():
+        params = DCQCNParams.paper_default(capacity_gbps=40,
+                                           num_flows=2)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+        net = single_switch(2, link_gbps=40, marker=marker)
+        for i in range(2):
+            install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0,
+                         params)
+        net.sim.run(until=0.002)
+        return net.sim.events_processed
+
+    events = benchmark(run_sim)
+    assert events > 10_000
+
+
+def test_fluid_integrator_throughput(benchmark):
+    """DDE stepping rate on the 10-flow DCQCN model."""
+
+    params = DCQCNParams.paper_default(num_flows=10)
+    model = DCQCNFluidModel(params)
+
+    def run_fluid():
+        trace = dde.integrate(model, t_end=0.002, dt=1e-6)
+        return len(trace)
+
+    steps = benchmark(run_fluid)
+    assert steps == 2001

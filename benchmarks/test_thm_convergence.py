@@ -1,0 +1,119 @@
+"""Theorem benches: fixed points (Thm 1, 3-5) and convergence (Thm 2).
+
+These regenerate the paper's analytic claims as numbers: the Eq. 11 /
+Eq. 14 fixed points across flow counts, the Theorem-2 contraction
+factors from the discrete model, and the TIMELY fixed-point taxonomy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.convergence.discrete import (DiscreteDCQCN,
+                                             alpha_fixed_point,
+                                             contraction_rate)
+from repro.core.fixedpoint.dcqcn import (approximate_p_star,
+                                         solve_fixed_point)
+from repro.core.fixedpoint.timely import (original_residual,
+                                          patched_fixed_point,
+                                          sample_fixed_points)
+from repro.core.params import (DCQCNParams, PatchedTimelyParams,
+                               TimelyParams)
+
+
+def test_thm1_dcqcn_fixed_points(run_once):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16, 32, 64):
+            params = DCQCNParams.paper_default(num_flows=n)
+            fp = solve_fixed_point(params, extend_red=True)
+            rows.append([n, fp.p, approximate_p_star(params),
+                         units.packets_to_kb(fp.queue), fp.alpha,
+                         units.pps_to_gbps(fp.rate)])
+        return rows
+
+    rows = run_once(sweep)
+    print()
+    print(format_table(
+        ["N", "p* (Eq.11)", "p* (Eq.14)", "q* (KB)", "alpha*",
+         "R* (Gbps)"],
+        rows, title="Theorem 1 -- DCQCN's unique fixed point vs N"))
+    ps = [row[1] for row in rows]
+    assert all(a < b for a, b in zip(ps, ps[1:]))
+    for row in rows:
+        # Eq. 14 tracks the exact root within its Taylor accuracy.
+        assert row[2] == pytest.approx(row[1], rel=1.0)
+
+
+def test_thm2_discrete_convergence(run_once):
+    params = DCQCNParams.paper_default(num_flows=2)
+    mtu = params.mtu_bytes
+
+    def converge():
+        model = DiscreteDCQCN(
+            params,
+            initial_rates=[units.gbps_to_pps(30, mtu),
+                           units.gbps_to_pps(10, mtu)])
+        return model.run_cycles(80)
+
+    cycles = run_once(converge)
+    spreads = [c.rate_spread for c in cycles]
+    alphas = [float(np.mean(c.alphas)) for c in cycles]
+    print()
+    print(format_table(
+        ["cycle", "rate spread (Gbps)", "alpha",
+         "(1 - alpha/2)"],
+        [[k, units.pps_to_gbps(spreads[k]), alphas[k],
+          1 - alphas[k] / 2] for k in (0, 1, 2, 5, 10, 20, 40, 79)],
+        title="Theorem 2 -- exponential contraction of the rate gap"))
+    fitted = contraction_rate(spreads)
+    print(f"fitted contraction/cycle: {fitted:.4f}; "
+          f"alpha* = {alpha_fixed_point(params):.4f}")
+    assert fitted < 1.0
+    assert spreads[-1] < 0.05 * spreads[0]
+    assert alphas[-1] > alpha_fixed_point(params) > 0
+
+
+def test_thm3_thm4_timely_taxonomy(run_once):
+    params = TimelyParams.paper_default(num_flows=2)
+
+    def sample():
+        return list(sample_fixed_points(params, 100, seed=1))
+
+    points = run_once(sample)
+    ratios = [p.fairness_ratio for p in points]
+    print()
+    print(format_table(
+        ["statistic", "value"],
+        [["family members sampled", len(points)],
+         ["max max/min ratio", max(ratios)],
+         ["median max/min ratio", float(np.median(ratios))],
+         ["Thm 3 residual at fair point (pkts/s^2)",
+          original_residual(params,
+                            [params.fair_share] * 2,
+                            (params.q_low + params.q_high) / 2)]],
+        title="Theorems 3/4 -- no fixed point vs infinitely many"))
+    assert max(ratios) > 10.0
+
+
+def test_thm5_patched_queue_law(run_once):
+    def sweep():
+        rows = []
+        for n in (2, 5, 10, 20, 40):
+            patched = PatchedTimelyParams.paper_default(num_flows=n)
+            point = patched_fixed_point(patched)
+            rows.append([n,
+                         units.packets_to_kb(point.queue),
+                         units.pps_to_gbps(float(point.rates[0]))])
+        return rows
+
+    rows = run_once(sweep)
+    print()
+    print(format_table(
+        ["N", "q* (KB, Eq.31)", "per-flow rate (Gbps)"],
+        rows, title="Theorem 5 -- patched TIMELY's unique fixed point"))
+    queues = [row[1] for row in rows]
+    # Affine in N.
+    increments = np.diff(queues) / np.diff([row[0] for row in rows])
+    assert np.allclose(increments, increments[0], rtol=1e-6)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the three layers of the library in one script.
+
+1. **Analysis** -- solve DCQCN's fixed point (Theorem 1) for a few
+   flow counts and compare with the paper's Eq. 14 approximation.
+2. **Fluid models** -- integrate the DCQCN delay-ODE (Fig. 1) and
+   watch the flows converge to that fixed point.
+3. **Packet simulator** -- run the same scenario packet by packet and
+   check the two layers agree (the paper's Fig. 2 methodology).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (DCQCNFluidModel, DCQCNParams, approximate_p_star,
+                   dde, solve_fixed_point, units)
+from repro.analysis.reporting import format_table
+from repro.sim.monitors import QueueMonitor, RateMonitor
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def analytic_fixed_points():
+    print("== 1. DCQCN fixed points (Theorem 1 vs Eq. 14) ==")
+    rows = []
+    for n in (2, 10, 32):
+        params = DCQCNParams.paper_default(num_flows=n)
+        fp = solve_fixed_point(params)
+        rows.append([n, fp.p, approximate_p_star(params),
+                     units.packets_to_kb(fp.queue),
+                     units.pps_to_gbps(fp.rate)])
+    print(format_table(
+        ["N", "p* exact", "p* Eq.14", "q* (KB)", "R* (Gbps)"], rows))
+    print()
+
+
+def fluid_run(n=2, duration=0.02):
+    print(f"== 2. Fluid model: {n} flows at 40 Gbps ==")
+    params = DCQCNParams.paper_default(num_flows=n)
+    trace = dde.integrate(DCQCNFluidModel(params), duration, dt=2e-6,
+                          record_stride=50)
+    fp = solve_fixed_point(params)
+    print(f"queue(t_end) = "
+          f"{units.packets_to_kb(trace.final('q')):.1f} KB "
+          f"(fixed point {units.packets_to_kb(fp.queue):.1f} KB)")
+    for i in range(n):
+        print(f"flow {i} rate = "
+              f"{units.pps_to_gbps(trace.final(f'rc[{i}]')):.2f} Gbps "
+              f"(fair share "
+              f"{units.pps_to_gbps(params.fair_share):.2f} Gbps)")
+    print()
+    return fp
+
+
+def packet_run(fp, n=2, duration=0.02):
+    print(f"== 3. Packet simulation: same scenario ==")
+    params = DCQCNParams.paper_default(num_flows=n)
+    marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+    net = single_switch(n, link_gbps=40, marker=marker)
+    for i in range(n):
+        install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0, params)
+    queue_mon = QueueMonitor(net.sim, net.bottleneck_port,
+                             interval=50e-6)
+    rate_mon = RateMonitor(net.sim,
+                           {f"s{i}": net.senders[i] for i in range(n)},
+                           interval=100e-6)
+    net.sim.run(until=duration)
+    sim_queue_kb = queue_mon.tail_mean_bytes(duration / 3) / 1024
+    print(f"simulated queue tail mean = {sim_queue_kb:.1f} KB "
+          f"(fluid fixed point "
+          f"{units.packets_to_kb(fp.queue):.1f} KB)")
+    for label, rate in sorted(rate_mon.final_rates().items()):
+        print(f"{label} rate = {rate * 8 / 1e9:.2f} Gbps")
+    print(f"bottleneck utilization = {net.utilization(duration):.1%}")
+    print(f"events processed = {net.sim.events_processed:,}")
+
+
+def main():
+    analytic_fixed_points()
+    fp = fluid_run()
+    packet_run(fp)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro run fig04            # one figure
+    python -m repro run fig04 fig20      # several
+    python -m repro run all              # everything (minutes!)
+
+Each run prints the table of numbers the corresponding paper figure
+plots, via the same drivers the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce figures from 'ECN or Delay' "
+                    "(CoNEXT 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids (see 'list'), or 'all'")
+    run.add_argument("--csv", metavar="DIR", default=None,
+                     help="also write each result as CSV into DIR")
+    return parser
+
+
+def list_experiments() -> None:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key in sorted(EXPERIMENTS):
+        print(f"{key:<{width}}  {EXPERIMENTS[key].description}")
+
+
+def run_experiments(names: List[str],
+                    csv_dir: "str | None" = None) -> int:
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("use 'python -m repro list' to see what exists",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        experiment = EXPERIMENTS[name]
+        print(f"=== {name}: {experiment.description} ===")
+        started = time.time()
+        result = experiment.run()
+        print(experiment.report(result))
+        if csv_dir is not None:
+            from repro.analysis.export import write_csv
+            target = write_csv(result, f"{csv_dir}/{name}.csv")
+            print(f"[csv written to {target}]")
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        list_experiments()
+        return 0
+    return run_experiments(args.experiments, csv_dir=args.csv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,2 @@
+"""Measurement post-processing: FCT statistics, time-series tools,
+oscillation detection, report tables, and CSV export."""

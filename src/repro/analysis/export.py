@@ -1,0 +1,95 @@
+"""Structured export of experiment results (CSV / rows).
+
+The report tables are for eyes; this module turns experiment results
+into machine-readable rows so downstream users can plot the paper's
+figures from their own tooling (``python -m repro run fig04 --csv
+out/``).  Every experiment result in the registry is a dataclass (or a
+list/dict of them), so generic dataclass flattening covers them all.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from pathlib import Path
+from typing import Any, Dict, Iterable, List
+
+import numpy as np
+
+
+def flatten_result(result: Any) -> List[Dict[str, Any]]:
+    """Normalize an experiment result into a list of flat dicts.
+
+    Handles: a dataclass, a list of dataclasses, a dict of lists of
+    dataclasses (the Fig. 14 shape, with the key exported as a
+    ``group`` column), and nested dataclass fields.  Large array
+    fields (time series) are summarized, not dumped.
+    """
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return [_flatten_one(result)]
+    if isinstance(result, dict):
+        rows: List[Dict[str, Any]] = []
+        for key, value in result.items():
+            for row in flatten_result(value):
+                rows.append({"group": str(key), **row})
+        return rows
+    if isinstance(result, (list, tuple)):
+        rows = []
+        for item in result:
+            rows.extend(flatten_result(item))
+        return rows
+    raise TypeError(
+        f"cannot flatten result of type {type(result).__name__}")
+
+
+def _flatten_one(item: Any, prefix: str = "") -> Dict[str, Any]:
+    row: Dict[str, Any] = {}
+    for field in dataclasses.fields(item):
+        value = getattr(item, field.name)
+        name = f"{prefix}{field.name}"
+        if dataclasses.is_dataclass(value) and not isinstance(value,
+                                                              type):
+            row.update(_flatten_one(value, prefix=f"{name}."))
+        elif isinstance(value, np.ndarray):
+            # Time series do not belong in a summary CSV; keep the
+            # shape-defining statistics.
+            if value.size:
+                row[f"{name}.count"] = int(value.size)
+                row[f"{name}.mean"] = float(np.mean(value))
+                row[f"{name}.max"] = float(np.max(value))
+            else:
+                row[f"{name}.count"] = 0
+        elif isinstance(value, (list, tuple)):
+            row[name] = "/".join(str(v) for v in value)
+        else:
+            row[name] = value
+    return row
+
+
+def to_csv(result: Any) -> str:
+    """Render an experiment result as CSV text."""
+    rows = flatten_result(result)
+    if not rows:
+        return ""
+    # Union of keys, preserving first-seen order.
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=headers,
+                            restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(result: Any, path: "str | Path") -> Path:
+    """Write an experiment result to ``path`` as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(result))
+    return path

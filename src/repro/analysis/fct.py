@@ -1,0 +1,98 @@
+"""Flow-completion-time statistics for the Section 5.1 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.flows import Flow
+
+#: The paper follows pFabric: "small" flows send fewer than 100 KB.
+SMALL_FLOW_BYTES = 100 * 1024
+
+
+@dataclass(frozen=True)
+class FCTSummary:
+    """Percentile summary of a set of flow completion times."""
+
+    count: int
+    median_s: float
+    p90_s: float
+    p99_s: float
+    mean_s: float
+
+    @classmethod
+    def from_fcts(cls, fcts: Sequence[float]) -> "FCTSummary":
+        fcts = np.asarray(fcts, dtype=float)
+        if fcts.size == 0:
+            raise ValueError("no completed flows to summarize")
+        return cls(count=int(fcts.size),
+                   median_s=float(np.percentile(fcts, 50)),
+                   p90_s=float(np.percentile(fcts, 90)),
+                   p99_s=float(np.percentile(fcts, 99)),
+                   mean_s=float(np.mean(fcts)))
+
+
+def completed_fcts(flows: Sequence[Flow],
+                   max_bytes: Optional[int] = None,
+                   min_bytes: Optional[int] = None,
+                   skip_before: float = 0.0) -> List[float]:
+    """Extract FCTs of completed flows, optionally filtered by size.
+
+    ``skip_before`` discards flows that *started* before the warmup
+    cutoff, so long-run statistics are not polluted by the empty-network
+    transient.
+    """
+    out = []
+    for flow in flows:
+        if not flow.completed or flow.size_bytes is None:
+            continue
+        if flow.start_time < skip_before:
+            continue
+        if max_bytes is not None and flow.size_bytes >= max_bytes:
+            continue
+        if min_bytes is not None and flow.size_bytes < min_bytes:
+            continue
+        out.append(flow.fct)
+    return out
+
+
+def small_flow_summary(flows: Sequence[Flow],
+                       skip_before: float = 0.0) -> FCTSummary:
+    """Median/90th/99th FCT of sub-100KB flows (the Fig. 14 metric)."""
+    fcts = completed_fcts(flows, max_bytes=SMALL_FLOW_BYTES,
+                          skip_before=skip_before)
+    return FCTSummary.from_fcts(fcts)
+
+
+def fct_cdf(fcts: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF ``(sorted_fcts, cumulative_fraction)`` (Fig. 15)."""
+    fcts = np.sort(np.asarray(fcts, dtype=float))
+    if fcts.size == 0:
+        raise ValueError("no samples for a CDF")
+    fractions = np.arange(1, fcts.size + 1) / fcts.size
+    return fcts, fractions
+
+
+def normalized_fcts(flows: Sequence[Flow], line_rate_bytes: float,
+                    **filters) -> List[float]:
+    """FCT slowdown: measured FCT over the ideal line-rate FCT.
+
+    A slowdown of 1.0 means the flow moved at full line rate with no
+    queueing; useful for comparing across flow sizes.
+    """
+    if line_rate_bytes <= 0:
+        raise ValueError(
+            f"line_rate_bytes must be positive, got {line_rate_bytes}")
+    out = []
+    for flow in flows:
+        if not flow.completed or flow.size_bytes is None:
+            continue
+        if filters.get("skip_before") is not None and \
+                flow.start_time < filters["skip_before"]:
+            continue
+        ideal = flow.size_bytes / line_rate_bytes
+        out.append(flow.fct / ideal)
+    return out

@@ -1,0 +1,86 @@
+"""Oscillation characterization: linking Bode predictions to traces.
+
+When a loop's phase margin goes negative, the system settles into a
+limit cycle whose frequency is close to the loop's gain-crossover
+frequency -- the frequency where the Bode analysis located the
+deficit.  This module extracts the dominant oscillation from a time
+series (FFT on the detrended tail) so tests and experiments can close
+that loop quantitatively: e.g. the DCQCN N=10/85us fluid instability
+oscillates within a few tens of percent of the crossover frequency
+:func:`repro.core.stability.dcqcn_margin.dcqcn_phase_margin` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OscillationEstimate:
+    """Dominant oscillation of a (tail of a) time series."""
+
+    frequency_hz: float      #: dominant frequency (0 if none found)
+    amplitude: float         #: half peak-to-peak of that component
+    power_fraction: float    #: its share of the non-DC spectral power
+
+    @property
+    def angular_frequency(self) -> float:
+        """``2 pi f`` in rad/s, for comparison with crossover omegas."""
+        return 2.0 * np.pi * self.frequency_hz
+
+    @property
+    def is_oscillatory(self) -> bool:
+        """A real limit cycle concentrates power in one line."""
+        return self.frequency_hz > 0 and self.power_fraction > 0.2
+
+
+def dominant_oscillation(times: Sequence[float],
+                         values: Sequence[float]) -> OscillationEstimate:
+    """Estimate the dominant periodic component of a series.
+
+    The series must be uniformly sampled (the integrator and monitors
+    produce such series).  The mean and best-fit linear trend are
+    removed first so slow drift does not masquerade as oscillation.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(
+            f"shape mismatch: {times.shape} vs {values.shape}")
+    if times.size < 8:
+        raise ValueError("need at least 8 samples")
+    steps = np.diff(times)
+    dt = float(np.mean(steps))
+    if dt <= 0 or np.max(np.abs(steps - dt)) > 1e-6 * max(dt, 1e-12):
+        raise ValueError("series must be uniformly sampled")
+
+    detrended = values - np.polyval(
+        np.polyfit(times, values, 1), times)
+    spectrum = np.fft.rfft(detrended * np.hanning(detrended.size))
+    power = np.abs(spectrum) ** 2
+    power[0] = 0.0  # DC already removed; kill residue
+    total = float(np.sum(power))
+    # Pure numerical residue (a constant or perfectly linear series)
+    # is not an oscillation: compare against the signal's own scale.
+    scale = float(np.sum(values ** 2)) + 1.0
+    if total <= 1e-18 * scale:
+        return OscillationEstimate(0.0, 0.0, 0.0)
+    peak = int(np.argmax(power))
+    frequencies = np.fft.rfftfreq(detrended.size, d=dt)
+    # Hann-windowed single-line amplitude: |X| * 2 / (N * 0.5).
+    amplitude = float(np.abs(spectrum[peak]) * 4.0 / detrended.size)
+    return OscillationEstimate(
+        frequency_hz=float(frequencies[peak]),
+        amplitude=amplitude,
+        power_fraction=float(power[peak] / total))
+
+
+def trace_oscillation(trace, label: str,
+                      window: float) -> OscillationEstimate:
+    """Convenience: dominant oscillation of a FluidTrace tail."""
+    mask = trace.times >= trace.times[-1] - window
+    return dominant_oscillation(trace.times[mask],
+                                trace.column(label)[mask])

@@ -1,0 +1,63 @@
+"""Plain-text tables and series dumps for the benchmark harness.
+
+The benchmarks regenerate each paper figure as printed rows (the
+numbers one would plot); these helpers keep that output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are "
+                f"{len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_series(name: str, times: Sequence[float],
+                  values: Sequence[float], time_unit: str = "ms",
+                  time_scale: float = 1e3,
+                  max_points: int = 12) -> str:
+    """One-line summary of a time series, thinned for readability."""
+    times = list(times)
+    values = list(values)
+    if len(times) != len(values):
+        raise ValueError(
+            f"series length mismatch: {len(times)} vs {len(values)}")
+    if not times:
+        return f"{name}: (empty)"
+    stride = max(1, len(times) // max_points)
+    points = ", ".join(
+        f"{t * time_scale:.3g}{time_unit}={v:.4g}"
+        for t, v in list(zip(times, values))[::stride])
+    return f"{name}: {points}"

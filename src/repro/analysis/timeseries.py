@@ -1,0 +1,53 @@
+"""Time-series utilities shared by experiments and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def tail_window(times: Sequence[float], values: Sequence[float],
+                window: float) -> "tuple[np.ndarray, np.ndarray]":
+    """The slice of a series within ``window`` seconds of its end."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(
+            f"shape mismatch: {times.shape} vs {values.shape}")
+    if times.size == 0:
+        raise ValueError("empty series")
+    mask = times >= times[-1] - window
+    return times[mask], values[mask]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Std over mean; the oscillation yardstick in the stability tests."""
+    values = np.asarray(values, dtype=float)
+    mean = float(np.mean(values))
+    if mean == 0.0:
+        raise ValueError("series mean is zero; CoV undefined")
+    return float(np.std(values)) / abs(mean)
+
+
+def settling_fraction(values: Sequence[float], target: float,
+                      tolerance_fraction: float) -> float:
+    """Fraction of samples within +/- tolerance of a target value."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("empty series")
+    band = abs(target) * tolerance_fraction
+    return float(np.mean(np.abs(values - target) <= band))
+
+
+def downsample(times: Sequence[float], values: Sequence[float],
+               max_points: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Thin a series to at most ``max_points`` (for report printing)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if max_points < 2:
+        raise ValueError(f"max_points must be >= 2, got {max_points}")
+    if times.size <= max_points:
+        return times, values
+    stride = int(np.ceil(times.size / max_points))
+    return times[::stride], values[::stride]

@@ -1,0 +1,12 @@
+"""The paper's analytic core.
+
+* :mod:`repro.core.params` -- protocol parameter sets with the paper's
+  defaults.
+* :mod:`repro.core.fluid` -- delay-ODE fluid models and their
+  integrator.
+* :mod:`repro.core.fixedpoint` -- Theorems 1 and 3-5 as solvers.
+* :mod:`repro.core.stability` -- linearization and Bode margins
+  (Figs. 3, 11; Appendix A).
+* :mod:`repro.core.convergence` -- Theorem 2's discrete AIMD model and
+  fairness metrics.
+"""

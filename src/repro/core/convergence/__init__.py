@@ -1,0 +1,1 @@
+"""Theorem 2's discrete AIMD model plus fairness/convergence metrics."""

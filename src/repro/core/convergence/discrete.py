@@ -1,0 +1,219 @@
+"""Discrete DCQCN convergence model -- Section 3.3, Appendix B, Theorem 2.
+
+The fluid model cannot answer whether flows *converge* to the fair
+fixed point, so the paper builds a discrete model of the RP's AIMD
+cycle (Fig. 6/22), with the alpha-update interval ``tau'`` (= timer
+``T`` = 55 us) as the unit of time, synchronized flows, fast recovery
+folded into the multiplicative decrease, and hyper-increase omitted
+(the paper's footnote 3 simplification, with ``R_T = R_C`` on
+decrease).
+
+Per unit step (additive-increase phase, Appendix Eq. 35-36)::
+
+    R_T <- R_T + R_AI
+    R_C <- (R_C + R_T) / 2
+
+At a synchronized decrease event ``T_k`` (Eq. 15-16 semantics)::
+
+    R_T <- R_C
+    R_C <- (1 - alpha/2) R_C
+    alpha <- (1 - g) alpha + g
+
+and during every marking-free unit step alpha decays by ``(1 - g)``.
+
+The decrease events are endogenous: once the aggregate rate exceeds
+``C`` the bottleneck queue builds (Appendix Eq. 41), and when it
+reaches the marking threshold every flow gets marked.  Theorem 2 then
+gives two exponential laws this module lets you verify numerically:
+
+* alpha differences contract by ``(1 - g)`` per unit of time (Eq. 17);
+* once alphas agree, rate differences contract by ``(1 - alpha/2)``
+  per cycle (Eq. 18), with ``alpha(T_k)`` decreasing toward a strictly
+  positive ``alpha*`` (Eq. 19/42).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.params import DCQCNParams
+
+
+@dataclass
+class CycleRecord:
+    """Snapshot taken at one synchronized decrease event ``T_k``."""
+
+    time_units: int            #: T_k in units of tau'
+    rates_at_peak: np.ndarray  #: per-flow R_C just before the decrease
+    alphas: np.ndarray         #: per-flow alpha just after the decrease
+
+    @property
+    def rate_spread(self) -> float:
+        """``max R - min R`` at the peak -- Theorem 2's contracting gap."""
+        return float(np.max(self.rates_at_peak)
+                     - np.min(self.rates_at_peak))
+
+    @property
+    def alpha_spread(self) -> float:
+        """``max alpha - min alpha`` -- Eq. 17's contracting gap."""
+        return float(np.max(self.alphas) - np.min(self.alphas))
+
+
+class DiscreteDCQCN:
+    """Synchronized-flow discrete AIMD iteration of Section 3.3.
+
+    Parameters
+    ----------
+    params:
+        DCQCN parameter set; ``tau_prime`` is the time unit, and the
+        marking threshold is ``red.kmax`` (Appendix Eq. 41 bounds the
+        queue buildup by ``K_max``).
+    initial_rates:
+        Per-flow rates at t=0, packets/s.
+    initial_alphas:
+        Per-flow alpha at t=0 (DCQCN initializes alpha to 1).
+    """
+
+    def __init__(self, params: DCQCNParams,
+                 initial_rates: Optional[Sequence[float]] = None,
+                 initial_alphas: Optional[Sequence[float]] = None):
+        self.params = params
+        n = params.num_flows
+        if initial_rates is None:
+            self.rates = np.full(n, params.capacity, dtype=float)
+        else:
+            self.rates = np.asarray(initial_rates, dtype=float).copy()
+            if self.rates.shape != (n,):
+                raise ValueError(
+                    f"initial_rates must have shape ({n},), got "
+                    f"{self.rates.shape}")
+        if initial_alphas is None:
+            self.alphas = np.ones(n, dtype=float)
+        else:
+            self.alphas = np.asarray(initial_alphas, dtype=float).copy()
+            if self.alphas.shape != (n,):
+                raise ValueError(
+                    f"initial_alphas must have shape ({n},), got "
+                    f"{self.alphas.shape}")
+            if np.any((self.alphas < 0) | (self.alphas > 1)):
+                raise ValueError("alphas must lie in [0, 1]")
+        self.targets = self.rates.copy()
+        self.queue = 0.0
+        self.time_units = 0
+        self.cycles: List[CycleRecord] = []
+
+    def _increase_step(self) -> None:
+        """One tau' of additive increase (Appendix Eq. 35-36)."""
+        p = self.params
+        self.targets = self.targets + p.rate_ai
+        self.rates = 0.5 * (self.rates + self.targets)
+        # Alpha decays every marking-free tau' interval (Eq. 2).
+        self.alphas = (1.0 - p.g) * self.alphas
+
+    def _decrease_event(self) -> None:
+        """Synchronized marked cycle end (Eq. 15-16 semantics)."""
+        record = CycleRecord(time_units=self.time_units,
+                             rates_at_peak=self.rates.copy(),
+                             alphas=np.empty(0))
+        self.rates = (1.0 - self.alphas / 2.0) * self.rates
+        # Footnote 3: the simplified model sets R_T = R_C upon decrease
+        # (no fast recovery toward the pre-cut peak).
+        self.targets = self.rates.copy()
+        self.alphas = (1.0 - self.params.g) * self.alphas + self.params.g
+        record.alphas = self.alphas.copy()
+        self.cycles.append(record)
+        # The decrease drops the aggregate below capacity; the bottleneck
+        # drains, and the model restarts the cycle with an empty queue.
+        self.queue = 0.0
+
+    def step(self) -> bool:
+        """Advance one tau'.  Returns True if a decrease event fired."""
+        p = self.params
+        self.time_units += 1
+        excess = float(np.sum(self.rates)) - p.capacity
+        if excess > 0.0:
+            self.queue += excess * p.tau_prime
+        if self.queue >= p.red.kmax:
+            self._decrease_event()
+            return True
+        self._increase_step()
+        return False
+
+    def run_cycles(self, num_cycles: int,
+                   max_steps: int = 10_000_000) -> List[CycleRecord]:
+        """Run until ``num_cycles`` decrease events have fired."""
+        if num_cycles < 1:
+            raise ValueError(f"num_cycles must be >= 1, got {num_cycles}")
+        target = len(self.cycles) + num_cycles
+        steps = 0
+        while len(self.cycles) < target:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"no {num_cycles} cycles within {max_steps} steps; "
+                    "parameters may prevent the aggregate from reaching "
+                    "capacity")
+        return self.cycles[-num_cycles:]
+
+
+def queue_buildup_units(params: DCQCNParams) -> float:
+    """Appendix Eq. 41: units of tau' to build the queue to ``K_max``::
+
+        t <= (-1 + sqrt(1 + 8 K_max / (N R_AI tau'))) / 2
+    """
+    p = params
+    inner = 1.0 + 8.0 * p.red.kmax / (p.num_flows * p.rate_ai * p.tau_prime)
+    return (-1.0 + np.sqrt(inner)) / 2.0
+
+
+def cycle_length_units(params: DCQCNParams, alpha: float) -> float:
+    """Appendix Eq. 40: cycle length given the common alpha::
+
+        Delta T = 2 + (t/2 + C / (2 N R_AI)) alpha
+    """
+    p = params
+    t = queue_buildup_units(params)
+    return 2.0 + (t / 2.0 + p.capacity / (2.0 * p.num_flows * p.rate_ai)) \
+        * alpha
+
+
+def alpha_fixed_point(params: DCQCNParams,
+                      tolerance: float = 1e-12,
+                      max_iterations: int = 10_000) -> float:
+    """Appendix Eq. 42: the strictly positive limit ``alpha*``.
+
+    Solves ``alpha = (1-g)^{Delta T(alpha)} ((1-g) alpha + g)`` by
+    fixed-point iteration, which converges because the map is a
+    monotone contraction on (0, 1] (Appendix's f(alpha) analysis).
+    """
+    g = params.g
+    alpha = 1.0
+    for _ in range(max_iterations):
+        delta_t = cycle_length_units(params, alpha)
+        updated = (1.0 - g) ** delta_t * ((1.0 - g) * alpha + g)
+        if abs(updated - alpha) < tolerance:
+            return updated
+        alpha = updated
+    raise RuntimeError(
+        f"alpha* iteration did not converge within {max_iterations} "
+        "iterations")
+
+
+def contraction_rate(spreads: Sequence[float]) -> float:
+    """Geometric decay rate fitted to a positive, decreasing series.
+
+    Returns the least-squares slope of ``log(spread)`` per cycle; a
+    value below 1 confirms exponential contraction (Theorem 2).
+    """
+    spreads = np.asarray(spreads, dtype=float)
+    positive = spreads[spreads > 0]
+    if positive.size < 2:
+        raise ValueError(
+            "need at least two positive spread samples to fit a rate")
+    logs = np.log(positive)
+    slope = np.polyfit(np.arange(positive.size), logs, 1)[0]
+    return float(np.exp(slope))

@@ -1,0 +1,70 @@
+"""Fairness and convergence metrics shared by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def jain_fairness(rates: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n sum x^2)``.
+
+    1.0 for a perfectly even split; ``1/n`` when one flow hogs
+    everything.  Used to quantify Theorem 4's "arbitrary unfairness"
+    versus the fair fixed points of Theorems 1 and 5.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.size == 0:
+        raise ValueError("need at least one rate")
+    if np.any(rates < 0):
+        raise ValueError("rates must be non-negative")
+    total = float(np.sum(rates))
+    if total == 0.0:
+        raise ValueError("all rates are zero")
+    return total ** 2 / (rates.size * float(np.sum(rates ** 2)))
+
+
+def max_min_ratio(rates: Sequence[float]) -> float:
+    """``max(rate) / min(rate)``; infinity if any rate is zero."""
+    rates = np.asarray(rates, dtype=float)
+    if rates.size == 0:
+        raise ValueError("need at least one rate")
+    low = float(np.min(rates))
+    if low <= 0.0:
+        return math.inf
+    return float(np.max(rates)) / low
+
+
+def convergence_time(times: Sequence[float], values: Sequence[float],
+                     target: float, tolerance: float) -> Optional[float]:
+    """First time after which ``values`` stays within ``target +/- tol``.
+
+    Returns None if the series never settles (the TIMELY limit-cycle
+    case).  ``tolerance`` is absolute.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(
+            f"times {times.shape} and values {values.shape} differ")
+    inside = np.abs(values - target) <= tolerance
+    if not inside[-1]:
+        return None
+    # Walk back from the end to the last excursion.
+    outside = np.nonzero(~inside)[0]
+    if outside.size == 0:
+        return float(times[0])
+    last_excursion = outside[-1]
+    if last_excursion + 1 >= times.size:
+        return None
+    return float(times[last_excursion + 1])
+
+
+def oscillation_amplitude(values: Sequence[float]) -> float:
+    """Half the peak-to-peak swing of a (tail) series."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.max(values) - np.min(values)) / 2.0

@@ -1,0 +1,1 @@
+"""Fixed-point analysis: Theorem 1 (DCQCN) and Theorems 3-5 (TIMELY)."""

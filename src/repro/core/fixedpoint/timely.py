@@ -1,0 +1,147 @@
+"""TIMELY fixed-point taxonomy -- Theorems 3, 4 and 5 of the paper.
+
+* **Theorem 3 (no fixed point).**  In the Algorithm-1 system (Eq. 21,
+  where ``g <= 0`` triggers additive increase), no state zeroes every
+  derivative: a zero gradient forces ``dR/dt = delta/tau* != 0``.
+  :func:`original_residual` evaluates exactly that obstruction.
+
+* **Theorem 4 (infinitely many fixed points).**  Flip the equality to
+  the decrease side (Eq. 28) and *any* rate vector summing to ``C``
+  with zero gradients and a queue anywhere strictly between
+  ``C*T_low`` and ``C*T_high`` is a fixed point.
+  :func:`is_modified_fixed_point` recognizes the whole family;
+  :func:`sample_fixed_points` enumerates arbitrarily unfair members.
+
+* **Theorem 5 (patched TIMELY's unique fixed point).**  Eq. 29's
+  fixed point has equal rates ``C/N`` and queue
+  ``q* = N*delta*q'/(beta*C) + q'`` (Eq. 31);
+  :func:`patched_fixed_point` constructs it, and
+  :func:`patched_residual` verifies it actually zeroes the patched
+  dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.params import PatchedTimelyParams, TimelyParams
+
+
+def original_residual(params: TimelyParams, rates: Sequence[float],
+                      queue: float) -> float:
+    """Magnitude of the unavoidable drift in the Algorithm-1 system.
+
+    Given a candidate fixed point (zero gradients, ``sum(rates) = C``,
+    queue in the gradient band), Theorem 3 says ``dR/dt`` cannot vanish:
+    with ``g = 0`` the rate law sits on its additive-increase branch.
+    Returns the residual ``max_i |dR_i/dt|``, which is strictly positive
+    for any admissible candidate.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.shape != (params.num_flows,):
+        raise ValueError(
+            f"need {params.num_flows} rates, got shape {rates.shape}")
+    tau_star = np.maximum(params.segment / np.maximum(rates, 1.0),
+                          params.min_rtt)
+    if queue < params.q_low or queue > params.q_high:
+        raise ValueError(
+            "candidate queue must lie in the gradient band "
+            f"({params.q_low:.1f}, {params.q_high:.1f}), got {queue}")
+    # g = 0 -> additive-increase branch: dR/dt = delta / tau*.
+    residual = params.delta / tau_star
+    return float(np.max(np.abs(residual)))
+
+
+def is_modified_fixed_point(params: TimelyParams, rates: Sequence[float],
+                            queue: float, gradients: Sequence[float],
+                            tolerance: float = 1e-9) -> bool:
+    """Membership test for Theorem 4's infinite fixed-point family.
+
+    True iff all gradients are zero, the rates sum to capacity, and the
+    queue lies strictly between ``C*T_low`` and ``C*T_high``.
+    """
+    rates = np.asarray(rates, dtype=float)
+    gradients = np.asarray(gradients, dtype=float)
+    if rates.shape != (params.num_flows,):
+        return False
+    if gradients.shape != (params.num_flows,):
+        return False
+    if np.any(np.abs(gradients) > tolerance):
+        return False
+    if np.any(rates <= 0):
+        return False
+    if abs(float(np.sum(rates)) - params.capacity) > \
+            tolerance * params.capacity:
+        return False
+    return params.q_low < queue < params.q_high
+
+
+def sample_fixed_points(params: TimelyParams, count: int,
+                        seed: int = 0) -> Iterator["TimelyFixedPoint"]:
+    """Yield ``count`` members of the Theorem-4 family.
+
+    Rate splits are drawn from a Dirichlet distribution (so they are
+    positive and sum to ``C``) and queues uniformly from the open
+    gradient band -- demonstrating that the family includes arbitrarily
+    unfair operating points.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    margin = 1e-3 * (params.q_high - params.q_low)
+    for _ in range(count):
+        split = rng.dirichlet(np.ones(params.num_flows))
+        queue = rng.uniform(params.q_low + margin, params.q_high - margin)
+        yield TimelyFixedPoint(rates=split * params.capacity, queue=queue)
+
+
+@dataclass(frozen=True)
+class TimelyFixedPoint:
+    """One operating point of a TIMELY-family model."""
+
+    rates: np.ndarray   #: per-flow rates, packets/s
+    queue: float        #: queue depth, packets
+
+    @property
+    def fairness_ratio(self) -> float:
+        """``max(rate) / min(rate)`` -- unbounded across Theorem 4's family."""
+        return float(np.max(self.rates) / np.min(self.rates))
+
+
+def patched_fixed_point(params: PatchedTimelyParams) -> TimelyFixedPoint:
+    """Theorem 5's unique fixed point for patched TIMELY.
+
+    Equal rates ``C/N``; queue from Eq. 31.  Requires the queue to fall
+    inside the gradient band, which holds for the paper's settings
+    (``q' = C*T_low`` and small ``N*delta/(beta*C)``).
+    """
+    base = params.base
+    queue = params.fixed_point_queue
+    if not base.q_low <= queue <= base.q_high:
+        raise ValueError(
+            f"Eq. 31 queue {queue:.1f} falls outside the gradient band "
+            f"[{base.q_low:.1f}, {base.q_high:.1f}]; the patched model "
+            "would sit on a threshold branch instead")
+    rates = np.full(base.num_flows, base.fair_share)
+    return TimelyFixedPoint(rates=rates, queue=queue)
+
+
+def patched_residual(params: PatchedTimelyParams,
+                     point: TimelyFixedPoint) -> float:
+    """``max |dR_i/dt|`` of Eq. 29 at a candidate point with ``g = 0``.
+
+    Zero (to rounding) exactly at Theorem 5's fixed point; strictly
+    positive elsewhere in the gradient band -- uniqueness in action.
+    """
+    base = params.base
+    rates = np.asarray(point.rates, dtype=float)
+    tau_star = np.maximum(base.segment / np.maximum(rates, 1.0),
+                          base.min_rtt)
+    w = params.weight(0.0)
+    error = (point.queue - params.q_ref) / params.q_ref
+    drdt = ((1.0 - w) * base.delta
+            - w * params.beta_band * rates * error) / tau_star
+    return float(np.max(np.abs(drdt)))

@@ -1,0 +1,9 @@
+"""Fluid (delay-ODE) models and the fixed-step DDE integrator.
+
+Models: :class:`~repro.core.fluid.dcqcn.DCQCNFluidModel` (Fig. 1),
+:class:`~repro.core.fluid.timely.TimelyFluidModel` (Fig. 7),
+:class:`~repro.core.fluid.patched_timely.PatchedTimelyFluidModel`
+(Eq. 29), the PI variants in :mod:`repro.core.fluid.pi` (Eq. 32), and
+the window-based baseline :class:`~repro.core.fluid.dctcp.DCTCPFluidModel`.
+Integrate any of them with :func:`repro.core.fluid.dde.integrate`.
+"""

@@ -1,0 +1,337 @@
+"""DCQCN fluid model -- Figure 1 / Equations 3-7 of the paper.
+
+The model tracks, for each of ``N`` flows, the DCTCP-style reduction
+factor ``alpha``, the target rate ``R_T`` and the current rate ``R_C``,
+plus the shared bottleneck queue ``q``.  All rate-update terms are
+driven by state delayed by the control-loop latency ``tau*``: the
+marking probability ``p(t - tau*)`` (computed from the delayed queue via
+the RED profile, Eq. 3) and the delayed rate ``R_C(t - tau*)``.
+
+The QCN-style event-rate algebra (the paper's ``a, b, c, d, e`` factors
+from Eq. 12) is implemented in :func:`qcn_event_rates` with numerically
+safe limits:
+
+* byte-counter events fire at rate ``R*b -> R/B`` as ``p -> 0``;
+* timer events fire at rate ``R*d -> 1/T`` as ``p -> 0``;
+* events past the ``F`` fast-recovery stages carry the extra
+  ``(1-p)^{F B}`` / ``(1-p)^{F T R}`` survival factors (``c``, ``e``).
+
+Every rate-increase event performs the QCN averaging step
+``R_C <- (R_C + R_T)/2`` (hence the ``(R_T - R_C)/2`` terms in Eq. 7),
+and only post-fast-recovery events add ``R_AI`` to the target rate
+(Eq. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.core.fluid.base import FluidModel
+from repro.core.fluid.history import UniformHistory
+from repro.core.fluid.jitter import no_jitter
+from repro.core.params import DCQCNParams
+
+#: Floor on flow rates (packets/s) to keep the event-rate algebra finite.
+MIN_RATE = 1.0
+
+#: Marking probabilities are clamped below 1 so ``log1p(-p)`` stays finite.
+_P_CEIL = 1.0 - 1e-12
+
+
+class QCNEventRates(NamedTuple):
+    """Per-flow event rates derived from the paper's a-e factors.
+
+    Attributes
+    ----------
+    mark_fraction:
+        ``a = 1 - (1-p)^{tau R}``: probability that at least one packet
+        is marked in a CNP window, i.e. the fraction of windows that
+        deliver a CNP.
+    byte_rate:
+        Rate of byte-counter expirations, ``R * b`` (events/s).
+    byte_ai_rate:
+        Byte-counter expirations past fast recovery, ``R * c``.
+    timer_rate:
+        Rate of timer expirations, ``R * d`` (events/s).
+    timer_ai_rate:
+        Timer expirations past fast recovery, ``R * e``.
+    """
+
+    mark_fraction: np.ndarray
+    byte_rate: np.ndarray
+    byte_ai_rate: np.ndarray
+    timer_rate: np.ndarray
+    timer_ai_rate: np.ndarray
+
+
+def survival_exponent(p: float, count: "np.ndarray | float") -> np.ndarray:
+    """``(1-p)^count`` computed stably for large counts.
+
+    ``count`` is a number of packets (possibly huge, e.g. ``F*B`` with a
+    10 MB byte counter); the direct power underflows gracefully via the
+    exp/log form.
+    """
+    if p <= 0.0:
+        return np.ones_like(np.asarray(count, dtype=float))
+    p = min(p, _P_CEIL)
+    return np.exp(np.asarray(count, dtype=float) * np.log1p(-p))
+
+
+def _event_rate(p: float, rate: np.ndarray, window_packets: np.ndarray,
+                zero_p_rate: np.ndarray) -> np.ndarray:
+    """``rate * p / ((1-p)^{-window} - 1)`` with its ``p -> 0`` limit.
+
+    ``window_packets`` is the inter-event packet count (``B`` for the
+    byte counter, ``T*R`` for the timer); ``zero_p_rate`` is the exact
+    limit of the expression as ``p -> 0`` (``R/B`` resp. ``1/T``).
+    """
+    if p <= 0.0:
+        return np.asarray(zero_p_rate, dtype=float).copy()
+    p = min(p, _P_CEIL)
+    exponent = -np.asarray(window_packets, dtype=float) * np.log1p(-p)
+    out = np.empty_like(exponent)
+    tiny = exponent < 1e-12
+    with np.errstate(over="ignore"):
+        # Overflow to +inf is the intended limit: a huge inter-event
+        # exponent means the event (an unmarked window of that many
+        # packets) essentially never happens, so the rate is ~0.
+        denominator = np.expm1(exponent[~tiny])
+        out[~tiny] = p * np.asarray(rate, dtype=float)[~tiny] / denominator
+    out[tiny] = np.asarray(zero_p_rate, dtype=float)[tiny]
+    return out
+
+
+def qcn_event_rates(p: float, delayed_rate: np.ndarray,
+                    params: DCQCNParams) -> QCNEventRates:
+    """Evaluate the Eq. 12 factors as event rates for each flow.
+
+    Parameters
+    ----------
+    p:
+        Marking probability observed ``tau*`` ago (scalar, shared).
+    delayed_rate:
+        Per-flow ``R_C(t - tau*)`` in packets/s.
+    params:
+        DCQCN parameter set supplying ``B``, ``T``, ``F``, ``tau``.
+    """
+    rate = np.maximum(np.asarray(delayed_rate, dtype=float), MIN_RATE)
+    f_steps = float(params.fast_recovery_steps)
+
+    mark_fraction = -np.expm1(
+        params.tau * rate * np.log1p(-min(max(p, 0.0), _P_CEIL))
+    ) if p > 0.0 else np.zeros_like(rate)
+
+    byte_window = np.full_like(rate, params.byte_counter)
+    byte_rate = _event_rate(p, rate, byte_window, rate / params.byte_counter)
+    byte_ai_rate = byte_rate * survival_exponent(
+        p, f_steps * params.byte_counter)
+
+    timer_window = params.timer * rate
+    timer_rate = _event_rate(p, rate, timer_window,
+                             np.full_like(rate, 1.0 / params.timer))
+    timer_ai_rate = timer_rate * survival_exponent(
+        p, f_steps * params.timer * rate)
+
+    return QCNEventRates(mark_fraction, byte_rate, byte_ai_rate,
+                         timer_rate, timer_ai_rate)
+
+
+class DCQCNFluidModel(FluidModel):
+    """The Fig. 1 delay-ODE system for ``N`` individually-tracked flows.
+
+    State layout: ``[q, alpha_1..alpha_N, rt_1..rt_N, rc_1..rc_N]``.
+
+    Parameters
+    ----------
+    params:
+        DCQCN configuration (capacity, RED profile, timers...).
+    initial_rates:
+        Optional per-flow starting rates, packets/s.  Defaults to line
+        rate for every flow -- "DCQCN flows always start at line rate"
+        (Section 3.1).
+    initial_queue:
+        Starting queue depth, packets (default empty).
+    line_rate:
+        Sender NIC speed, packets/s; rates are clamped to it.  Defaults
+        to the bottleneck capacity, matching the paper's single-switch
+        validation topology.
+    marking_delay:
+        Extra delay (seconds) between the queue and the marking
+        decision.  Zero reproduces egress marking, where the mark
+        reflects the queue at packet departure; setting it to a mean
+        queuing delay emulates ingress marking (Fig. 17).
+    feedback_jitter:
+        Callable ``t -> extra delay (s)`` added to the control-loop
+        delay ``tau*`` -- the Fig. 20 experiment.  For ECN the jitter
+        only makes the (still correct) mark arrive later.
+    start_times:
+        Per-flow activation times, seconds.  Before its start a flow
+        contributes nothing to the queue and its state is frozen; at
+        activation it enters at its configured initial rate (line
+        rate by default -- how DCQCN flows arrive).
+    extend_red:
+        Use the smooth-RED idealization: the marking ramp continues
+        past ``pmax`` (clipped at 1) instead of jumping to 1 at
+        ``kmax``.  Configurations whose Eq. 11 fixed point has
+        ``p* > pmax`` (large N) sit exactly on the physical profile's
+        cliff and chatter against it regardless of delay; the paper's
+        fluid stability results (Fig. 4) presume the smooth profile
+        the linearized analysis uses.
+    """
+
+    def __init__(self, params: DCQCNParams,
+                 initial_rates: Optional[Sequence[float]] = None,
+                 initial_queue: float = 0.0,
+                 line_rate: Optional[float] = None,
+                 marking_delay: float = 0.0,
+                 feedback_jitter: Callable[[float], float] = no_jitter,
+                 extend_red: bool = False,
+                 start_times: Optional[Sequence[float]] = None):
+        self.params = params
+        self.n = params.num_flows
+        self.line_rate = params.capacity if line_rate is None else line_rate
+        if initial_rates is None:
+            self._initial_rates = np.full(self.n, self.line_rate)
+        else:
+            rates = np.asarray(initial_rates, dtype=float)
+            if rates.shape != (self.n,):
+                raise ValueError(
+                    f"initial_rates must have shape ({self.n},), "
+                    f"got {rates.shape}")
+            if np.any(rates <= 0):
+                raise ValueError("initial rates must be positive")
+            self._initial_rates = rates
+        if initial_queue < 0:
+            raise ValueError(
+                f"initial_queue must be >= 0, got {initial_queue}")
+        self._initial_queue = float(initial_queue)
+        if marking_delay < 0:
+            raise ValueError(
+                f"marking_delay must be >= 0, got {marking_delay}")
+        self.marking_delay = float(marking_delay)
+        self.feedback_jitter = feedback_jitter
+        self.extend_red = extend_red
+        if start_times is None:
+            self.start_times = np.zeros(self.n)
+        else:
+            starts = np.asarray(start_times, dtype=float)
+            if starts.shape != (self.n,):
+                raise ValueError(
+                    f"start_times must have shape ({self.n},), "
+                    f"got {starts.shape}")
+            if np.any(starts < 0):
+                raise ValueError("start times must be >= 0")
+            self.start_times = starts
+
+    # -- state vector layout -------------------------------------------------
+
+    @property
+    def queue_index(self) -> int:
+        """Column index of the queue in the state vector."""
+        return 0
+
+    def alpha_slice(self) -> slice:
+        """Columns holding the per-flow ``alpha`` values."""
+        return slice(1, 1 + self.n)
+
+    def rt_slice(self) -> slice:
+        """Columns holding the per-flow target rates ``R_T``."""
+        return slice(1 + self.n, 1 + 2 * self.n)
+
+    def rc_slice(self) -> slice:
+        """Columns holding the per-flow current rates ``R_C``."""
+        return slice(1 + 2 * self.n, 1 + 3 * self.n)
+
+    def initial_state(self) -> np.ndarray:
+        state = np.empty(1 + 3 * self.n)
+        state[self.queue_index] = self._initial_queue
+        state[self.alpha_slice()] = 1.0  # DCQCN initializes alpha to 1
+        state[self.rt_slice()] = self._initial_rates
+        state[self.rc_slice()] = self._initial_rates
+        return state
+
+    def state_labels(self) -> List[str]:
+        labels = ["q"]
+        labels += [f"alpha[{i}]" for i in range(self.n)]
+        labels += [f"rt[{i}]" for i in range(self.n)]
+        labels += [f"rc[{i}]" for i in range(self.n)]
+        return labels
+
+    # -- dynamics ------------------------------------------------------------
+
+    def marking_probability(self, t: float,
+                            history: UniformHistory) -> float:
+        """``p`` as seen by senders at time ``t``: RED of the delayed queue.
+
+        With egress marking the mark reflects the queue ``tau*`` ago
+        (propagation only); ingress-style marking adds
+        ``marking_delay`` of queue staleness on top (Section 5.2).
+        """
+        lag = (self.params.tau_star + self.marking_delay
+               + self.feedback_jitter(t))
+        delayed_queue = history.component(t - lag, self.queue_index)
+        red = self.params.red
+        if self.extend_red:
+            return min(max((delayed_queue - red.kmin) * red.slope, 0.0),
+                       1.0)
+        return red.marking_probability(delayed_queue)
+
+    def derivatives(self, t: float, state: np.ndarray,
+                    history: UniformHistory) -> np.ndarray:
+        p = self.params
+        queue = state[self.queue_index]
+        alpha = state[self.alpha_slice()]
+        rt = state[self.rt_slice()]
+        rc = state[self.rc_slice()]
+
+        mark_p = self.marking_probability(t, history)
+        # The delayed rate shares the (possibly jittered) feedback path:
+        # the CNP describes packets sent one control-loop delay ago.
+        delayed = history(t - p.tau_star - self.feedback_jitter(t))
+        delayed_rc = np.maximum(delayed[self.rc_slice()], MIN_RATE)
+
+        events = qcn_event_rates(mark_p, delayed_rc, p)
+
+        active = t >= self.start_times
+
+        # Eq. 4: queue integrates the active flows' excess arrival
+        # rate; it cannot drain below empty.
+        dq = float(np.sum(rc[active])) - p.capacity
+        if queue <= 0.0 and dq < 0.0:
+            dq = 0.0
+
+        # Eq. 5: alpha chases the delayed marked-window fraction for the
+        # tau'-long CNP observation window.
+        alpha_target = -np.expm1(
+            p.tau_prime * delayed_rc * np.log1p(-min(mark_p, _P_CEIL))
+        ) if mark_p > 0.0 else np.zeros(self.n)
+        dalpha = (p.g / p.tau_prime) * (alpha_target - alpha)
+
+        # Eq. 6: target rate forgets toward R_C on CNPs, gains R_AI on
+        # post-fast-recovery byte/timer events.
+        drt = (-(rt - rc) / p.tau * events.mark_fraction
+               + p.rate_ai * (events.byte_ai_rate + events.timer_ai_rate))
+
+        # Eq. 7: multiplicative decrease on CNPs plus the QCN averaging
+        # (R_C + R_T)/2 on every byte/timer event.
+        drc = (-(rc * alpha) / (2.0 * p.tau) * events.mark_fraction
+               + (rt - rc) / 2.0 * (events.byte_rate + events.timer_rate))
+
+        out = np.empty_like(state)
+        out[self.queue_index] = dq
+        out[self.alpha_slice()] = np.where(active, dalpha, 0.0)
+        out[self.rt_slice()] = np.where(active, drt, 0.0)
+        out[self.rc_slice()] = np.where(active, drc, 0.0)
+        return out
+
+    def clamp(self, state: np.ndarray) -> np.ndarray:
+        state[self.queue_index] = max(state[self.queue_index], 0.0)
+        np.clip(state[self.alpha_slice()], 0.0, 1.0,
+                out=state[self.alpha_slice()])
+        np.clip(state[self.rt_slice()], MIN_RATE, self.line_rate,
+                out=state[self.rt_slice()])
+        np.clip(state[self.rc_slice()], MIN_RATE, self.line_rate,
+                out=state[self.rc_slice()])
+        return state

@@ -1,0 +1,129 @@
+"""Dense state history for delay-differential equations.
+
+The fluid models of the paper are *delay* differential equations: the
+DCQCN right-hand side reads marking probability ``p(t - tau*)`` and rate
+``R_C(t - tau*)`` (Fig. 1), and TIMELY reads queue lengths at
+``t - tau'`` and ``t - tau' - tau*`` where ``tau'`` itself depends on
+the current queue (Eq. 24).  The integrator therefore records every
+accepted step, and models look up past state through a
+:class:`UniformHistory`.
+
+The history exploits the integrator's uniform step size: lookup is an
+O(1) index computation plus linear interpolation, instead of a binary
+search.  Queries earlier than the start time return the initial state
+(constant pre-history), which matches the paper's simulations where
+flows start with fixed initial rates and an empty queue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UniformHistory:
+    """Record of state vectors on a uniform time grid, linearly interpolated.
+
+    Parameters
+    ----------
+    t0:
+        Time of the first sample.
+    dt:
+        Grid spacing; every appended sample is assumed to be ``dt``
+        after the previous one.
+    initial_state:
+        State vector at ``t0``; also used as the constant pre-history
+        for queries at ``t < t0``.
+    """
+
+    def __init__(self, t0: float, dt: float, initial_state: np.ndarray):
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self._t0 = float(t0)
+        self._dt = float(dt)
+        state = np.asarray(initial_state, dtype=float)
+        if state.ndim != 1:
+            raise ValueError("initial_state must be a 1-D vector")
+        self._dim = state.shape[0]
+        self._capacity = 1024
+        self._data = np.empty((self._capacity, self._dim), dtype=float)
+        self._data[0] = state
+        self._count = 1
+
+    @property
+    def t0(self) -> float:
+        """Time of the first recorded sample."""
+        return self._t0
+
+    @property
+    def dt(self) -> float:
+        """Uniform spacing between recorded samples."""
+        return self._dt
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the state vector."""
+        return self._dim
+
+    @property
+    def latest_time(self) -> float:
+        """Time of the most recently appended sample."""
+        return self._t0 + (self._count - 1) * self._dt
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, state: np.ndarray) -> None:
+        """Record the state at the next grid point."""
+        if self._count == self._capacity:
+            # Grow geometrically; copy only when capacity is exhausted.
+            self._capacity *= 2
+            grown = np.empty((self._capacity, self._dim), dtype=float)
+            grown[:self._count] = self._data[:self._count]
+            self._data = grown
+        self._data[self._count] = state
+        self._count += 1
+
+    def __call__(self, t: float) -> np.ndarray:
+        """State at time ``t``; constant before ``t0``, clamped after the end.
+
+        Values between grid points are linearly interpolated.  Clamping
+        at the newest sample lets Runge-Kutta stages evaluate delayed
+        terms that land (by at most one step) past the recorded history;
+        with delays >= dt this clamp is exact to first order.
+        """
+        offset = (t - self._t0) / self._dt
+        if offset <= 0.0:
+            return self._data[0].copy()
+        last = self._count - 1
+        if offset >= last:
+            return self._data[last].copy()
+        lo = int(offset)
+        frac = offset - lo
+        if frac == 0.0:
+            return self._data[lo].copy()
+        return (1.0 - frac) * self._data[lo] + frac * self._data[lo + 1]
+
+    def component(self, t: float, index: int) -> float:
+        """Scalar lookup of one state component at time ``t``.
+
+        Cheaper than ``self(t)[index]`` because it avoids building the
+        full interpolated vector; the DCQCN model calls this in its
+        inner loop for the delayed queue value.
+        """
+        offset = (t - self._t0) / self._dt
+        if offset <= 0.0:
+            return float(self._data[0, index])
+        last = self._count - 1
+        if offset >= last:
+            return float(self._data[last, index])
+        lo = int(offset)
+        frac = offset - lo
+        column = self._data[:, index]
+        if frac == 0.0:
+            return float(column[lo])
+        return float((1.0 - frac) * column[lo] + frac * column[lo + 1])
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Return ``(times, states)`` copies of the full recorded history."""
+        times = self._t0 + self._dt * np.arange(self._count)
+        return times, self._data[:self._count].copy()

@@ -1,0 +1,92 @@
+"""TIMELY with measurement noise -- the paper's burst-pacing conjecture.
+
+Section 4.2: per-burst pacing "introduces enough 'noise' to
+de-correlate the flows, and this appears to lead the system to a
+relatively stable fixed point.  We attempted to mathematically prove
+that per-burst pacing would lead to a unique fixed point, but were
+unable to do so."
+
+This model isolates the conjectured mechanism: take the plain TIMELY
+fluid model (whose gradient-only feedback freezes any rate asymmetry,
+Theorem 4) and inject independent zero-mean per-flow noise into each
+flow's RTT *measurement* -- exactly what colliding bursts do to real
+RTT samples.  The noise enters the gradient dynamics (Eq. 22) the way
+a queue-measurement error would.
+
+The ``ext_noise_decorrelation`` experiment shows the effect the paper
+observed in Fig. 10(a): without noise the 7/3 Gbps asymmetry persists
+indefinitely; with burst-scale noise the flows random-walk toward
+(and around) the fair share.  This is evidence for, not a proof of,
+the conjecture -- matching the paper's epistemic state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.fluid.history import UniformHistory
+from repro.core.fluid.jitter import JitterProcess
+from repro.core.fluid.timely import TimelyFluidModel
+from repro.core.params import TimelyParams
+
+
+class NoisyTimelyFluidModel(TimelyFluidModel):
+    """TIMELY fluid model with per-flow RTT measurement noise.
+
+    Parameters
+    ----------
+    params:
+        TIMELY configuration.
+    noise_amplitude_packets:
+        Half-width of the zero-mean uniform measurement noise, in
+        packets of apparent queue (a colliding Seg-sized burst
+        perturbs the sampled RTT by up to ~Seg packets of queueing).
+    noise_interval:
+        How often each flow's noise re-draws -- roughly one RTT
+        sample period.
+    seed:
+        Base seed; each flow gets an independent stream.
+    """
+
+    def __init__(self, params: TimelyParams,
+                 noise_amplitude_packets: float,
+                 noise_interval: float = 30e-6,
+                 seed: int = 0,
+                 initial_rates: Optional[Sequence[float]] = None,
+                 **kwargs):
+        super().__init__(params, initial_rates=initial_rates, **kwargs)
+        if noise_amplitude_packets < 0:
+            raise ValueError(
+                f"noise amplitude must be >= 0, got "
+                f"{noise_amplitude_packets}")
+        self.noise_amplitude = float(noise_amplitude_packets)
+        # Uniform[0, 2A] shifted to zero-mean Uniform[-A, A].
+        self._noise = [
+            JitterProcess(2.0 * self.noise_amplitude,
+                          resample_interval=noise_interval,
+                          seed=seed + i)
+            for i in range(self.n)
+        ]
+
+    def measurement_noise(self, t: float) -> np.ndarray:
+        """Zero-mean apparent-queue error per flow, packets."""
+        return np.array([process(t) - self.noise_amplitude
+                         for process in self._noise])
+
+    def derivatives(self, t: float, state: np.ndarray,
+                    history: UniformHistory) -> np.ndarray:
+        out = super().derivatives(t, state, history)
+        if self.noise_amplitude == 0.0:
+            return out
+        p = self.params
+        rates = state[self.rate_slice()]
+        tau_star = self.update_intervals(rates)
+        # The noise perturbs the sampled queue difference in Eq. 22.
+        perturbation = (p.ewma_alpha / tau_star) \
+            * self.measurement_noise(t) / (p.capacity * p.min_rtt)
+        active = self.active_flows(t)
+        out[self.gradient_slice()] += np.where(active, perturbation,
+                                               0.0)
+        return out

@@ -1,0 +1,7 @@
+"""Control-theoretic stability: linearization, loop gains, Bode margins.
+
+The DCQCN machinery (Fig. 3) lives in
+:mod:`repro.core.stability.dcqcn_margin` with closed-form Jacobians in
+:mod:`repro.core.stability.analytic`; patched TIMELY's (Fig. 11) in
+:mod:`repro.core.stability.timely_margin`.
+"""

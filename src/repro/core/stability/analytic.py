@@ -1,0 +1,234 @@
+"""Closed-form linearizations of the flow dynamics (Appendix A style).
+
+DCQCN's is the paper's Appendix A; patched TIMELY's follows the same
+recipe for the (g, R) subsystem of Eq. 29.  Both are cross-checked
+against finite differences in the tests.
+
+The paper derives the linearized model symbolically (Eq. 33 and the
+Laplace transform Eq. 34).  This module implements the same closed
+forms: exact partial derivatives of the per-flow right-hand side
+
+    f(alpha, R_T, R_C; p_d, R_d)
+
+with respect to the current state and the delayed inputs, evaluated at
+the Theorem-1 fixed point.  It serves two purposes:
+
+* an independent check on the finite-difference Jacobians used by
+  :class:`~repro.core.stability.dcqcn_margin.DCQCNLoopGain` (the test
+  suite requires agreement to several significant digits);
+* an exact, step-size-free path for the phase-margin sweeps
+  (``DCQCNLoopGain(..., jacobian="analytic")``).
+
+Writing ``L = -ln(1 - p)`` (so ``(1-p)^x = exp(-x L)``), the QCN
+factors and their exact partials are::
+
+    a = 1 - exp(-tau R L)        da/dp = exp(-tau R L) tau R / (1-p)
+                                 da/dR = exp(-tau R L) tau L
+    b = p / (exp(B L) - 1)       (byte counter, B packets)
+    c = exp(-F B L) b
+    d = p / (exp(x L) - 1)       with x = T R (timer window, packets)
+    e = exp(-F x L) d
+
+with the quotient-rule partials spelled out in the code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.fixedpoint.dcqcn import DCQCNFixedPoint
+from repro.core.params import DCQCNParams, PatchedTimelyParams
+
+
+class FactorDerivatives(NamedTuple):
+    """One QCN factor's value and partials at the fixed point."""
+
+    value: float
+    d_dp: float
+    d_dr: float
+
+
+def _survival(exponent: float) -> float:
+    """``exp(-exponent)`` guarded against overflow for huge windows."""
+    if exponent > 700.0:
+        return 0.0
+    return math.exp(-exponent)
+
+
+def mark_window_factor(p: float, rate: float,
+                       window_s: float) -> FactorDerivatives:
+    """``a = 1 - (1-p)^{window * R}`` and its partials.
+
+    Also used for the alpha target (Eq. 5) with ``window_s = tau'``.
+    """
+    big_l = -math.log1p(-p)
+    survival = _survival(window_s * rate * big_l)
+    value = 1.0 - survival
+    d_dp = survival * window_s * rate / (1.0 - p)
+    d_dr = survival * window_s * big_l
+    return FactorDerivatives(value, d_dp, d_dr)
+
+
+def counter_factor(p: float, window_packets: float,
+                   window_slope_dr: float) -> FactorDerivatives:
+    """``p / ((1-p)^{-w} - 1)`` for an inter-event window ``w``.
+
+    ``window_slope_dr`` is ``dw/dR`` (zero for the byte counter,
+    ``T`` for the timer whose window is ``T R``).
+    """
+    big_l = -math.log1p(-p)
+    # Work with 1/G = (1-p)^{w} to stay finite for huge windows
+    # (B = 10 MB of packets easily overflows exp(w L)).
+    inv_g = _survival(window_packets * big_l)
+    one_minus = 1.0 - inv_g  # == (G - 1)/G
+    value = p * inv_g / one_minus
+    d_dp = inv_g * (one_minus - p * window_packets / (1.0 - p)) \
+        / one_minus ** 2
+    d_dr = -p * big_l * window_slope_dr * inv_g / one_minus ** 2
+    return FactorDerivatives(value, d_dp, d_dr)
+
+
+def past_recovery_factor(base: FactorDerivatives, p: float,
+                         fr_window_packets: float,
+                         fr_window_slope_dr: float
+                         ) -> FactorDerivatives:
+    """``(1-p)^{F w} * base`` -- events surviving fast recovery.
+
+    ``fr_window_packets = F * w`` and ``fr_window_slope_dr`` its rate
+    derivative (``0`` for the byte counter, ``F T`` for the timer).
+    """
+    big_l = -math.log1p(-p)
+    survival = _survival(fr_window_packets * big_l)
+    value = survival * base.value
+    d_dp = survival * (base.d_dp
+                       - base.value * fr_window_packets / (1.0 - p))
+    d_dr = survival * (base.d_dr
+                       - base.value * big_l * fr_window_slope_dr)
+    return FactorDerivatives(value, d_dp, d_dr)
+
+
+class AnalyticJacobians(NamedTuple):
+    """Linearized flow subsystem, Appendix-A style.
+
+    ``m0`` is the 3x3 Jacobian w.r.t. the current ``(alpha, R_T,
+    R_C)``; ``b_p`` and ``b_r`` the sensitivities to the delayed
+    marking probability and the delayed own rate.
+    """
+
+    m0: np.ndarray
+    b_p: np.ndarray
+    b_r: np.ndarray
+
+
+def flow_jacobians(params: DCQCNParams,
+                   fp: DCQCNFixedPoint) -> AnalyticJacobians:
+    """Evaluate the closed-form Jacobians at the fixed point."""
+    p_star = fp.p
+    rate = fp.rate
+    alpha = fp.alpha
+    rt = fp.target_rate
+    rc = fp.rate
+    prm = params
+
+    a = mark_window_factor(p_star, rate, prm.tau)
+    alpha_target = mark_window_factor(p_star, rate, prm.tau_prime)
+    b = counter_factor(p_star, prm.byte_counter, 0.0)
+    c = past_recovery_factor(
+        b, p_star, prm.fast_recovery_steps * prm.byte_counter, 0.0)
+    d = counter_factor(p_star, prm.timer * rate, prm.timer)
+    e = past_recovery_factor(
+        d, p_star, prm.fast_recovery_steps * prm.timer * rate,
+        prm.fast_recovery_steps * prm.timer)
+
+    g_over_tp = prm.g / prm.tau_prime
+    # d(alpha)/dt = g/tau' * (A(p_d, R_d) - alpha)
+    dalpha_dalpha = -g_over_tp
+    dalpha_dp = g_over_tp * alpha_target.d_dp
+    dalpha_dr = g_over_tp * alpha_target.d_dr
+
+    # d(R_T)/dt = -(R_T - R_C)/tau * a + R_AI R_d (c + e)
+    gap = rt - rc
+    drt_drt = -a.value / prm.tau
+    drt_drc = a.value / prm.tau
+    drt_dp = (-gap / prm.tau * a.d_dp
+              + prm.rate_ai * rate * (c.d_dp + e.d_dp))
+    drt_dr = (-gap / prm.tau * a.d_dr
+              + prm.rate_ai * (c.value + e.value)
+              + prm.rate_ai * rate * (c.d_dr + e.d_dr))
+
+    # d(R_C)/dt = -R_C alpha/(2 tau) a + (R_T - R_C)/2 * R_d (b + d)
+    bd = b.value + d.value
+    drc_dalpha = -rc * a.value / (2.0 * prm.tau)
+    drc_drt = rate * bd / 2.0
+    drc_drc = -alpha * a.value / (2.0 * prm.tau) - rate * bd / 2.0
+    drc_dp = (-rc * alpha / (2.0 * prm.tau) * a.d_dp
+              + gap / 2.0 * rate * (b.d_dp + d.d_dp))
+    drc_dr = (-rc * alpha / (2.0 * prm.tau) * a.d_dr
+              + gap / 2.0 * (bd + rate * (b.d_dr + d.d_dr)))
+
+    m0 = np.array([
+        [dalpha_dalpha, 0.0, 0.0],
+        [0.0, drt_drt, drt_drc],
+        [drc_dalpha, drc_drt, drc_drc],
+    ])
+    b_p = np.array([dalpha_dp, drt_dp, drc_dp])
+    b_r = np.array([dalpha_dr, drt_dr, drc_dr])
+    return AnalyticJacobians(m0=m0, b_p=b_p, b_r=b_r)
+
+
+class PatchedAnalyticJacobians(NamedTuple):
+    """Linearized patched-TIMELY flow subsystem at Theorem 5's point.
+
+    ``m0`` is the 2x2 Jacobian w.r.t. the current ``(g, R)``; ``b_q1``
+    and ``b_q2`` the sensitivities to the delayed queue observations
+    ``q(t - tau')`` and ``q(t - tau' - tau*)``.
+    """
+
+    m0: np.ndarray
+    b_q1: np.ndarray
+    b_q2: np.ndarray
+
+
+def patched_flow_jacobians(patched: PatchedTimelyParams,
+                           rate_star: float,
+                           queue_star: float
+                           ) -> PatchedAnalyticJacobians:
+    """Closed-form partials of Eq. 29's (g, R) dynamics.
+
+    Evaluated at the Theorem-5 fixed point, where several terms vanish
+    identically: the gradient is zero, the Eq. 29 numerator balances
+    (``w* beta R* e* = (1-w*) delta`` with ``w* = 1/2``), so the
+    ``d tau*/dR`` chain terms multiply zero and drop out.
+    """
+    base = patched.base
+    tau_star = max(base.segment / rate_star, base.min_rtt)
+    half = patched.weight_slope_halfwidth
+    w_star = patched.weight(0.0)
+    w_slope = 1.0 / (2.0 * half)
+    error_star = (queue_star - patched.q_ref) / patched.q_ref
+    norm = base.capacity * base.min_rtt
+
+    # dg/dt = (alpha/tau*) (-g + (q1 - q2)/(C Dmin))
+    dg_dg = -base.ewma_alpha / tau_star
+    dg_dq1 = base.ewma_alpha / (tau_star * norm)
+    dg_dq2 = -dg_dq1
+    # At the fixed point (-g + D) = 0, so tau*(R) sensitivity drops.
+    dg_dr = 0.0
+
+    # dR/dt = ((1 - w(g)) delta - w(g) beta_band R (q1 - q')/q')/tau*
+    beta = patched.beta_band
+    dr_dg = -w_slope * (base.delta
+                        + beta * rate_star * error_star) / tau_star
+    dr_dr = -w_star * beta * error_star / tau_star
+    dr_dq1 = -w_star * beta * rate_star / (patched.q_ref * tau_star)
+
+    m0 = np.array([
+        [dg_dg, dg_dr],
+        [dr_dg, dr_dr],
+    ])
+    b_q1 = np.array([dg_dq1, dr_dq1])
+    b_q2 = np.array([dg_dq2, 0.0])
+    return PatchedAnalyticJacobians(m0=m0, b_q1=b_q1, b_q2=b_q2)

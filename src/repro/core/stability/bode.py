@@ -1,0 +1,164 @@
+"""Bode stability criteria -- gain crossover and phase margin.
+
+Section 3.2 of the paper: "We test the system against Bode Stability
+Criteria.  The degree of stability is shown as Phase Margin...  The
+system is stable when its Phase Margin is larger than 0".
+
+Given the open-loop transfer function ``L(s)`` of a (delayed) feedback
+system, the phase margin is ``180 deg + arg L(j w_gc)`` evaluated at
+the gain-crossover frequency ``|L(j w_gc)| = 1``.  Delay terms make
+``L`` transcendental, so we evaluate it on a dense logarithmic
+frequency grid, unwrap the phase, locate every crossover by
+interpolation, and report the *worst* (smallest) margin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PhaseMarginResult:
+    """Outcome of a phase-margin computation.
+
+    ``margin_deg`` is ``math.inf`` when the loop gain never reaches
+    unity (unconditionally stable in the Bode sense).
+    """
+
+    margin_deg: float           #: worst phase margin, degrees
+    crossover_rad_s: float      #: frequency of that margin (nan if none)
+    omegas: np.ndarray = field(repr=False)   #: evaluation grid, rad/s
+    gain_db: np.ndarray = field(repr=False)  #: |L| in dB along the grid
+    phase_deg: np.ndarray = field(repr=False)  #: unwrapped arg L, degrees
+
+    @property
+    def stable(self) -> bool:
+        """Bode criterion verdict: positive margin (or no crossover)."""
+        return self.margin_deg > 0.0
+
+
+def phase_margin(loop: Callable[[np.ndarray], np.ndarray],
+                 omega_min: float = 1e2,
+                 omega_max: float = 1e7,
+                 num_points: int = 4000) -> PhaseMarginResult:
+    """Compute the worst phase margin of the open loop ``loop``.
+
+    Parameters
+    ----------
+    loop:
+        Vectorized ``L(j omega)``: maps an array of angular frequencies
+        (rad/s) to complex loop-gain values.  Sign convention: the
+        closed loop is ``1 + L``, i.e. ``L`` has positive DC gain for
+        negative feedback.
+    omega_min, omega_max:
+        Grid bounds, rad/s.  The defaults bracket the paper's dynamics
+        (millisecond AIMD cycles to microsecond delays).
+    num_points:
+        Logarithmic grid resolution.
+
+    Notes
+    -----
+    Multiple gain crossovers are common for delayed loops; the minimum
+    margin over all of them decides stability, matching how Fig. 3's
+    non-monotonic curves were obtained.
+    """
+    if omega_min <= 0 or omega_max <= omega_min:
+        raise ValueError(
+            f"need 0 < omega_min < omega_max, got [{omega_min}, "
+            f"{omega_max}]")
+    omegas = np.logspace(math.log10(omega_min), math.log10(omega_max),
+                         num_points)
+    values = np.asarray(loop(omegas), dtype=complex)
+    if values.shape != omegas.shape:
+        raise ValueError(
+            f"loop() returned shape {values.shape}, expected "
+            f"{omegas.shape}")
+    magnitude = np.abs(values)
+    with np.errstate(divide="ignore"):
+        gain_db = 20.0 * np.log10(magnitude)
+    phase_deg = np.degrees(np.unwrap(np.angle(values)))
+
+    crossings = np.nonzero(np.diff(np.sign(gain_db)) != 0)[0]
+    if crossings.size == 0:
+        return PhaseMarginResult(margin_deg=math.inf,
+                                 crossover_rad_s=math.nan,
+                                 omegas=omegas, gain_db=gain_db,
+                                 phase_deg=phase_deg)
+
+    worst = math.inf
+    worst_omega = math.nan
+    for idx in crossings:
+        g0, g1 = gain_db[idx], gain_db[idx + 1]
+        if g1 == g0:
+            fraction = 0.5
+        else:
+            fraction = -g0 / (g1 - g0)
+        phase_at = phase_deg[idx] + fraction * (phase_deg[idx + 1]
+                                                - phase_deg[idx])
+        log_omega = (math.log10(omegas[idx])
+                     + fraction * (math.log10(omegas[idx + 1])
+                                   - math.log10(omegas[idx])))
+        margin = 180.0 + _principal_phase(phase_at)
+        if margin < worst:
+            worst = margin
+            worst_omega = 10.0 ** log_omega
+    return PhaseMarginResult(margin_deg=worst, crossover_rad_s=worst_omega,
+                             omegas=omegas, gain_db=gain_db,
+                             phase_deg=phase_deg)
+
+
+def gain_margin(loop: Callable[[np.ndarray], np.ndarray],
+                omega_min: float = 1e2,
+                omega_max: float = 1e7,
+                num_points: int = 4000) -> float:
+    """Gain margin in dB: headroom at the phase-crossover frequency.
+
+    The gain margin is ``-20 log10 |L(j w_pc)|`` at the first frequency
+    where the phase crosses -180 degrees; positive means the loop gain
+    could grow by that factor before instability.  Returns ``inf`` if
+    the phase never reaches -180 degrees inside the grid.
+
+    Complements :func:`phase_margin` for the Fig. 3-style sensitivity
+    questions ("how much more aggressive could R_AI get?"): the phase
+    margin measures delay headroom, the gain margin measures gain
+    headroom.
+    """
+    if omega_min <= 0 or omega_max <= omega_min:
+        raise ValueError(
+            f"need 0 < omega_min < omega_max, got [{omega_min}, "
+            f"{omega_max}]")
+    omegas = np.logspace(math.log10(omega_min), math.log10(omega_max),
+                         num_points)
+    values = np.asarray(loop(omegas), dtype=complex)
+    phase_deg = np.degrees(np.unwrap(np.angle(values)))
+    with np.errstate(divide="ignore"):
+        gain_db = 20.0 * np.log10(np.abs(values))
+
+    target = phase_deg - (-180.0)
+    crossings = np.nonzero(np.diff(np.sign(target)) != 0)[0]
+    if crossings.size == 0:
+        return math.inf
+    idx = crossings[0]
+    p0, p1 = target[idx], target[idx + 1]
+    fraction = 0.5 if p1 == p0 else -p0 / (p1 - p0)
+    gain_at = gain_db[idx] + fraction * (gain_db[idx + 1]
+                                         - gain_db[idx])
+    return float(-gain_at)
+
+
+def _principal_phase(phase_deg: float) -> float:
+    """Map an unwrapped phase into (-360, 0] for margin arithmetic.
+
+    Delayed loops accumulate unbounded phase lag; the margin at a
+    crossover only depends on the phase modulo 360.  Mapping into
+    (-360, 0] makes ``180 + phase`` land in (-180, 180], negative
+    exactly when the crossover is unstable.
+    """
+    wrapped = math.fmod(phase_deg, 360.0)
+    if wrapped > 0.0:
+        wrapped -= 360.0
+    return wrapped

@@ -1,0 +1,142 @@
+"""DCQCN phase-margin analysis -- Section 3.2, Appendix A, Figure 3.
+
+The analysis linearizes the symmetric mode (all flows perturbed
+together) around Theorem 1's fixed point and breaks the loop at the
+marking signal:
+
+* per-flow controller ``G(s)``: response of ``R_C`` to a marking
+  perturbation ``delta p``, from the 3-state ``(alpha, R_T, R_C)``
+  subsystem, including the self-delayed ``R_C(t - tau*)`` feedback
+  that the QCN event rates introduce;
+* queue integrator: ``delta q = N delta R_C / s`` (Eq. 4);
+* marking: ``delta p = K_red e^{-s tau*} delta q`` with
+  ``K_red = pmax / (kmax - kmin)`` -- the mark conveys the *egress*
+  queue, delayed only by the constant control-loop latency, which is
+  the paper's central argument for ECN (Section 5.2).
+
+The open loop is ``L(s) = -(N/s) K_red e^{-s tau*} G(s)`` and the
+margin follows from :func:`repro.core.stability.bode.phase_margin`.
+The fixed point uses the smooth-RED extension (see
+:func:`repro.core.fixedpoint.dcqcn.solve_fixed_point`), as a cliff has
+no slope to linearize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.fixedpoint.dcqcn import DCQCNFixedPoint, solve_fixed_point
+from repro.core.fluid.dcqcn import qcn_event_rates
+from repro.core.params import DCQCNParams
+from repro.core.stability.bode import PhaseMarginResult, phase_margin
+from repro.core.stability.linearize import jacobian, transfer_function
+
+#: Output selector: the subsystem's third state is R_C.
+_OUTPUT = np.array([0.0, 0.0, 1.0])
+
+
+def flow_subsystem_rhs(params: DCQCNParams, x: np.ndarray) -> np.ndarray:
+    """Unrolled per-flow dynamics ``f(alpha, rt, rc, p_d, rc_d)``.
+
+    ``p_d`` and ``rc_d`` stand for the delayed marking probability and
+    the delayed own rate; passing them as explicit arguments lets the
+    finite-difference Jacobian separate current-state from
+    delayed-state sensitivities.
+    """
+    alpha, rt, rc, p_d, rc_d = x
+    events = qcn_event_rates(p_d, np.array([rc_d]), params)
+    mark_fraction = float(events.mark_fraction[0])
+    byte_rate = float(events.byte_rate[0])
+    byte_ai = float(events.byte_ai_rate[0])
+    timer_rate = float(events.timer_rate[0])
+    timer_ai = float(events.timer_ai_rate[0])
+
+    if p_d > 0.0:
+        alpha_target = -np.expm1(params.tau_prime * rc_d * np.log1p(-p_d))
+    else:
+        alpha_target = 0.0
+    dalpha = (params.g / params.tau_prime) * (alpha_target - alpha)
+    drt = (-(rt - rc) / params.tau * mark_fraction
+           + params.rate_ai * (byte_ai + timer_ai))
+    drc = (-(rc * alpha) / (2.0 * params.tau) * mark_fraction
+           + (rt - rc) / 2.0 * (byte_rate + timer_rate))
+    return np.array([dalpha, drt, drc])
+
+
+class DCQCNLoopGain:
+    """Open-loop transfer function of the linearized DCQCN system.
+
+    ``jacobian_mode`` selects how the Appendix-A linearization is
+    obtained: ``"numeric"`` (central finite differences on the
+    unrolled RHS) or ``"analytic"`` (the closed forms in
+    :mod:`repro.core.stability.analytic`).  Both agree to many digits;
+    the tests enforce it.
+    """
+
+    def __init__(self, params: DCQCNParams,
+                 fixed_point: "DCQCNFixedPoint | None" = None,
+                 jacobian_mode: str = "numeric"):
+        if jacobian_mode not in ("numeric", "analytic"):
+            raise ValueError(
+                f"jacobian_mode must be 'numeric' or 'analytic', got "
+                f"{jacobian_mode!r}")
+        self.params = params
+        self.fixed_point = fixed_point or solve_fixed_point(
+            params, extend_red=True)
+        fp = self.fixed_point
+        if jacobian_mode == "analytic":
+            from repro.core.stability.analytic import flow_jacobians
+            closed = flow_jacobians(params, fp)
+            self.m0 = closed.m0
+            self.b_p = closed.b_p
+            self.b_r = closed.b_r
+        else:
+            x0 = np.array([fp.alpha, fp.target_rate, fp.rate, fp.p,
+                           fp.rate])
+            full = jacobian(lambda x: flow_subsystem_rhs(params, x), x0)
+            #: 3x3 Jacobian w.r.t. the current (alpha, R_T, R_C).
+            self.m0 = full[:, :3]
+            #: Sensitivity to the delayed marking probability.
+            self.b_p = full[:, 3]
+            #: Sensitivity to the delayed own rate R_C(t - tau*).
+            self.b_r = full[:, 4]
+        #: Delayed self-feedback matrix b_r * c^T.
+        self.m_delayed = np.outer(self.b_r, _OUTPUT)
+
+    def controller(self, s: complex) -> complex:
+        """``G(s)``: marking perturbation -> R_C response."""
+        return transfer_function(
+            s, self.m0, self.b_p, _OUTPUT,
+            a_delayed=[(self.m_delayed, self.params.tau_star)])
+
+    def __call__(self, omegas: np.ndarray) -> np.ndarray:
+        omegas = np.asarray(omegas, dtype=float)
+        k_red = self.params.red.slope
+        n = self.params.num_flows
+        out = np.empty(omegas.shape, dtype=complex)
+        for i, omega in enumerate(omegas):
+            s = 1j * omega
+            g = self.controller(s)
+            out[i] = -(n / s) * k_red * np.exp(-s * self.params.tau_star) * g
+        return out
+
+
+def dcqcn_phase_margin(params: DCQCNParams,
+                       omega_min: float = 1e2,
+                       omega_max: float = 1e7,
+                       num_points: int = 2000) -> PhaseMarginResult:
+    """Phase margin of DCQCN at Theorem 1's fixed point."""
+    return phase_margin(DCQCNLoopGain(params), omega_min=omega_min,
+                        omega_max=omega_max, num_points=num_points)
+
+
+def margin_vs_flows(params: DCQCNParams,
+                    flow_counts: Iterable[int]) -> List[float]:
+    """Phase margins (degrees) across a sweep of flow counts (Fig. 3)."""
+    margins = []
+    for n in flow_counts:
+        swept = params.replace(num_flows=int(n))
+        margins.append(dcqcn_phase_margin(swept).margin_deg)
+    return margins

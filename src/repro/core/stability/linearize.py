@@ -1,0 +1,69 @@
+"""Numeric linearization helpers for the stability analysis.
+
+Appendix A of the paper linearizes the DCQCN fluid model symbolically.
+We obtain the same Jacobians by central finite differences on the
+"unrolled" right-hand sides (delayed quantities passed as explicit
+arguments), which is exact to O(step^2) and spares us transcribing the
+paper's page of partial derivatives -- while the tests cross-check the
+DC gains against the closed-form fixed-point relations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def jacobian(fn: Callable[[np.ndarray], np.ndarray], x0: np.ndarray,
+             relative_step: float = 1e-6,
+             minimum_step: float = 1e-9) -> np.ndarray:
+    """Central-difference Jacobian of ``fn`` at ``x0``.
+
+    Parameters
+    ----------
+    fn:
+        Vector function R^n -> R^m; must be smooth in a neighbourhood
+        of ``x0`` (the fluid models are, at interior fixed points).
+    x0:
+        Linearization point.
+    relative_step:
+        Step as a fraction of each component's magnitude.
+    minimum_step:
+        Absolute floor for components near zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        The m-by-n matrix ``J[i, j] = d fn_i / d x_j``.
+    """
+    x0 = np.asarray(x0, dtype=float)
+    f0 = np.asarray(fn(x0), dtype=float)
+    out = np.empty((f0.shape[0], x0.shape[0]))
+    for j in range(x0.shape[0]):
+        step = max(abs(x0[j]) * relative_step, minimum_step)
+        forward = x0.copy()
+        forward[j] += step
+        backward = x0.copy()
+        backward[j] -= step
+        out[:, j] = (np.asarray(fn(forward), dtype=float)
+                     - np.asarray(fn(backward), dtype=float)) / (2.0 * step)
+    return out
+
+
+def transfer_function(s: complex, a0: np.ndarray, b: np.ndarray,
+                      c: np.ndarray,
+                      a_delayed: "list[tuple[np.ndarray, float]]" = ()
+                      ) -> complex:
+    """Evaluate ``c (sI - A0 - sum_k Ak e^{-s tau_k})^{-1} b``.
+
+    The building block for loop gains of delayed linear systems: each
+    ``(Ak, tau_k)`` pair contributes a delayed state-feedback term.
+    """
+    a0 = np.asarray(a0, dtype=complex)
+    n = a0.shape[0]
+    matrix = s * np.eye(n) - a0
+    for a_k, tau_k in a_delayed:
+        matrix -= np.asarray(a_k, dtype=complex) * np.exp(-s * tau_k)
+    solution = np.linalg.solve(matrix, np.asarray(b, dtype=complex))
+    return complex(np.asarray(c, dtype=complex) @ solution)

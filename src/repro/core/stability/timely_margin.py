@@ -1,0 +1,146 @@
+"""Patched TIMELY phase-margin analysis -- Section 4.3, Figure 11.
+
+The linearization mirrors the DCQCN one, with the crucial difference
+the paper highlights: the feedback delay is *not* constant.  The RTT
+signal observes the queue only after ``tau' = q*/C + MTU/C + D_prop``
+(Eq. 24), and the Eq. 31 fixed-point queue grows linearly with the
+number of flows -- so more flows literally lengthen the control loop.
+That coupling is what drives the margin below zero past ~40 flows
+(Fig. 11), whereas DCQCN's egress-marked ECN loop keeps a constant
+delay regardless of queue depth.
+
+Loop structure at the fixed point (``g* = 0``, ``R* = C/N``,
+``q*`` from Eq. 31):
+
+* per-flow subsystem ``(g, R)`` with two delayed queue inputs,
+  ``q(t - tau')`` and ``q(t - tau' - tau*)`` (the gradient differences
+  them, Eq. 22);
+* queue integrator ``delta q = N delta R / s``;
+* open loop ``L(s) = -(N/s) (G1(s) e^{-s tau'} +
+  G2(s) e^{-s (tau' + tau*)})``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.fixedpoint.timely import patched_fixed_point
+from repro.core.params import PatchedTimelyParams
+from repro.core.stability.bode import PhaseMarginResult, phase_margin
+from repro.core.stability.linearize import jacobian, transfer_function
+
+#: Output selector: the subsystem's second state is the rate R.
+_OUTPUT = np.array([0.0, 1.0])
+
+
+def flow_subsystem_rhs(patched: PatchedTimelyParams,
+                       x: np.ndarray) -> np.ndarray:
+    """Unrolled patched-TIMELY flow dynamics ``f(g, R, q_d1, q_d2)``.
+
+    ``q_d1 = q(t - tau')`` and ``q_d2 = q(t - tau' - tau*)`` enter as
+    explicit arguments.  The update interval ``tau*(R)`` keeps its rate
+    dependence (Eq. 23) so its stabilizing/destabilizing slope is part
+    of the Jacobian.
+    """
+    g, rate, q_d1, q_d2 = x
+    base = patched.base
+    tau_star = max(base.segment / max(rate, 1.0), base.min_rtt)
+    dg = (base.ewma_alpha / tau_star) * (
+        -g + (q_d1 - q_d2) / (base.capacity * base.min_rtt))
+    w = patched.weight(g)
+    error = (q_d1 - patched.q_ref) / patched.q_ref
+    dr = ((1.0 - w) * base.delta
+          - w * patched.beta_band * rate * error) / tau_star
+    return np.array([dg, dr])
+
+
+class PatchedTimelyLoopGain:
+    """Open-loop transfer function of linearized patched TIMELY.
+
+    ``jacobian_mode`` selects finite differences (``"numeric"``) or
+    the closed forms in :mod:`repro.core.stability.analytic`
+    (``"analytic"``); the tests enforce their agreement.
+    """
+
+    def __init__(self, patched: PatchedTimelyParams,
+                 mtu_packets: float = 1.0,
+                 jacobian_mode: str = "numeric"):
+        if jacobian_mode not in ("numeric", "analytic"):
+            raise ValueError(
+                f"jacobian_mode must be 'numeric' or 'analytic', got "
+                f"{jacobian_mode!r}")
+        self.patched = patched
+        base = patched.base
+        point = patched_fixed_point(patched)
+        self.queue_star = point.queue
+        self.rate_star = float(point.rates[0])
+        #: Eq. 24 feedback delay frozen at the fixed-point queue.
+        self.tau_feedback = (self.queue_star / base.capacity
+                             + mtu_packets / base.capacity
+                             + base.prop_delay)
+        #: Eq. 23 update interval at the fixed-point rate.
+        self.tau_update = max(base.segment / self.rate_star, base.min_rtt)
+
+        if jacobian_mode == "analytic":
+            from repro.core.stability.analytic import \
+                patched_flow_jacobians
+            closed = patched_flow_jacobians(patched, self.rate_star,
+                                            self.queue_star)
+            self.m0 = closed.m0
+            self.b_q1 = closed.b_q1
+            self.b_q2 = closed.b_q2
+        else:
+            x0 = np.array([0.0, self.rate_star, self.queue_star,
+                           self.queue_star])
+            full = jacobian(lambda x: flow_subsystem_rhs(patched, x),
+                            x0)
+            #: 2x2 Jacobian w.r.t. the current (g, R).
+            self.m0 = full[:, :2]
+            #: Sensitivity to q(t - tau').
+            self.b_q1 = full[:, 2]
+            #: Sensitivity to q(t - tau' - tau*).
+            self.b_q2 = full[:, 3]
+
+    def __call__(self, omegas: np.ndarray) -> np.ndarray:
+        omegas = np.asarray(omegas, dtype=float)
+        n = self.patched.base.num_flows
+        out = np.empty(omegas.shape, dtype=complex)
+        for i, omega in enumerate(omegas):
+            s = 1j * omega
+            g1 = transfer_function(s, self.m0, self.b_q1, _OUTPUT)
+            g2 = transfer_function(s, self.m0, self.b_q2, _OUTPUT)
+            delayed = (g1 * np.exp(-s * self.tau_feedback)
+                       + g2 * np.exp(-s * (self.tau_feedback
+                                           + self.tau_update)))
+            out[i] = -(n / s) * delayed
+        return out
+
+
+def patched_timely_phase_margin(patched: PatchedTimelyParams,
+                                omega_min: float = 1e2,
+                                omega_max: float = 1e7,
+                                num_points: int = 2000
+                                ) -> PhaseMarginResult:
+    """Phase margin of patched TIMELY at Theorem 5's fixed point."""
+    return phase_margin(PatchedTimelyLoopGain(patched),
+                        omega_min=omega_min, omega_max=omega_max,
+                        num_points=num_points)
+
+
+def margin_vs_flows(patched: PatchedTimelyParams,
+                    flow_counts: Iterable[int]) -> List[float]:
+    """Phase margins (degrees) across a flow-count sweep (Fig. 11).
+
+    Flow counts whose Eq. 31 queue leaves the gradient band (where the
+    fixed point stops existing) report ``nan``.
+    """
+    margins = []
+    for n in flow_counts:
+        swept = patched.replace_base(num_flows=int(n))
+        try:
+            margins.append(patched_timely_phase_margin(swept).margin_deg)
+        except ValueError:
+            margins.append(float("nan"))
+    return margins

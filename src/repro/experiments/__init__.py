@@ -1,0 +1,3 @@
+"""Experiment drivers: one module per paper figure (``figNN_*``) plus
+the beyond-the-paper extensions (``ext_*``) and ablations; see
+:mod:`repro.experiments.registry` for the full catalogue."""

@@ -1,0 +1,69 @@
+"""Extension: the DCTCP baseline on the Section 5.1 workload.
+
+DCQCN combines "elements of DCTCP and QCN" (Section 3); DCTCP itself
+could not be used in the RoCE NICs the paper targets (no TCP stack on
+the NIC, per-packet ACKs too expensive), but as the protocol DCQCN's
+alpha estimator comes from, it is the natural window-based baseline.
+This experiment runs DCTCP next to DCQCN on the same dumbbell
+workload and contrasts:
+
+* **queue control** -- DCTCP's step marking at K=65 packets holds the
+  queue near K (self-clocked windows cannot overshoot by more than
+  one window), generally tighter than DCQCN's RED band;
+* **the cost** -- per-packet ACK traffic on the reverse path, which
+  is exactly what DCQCN's CNP aggregation removes ("Practical
+  concerns", Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.experiments.fct_study import ProtocolRun, run_protocol
+
+
+@dataclass(frozen=True)
+class BaselineRow:
+    """FCT and queue summary for one protocol at one load."""
+
+    protocol: str
+    load: float
+    median_ms: float
+    p99_ms: float
+    queue_p90_kb: float
+    queue_max_kb: float
+
+
+def run(loads: Sequence[float] = (0.4, 0.8),
+        protocols: Sequence[str] = ("dcqcn", "dctcp"),
+        **kwargs) -> List[BaselineRow]:
+    """Run the dumbbell study for DCQCN and the DCTCP baseline."""
+    rows = []
+    for protocol in protocols:
+        for load in loads:
+            result: ProtocolRun = run_protocol(protocol, load,
+                                               **kwargs)
+            occupancy_kb = result.queue_bytes / 1024.0
+            rows.append(BaselineRow(
+                protocol=protocol,
+                load=load,
+                median_ms=result.summary.median_s * 1e3,
+                p99_ms=result.summary.p99_s * 1e3,
+                queue_p90_kb=float(np.percentile(occupancy_kb, 90)),
+                queue_max_kb=float(occupancy_kb.max())))
+    return rows
+
+
+def report(rows: List[BaselineRow]) -> str:
+    """Render the DCQCN-vs-DCTCP comparison."""
+    return format_table(
+        ["protocol", "load", "median FCT (ms)", "p99 FCT (ms)",
+         "queue p90 (KB)", "queue max (KB)"],
+        [[r.protocol, r.load, r.median_ms, r.p99_ms, r.queue_p90_kb,
+          r.queue_max_kb] for r in rows],
+        title="Extension -- DCQCN vs the DCTCP (window-based) "
+              "baseline")

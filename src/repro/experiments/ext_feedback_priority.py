@@ -1,0 +1,91 @@
+"""Extension: prioritizing feedback packets (Section 5.2's mitigation).
+
+The paper notes both protocols try to protect their feedback from
+reverse-path congestion, "e.g., by prioritizing feedback packets".
+This experiment creates that congestion deliberately -- a bulk DCQCN
+flow from the receiver back toward a sender, so CNPs must cross queues
+full of reverse data -- and compares FIFO ports against ports with a
+strict high-priority control class:
+
+* FIFO: CNPs wait behind up to a full reverse-direction queue, so the
+  forward control loop inherits exactly the kind of feedback latency
+  that destabilized Fig. 5;
+* priority: CNP transit latency collapses back to near propagation,
+  and the forward queue tightens accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.params import DCQCNParams
+from repro.sim.monitors import QueueMonitor
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+@dataclass(frozen=True)
+class PriorityRow:
+    """Feedback-latency and stability outcome for one queue discipline."""
+
+    discipline: str
+    cnp_delay_mean_us: float
+    cnp_delay_max_us: float
+    forward_queue_mean_kb: float
+    forward_queue_std_kb: float
+
+
+def run(capacity_gbps: float = 10.0,
+        n_forward: int = 2,
+        duration: float = 0.06,
+        seed: int = 17) -> List[PriorityRow]:
+    """Run the reverse-congestion scenario with and without priority."""
+    rows = []
+    for priority in (False, True):
+        params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
+                                           num_flows=n_forward)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=seed)
+        net = single_switch(n_forward, link_gbps=capacity_gbps,
+                            marker=marker, priority_control=priority)
+        forward_senders = []
+        for i in range(n_forward):
+            sender, _ = install_flow(net, "dcqcn", f"s{i}", "recv",
+                                     None, 0.0, params)
+            forward_senders.append(sender)
+        # The reverse bulk flow: data recv -> s0, sharing the
+        # receiver's NIC and the switch's s0-facing port with every
+        # CNP heading back to the senders.
+        install_flow(net, "dcqcn", "recv", "s0", None, 0.0, params)
+        monitor = QueueMonitor(net.sim, net.bottleneck_port,
+                               interval=50e-6)
+        net.sim.run(until=duration)
+
+        cnps = sum(s.cnps_received for s in forward_senders)
+        delay_sum = sum(s.cnp_delay_sum for s in forward_senders)
+        delay_max = max(s.cnp_delay_max for s in forward_senders)
+        window = duration / 2.0
+        rows.append(PriorityRow(
+            discipline="priority" if priority else "fifo",
+            cnp_delay_mean_us=units.seconds_to_us(
+                delay_sum / max(cnps, 1)),
+            cnp_delay_max_us=units.seconds_to_us(delay_max),
+            forward_queue_mean_kb=monitor.tail_mean_bytes(window)
+            / 1024,
+            forward_queue_std_kb=monitor.tail_std_bytes(window)
+            / 1024))
+    return rows
+
+
+def report(rows: List[PriorityRow]) -> str:
+    """Render the FIFO-vs-priority comparison."""
+    return format_table(
+        ["discipline", "CNP delay mean (us)", "CNP delay max (us)",
+         "fwd queue (KB)", "fwd queue std (KB)"],
+        [[r.discipline, r.cnp_delay_mean_us, r.cnp_delay_max_us,
+          r.forward_queue_mean_kb, r.forward_queue_std_kb]
+         for r in rows],
+        title="Extension -- feedback prioritization under reverse-path "
+              "congestion")

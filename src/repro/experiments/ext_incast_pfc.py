@@ -1,0 +1,167 @@
+"""Extension: PFC-induced PAUSEs under incast (Section 7 future work).
+
+The paper's models deliberately assume ECN acts before PFC; this
+experiment builds the substrate to check what happens when buffers are
+finite and PFC is real.  A synchronized incast -- many senders firing
+a burst at one receiver -- lands on a bottleneck with a finite egress
+buffer, under four configurations:
+
+* **plain**: no PFC, no ECN -- the buffer overflows and (since RoCE
+  NICs do not retransmit in this regime) the dropped bytes never
+  arrive;
+* **pfc**: PFC only -- lossless, but the congestion backs up into the
+  senders as PAUSE storms;
+* **dcqcn**: ECN/DCQCN only -- end-to-end control reacts, but the
+  first RTT of line-rate bursts can still overflow a small buffer;
+* **dcqcn+pfc**: the deployed combination -- PFC guarantees zero loss
+  while DCQCN's marks drain the queue and retire the PAUSEs quickly;
+* **timely** / **timely+pfc**: the delay-based protocol in the same
+  storm.  TIMELY *sees* PFC indirectly -- PAUSEs inflate the RTT its
+  signal is made of -- which is precisely the interaction the paper's
+  Section 7 flags as unstudied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.params import DCQCNParams, TimelyParams
+from repro.sim.engine import Simulator
+from repro.sim.flows import FlowRegistry
+from repro.sim.node import Host
+from repro.sim.pfc import PFCController
+from repro.sim.red import REDMarker
+from repro.sim.switch import Switch, connect
+from repro.sim.topology import Network, install_flow
+
+#: The studied configurations.
+CONFIGS = ("plain", "pfc", "dcqcn", "dcqcn+pfc", "timely",
+           "timely+pfc")
+
+
+@dataclass(frozen=True)
+class IncastRow:
+    """Outcome of one incast configuration."""
+
+    config: str
+    completed: int
+    senders: int
+    dropped_packets: int
+    pauses: int
+    last_fct_ms: float      #: completion time of the slowest flow (nan
+    #: if any flow never finished)
+
+
+def build_incast_network(n_senders: int,
+                         link_gbps: float,
+                         buffer_kb: Optional[float],
+                         use_pfc: bool,
+                         marker: Optional[object],
+                         pause_kb: float = 20.0,
+                         resume_kb: float = 10.0) -> Network:
+    """Star topology with a finite bottleneck buffer and optional PFC."""
+    sim = Simulator()
+    rate = link_gbps * 1e9 / units.BITS_PER_BYTE
+    pfc = None
+    if use_pfc:
+        pfc = PFCController(sim,
+                            pause_threshold_bytes=int(pause_kb * 1024),
+                            resume_threshold_bytes=int(resume_kb * 1024))
+    switch = Switch(sim, "sw", pfc=pfc)
+    receiver = Host(sim, "recv")
+    hosts = {"recv": receiver}
+    capacity = None if buffer_kb is None else int(buffer_kb * 1024)
+    bottleneck = connect(sim, switch, receiver, rate, units.us(1),
+                         marker=marker, capacity_bytes=capacity)
+    switch.add_route("recv", "recv")
+    connect(sim, receiver, switch, rate, units.us(1))
+
+    for i in range(n_senders):
+        sender = Host(sim, f"s{i}")
+        hosts[sender.name] = sender
+        nic = connect(sim, sender, switch, rate, units.us(1))
+        connect(sim, switch, sender, rate, units.us(1))
+        switch.add_route(sender.name, sender.name)
+        if pfc is not None:
+            pfc.register_upstream(
+                sender.name,
+                lambda pause, port=nic: port.pause() if pause
+                else port.resume(),
+                reverse_delay=units.us(1))
+
+    return Network(sim=sim, hosts=hosts, switches={"sw": switch},
+                   registry=FlowRegistry(), bottleneck_port=bottleneck,
+                   mtu_bytes=units.DEFAULT_MTU_BYTES,
+                   link_rate_bytes=rate)
+
+
+def run(configs: Sequence[str] = CONFIGS,
+        n_senders: int = 16,
+        transfer_kb: float = 256.0,
+        buffer_kb: float = 512.0,
+        link_gbps: float = 10.0,
+        duration: float = 0.05,
+        seed: int = 21) -> List[IncastRow]:
+    """Fire the synchronized incast under each configuration."""
+    rows = []
+    for config in configs:
+        if config not in CONFIGS:
+            raise ValueError(
+                f"unknown config {config!r}; choose from {CONFIGS}")
+        use_pfc = "pfc" in config
+        use_dcqcn = "dcqcn" in config
+        use_timely = "timely" in config
+        params = DCQCNParams.paper_default(capacity_gbps=link_gbps,
+                                           num_flows=n_senders)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=seed) \
+            if use_dcqcn else None
+        net = build_incast_network(n_senders, link_gbps, buffer_kb,
+                                   use_pfc, marker)
+        done = []
+        if use_timely:
+            timely = TimelyParams.paper_default(
+                capacity_gbps=link_gbps, segment_kb=16.0)
+            for i in range(n_senders):
+                # No initial_rate override: each host has one flow, so
+                # TIMELY's own C/(N+1) rule starts it at line rate --
+                # the same inrush DCQCN's line-rate start causes.
+                install_flow(net, "timely", f"s{i}", "recv",
+                             int(transfer_kb * 1024), 0.0, timely,
+                             pacing="packet",
+                             on_complete=done.append)
+        else:
+            for i in range(n_senders):
+                install_flow(net, "dcqcn", f"s{i}", "recv",
+                             int(transfer_kb * 1024), 0.0, params,
+                             on_complete=done.append)
+        net.sim.run(until=duration)
+
+        pauses = 0
+        if net.switches["sw"].pfc is not None:
+            pauses = net.switches["sw"].pfc.pauses_sent
+        if len(done) == n_senders:
+            last_fct = max(f.fct for f in done) * 1e3
+        else:
+            last_fct = float("nan")
+        rows.append(IncastRow(
+            config=config,
+            completed=len(done),
+            senders=n_senders,
+            dropped_packets=net.bottleneck_port.queue.dropped_packets,
+            pauses=pauses,
+            last_fct_ms=last_fct))
+    return rows
+
+
+def report(rows: List[IncastRow]) -> str:
+    """Render the incast/PFC outcome table."""
+    return format_table(
+        ["config", "completed", "drops (pkts)", "PAUSEs",
+         "slowest FCT (ms)"],
+        [[r.config, f"{r.completed}/{r.senders}", r.dropped_packets,
+          r.pauses, r.last_fct_ms] for r in rows],
+        title="Extension -- synchronized incast with finite buffers "
+              "and PFC")

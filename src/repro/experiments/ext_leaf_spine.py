@@ -1,0 +1,100 @@
+"""Extension: DCQCN on a leaf-spine fabric (future-work topology).
+
+A rack-rotation permutation -- every host sends a fixed-size transfer
+to its counterpart on the next rack, so all traffic crosses the spine
+-- runs on fabrics with one and with two spines.  With a single spine
+the uplinks are 4:1 oversubscribed and DCQCN must arbitrate them;
+doubling the spines doubles the bisection and roughly halves the
+completion times, while per-flow rates stay fair within each
+contended uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.params import DCQCNParams
+from repro.sim.leaf_spine import cross_rack_pairs, leaf_spine
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow
+
+
+@dataclass(frozen=True)
+class LeafSpineRow:
+    """Permutation-transfer outcome on one fabric configuration."""
+
+    n_spines: int
+    flows: int
+    completed: int
+    median_fct_ms: float
+    p99_fct_ms: float
+    spine_imbalance: float  #: max/mean bytes across spine uplinks
+
+
+def run(spine_counts: Sequence[int] = (1, 2),
+        n_leaves: int = 4,
+        hosts_per_leaf: int = 4,
+        transfer_kb: float = 512.0,
+        link_gbps: float = 10.0,
+        duration: float = 0.1,
+        seed: int = 31) -> List[LeafSpineRow]:
+    """Run the rack-rotation permutation per spine count."""
+    rows = []
+    for n_spines in spine_counts:
+        params = DCQCNParams.paper_default(capacity_gbps=link_gbps,
+                                           num_flows=hosts_per_leaf)
+        counter = [0]
+
+        def make_marker():
+            counter[0] += 1
+            return REDMarker(params.red, params.mtu_bytes,
+                             seed=seed + counter[0])
+
+        net = leaf_spine(n_leaves=n_leaves, n_spines=n_spines,
+                         hosts_per_leaf=hosts_per_leaf,
+                         host_gbps=link_gbps, spine_gbps=link_gbps,
+                         marker_factory=make_marker)
+        done = []
+        pairs = cross_rack_pairs(n_leaves, hosts_per_leaf)
+        for src, dst in pairs:
+            install_flow(net, "dcqcn", src, dst,
+                         int(transfer_kb * 1024), 0.0, params,
+                         on_complete=done.append)
+        net.sim.run(until=duration)
+
+        fcts = np.array([f.fct for f in done]) * 1e3
+        uplink_bytes = []
+        for name, switch in net.switches.items():
+            if not name.startswith("leaf"):
+                continue
+            for neighbour, port in switch.ports.items():
+                if neighbour.startswith("spine"):
+                    uplink_bytes.append(port.bytes_transmitted)
+        uplink_bytes = np.asarray(uplink_bytes, dtype=float)
+        imbalance = float(uplink_bytes.max() / uplink_bytes.mean()) \
+            if uplink_bytes.mean() > 0 else float("nan")
+        rows.append(LeafSpineRow(
+            n_spines=n_spines,
+            flows=len(pairs),
+            completed=len(done),
+            median_fct_ms=float(np.median(fcts)) if done else
+            float("nan"),
+            p99_fct_ms=float(np.percentile(fcts, 99)) if done else
+            float("nan"),
+            spine_imbalance=imbalance))
+    return rows
+
+
+def report(rows: List[LeafSpineRow]) -> str:
+    """Render the fabric-scaling table."""
+    return format_table(
+        ["spines", "flows", "completed", "median FCT (ms)",
+         "p99 FCT (ms)", "uplink max/mean"],
+        [[r.n_spines, r.flows, r.completed, r.median_fct_ms,
+          r.p99_fct_ms, r.spine_imbalance] for r in rows],
+        title="Extension -- DCQCN on a leaf-spine fabric "
+              "(rack-rotation permutation)")

@@ -1,0 +1,90 @@
+"""Extension: long-flow fairness under churn.
+
+The fairness theorems (1 and 5) speak about static flow sets; real
+bottlenecks carry a handful of long flows *through* constant
+short-flow churn.  This experiment pins four long-lived flows across
+the dumbbell bottleneck, runs the Section 5.1 short-flow workload over
+them, and samples the long flows' instantaneous rates: the time-mean
+Jain index says how fair the protocol stays while perturbed, and the
+index's dips say how badly churn knocks it off the fair point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.convergence.metrics import jain_fairness
+from repro.experiments.fct_study import protocol_setup
+from repro.sim.monitors import RateMonitor
+from repro.sim.topology import dumbbell, install_flow
+from repro.workloads.generator import DynamicWorkload, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ChurnFairnessRow:
+    """Long-flow fairness statistics for one protocol."""
+
+    protocol: str
+    load: float
+    jain_mean: float
+    jain_p10: float      #: the bad moments
+    long_flow_share: float  #: long flows' fraction of the bottleneck
+
+
+def run(protocols: Sequence[str] = ("dcqcn", "timely",
+                                    "patched_timely"),
+        n_long: int = 4,
+        load: float = 0.4,
+        duration: float = 0.2,
+        capacity_gbps: float = 10.0,
+        seed: int = 19,
+        warmup: float = 0.04) -> List[ChurnFairnessRow]:
+    """Four long flows under short-flow churn, per protocol."""
+    rows = []
+    for protocol in protocols:
+        params, marker, sender_kwargs = protocol_setup(protocol,
+                                                       capacity_gbps)
+        net = dumbbell(10, link_gbps=capacity_gbps, marker=marker)
+        long_senders = {}
+        for i in range(n_long):
+            sender, _ = install_flow(net, protocol, f"s{i}", f"r{i}",
+                                     None, 0.0, params,
+                                     **sender_kwargs)
+            long_senders[f"long{i}"] = sender
+        config = WorkloadConfig(protocol=protocol, load=load,
+                                duration=duration, seed=seed)
+        DynamicWorkload(net, config, params, **sender_kwargs)
+        monitor = RateMonitor(net.sim, long_senders,
+                              interval=500e-6)
+        net.sim.run(until=duration)
+
+        times = np.asarray(monitor.times)
+        mask = times >= warmup
+        series = np.array([monitor.rates[label]
+                           for label in sorted(long_senders)])
+        series = series[:, mask]
+        jains = np.array([jain_fairness(series[:, k])
+                          for k in range(series.shape[1])])
+        mean_rates = series.mean(axis=1)
+        rows.append(ChurnFairnessRow(
+            protocol=protocol,
+            load=load,
+            jain_mean=float(jains.mean()),
+            jain_p10=float(np.percentile(jains, 10)),
+            long_flow_share=float(mean_rates.sum()
+                                  / net.link_rate_bytes)))
+    return rows
+
+
+def report(rows: List[ChurnFairnessRow]) -> str:
+    """Render the churn-fairness table."""
+    return format_table(
+        ["protocol", "load", "Jain mean", "Jain p10",
+         "long-flow share"],
+        [[r.protocol, r.load, r.jain_mean, r.jain_p10,
+          r.long_flow_share] for r in rows],
+        title="Extension -- long-flow fairness under short-flow churn")

@@ -1,0 +1,105 @@
+"""Figure 3: DCQCN phase margin sweeps.
+
+Three panels:
+
+(a) margin vs number of flows for several control-loop delays --
+    exhibiting the paper's non-monotonic stability (a dip near N~10
+    that crosses zero at 85-100 us delays, recovering for large N);
+(b) the same at fixed 100 us delay for several ``R_AI`` values --
+    smaller additive increase stabilizes;
+(c) for several ``K_max`` values -- a shallower RED slope stabilizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.params import DCQCNParams
+from repro.core.stability.dcqcn_margin import margin_vs_flows
+
+#: Default flow-count grid (log-ish spacing like the paper's x-axis).
+DEFAULT_FLOWS = (1, 2, 4, 6, 8, 10, 14, 20, 30, 50, 80, 100)
+
+
+@dataclass(frozen=True)
+class MarginSweep:
+    """One curve: phase margin (deg) against flow count."""
+
+    label: str
+    flow_counts: Sequence[int]
+    margins_deg: List[float]
+
+    def min_margin(self) -> float:
+        return min(self.margins_deg)
+
+    def unstable_counts(self) -> List[int]:
+        """Flow counts whose margin is negative (Bode-unstable)."""
+        return [n for n, m in zip(self.flow_counts, self.margins_deg)
+                if m <= 0.0]
+
+
+def panel_a(delays_us: Sequence[float] = (4, 25, 55, 85, 100),
+            flow_counts: Sequence[int] = DEFAULT_FLOWS,
+            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+    """Margin vs N for several feedback delays (Fig. 3a)."""
+    sweeps = []
+    for delay in delays_us:
+        params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
+                                           tau_star_us=delay)
+        sweeps.append(MarginSweep(
+            label=f"tau*={delay:g}us",
+            flow_counts=flow_counts,
+            margins_deg=margin_vs_flows(params, flow_counts)))
+    return sweeps
+
+
+def panel_b(rate_ai_mbps: Sequence[float] = (10, 40, 150),
+            flow_counts: Sequence[int] = DEFAULT_FLOWS,
+            delay_us: float = 100.0,
+            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+    """Margin vs N for several R_AI values at 100 us delay (Fig. 3b)."""
+    sweeps = []
+    for mbps in rate_ai_mbps:
+        params = DCQCNParams.paper_default(
+            capacity_gbps=capacity_gbps, tau_star_us=delay_us).replace(
+                rate_ai=units.mbps_to_pps(mbps))
+        sweeps.append(MarginSweep(
+            label=f"R_AI={mbps:g}Mbps",
+            flow_counts=flow_counts,
+            margins_deg=margin_vs_flows(params, flow_counts)))
+    return sweeps
+
+
+def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
+            flow_counts: Sequence[int] = DEFAULT_FLOWS,
+            delay_us: float = 100.0,
+            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+    """Margin vs N for several K_max values at 100 us delay (Fig. 3c)."""
+    sweeps = []
+    for kmax in kmax_kb:
+        base = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
+                                         tau_star_us=delay_us)
+        red = type(base.red)(kmin=base.red.kmin,
+                             kmax=units.kb_to_packets(kmax),
+                             pmax=base.red.pmax)
+        params = base.replace(red=red)
+        sweeps.append(MarginSweep(
+            label=f"K_max={kmax:g}KB",
+            flow_counts=flow_counts,
+            margins_deg=margin_vs_flows(params, flow_counts)))
+    return sweeps
+
+
+def report(sweeps: List[MarginSweep], title: str) -> str:
+    """Render a family of margin curves as one table."""
+    if not sweeps:
+        raise ValueError("no sweeps to report")
+    flows = list(sweeps[0].flow_counts)
+    headers = ["N"] + [s.label for s in sweeps]
+    rows: List[List[object]] = []
+    for i, n in enumerate(flows):
+        rows.append([n] + [s.margins_deg[i] for s in sweeps])
+    return format_table(headers, rows, title=title)

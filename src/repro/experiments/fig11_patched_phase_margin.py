@@ -1,0 +1,75 @@
+"""Figure 11: patched TIMELY phase margin vs number of flows.
+
+The margin rises at small N, then falls -- increasingly fast -- and
+crosses zero: Eq. 31's fixed-point queue grows linearly with N, and
+Eq. 24 turns that queue into control-loop delay.  Delay-based control
+destabilizes itself by its own queue (Section 5.2's core argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.fixedpoint.timely import patched_fixed_point
+from repro.core.params import PatchedTimelyParams
+from repro.core.stability.timely_margin import patched_timely_phase_margin
+
+#: Default flow-count grid.
+DEFAULT_FLOWS = (2, 5, 10, 15, 20, 30, 40, 50, 60)
+
+
+@dataclass(frozen=True)
+class PatchedMarginRow:
+    """Margin and fixed-point geometry for one flow count."""
+
+    num_flows: int
+    margin_deg: float
+    queue_star_kb: float
+    feedback_delay_us: float
+
+
+def run(flow_counts: Sequence[int] = DEFAULT_FLOWS,
+        capacity_gbps: float = 10.0) -> List[PatchedMarginRow]:
+    """Sweep the flow count, collecting margin and loop-delay data."""
+    rows = []
+    for n in flow_counts:
+        patched = PatchedTimelyParams.paper_default(
+            capacity_gbps=capacity_gbps, num_flows=n)
+        base = patched.base
+        try:
+            point = patched_fixed_point(patched)
+            margin: Optional[float] = patched_timely_phase_margin(
+                patched).margin_deg
+            queue_kb = units.packets_to_kb(point.queue, base.mtu_bytes)
+            delay_us = units.seconds_to_us(
+                point.queue / base.capacity + 1.0 / base.capacity
+                + base.prop_delay)
+        except ValueError:
+            # Eq. 31 queue left the gradient band: no fixed point.
+            margin = float("nan")
+            queue_kb = float("nan")
+            delay_us = float("nan")
+        rows.append(PatchedMarginRow(
+            num_flows=n, margin_deg=margin, queue_star_kb=queue_kb,
+            feedback_delay_us=delay_us))
+    return rows
+
+
+def crossover_flows(rows: List[PatchedMarginRow]) -> Optional[int]:
+    """Smallest N whose margin is negative (instability onset)."""
+    for row in rows:
+        if row.margin_deg == row.margin_deg and row.margin_deg <= 0:
+            return row.num_flows
+    return None
+
+
+def report(rows: List[PatchedMarginRow]) -> str:
+    """Render margin vs N with the fixed-point geometry."""
+    return format_table(
+        ["N", "phase margin (deg)", "q* (KB)", "feedback delay (us)"],
+        [[r.num_flows, r.margin_deg, r.queue_star_kb,
+          r.feedback_delay_us] for r in rows],
+        title="Fig. 11 -- patched TIMELY phase margin vs flow count")

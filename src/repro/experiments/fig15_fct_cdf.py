@@ -1,0 +1,49 @@
+"""Figure 15: CDF of small-flow FCT at load 0.8.
+
+A view over :mod:`repro.experiments.fct_study`: the per-protocol FCT
+sample sets at the high-load point, rendered as CDF quantiles.  The
+paper's qualitative claim -- TIMELY's distribution has a much heavier
+tail than DCQCN's, with patched TIMELY's variability in between at the
+extreme tail -- shows up in the upper quantiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.fct import fct_cdf
+from repro.analysis.reporting import format_table
+from repro.experiments.fct_study import (ProtocolRun, STUDY_PROTOCOLS,
+                                         run_protocol)
+
+#: CDF levels reported (fractions).
+QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+def run(load: float = 0.8,
+        protocols: Sequence[str] = STUDY_PROTOCOLS,
+        **kwargs) -> Dict[str, ProtocolRun]:
+    """One high-load run per protocol."""
+    return {protocol: run_protocol(protocol, load, **kwargs)
+            for protocol in protocols}
+
+
+def quantile_rows(results: Dict[str, ProtocolRun]) -> List[List[object]]:
+    """FCT (ms) at each CDF level, one row per protocol."""
+    rows = []
+    for protocol, run_result in results.items():
+        fcts, _fractions = fct_cdf(run_result.small_fcts)
+        row: List[object] = [protocol]
+        for q in QUANTILES:
+            row.append(float(np.percentile(fcts, q * 100)) * 1e3)
+        rows.append(row)
+    return rows
+
+
+def report(results: Dict[str, ProtocolRun]) -> str:
+    """Render the CDF quantile table."""
+    headers = ["protocol"] + [f"p{int(q * 100)} (ms)" for q in QUANTILES]
+    return format_table(headers, quantile_rows(results),
+                        title="Fig. 15 -- small-flow FCT CDF at load 0.8")

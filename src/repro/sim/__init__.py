@@ -1,0 +1,8 @@
+"""Packet-level discrete-event simulator (the ns-3 substitute).
+
+Build a topology (:mod:`repro.sim.topology`,
+:mod:`repro.sim.parking_lot`, :mod:`repro.sim.leaf_spine`), install
+protocol agents (:mod:`repro.sim.protocols`), attach monitors
+(:mod:`repro.sim.monitors`), and run the
+:class:`~repro.sim.engine.Simulator`.
+"""

@@ -1,0 +1,94 @@
+"""Flow bookkeeping: identities, sizes, and completion times."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+
+class Flow:
+    """One transfer from ``src`` host to ``dst`` host.
+
+    ``size_bytes=None`` marks a long-lived flow (never completes);
+    otherwise the flow completes when the receiver has taken delivery
+    of every byte, and the flow completion time (FCT) is measured from
+    ``start_time`` (flow arrival) to last-byte delivery -- the pFabric
+    convention the paper follows in Section 5.1.
+    """
+
+    def __init__(self, flow_id: int, src: str, dst: str,
+                 size_bytes: Optional[int], start_time: float):
+        if size_bytes is not None and size_bytes <= 0:
+            raise ValueError(
+                f"size_bytes must be positive or None, got {size_bytes}")
+        if start_time < 0:
+            raise ValueError(f"start_time must be >= 0, got {start_time}")
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.start_time = start_time
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.completion_time: Optional[float] = None
+
+    @property
+    def is_long_lived(self) -> bool:
+        return self.size_bytes is None
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time, seconds."""
+        if self.completion_time is None:
+            raise ValueError(
+                f"flow {self.flow_id} has not completed")
+        return self.completion_time - self.start_time
+
+    def all_bytes_sent(self) -> bool:
+        """Whether the sender has emitted the full flow size."""
+        return self.size_bytes is not None and \
+            self.bytes_sent >= self.size_bytes
+
+    def __repr__(self) -> str:
+        size = "long-lived" if self.size_bytes is None \
+            else f"{self.size_bytes}B"
+        state = f"done@{self.completion_time:.6f}" if self.completed \
+            else f"{self.bytes_delivered}B delivered"
+        return (f"<Flow {self.flow_id} {self.src}->{self.dst} {size} "
+                f"{state}>")
+
+
+class FlowRegistry:
+    """Factory and lookup table for every flow in a simulation."""
+
+    def __init__(self):
+        self._ids = itertools.count()
+        self.flows: Dict[int, Flow] = {}
+
+    def create(self, src: str, dst: str, size_bytes: Optional[int],
+               start_time: float) -> Flow:
+        """Allocate a flow with a fresh id."""
+        flow = Flow(next(self._ids), src, dst, size_bytes, start_time)
+        self.flows[flow.flow_id] = flow
+        return flow
+
+    def __getitem__(self, flow_id: int) -> Flow:
+        return self.flows[flow_id]
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def completed(self) -> List[Flow]:
+        """All flows that finished, in completion order."""
+        done = [f for f in self.flows.values() if f.completed]
+        done.sort(key=lambda f: f.completion_time)
+        return done
+
+    def incomplete(self) -> List[Flow]:
+        """Finite flows that have not finished yet."""
+        return [f for f in self.flows.values()
+                if not f.completed and not f.is_long_lived]

@@ -1,0 +1,185 @@
+"""Links and egress ports (serializer + queue + propagation).
+
+A :class:`Port` is the transmitting half of an attachment: it owns the
+egress FIFO, serializes packets at the line rate, optionally consults
+an AQM marker, and hands finished packets to its :class:`Link`, which
+applies propagation delay and delivers to the downstream device's
+``receive(packet, ingress=...)``.
+
+ECN marking points (Section 5.2 of the paper):
+
+* ``"egress"`` (default, how Broadcom-style shared-buffer silicon
+  works): the marking decision is made when the packet *departs*,
+  against the queue occupancy at that instant -- so the mark is fresh
+  regardless of how long the packet queued.
+* ``"ingress"``: the decision is made at *enqueue* time against the
+  arrival occupancy; by the time the packet leaves (and the mark
+  travels on), the information is one queuing delay stale.  This
+  reproduces the Fig. 17 instability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import ByteFIFO
+
+#: Valid marking points for ports with an AQM marker attached.
+MARKING_POINTS = ("egress", "ingress")
+
+
+class Link:
+    """Unidirectional propagation-delay pipe to a downstream device."""
+
+    def __init__(self, sim: Simulator, delay: float,
+                 dst: "object", ingress_label: Optional[str] = None):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.sim = sim
+        self.delay = delay
+        self.dst = dst
+        #: Label passed to the receiver, identifying the upstream
+        #: device (used by PFC accounting at switches).
+        self.ingress_label = ingress_label
+
+    def deliver(self, packet: Packet) -> None:
+        """Deliver ``packet`` after the propagation delay."""
+        self.sim.schedule(
+            self.delay,
+            lambda p=packet: self.dst.receive(p, ingress=self.ingress_label))
+
+
+class Port:
+    """Egress port: FIFO + line-rate serializer + optional AQM marker."""
+
+    def __init__(self, sim: Simulator, rate_bytes_per_s: float,
+                 link: Link, marker: Optional[object] = None,
+                 marking_point: str = "egress",
+                 capacity_bytes: Optional[int] = None,
+                 name: str = "port",
+                 priority_control: bool = False):
+        if rate_bytes_per_s <= 0:
+            raise ValueError(
+                f"rate must be positive, got {rate_bytes_per_s}")
+        if marking_point not in MARKING_POINTS:
+            raise ValueError(
+                f"marking_point must be one of {MARKING_POINTS}, "
+                f"got {marking_point!r}")
+        self.sim = sim
+        self.rate = rate_bytes_per_s
+        self.link = link
+        self.marker = marker
+        self.marking_point = marking_point
+        self.queue = ByteFIFO(capacity_bytes)
+        #: Strict-priority class for control packets (ACKs/CNPs),
+        #: Section 5.2's "prioritizing feedback packets".  When
+        #: enabled, control packets never wait behind data.
+        self.priority_control = priority_control
+        self.control_queue = ByteFIFO() if priority_control else None
+        self.name = name
+        self.busy = False
+        self.paused = False
+        self.bytes_transmitted = 0
+        self.packets_transmitted = 0
+        #: Hook called when a packet finishes serialization (monitors,
+        #: PFC accounting).  Signature: ``fn(packet)``.
+        self.on_transmit: Optional[Callable[[Packet], None]] = None
+        #: Hook called when the (finite) queue drops a packet, so
+        #: switch-level accounting can release the buffered bytes.
+        self.on_drop: Optional[Callable[[Packet], None]] = None
+        if marker is not None and marker.update_interval is not None:
+            self._schedule_marker_update(marker.update_interval)
+
+    def _schedule_marker_update(self, interval: float) -> None:
+        def tick() -> None:
+            self.marker.update(self.queue.size_bytes, self.sim.now)
+            self.sim.schedule(interval, tick)
+        self.sim.schedule(interval, tick)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Egress backlog, bytes (excluding the packet on the wire)."""
+        total = self.queue.size_bytes
+        if self.control_queue is not None:
+            total += self.control_queue.size_bytes
+        return total
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue for transmission, applying ingress-point marking."""
+        if self.marker is not None and self.marking_point == "ingress" \
+                and not packet.is_control:
+            occupancy = self.queue.size_bytes + packet.size_bytes
+            if self.marker.should_mark(occupancy):
+                packet.ecn_marked = True
+        target = self.control_queue if (self.control_queue is not None
+                                        and packet.is_control) \
+            else self.queue
+        if not target.enqueue(packet):
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return
+        if not self.busy:
+            self._maybe_start()
+
+    def pause(self) -> None:
+        """PFC PAUSE: stop serving the *data* class.
+
+        With ``priority_control`` enabled, control packets keep
+        flowing: in real 802.1Qbb deployments PFC pauses per priority,
+        and feedback (CNPs/ACKs) rides an unpaused class -- otherwise
+        a PAUSE storm would also strangle the very signals that drain
+        the congestion.
+        """
+        self.paused = True
+
+    def resume(self) -> None:
+        """PFC RESUME: restart transmissions if backlog exists."""
+        if not self.paused:
+            return
+        self.paused = False
+        if not self.busy:
+            self._maybe_start()
+
+    def _serviceable_queue(self) -> Optional[ByteFIFO]:
+        """The queue the serializer should serve next, if any."""
+        if self.control_queue is not None and \
+                not self.control_queue.is_empty:
+            return self.control_queue
+        if self.paused:
+            return None
+        if not self.queue.is_empty:
+            return self.queue
+        return None
+
+    def _maybe_start(self) -> None:
+        if self._serviceable_queue() is not None:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        source = self._serviceable_queue()
+        if source is None:
+            raise RuntimeError(
+                f"{self.name}: transmission started with nothing "
+                "serviceable")
+        packet = source.dequeue()
+        if self.marker is not None and self.marking_point == "egress" \
+                and not packet.is_control:
+            # Departure-time decision against the instantaneous queue
+            # (the departing packet counts as part of the backlog).
+            occupancy = self.queue.size_bytes + packet.size_bytes
+            if self.marker.should_mark(occupancy):
+                packet.ecn_marked = True
+        self.busy = True
+        duration = packet.size_bytes / self.rate
+        self.sim.schedule(duration, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        self.busy = False
+        self.bytes_transmitted += packet.size_bytes
+        self.packets_transmitted += 1
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        self.link.deliver(packet)
+        self._maybe_start()

@@ -1,0 +1,120 @@
+"""Measurement probes: queue occupancy, flow throughput, utilization."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Port
+from repro.sim.packet import Packet
+
+
+class QueueMonitor:
+    """Samples a port's egress occupancy on a fixed interval."""
+
+    def __init__(self, sim: Simulator, port: Port, interval: float,
+                 start: float = 0.0, stop: Optional[float] = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.port = port
+        self.interval = interval
+        self.stop_time = stop
+        self.times: List[float] = []
+        self.occupancy_bytes: List[int] = []
+        sim.schedule_at(max(start, sim.now), self._sample)
+
+    def _sample(self) -> None:
+        if self.stop_time is not None and self.sim.now > self.stop_time:
+            return
+        self.times.append(self.sim.now)
+        self.occupancy_bytes.append(self.port.occupancy_bytes)
+        self.sim.schedule(self.interval, self._sample)
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(times, occupancy_bytes)`` as numpy arrays."""
+        return np.asarray(self.times), np.asarray(self.occupancy_bytes,
+                                                  dtype=float)
+
+    def tail_mean_bytes(self, window: float) -> float:
+        """Mean occupancy over the final ``window`` seconds sampled."""
+        times, occ = self.as_arrays()
+        if times.size == 0:
+            raise ValueError("no samples recorded")
+        mask = times >= times[-1] - window
+        return float(np.mean(occ[mask]))
+
+    def tail_std_bytes(self, window: float) -> float:
+        """Occupancy standard deviation over the final window."""
+        times, occ = self.as_arrays()
+        if times.size == 0:
+            raise ValueError("no samples recorded")
+        mask = times >= times[-1] - window
+        return float(np.std(occ[mask]))
+
+
+class RateMonitor:
+    """Samples sender rates (the protocol's R_C) on a fixed interval."""
+
+    def __init__(self, sim: Simulator, senders: Dict[str, object],
+                 interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.senders = dict(senders)
+        self.interval = interval
+        self.times: List[float] = []
+        self.rates: Dict[str, List[float]] = {
+            label: [] for label in self.senders}
+        sim.schedule(0.0, self._sample)
+
+    def _sample(self) -> None:
+        self.times.append(self.sim.now)
+        for label, sender in self.senders.items():
+            self.rates[label].append(sender.rate)
+        self.sim.schedule(self.interval, self._sample)
+
+    def series(self, label: str) -> "tuple[np.ndarray, np.ndarray]":
+        """``(times, rates_bytes_per_s)`` for one sender."""
+        return (np.asarray(self.times),
+                np.asarray(self.rates[label], dtype=float))
+
+    def final_rates(self) -> Dict[str, float]:
+        """Last sampled rate per sender, bytes/s."""
+        return {label: values[-1] for label, values in self.rates.items()
+                if values}
+
+
+class ThroughputMeter:
+    """Counts delivered bytes at a receive point over windows.
+
+    Attach via ``port.on_transmit`` of the link feeding the receiver,
+    or call :meth:`record` from receiver code.
+    """
+
+    def __init__(self, sim: Simulator, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.sim = sim
+        self.window = window
+        self._window_start = 0.0
+        self._window_bytes = 0
+        self.times: List[float] = []
+        self.throughput_bytes_per_s: List[float] = []
+
+    def record(self, packet: Packet) -> None:
+        """Account one delivered packet, rolling windows as needed."""
+        while self.sim.now >= self._window_start + self.window:
+            self.times.append(self._window_start + self.window)
+            self.throughput_bytes_per_s.append(
+                self._window_bytes / self.window)
+            self._window_start += self.window
+            self._window_bytes = 0
+        self._window_bytes += packet.size_bytes
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(window_end_times, bytes_per_second)`` arrays."""
+        return (np.asarray(self.times),
+                np.asarray(self.throughput_bytes_per_s, dtype=float))

@@ -1,0 +1,72 @@
+"""Packet representation for the simulator.
+
+``__slots__`` keeps per-packet overhead low -- FCT experiments push
+millions of packets through the event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+#: Size of control packets (ACKs, CNPs, PFC frames), bytes.
+CONTROL_PACKET_BYTES = 64
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A data or control packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Owning flow; control packets carry the flow they refer to.
+    size_bytes:
+        Wire size used for serialization timing.
+    src, dst:
+        Endpoint node names, used by switch forwarding.
+    kind:
+        ``"data"``, ``"ack"``, ``"cnp"``, ``"pause"`` or ``"resume"``.
+    sent_time:
+        Stamped by the sender NIC at first transmission; echoed into
+        ACKs so TIMELY can measure RTT.
+    ecn_marked:
+        Set by a congested switch queue (CE codepoint).
+    echo_time:
+        For ACKs: the ``sent_time`` of the data packet (or last packet
+        of the chunk) being acknowledged.
+    acked_bytes:
+        For ACKs: cumulative bytes the receiver has seen for the flow.
+    """
+
+    __slots__ = ("packet_id", "flow_id", "size_bytes", "src", "dst",
+                 "kind", "sent_time", "ecn_marked", "echo_time",
+                 "acked_bytes", "seq", "pfc_ingress")
+
+    def __init__(self, flow_id: int, size_bytes: int, src: str, dst: str,
+                 kind: str = "data", seq: int = 0):
+        self.packet_id = next(_packet_ids)
+        self.flow_id = flow_id
+        self.size_bytes = size_bytes
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.sent_time: Optional[float] = None
+        self.ecn_marked = False
+        self.echo_time: Optional[float] = None
+        self.acked_bytes = 0
+        #: Upstream label at the switch currently buffering the packet
+        #: (PFC accounting; rewritten at each hop).
+        self.pfc_ingress: Optional[str] = None
+
+    @property
+    def is_control(self) -> bool:
+        """Control packets skip ECN marking and flow accounting."""
+        return self.kind != "data"
+
+    def __repr__(self) -> str:
+        flags = " ECN" if self.ecn_marked else ""
+        return (f"<Packet {self.kind} flow={self.flow_id} seq={self.seq} "
+                f"{self.src}->{self.dst} {self.size_bytes}B{flags}>")

@@ -1,0 +1,58 @@
+"""PI marking controller at the switch -- Section 5.2 / Eq. 32.
+
+A discrete implementation of ``dp/dt = K1 de/dt + K2 e(t)`` in the
+style of [14] (and its PIE descendant): every ``update_interval`` the
+marker advances its marking probability by
+
+    p += K1 * (q - q_prev) / q_ref + K2 * dt * (q - q_ref) / q_ref
+
+with the same normalized-error convention as the fluid PI models, so
+the gains in :class:`repro.core.params.PIParams` carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import PIParams
+
+
+class PIMarker:
+    """Integral marking controller on a byte-denominated egress queue."""
+
+    def __init__(self, pi: PIParams, mtu_bytes: int,
+                 update_interval: float = 10e-6, seed: int = 0):
+        if mtu_bytes <= 0:
+            raise ValueError(f"mtu_bytes must be positive, got {mtu_bytes}")
+        if update_interval <= 0:
+            raise ValueError(
+                f"update_interval must be positive, got {update_interval}")
+        self.pi = pi
+        self.mtu_bytes = mtu_bytes
+        self.q_ref_bytes = pi.q_ref * mtu_bytes
+        #: Polled by the switch to schedule periodic updates.
+        self.update_interval = update_interval
+        self.p = 0.0
+        self._previous_queue: float = 0.0
+        self._rng = np.random.default_rng(seed)
+
+    def update(self, queue_bytes: float, now: float) -> None:
+        """Advance the controller one sampling interval."""
+        error = (queue_bytes - self.q_ref_bytes) / self.q_ref_bytes
+        slope = (queue_bytes - self._previous_queue) / self.q_ref_bytes
+        self.p += self.pi.k1 * slope \
+            + self.pi.k2 * self.update_interval * error
+        self.p = float(np.clip(self.p, self.pi.p_min, self.pi.p_max))
+        self._previous_queue = queue_bytes
+
+    def marking_probability(self, queue_bytes: float) -> float:
+        """The controller state; independent of the instantaneous queue."""
+        return self.p
+
+    def should_mark(self, queue_bytes: float) -> bool:
+        """Bernoulli trial at the controller's current probability."""
+        if self.p <= 0.0:
+            return False
+        if self.p >= 1.0:
+            return True
+        return bool(self._rng.random() < self.p)

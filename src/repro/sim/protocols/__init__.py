@@ -1,0 +1,3 @@
+"""Endpoint protocol agents: DCQCN (RP/NP), TIMELY (packet and burst
+pacing, HAI), patched TIMELY (Algorithm 2), and the window-based DCTCP
+baseline."""

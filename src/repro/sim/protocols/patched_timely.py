@@ -1,0 +1,62 @@
+"""Patched TIMELY endpoint -- Algorithm 2 of the paper.
+
+Only lines 9-12 differ from TIMELY: inside the gradient band the
+update blends additive increase and an absolute-RTT-driven decrease
+through the continuous weight ``w(gradient)`` (Eq. 30)::
+
+    weight <- w(rttGradient)
+    error  <- (newRTT - RTT_ref) / RTT_ref
+    rate   <- delta (1 - weight) + rate (1 - beta * weight * error)
+
+``RTT_ref`` plays the role of the fluid model's reference queue
+``q' = C * T_low``: it is the RTT whose queuing-delay component is
+``T_low``, i.e. ``T_low + base_rtt`` for the propagation/serialization
+floor ``base_rtt`` of the path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.params import PatchedTimelyParams
+from repro.sim.engine import Simulator
+from repro.sim.flows import Flow
+from repro.sim.node import Host
+from repro.sim.protocols.timely import TimelyReceiver, TimelySender
+
+
+class PatchedTimelySender(TimelySender):
+    """Algorithm 2 rate computation."""
+
+    def __init__(self, sim: Simulator, host: Host, flow: Flow,
+                 patched: PatchedTimelyParams,
+                 line_rate: Optional[float] = None,
+                 initial_rate: Optional[float] = None,
+                 pacing: str = "packet",
+                 base_rtt: float = 0.0):
+        super().__init__(sim, host, flow, patched.base,
+                         line_rate=line_rate, initial_rate=initial_rate,
+                         pacing=pacing)
+        self.patched = patched
+        if base_rtt < 0:
+            raise ValueError(f"base_rtt must be >= 0, got {base_rtt}")
+        #: Reference RTT: T_low of queuing delay on top of the path floor.
+        self.rtt_ref = patched.base.t_low + base_rtt
+
+    def gradient_band_rate(self, rtt: float, gradient: float,
+                           delta_bytes: float) -> float:
+        weight = self.patched.weight(gradient)
+        error = (rtt - self.rtt_ref) / self.rtt_ref
+        return delta_bytes * (1.0 - weight) + self._rate * (
+            1.0 - self.patched.beta_band * weight * error)
+
+
+class PatchedTimelyReceiver(TimelyReceiver):
+    """Identical to the TIMELY receiver (the patch is sender-only)."""
+
+    def __init__(self, sim: Simulator, host: Host, flow: Flow,
+                 patched: PatchedTimelyParams,
+                 on_complete: Optional[Callable[[Flow], None]] = None):
+        super().__init__(sim, host, flow, patched.base,
+                         on_complete=on_complete)
+        self.patched = patched

@@ -1,0 +1,69 @@
+"""FIFO byte queues used by switch and NIC egress ports."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim.packet import Packet
+
+
+class ByteFIFO:
+    """Drop-free FIFO tracking byte occupancy.
+
+    RoCEv2 networks are lossless (PFC prevents overflow), so the
+    default capacity is unlimited; a finite ``capacity_bytes`` turns it
+    into a drop-tail queue for non-PFC scenarios, with a drop counter
+    for observability.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity must be positive or None, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._packets: deque = deque()
+        self._bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        #: High-water mark, bytes -- handy for buffer sizing reports.
+        self.max_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def size_bytes(self) -> int:
+        """Current occupancy in bytes."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and counts a drop) if full."""
+        if self.capacity_bytes is not None and \
+                self._bytes + packet.size_bytes > self.capacity_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size_bytes
+            return False
+        self._packets.append(packet)
+        self._bytes += packet.size_bytes
+        if self._bytes > self.max_bytes:
+            self.max_bytes = self._bytes
+        return True
+
+    def dequeue(self) -> Packet:
+        """Remove and return the head packet."""
+        if not self._packets:
+            raise IndexError("dequeue from empty ByteFIFO")
+        packet = self._packets.popleft()
+        self._bytes -= packet.size_bytes
+        return packet
+
+    def peek(self) -> Packet:
+        """Return the head packet without removing it."""
+        if not self._packets:
+            raise IndexError("peek at empty ByteFIFO")
+        return self._packets[0]

@@ -1,0 +1,58 @@
+"""RED-style probabilistic ECN marking (Eq. 3 of the paper).
+
+DCQCN's congestion point marks arriving-to-depart packets with
+probability rising linearly from 0 at ``Kmin`` to ``Pmax`` at ``Kmax``
+and 1 beyond, evaluated on the *instantaneous* egress queue (DCQCN
+disables RED's averaging, per [31]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import REDParams
+
+
+class REDMarker:
+    """Instantaneous-queue RED marker operating on byte occupancies.
+
+    Parameters
+    ----------
+    red:
+        Thresholds in packets (the analytic convention).
+    mtu_bytes:
+        Conversion factor to byte-denominated queue occupancy.
+    seed:
+        Marking randomness seed, for reproducible simulations.
+    """
+
+    def __init__(self, red: REDParams, mtu_bytes: int, seed: int = 0):
+        if mtu_bytes <= 0:
+            raise ValueError(f"mtu_bytes must be positive, got {mtu_bytes}")
+        self.red = red
+        self.mtu_bytes = mtu_bytes
+        self.kmin_bytes = red.kmin * mtu_bytes
+        self.kmax_bytes = red.kmax * mtu_bytes
+        self._rng = np.random.default_rng(seed)
+
+    def marking_probability(self, queue_bytes: float) -> float:
+        """Eq. 3 evaluated on a byte-denominated queue."""
+        return self.red.marking_probability(queue_bytes / self.mtu_bytes)
+
+    def should_mark(self, queue_bytes: float) -> bool:
+        """Bernoulli trial at the Eq. 3 probability."""
+        p = self.marking_probability(queue_bytes)
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return bool(self._rng.random() < p)
+
+    def update(self, queue_bytes: float, now: float) -> None:
+        """RED is memoryless; periodic updates are a no-op.
+
+        Present so the switch can treat RED and PI markers uniformly.
+        """
+
+    #: RED needs no periodic controller updates.
+    update_interval = None

@@ -1,0 +1,138 @@
+"""Packet tracing -- the simulator's debugging eyes.
+
+ns-3 ships pcap/ascii traces; this is the equivalent for this
+simulator: a :class:`PacketTracer` hooks one or more ports'
+``on_transmit`` and records ``(time, port, packet)`` events, with
+optional kind/flow filters so a DCQCN debugging session can watch,
+say, only the CNPs crossing the bottleneck.
+
+The tracer chains politely: if a port already has an ``on_transmit``
+hook (PFC accounting at switches), the tracer calls it first, so
+tracing never changes behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Port
+from repro.sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet leaving one port."""
+
+    time: float
+    port_name: str
+    kind: str
+    flow_id: int
+    seq: int
+    size_bytes: int
+    ecn_marked: bool
+    #: Emission timestamp the sender stamped, if any -- makes
+    #: ``time - sent_time`` the sender-to-this-port latency.
+    sent_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Sender-to-this-port latency, seconds (None if unstamped)."""
+        if self.sent_time is None:
+            return None
+        return self.time - self.sent_time
+
+    def __str__(self) -> str:
+        mark = " CE" if self.ecn_marked else ""
+        return (f"{self.time * 1e6:10.2f}us {self.port_name:<18} "
+                f"{self.kind:<5} flow={self.flow_id} seq={self.seq} "
+                f"{self.size_bytes}B{mark}")
+
+
+class PacketTracer:
+    """Records departures from the attached ports.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock (timestamps come from it).
+    kinds:
+        Packet kinds to record (None = all).
+    flow_ids:
+        Flow ids to record (None = all).
+    max_events:
+        Hard cap; recording silently stops past it so a forgotten
+        tracer cannot eat the machine on a long run.
+    """
+
+    def __init__(self, sim: Simulator,
+                 kinds: Optional[Sequence[str]] = None,
+                 flow_ids: Optional[Iterable[int]] = None,
+                 max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1, got {max_events}")
+        self.sim = sim
+        self.kinds = set(kinds) if kinds is not None else None
+        self.flow_ids = set(flow_ids) if flow_ids is not None else None
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped_events = 0
+
+    def attach(self, port: Port) -> None:
+        """Hook a port, chaining any existing ``on_transmit``."""
+        previous = port.on_transmit
+
+        def hook(packet: Packet, _prev=previous, _port=port) -> None:
+            if _prev is not None:
+                _prev(packet)
+            self._record(_port, packet)
+
+        port.on_transmit = hook
+
+    def _record(self, port: Port, packet: Packet) -> None:
+        if self.kinds is not None and packet.kind not in self.kinds:
+            return
+        if self.flow_ids is not None and \
+                packet.flow_id not in self.flow_ids:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(
+            time=self.sim.now,
+            port_name=port.name,
+            kind=packet.kind,
+            flow_id=packet.flow_id,
+            seq=packet.seq,
+            size_bytes=packet.size_bytes,
+            ecn_marked=packet.ecn_marked,
+            sent_time=packet.sent_time))
+
+    def marked_fraction(self) -> float:
+        """Fraction of recorded data packets carrying a CE mark."""
+        data = [e for e in self.events if e.kind == "data"]
+        if not data:
+            raise ValueError("no data packets recorded")
+        return sum(e.ecn_marked for e in data) / len(data)
+
+    def interarrival_times(self) -> "list[float]":
+        """Gaps between consecutive recorded events, seconds."""
+        return [b.time - a.time
+                for a, b in zip(self.events, self.events[1:])]
+
+    def latencies(self, since: float = 0.0) -> "list[float]":
+        """Sender-to-port latencies of stamped events, seconds."""
+        return [event.latency for event in self.events
+                if event.latency is not None and event.time >= since]
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable trace listing (first ``limit`` events)."""
+        selected = self.events if limit is None else \
+            self.events[:limit]
+        lines = [str(event) for event in selected]
+        if self.dropped_events:
+            lines.append(f"... ({self.dropped_events} events beyond "
+                         f"the {self.max_events}-event cap)")
+        return "\n".join(lines)

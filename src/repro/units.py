@@ -1,0 +1,125 @@
+"""Unit conversions used throughout the reproduction.
+
+The paper mixes Gbps, Mbps, microseconds, and KB.  Internally every model
+in this package works in a single consistent system:
+
+* time        -- seconds
+* data        -- packets (one packet == one MTU, default 1 KB)
+* rate        -- packets per second
+* queue depth -- packets
+
+The fluid models of the paper (Figs. 1 and 7) count data in packets (the
+exponents ``(1 - p)**(tau * R_C)`` are "number of packets sent in a
+window"), so packets are the natural internal currency.  These helpers
+convert between wire units and internal units explicitly, which keeps
+parameter definitions readable::
+
+    params = DCQCNParams(capacity=gbps_to_pps(40.0), ...)
+
+All converters are simple pure functions; there is deliberately no unit
+wrapper class, because the hot loops (DDE integration, packet simulation)
+work on plain floats and numpy arrays.
+"""
+
+from __future__ import annotations
+
+#: Default maximum transmission unit in bytes.  DCQCN deployments use
+#: 1 KB MTU-sized RDMA packets [31]; the simulator default matches.
+DEFAULT_MTU_BYTES = 1024
+
+#: Bits per byte, named for readability at call sites.
+BITS_PER_BYTE = 8
+
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+
+#: One kilobyte in bytes (the paper uses binary KB for buffer sizes).
+KILOBYTE = 1024
+
+#: One megabyte in bytes.
+MEGABYTE = 1024 * 1024
+
+
+def gbps_to_pps(gbps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Convert a rate in gigabits/second to packets/second.
+
+    >>> round(gbps_to_pps(40.0))
+    4882812
+    """
+    return gbps * 1e9 / (BITS_PER_BYTE * mtu_bytes)
+
+
+def pps_to_gbps(pps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Convert a rate in packets/second back to gigabits/second."""
+    return pps * BITS_PER_BYTE * mtu_bytes / 1e9
+
+
+def mbps_to_pps(mbps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Convert a rate in megabits/second to packets/second.
+
+    The DCQCN additive-increase step ``R_AI`` is specified as 40 Mbps.
+    """
+    return mbps * 1e6 / (BITS_PER_BYTE * mtu_bytes)
+
+
+def pps_to_mbps(pps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Convert a rate in packets/second to megabits/second."""
+    return pps * BITS_PER_BYTE * mtu_bytes / 1e6
+
+
+def us(value: float) -> float:
+    """Microseconds -> seconds.  ``us(55)`` reads like the paper's 55 us."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value * MILLISECOND
+
+
+def seconds_to_us(value: float) -> float:
+    """Seconds -> microseconds, for reporting."""
+    return value / MICROSECOND
+
+
+def kb_to_packets(kilobytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Buffer/queue size in KB -> packets.
+
+    RED thresholds such as ``K_max = 200 KB`` become packet counts.
+    """
+    return kilobytes * KILOBYTE / mtu_bytes
+
+
+def packets_to_kb(packets: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Queue size in packets -> KB, for reporting against the paper."""
+    return packets * mtu_bytes / KILOBYTE
+
+
+def mb_to_packets(megabytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Byte-counter style sizes in MB -> packets (e.g. DCQCN ``B`` = 10 MB)."""
+    return megabytes * MEGABYTE / mtu_bytes
+
+
+def bytes_to_packets(nbytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Raw byte count -> (possibly fractional) packets."""
+    return nbytes / mtu_bytes
+
+
+def packets_to_bytes(packets: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Packets -> bytes."""
+    return packets * mtu_bytes
+
+
+def serialization_delay(nbytes: float, rate_pps: float,
+                        mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Time to serialize ``nbytes`` onto a link running at ``rate_pps``.
+
+    ``rate_pps`` is in packets/second of ``mtu_bytes`` packets, i.e. the
+    same internal currency the rest of the package uses.
+    """
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    return (nbytes / mtu_bytes) / rate_pps

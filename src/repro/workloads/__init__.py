@@ -1,0 +1,2 @@
+"""Traffic generation: canonical flow-size distributions and the
+Section 5.1 dynamic Poisson workload."""

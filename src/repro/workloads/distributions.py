@@ -1,0 +1,169 @@
+"""Flow-size and interarrival distributions for the Section 5.1 traffic.
+
+The paper: "The flow size distribution is derived from the traffic
+distribution reported in [2] (DCTCP).  The interarrival time of flows
+is picked from an exponential distribution." -- the same generation
+model as pFabric and ProjecToR.
+
+We encode the widely-used piecewise-linear approximation of the DCTCP
+web-search flow-size CDF (sizes in KB against cumulative probability)
+and sample it by inverse transform.  The exact production trace is not
+public; this public approximation preserves what the experiments need:
+~70% of flows under 100 KB ("small") coexisting with multi-MB
+heavy-tail flows that keep the bottleneck loaded.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: DCTCP web-search flow sizes: (size_KB, cumulative probability).
+WEB_SEARCH_CDF_KB: List[Tuple[float, float]] = [
+    (1.0, 0.0),
+    (6.0, 0.15),
+    (13.0, 0.30),
+    (19.0, 0.45),
+    (33.0, 0.60),
+    (53.0, 0.70),
+    (133.0, 0.80),
+    (667.0, 0.90),
+    (1467.0, 0.95),
+    (3000.0, 0.98),
+    (6900.0, 1.00),
+]
+
+#: Data-mining flow sizes (the other canonical DC trace, VL2/pFabric
+#: lineage): the vast majority of flows are tiny while a sliver of
+#: elephants carries most bytes.  Truncated at 30 MB so finite
+#: simulations see completed elephants; (size_KB, cumulative prob).
+DATA_MINING_CDF_KB: List[Tuple[float, float]] = [
+    (1.0, 0.0),
+    (3.0, 0.30),
+    (7.0, 0.50),
+    (15.0, 0.60),
+    (35.0, 0.70),
+    (100.0, 0.80),
+    (400.0, 0.90),
+    (3000.0, 0.95),
+    (10000.0, 0.98),
+    (30000.0, 1.00),
+]
+
+
+class EmpiricalCDF:
+    """Inverse-transform sampler over a piecewise-linear CDF.
+
+    Parameters
+    ----------
+    points:
+        ``(value, cumulative_probability)`` pairs, strictly increasing
+        in both coordinates, starting at probability 0 and ending at 1.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        values = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ValueError(
+                "CDF must start at probability 0 and end at 1, got "
+                f"[{probs[0]}, {probs[-1]}]")
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ValueError("CDF values must be strictly increasing")
+        if any(b < a for a, b in zip(probs, probs[1:])):
+            raise ValueError("CDF probabilities must be nondecreasing")
+        self.values = np.asarray(values, dtype=float)
+        self.probs = np.asarray(probs, dtype=float)
+
+    def quantile(self, u: float) -> float:
+        """The value at cumulative probability ``u`` (linear interp)."""
+        if not 0.0 <= u <= 1.0:
+            raise ValueError(f"u must be in [0, 1], got {u}")
+        idx = bisect_right(self.probs.tolist(), u)
+        if idx == 0:
+            return float(self.values[0])
+        if idx >= self.probs.size:
+            return float(self.values[-1])
+        p0, p1 = self.probs[idx - 1], self.probs[idx]
+        v0, v1 = self.values[idx - 1], self.values[idx]
+        if p1 == p0:
+            return float(v0)
+        return float(v0 + (u - p0) / (p1 - p0) * (v1 - v0))
+
+    def mean(self) -> float:
+        """Exact mean of the piecewise-linear distribution.
+
+        Each CDF segment contributes a uniform slice of probability
+        mass centred on the segment's midpoint.
+        """
+        mass = np.diff(self.probs)
+        midpoints = 0.5 * (self.values[:-1] + self.values[1:])
+        return float(np.sum(mass * midpoints))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+        return self.quantile(float(rng.random()))
+
+    def sample_many(self, rng: np.random.Generator, count: int
+                    ) -> np.ndarray:
+        """Draw ``count`` values (vectorized interpolation)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        u = rng.random(count)
+        return np.interp(u, self.probs, self.values)
+
+
+def web_search_sizes_bytes() -> EmpiricalCDF:
+    """The DCTCP web-search distribution with sizes in bytes."""
+    return EmpiricalCDF([(kb * 1024.0, p) for kb, p in WEB_SEARCH_CDF_KB])
+
+
+def data_mining_sizes_bytes() -> EmpiricalCDF:
+    """The data-mining distribution with sizes in bytes.
+
+    Heavier-tailed than web search: more of the load rides on fewer,
+    larger flows, which stresses the congestion controllers' long-flow
+    behaviour while the many tiny flows probe queueing latency.
+    """
+    return EmpiricalCDF([(kb * 1024.0, p)
+                         for kb, p in DATA_MINING_CDF_KB])
+
+
+def poisson_interarrivals(rng: np.random.Generator, rate_per_s: float,
+                          horizon_s: float) -> np.ndarray:
+    """Arrival times of a Poisson process on ``[0, horizon_s)``."""
+    if rate_per_s <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_s}")
+    if horizon_s <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_s}")
+    # Draw in batches until past the horizon.
+    times: List[float] = []
+    t = 0.0
+    batch = max(16, int(rate_per_s * horizon_s * 1.2))
+    while t < horizon_s:
+        gaps = rng.exponential(1.0 / rate_per_s, batch)
+        for gap in gaps:
+            t += gap
+            if t >= horizon_s:
+                break
+            times.append(t)
+    return np.asarray(times)
+
+
+def arrival_rate_for_load(load: float, capacity_bytes_per_s: float,
+                          mean_flow_bytes: float) -> float:
+    """Flows/second so offered traffic is ``load * capacity``.
+
+    The paper's "load factor of 1 corresponds to an average of 8 Gbps
+    on the bottleneck" -- callers pass that 8 Gbps as the capacity
+    reference.
+    """
+    if not 0.0 < load:
+        raise ValueError(f"load must be positive, got {load}")
+    if capacity_bytes_per_s <= 0 or mean_flow_bytes <= 0:
+        raise ValueError("capacity and mean flow size must be positive")
+    return load * capacity_bytes_per_s / mean_flow_bytes

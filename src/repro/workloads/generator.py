@@ -1,0 +1,111 @@
+"""Dynamic-traffic workload driver for the dumbbell experiments.
+
+Generates the Section 5.1 traffic: flows between randomly selected
+sender/receiver pairs, sizes from the DCTCP web-search distribution,
+exponential interarrivals scaled to the target load, all installed on
+a :class:`~repro.sim.topology.Network` as simulation time advances.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.flows import Flow
+from repro.sim.topology import Network, install_flow
+from repro.workloads.distributions import (EmpiricalCDF,
+                                           arrival_rate_for_load,
+                                           poisson_interarrivals,
+                                           web_search_sizes_bytes)
+
+#: The paper's load normalization: load factor 1 == 8 Gbps offered.
+LOAD_ONE_GBPS = 8.0
+
+
+@dataclass
+class WorkloadConfig:
+    """Traffic-generation parameters for one run."""
+
+    protocol: str            #: "dcqcn" | "timely" | "patched_timely"
+    load: float              #: load factor (1.0 == 8 Gbps offered)
+    duration: float          #: arrival horizon, seconds
+    seed: int = 0
+    size_cdf: Optional[EmpiricalCDF] = None  #: defaults to web-search
+    load_one_bytes_per_s: float = LOAD_ONE_GBPS * 1e9 / 8.0
+
+
+class DynamicWorkload:
+    """Installs Poisson flow arrivals on a network and tracks them."""
+
+    def __init__(self, net: Network, config: WorkloadConfig,
+                 params: object, **sender_kwargs):
+        self.net = net
+        self.config = config
+        self.params = params
+        self.sender_kwargs = sender_kwargs
+        self.flows: List[Flow] = []
+        self.completed_flows: List[Flow] = []
+        rng = np.random.default_rng(config.seed)
+
+        cdf = config.size_cdf or web_search_sizes_bytes()
+        mean_size = cdf.mean()
+        rate = arrival_rate_for_load(config.load,
+                                     config.load_one_bytes_per_s,
+                                     mean_size)
+        arrivals = poisson_interarrivals(rng, rate, config.duration)
+        sizes = cdf.sample_many(rng, arrivals.size)
+
+        sender_names = sorted(
+            name for name in net.hosts
+            if re.fullmatch(r"s\d+", name))
+        receiver_names = sorted(
+            name for name in net.hosts
+            if re.fullmatch(r"r\d+", name))
+        if not sender_names or not receiver_names:
+            raise ValueError(
+                "network must have s<i>/r<i> host pairs (use the "
+                "dumbbell builder)")
+
+        for when, size in zip(arrivals, sizes):
+            src = sender_names[rng.integers(len(sender_names))]
+            dst = receiver_names[rng.integers(len(receiver_names))]
+            size_bytes = max(int(size), net.mtu_bytes)
+            self.net.sim.schedule_at(
+                float(when),
+                self._make_installer(src, dst, size_bytes, float(when)))
+        self.scheduled_count = int(arrivals.size)
+        self.offered_bytes = float(np.sum(np.maximum(
+            sizes.astype(int), net.mtu_bytes)))
+
+    def _make_installer(self, src: str, dst: str, size_bytes: int,
+                        when: float):
+        def install() -> None:
+            sender, _receiver = install_flow(
+                self.net, self.config.protocol, src, dst, size_bytes,
+                when, self.params, on_complete=self._on_complete,
+                **self.sender_kwargs)
+            self.flows.append(sender.flow)
+        return install
+
+    def _on_complete(self, flow: Flow) -> None:
+        self.completed_flows.append(flow)
+        # Retire the sender so host dispatch tables stay small and
+        # TIMELY's C/(N+1) start-rate rule sees the true active count.
+        sender = self.net.senders.pop(flow.flow_id, None)
+        if sender is not None:
+            sender.stop()
+        self.net.receivers.pop(flow.flow_id, None)
+
+    @property
+    def completion_fraction(self) -> float:
+        """Completed flows over installed flows."""
+        if not self.flows:
+            return 0.0
+        return len(self.completed_flows) / len(self.flows)
+
+    def run(self, drain_time: float = 0.0) -> None:
+        """Run the simulation through the arrival horizon plus drain."""
+        self.net.sim.run(until=self.config.duration + drain_time)

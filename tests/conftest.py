@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import (DCQCNParams, PatchedTimelyParams,
+                               TimelyParams)
+
+
+@pytest.fixture
+def dcqcn_params() -> DCQCNParams:
+    """Default 40 Gbps, 2-flow DCQCN configuration."""
+    return DCQCNParams.paper_default(capacity_gbps=40.0, num_flows=2)
+
+
+@pytest.fixture
+def dcqcn_ten_flows() -> DCQCNParams:
+    """Default 40 Gbps, 10-flow DCQCN configuration."""
+    return DCQCNParams.paper_default(capacity_gbps=40.0, num_flows=10)
+
+
+@pytest.fixture
+def timely_params() -> TimelyParams:
+    """Default 10 Gbps, 2-flow TIMELY configuration."""
+    return TimelyParams.paper_default(capacity_gbps=10.0, num_flows=2)
+
+
+@pytest.fixture
+def patched_params() -> PatchedTimelyParams:
+    """Default 10 Gbps, 2-flow patched TIMELY configuration."""
+    return PatchedTimelyParams.paper_default(capacity_gbps=10.0,
+                                             num_flows=2)

@@ -1,0 +1,154 @@
+"""FCT statistics, time-series helpers, and report formatting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fct import (FCTSummary, SMALL_FLOW_BYTES,
+                                completed_fcts, fct_cdf,
+                                normalized_fcts, small_flow_summary)
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.timeseries import (coefficient_of_variation,
+                                       downsample, settling_fraction,
+                                       tail_window)
+from repro.sim.flows import Flow
+
+
+def make_flow(size, start, fct=None):
+    flow = Flow(0, "s0", "r0", size, start)
+    if fct is not None:
+        flow.completion_time = start + fct
+    return flow
+
+
+class TestFCTFilters:
+    def test_only_completed_counted(self):
+        flows = [make_flow(1024, 0.0, fct=0.01), make_flow(1024, 0.0)]
+        assert completed_fcts(flows) == [0.01]
+
+    def test_long_lived_excluded(self):
+        flow = Flow(0, "s0", "r0", None, 0.0)
+        assert completed_fcts([flow]) == []
+
+    def test_size_filters(self):
+        small = make_flow(50 * 1024, 0.0, fct=0.001)
+        big = make_flow(500 * 1024, 0.0, fct=0.01)
+        flows = [small, big]
+        assert completed_fcts(flows, max_bytes=SMALL_FLOW_BYTES) == \
+            [0.001]
+        assert completed_fcts(flows, min_bytes=SMALL_FLOW_BYTES) == \
+            [0.01]
+
+    def test_warmup_skip(self):
+        early = make_flow(1024, 0.001, fct=0.01)
+        late = make_flow(1024, 0.5, fct=0.02)
+        assert completed_fcts([early, late], skip_before=0.1) == \
+            [pytest.approx(0.02)]
+
+    def test_small_flow_summary(self):
+        flows = [make_flow(1024, 0.0, fct=f)
+                 for f in (0.001, 0.002, 0.003, 0.004, 0.005)]
+        summary = small_flow_summary(flows)
+        assert summary.count == 5
+        assert summary.median_s == pytest.approx(0.003)
+        assert summary.mean_s == pytest.approx(0.003)
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FCTSummary.from_fcts([])
+
+
+class TestCDF:
+    def test_sorted_and_normalized(self):
+        fcts, fractions = fct_cdf([0.3, 0.1, 0.2])
+        assert list(fcts) == pytest.approx([0.1, 0.2, 0.3])
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fct_cdf([])
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=10.0),
+                    min_size=1, max_size=100))
+    def test_cdf_properties(self, samples):
+        fcts, fractions = fct_cdf(samples)
+        assert np.all(np.diff(fcts) >= 0)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(fractions) > 0)
+
+
+class TestNormalizedFCT:
+    def test_line_rate_flow_has_slowdown_one(self):
+        flow = make_flow(1_000_000, 0.0, fct=0.001)
+        slowdowns = normalized_fcts([flow], line_rate_bytes=1e9)
+        assert slowdowns == [pytest.approx(1.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_fcts([], line_rate_bytes=0.0)
+
+
+class TestTimeseries:
+    def test_tail_window(self):
+        times = np.linspace(0, 10, 11)
+        values = times * 2
+        t, v = tail_window(times, values, 3.0)
+        assert list(t) == pytest.approx([7, 8, 9, 10])
+        assert list(v) == pytest.approx([14, 16, 18, 20])
+
+    def test_tail_window_validation(self):
+        with pytest.raises(ValueError):
+            tail_window([1.0], [1.0, 2.0], 1.0)
+        with pytest.raises(ValueError):
+            tail_window([], [], 1.0)
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5.0, 5.0]) == 0.0
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(
+            0.5)
+        with pytest.raises(ValueError):
+            coefficient_of_variation([1.0, -1.0])
+
+    def test_settling_fraction(self):
+        values = [1.0, 1.05, 0.95, 2.0]
+        assert settling_fraction(values, 1.0, 0.1) == pytest.approx(
+            0.75)
+
+    def test_downsample(self):
+        times = np.arange(100, dtype=float)
+        values = times.copy()
+        t, v = downsample(times, values, 10)
+        assert t.size <= 10
+        assert v[0] == 0.0
+        with pytest.raises(ValueError):
+            downsample(times, values, 1)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["dcqcn", 1.23456], ["timely", 10.0]],
+                             title="Demo")
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in table
+        assert "timely" in table
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_series(self):
+        out = format_series("queue", [0.0, 0.001, 0.002],
+                            [1.0, 2.0, 3.0])
+        assert out.startswith("queue:")
+        assert "ms" in out
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series("x", [], [])
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1.0], [])

@@ -1,0 +1,184 @@
+"""Closed-form (Appendix A) vs finite-difference linearization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint.dcqcn import solve_fixed_point
+from repro.core.params import DCQCNParams
+from repro.core.stability.analytic import (counter_factor,
+                                           flow_jacobians,
+                                           mark_window_factor,
+                                           past_recovery_factor)
+from repro.core.stability.bode import phase_margin
+from repro.core.stability.dcqcn_margin import DCQCNLoopGain
+
+
+def finite_difference(fn, x, step=1e-7):
+    return (fn(x + step) - fn(x - step)) / (2 * step)
+
+
+class TestFactorDerivatives:
+    """Each closed-form partial against a numeric derivative."""
+
+    def test_mark_window_value(self):
+        a = mark_window_factor(0.01, 1e6, 50e-6)
+        assert a.value == pytest.approx(1 - 0.99 ** 50.0, rel=1e-9)
+
+    def test_mark_window_dp(self):
+        rate, window = 1e6, 50e-6
+        numeric = finite_difference(
+            lambda p: mark_window_factor(p, rate, window).value, 0.01,
+            step=1e-8)
+        assert mark_window_factor(0.01, rate, window).d_dp == \
+            pytest.approx(numeric, rel=1e-5)
+
+    def test_mark_window_dr(self):
+        numeric = finite_difference(
+            lambda r: mark_window_factor(0.01, r, 50e-6).value, 1e6,
+            step=1.0)
+        assert mark_window_factor(0.01, 1e6, 50e-6).d_dr == \
+            pytest.approx(numeric, rel=1e-5)
+
+    def test_counter_factor_small_p_limit(self):
+        # b -> 1/B as p -> 0.
+        b = counter_factor(1e-9, 10240.0, 0.0)
+        assert b.value == pytest.approx(1.0 / 10240.0, rel=1e-4)
+
+    def test_counter_factor_dp(self):
+        numeric = finite_difference(
+            lambda p: counter_factor(p, 500.0, 0.0).value, 0.005,
+            step=1e-9)
+        assert counter_factor(0.005, 500.0, 0.0).d_dp == \
+            pytest.approx(numeric, rel=1e-4)
+
+    def test_counter_factor_dr_via_timer_window(self):
+        timer, rate, p = 55e-6, 1e6, 0.005
+
+        def value_of(r):
+            return counter_factor(p, timer * r, timer).value
+
+        numeric = finite_difference(value_of, rate, step=1.0)
+        assert counter_factor(p, timer * rate, timer).d_dr == \
+            pytest.approx(numeric, rel=1e-4)
+
+    def test_past_recovery_dp(self):
+        p, window = 0.005, 500.0
+
+        def value_of(pp):
+            base = counter_factor(pp, window, 0.0)
+            return past_recovery_factor(base, pp, 5 * window,
+                                        0.0).value
+
+        numeric = finite_difference(value_of, p, step=1e-9)
+        base = counter_factor(p, window, 0.0)
+        assert past_recovery_factor(base, p, 5 * window, 0.0).d_dp == \
+            pytest.approx(numeric, rel=1e-4)
+
+    def test_huge_window_underflows_cleanly(self):
+        b = counter_factor(0.5, 1e7, 0.0)
+        assert b.value == 0.0
+        assert math.isfinite(b.d_dp)
+        assert math.isfinite(b.d_dr)
+
+
+class TestJacobianAgreement:
+    @pytest.mark.parametrize("n,tau_star_us", [
+        (2, 4.0), (10, 85.0), (64, 100.0)])
+    def test_matches_finite_differences(self, n, tau_star_us):
+        params = DCQCNParams.paper_default(num_flows=n,
+                                           tau_star_us=tau_star_us)
+        numeric = DCQCNLoopGain(params, jacobian_mode="numeric")
+        analytic = DCQCNLoopGain(params, jacobian_mode="analytic")
+        assert numeric.m0 == pytest.approx(analytic.m0, rel=1e-6,
+                                           abs=1e-9)
+        assert numeric.b_p == pytest.approx(analytic.b_p, rel=1e-6)
+        assert numeric.b_r == pytest.approx(analytic.b_r, rel=1e-6,
+                                            abs=1e-9)
+
+    def test_margins_identical(self):
+        params = DCQCNParams.paper_default(num_flows=10,
+                                           tau_star_us=85.0)
+        pm_numeric = phase_margin(
+            DCQCNLoopGain(params, jacobian_mode="numeric")).margin_deg
+        pm_analytic = phase_margin(
+            DCQCNLoopGain(params, jacobian_mode="analytic")).margin_deg
+        assert pm_numeric == pytest.approx(pm_analytic, abs=1e-3)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DCQCNLoopGain(DCQCNParams.paper_default(),
+                          jacobian_mode="symbolic")
+
+    def test_structural_zeros(self):
+        """Eq. 5/6: alpha does not appear in dR_T/dt, and R_T/R_C do
+        not appear in d(alpha)/dt."""
+        params = DCQCNParams.paper_default()
+        closed = flow_jacobians(params, solve_fixed_point(
+            params, extend_red=True))
+        assert closed.m0[0, 1] == 0.0
+        assert closed.m0[0, 2] == 0.0
+        assert closed.m0[1, 0] == 0.0
+
+    def test_signs_at_fixed_point(self):
+        """Physical sanity: marking pushes rates down, alpha up."""
+        params = DCQCNParams.paper_default()
+        closed = flow_jacobians(params, solve_fixed_point(
+            params, extend_red=True))
+        assert closed.b_p[0] > 0    # more marking -> alpha grows
+        assert closed.b_p[2] < 0    # more marking -> rate falls
+        assert closed.m0[2, 1] > 0  # higher target -> rate recovers
+
+
+class TestPatchedTimelyClosedForm:
+    @pytest.mark.parametrize("n", [2, 10, 40])
+    def test_matches_finite_differences(self, n):
+        from repro.core.params import PatchedTimelyParams
+        from repro.core.stability.timely_margin import \
+            PatchedTimelyLoopGain
+        patched = PatchedTimelyParams.paper_default(num_flows=n)
+        numeric = PatchedTimelyLoopGain(patched,
+                                        jacobian_mode="numeric")
+        analytic = PatchedTimelyLoopGain(patched,
+                                         jacobian_mode="analytic")
+        assert numeric.m0 == pytest.approx(analytic.m0, rel=1e-5,
+                                           abs=1e-9)
+        assert numeric.b_q1 == pytest.approx(analytic.b_q1, rel=1e-5)
+        assert numeric.b_q2 == pytest.approx(analytic.b_q2, rel=1e-5,
+                                             abs=1e-9)
+
+    def test_margins_identical(self):
+        from repro.core.params import PatchedTimelyParams
+        from repro.core.stability.timely_margin import \
+            PatchedTimelyLoopGain
+        patched = PatchedTimelyParams.paper_default(num_flows=20)
+        pm = [phase_margin(PatchedTimelyLoopGain(
+            patched, jacobian_mode=mode)).margin_deg
+            for mode in ("numeric", "analytic")]
+        assert pm[0] == pytest.approx(pm[1], abs=1e-3)
+
+    def test_invalid_mode_rejected(self):
+        from repro.core.params import PatchedTimelyParams
+        from repro.core.stability.timely_margin import \
+            PatchedTimelyLoopGain
+        with pytest.raises(ValueError):
+            PatchedTimelyLoopGain(
+                PatchedTimelyParams.paper_default(),
+                jacobian_mode="magic")
+
+    def test_signs_at_fixed_point(self):
+        """A deeper queue must decelerate the rate; a rising gradient
+        must too."""
+        from repro.core.params import PatchedTimelyParams
+        from repro.core.stability.analytic import \
+            patched_flow_jacobians
+        from repro.core.fixedpoint.timely import patched_fixed_point
+        patched = PatchedTimelyParams.paper_default(num_flows=2)
+        point = patched_fixed_point(patched)
+        closed = patched_flow_jacobians(patched,
+                                        float(point.rates[0]),
+                                        point.queue)
+        assert closed.b_q1[1] < 0   # deeper queue -> rate falls
+        assert closed.m0[1, 0] < 0  # rising gradient -> rate falls
+        assert closed.m0[0, 0] < 0  # gradient EWMA is a stable pole

@@ -1,0 +1,62 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, list_experiments, main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_collects_names(self):
+        args = build_parser().parse_args(["run", "fig04", "fig20"])
+        assert args.experiments == ["fig04", "fig20"]
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_run_executes_driver(self, capsys, monkeypatch):
+        # Substitute a trivial experiment to keep the test instant.
+        from repro.experiments.registry import Experiment
+        fake = Experiment("fake", "a fake experiment",
+                          lambda: [1, 2, 3],
+                          lambda rows: f"rows={rows}")
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        assert main(["run", "fake"]) == 0
+        out = capsys.readouterr().out
+        assert "rows=[1, 2, 3]" in out
+        assert "fake: a fake experiment" in out
+
+    def test_run_all_expands(self, capsys, monkeypatch):
+        from repro.experiments.registry import Experiment
+        calls = []
+
+        def record(name):
+            def runner():
+                calls.append(name)
+                return name
+            return runner
+
+        monkeypatch.setattr(
+            "repro.__main__.EXPERIMENTS",
+            {"a": Experiment("a", "first", record("a"), str),
+             "b": Experiment("b", "second", record("b"), str)})
+        assert main(["run", "all"]) == 0
+        assert calls == ["a", "b"]

@@ -1,0 +1,191 @@
+"""Discrete AIMD model (Theorem 2, Appendix B) and shared metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.convergence.discrete import (DiscreteDCQCN,
+                                             alpha_fixed_point,
+                                             contraction_rate,
+                                             cycle_length_units,
+                                             queue_buildup_units)
+from repro.core.convergence.metrics import (convergence_time,
+                                            jain_fairness,
+                                            max_min_ratio,
+                                            oscillation_amplitude)
+from repro.core.params import DCQCNParams
+
+
+class TestDiscreteModel:
+    def test_cycles_fire(self, dcqcn_params):
+        model = DiscreteDCQCN(dcqcn_params)
+        cycles = model.run_cycles(5)
+        assert len(cycles) == 5
+        assert all(c.time_units > 0 for c in cycles)
+
+    def test_peak_rates_exceed_capacity(self, dcqcn_params):
+        """Decrease events only fire after the aggregate overshoots."""
+        model = DiscreteDCQCN(dcqcn_params)
+        for cycle in model.run_cycles(5):
+            assert np.sum(cycle.rates_at_peak) > dcqcn_params.capacity
+
+    def test_rate_spread_contracts(self, dcqcn_params):
+        mtu = dcqcn_params.mtu_bytes
+        model = DiscreteDCQCN(
+            dcqcn_params,
+            initial_rates=[units.gbps_to_pps(30, mtu),
+                           units.gbps_to_pps(10, mtu)])
+        cycles = model.run_cycles(40)
+        spreads = [c.rate_spread for c in cycles]
+        assert spreads[-1] < 0.12 * spreads[0]
+        assert contraction_rate(spreads) < 1.0
+
+    def test_early_contraction_matches_one_minus_alpha_half(
+            self, dcqcn_params):
+        """Eq. 18: the per-cycle factor is (1 - alpha(T_k)/2)."""
+        mtu = dcqcn_params.mtu_bytes
+        model = DiscreteDCQCN(
+            dcqcn_params,
+            initial_rates=[units.gbps_to_pps(30, mtu),
+                           units.gbps_to_pps(10, mtu)])
+        cycles = model.run_cycles(3)
+        ratio = cycles[1].rate_spread / cycles[0].rate_spread
+        alpha = float(np.mean(cycles[0].alphas))
+        assert ratio == pytest.approx(1 - alpha / 2, rel=0.05)
+
+    def test_alpha_spread_contracts_exponentially(self, dcqcn_params):
+        """Eq. 17: alpha differences shrink by (1-g) per time unit."""
+        model = DiscreteDCQCN(dcqcn_params,
+                              initial_alphas=[1.0, 0.2])
+        cycles = model.run_cycles(15)
+        spreads = [c.alpha_spread for c in cycles]
+        assert spreads[-1] < 0.2 * spreads[0]
+        assert contraction_rate(spreads) < 1.0
+
+    def test_alpha_monotone_decreasing_to_fixed_point(self,
+                                                      dcqcn_params):
+        """Eq. 19: alpha(T_0) > alpha(T_1) > ... > alpha* > 0."""
+        model = DiscreteDCQCN(dcqcn_params)
+        cycles = model.run_cycles(60)
+        alphas = [float(np.mean(c.alphas)) for c in cycles]
+        # Monotone descent up to the tiny limit cycle the integer
+        # cycle-length quantization induces near the fixed point.
+        assert all(a > b - 1e-4 for a, b in zip(alphas, alphas[1:]))
+        assert alphas[0] > alphas[-1]
+        alpha_star = alpha_fixed_point(dcqcn_params)
+        assert alphas[-1] > alpha_star > 0
+        # And it approaches alpha* within a modest factor.
+        assert alphas[-1] < 3 * alpha_star
+
+    def test_flows_converge_to_fair_share(self, dcqcn_params):
+        mtu = dcqcn_params.mtu_bytes
+        model = DiscreteDCQCN(
+            dcqcn_params,
+            initial_rates=[units.gbps_to_pps(35, mtu),
+                           units.gbps_to_pps(5, mtu)])
+        cycles = model.run_cycles(80)
+        final = cycles[-1].rates_at_peak
+        assert jain_fairness(final) > 0.999
+
+    def test_validates_initial_shapes(self, dcqcn_params):
+        with pytest.raises(ValueError):
+            DiscreteDCQCN(dcqcn_params, initial_rates=[1.0])
+        with pytest.raises(ValueError):
+            DiscreteDCQCN(dcqcn_params, initial_alphas=[2.0, 0.5])
+
+    def test_run_cycles_validation(self, dcqcn_params):
+        with pytest.raises(ValueError):
+            DiscreteDCQCN(dcqcn_params).run_cycles(0)
+
+
+class TestAppendixFormulas:
+    def test_queue_buildup_units_eq41(self, dcqcn_params):
+        t = queue_buildup_units(dcqcn_params)
+        p = dcqcn_params
+        # By construction, t(t+1)/2 * N * R_AI * tau' == K_max.
+        filled = t * (t + 1) / 2 * p.num_flows * p.rate_ai * p.tau_prime
+        assert filled == pytest.approx(p.red.kmax, rel=1e-9)
+
+    def test_cycle_length_grows_with_alpha(self, dcqcn_params):
+        assert cycle_length_units(dcqcn_params, 0.5) > \
+            cycle_length_units(dcqcn_params, 0.1)
+
+    def test_alpha_fixed_point_solves_eq42(self, dcqcn_params):
+        alpha_star = alpha_fixed_point(dcqcn_params)
+        g = dcqcn_params.g
+        delta_t = cycle_length_units(dcqcn_params, alpha_star)
+        rhs = (1 - g) ** delta_t * ((1 - g) * alpha_star + g)
+        assert alpha_star == pytest.approx(rhs, rel=1e-9)
+
+    def test_alpha_fixed_point_in_unit_interval(self):
+        for n in (2, 10, 64):
+            params = DCQCNParams.paper_default(num_flows=n)
+            assert 0.0 < alpha_fixed_point(params) < 1.0
+
+    def test_contraction_rate_validation(self):
+        with pytest.raises(ValueError):
+            contraction_rate([0.0, 0.0])
+
+    def test_contraction_rate_exact_geometric(self):
+        series = [2.0 * 0.5 ** k for k in range(10)]
+        assert contraction_rate(series) == pytest.approx(0.5, rel=1e-6)
+
+
+class TestMetrics:
+    def test_jain_equal_rates(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_jain_single_hog(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(
+            0.25)
+
+    def test_jain_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6),
+                    min_size=1, max_size=20))
+    def test_jain_bounds(self, rates):
+        index = jain_fairness(rates)
+        assert 1.0 / len(rates) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.01, max_value=1e3),
+           st.integers(min_value=1, max_value=10))
+    def test_jain_scale_invariant(self, scale, n):
+        base = [float(i + 1) for i in range(n)]
+        scaled = [scale * r for r in base]
+        assert jain_fairness(scaled) == pytest.approx(
+            jain_fairness(base), rel=1e-9)
+
+    def test_max_min_ratio(self):
+        assert max_min_ratio([2.0, 8.0]) == pytest.approx(4.0)
+        assert math.isinf(max_min_ratio([0.0, 1.0]))
+
+    def test_convergence_time_finds_settling(self):
+        times = np.linspace(0, 10, 101)
+        values = np.where(times < 4.0, 0.0, 1.0)
+        settle = convergence_time(times, values, target=1.0,
+                                  tolerance=0.1)
+        assert settle == pytest.approx(4.0, abs=0.11)
+
+    def test_convergence_time_none_when_oscillating(self):
+        times = np.linspace(0, 10, 101)
+        values = np.sin(times)
+        assert convergence_time(times, values, 0.0, 0.1) is None
+
+    def test_convergence_time_immediate(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([1.0, 1.0, 1.0])
+        assert convergence_time(times, values, 1.0, 0.1) == 0.0
+
+    def test_oscillation_amplitude(self):
+        assert oscillation_amplitude([1.0, 3.0, 2.0]) == pytest.approx(
+            1.0)
+        with pytest.raises(ValueError):
+            oscillation_amplitude([])

@@ -1,0 +1,211 @@
+"""DDE integrator: accuracy against known solutions, error handling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fluid import dde
+from repro.core.fluid.base import FluidModel, FluidTrace
+from repro.core.fluid.history import UniformHistory
+
+
+class ExponentialDecay(FluidModel):
+    """dx/dt = -x; solution x(t) = exp(-t)."""
+
+    def initial_state(self):
+        return np.array([1.0])
+
+    def derivatives(self, t, state, history):
+        return -state
+
+    def state_labels(self):
+        return ["x"]
+
+
+class DelayedNegativeFeedback(FluidModel):
+    """dx/dt = -x(t - tau) with constant pre-history 1.
+
+    For t in [0, tau] the exact solution is x(t) = 1 - t (the delayed
+    term is the constant pre-history).
+    """
+
+    def __init__(self, tau: float):
+        self.tau = tau
+
+    def initial_state(self):
+        return np.array([1.0])
+
+    def derivatives(self, t, state, history):
+        return -history(t - self.tau)
+
+    def state_labels(self):
+        return ["x"]
+
+
+class ClampedGrowth(FluidModel):
+    """dx/dt = +10 with a clamp at 1.0 -- exercises clamp()."""
+
+    def initial_state(self):
+        return np.array([0.0])
+
+    def derivatives(self, t, state, history):
+        return np.array([10.0])
+
+    def state_labels(self):
+        return ["x"]
+
+    def clamp(self, state):
+        return np.minimum(state, 1.0)
+
+
+class Diverging(FluidModel):
+    """dx/dt = x^2 from 1 -- blows up at t = 1."""
+
+    def initial_state(self):
+        return np.array([1.0])
+
+    def derivatives(self, t, state, history):
+        with np.errstate(over="ignore"):
+            return state ** 2
+
+    def state_labels(self):
+        return ["x"]
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("method,tolerance", [
+        ("euler", 1e-2), ("heun", 1e-4), ("rk4", 1e-6)])
+    def test_exponential_decay(self, method, tolerance):
+        trace = dde.integrate(ExponentialDecay(), t_end=1.0, dt=1e-3,
+                              method=method)
+        assert trace.final("x") == pytest.approx(math.exp(-1.0),
+                                                 abs=tolerance)
+
+    def test_order_improves_with_method(self):
+        errors = {}
+        for method in ("euler", "heun", "rk4"):
+            trace = dde.integrate(ExponentialDecay(), t_end=1.0,
+                                  dt=1e-2, method=method)
+            errors[method] = abs(trace.final("x") - math.exp(-1.0))
+        assert errors["rk4"] < errors["heun"] < errors["euler"]
+
+    def test_halving_dt_reduces_heun_error_fourfold(self):
+        coarse = dde.integrate(ExponentialDecay(), 1.0, dt=2e-2,
+                               method="heun")
+        fine = dde.integrate(ExponentialDecay(), 1.0, dt=1e-2,
+                             method="heun")
+        err_coarse = abs(coarse.final("x") - math.exp(-1.0))
+        err_fine = abs(fine.final("x") - math.exp(-1.0))
+        assert err_coarse / err_fine == pytest.approx(4.0, rel=0.3)
+
+    def test_delayed_feedback_linear_phase(self):
+        tau = 0.5
+        trace = dde.integrate(DelayedNegativeFeedback(tau), t_end=0.5,
+                              dt=1e-3, method="heun")
+        # x(t) = 1 - t on [0, tau].
+        assert trace.final("x") == pytest.approx(0.5, abs=1e-6)
+        mid = trace.column("x")[len(trace) // 2]
+        assert mid == pytest.approx(1.0 - trace.times[len(trace) // 2],
+                                    abs=1e-6)
+
+    def test_delayed_feedback_oscillates_for_large_delay(self):
+        # tau > pi/2 destabilizes dx/dt = -x(t - tau): the tail swings
+        # past zero instead of settling.
+        trace = dde.integrate(DelayedNegativeFeedback(2.0), t_end=30.0,
+                              dt=5e-3, method="heun")
+        tail = trace.tail("x", 10.0)
+        assert tail.min() < -0.5
+        assert tail.max() > 0.5
+
+
+class TestMechanics:
+    def test_clamp_applied_each_step(self):
+        trace = dde.integrate(ClampedGrowth(), t_end=1.0, dt=1e-2)
+        assert trace.column("x").max() <= 1.0 + 1e-12
+        assert trace.final("x") == pytest.approx(1.0)
+
+    def test_record_stride_thins_output(self):
+        full = dde.integrate(ExponentialDecay(), 1.0, dt=1e-3)
+        thin = dde.integrate(ExponentialDecay(), 1.0, dt=1e-3,
+                             record_stride=10)
+        assert len(thin) == (len(full) - 1) // 10 + 1
+
+    def test_initial_state_override(self):
+        trace = dde.integrate(ExponentialDecay(), 0.5, dt=1e-3,
+                              initial_state=np.array([2.0]))
+        assert trace.column("x")[0] == pytest.approx(2.0)
+        assert trace.final("x") == pytest.approx(2 * math.exp(-0.5),
+                                                 abs=1e-3)
+
+    def test_divergence_raises(self):
+        with pytest.raises(FloatingPointError):
+            dde.integrate(Diverging(), t_end=2.0, dt=1e-3)
+
+    def test_available_methods(self):
+        assert set(dde.available_methods()) == {"euler", "heun", "rk4"}
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(dt=-1e-3), dict(t_end=0.0), dict(record_stride=0),
+        dict(method="rk45")])
+    def test_argument_validation(self, kwargs):
+        base = dict(t_end=1.0, dt=1e-3, method="heun", record_stride=1)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            dde.integrate(ExponentialDecay(), **base)
+
+    def test_wrong_initial_state_shape_rejected(self):
+        with pytest.raises(ValueError):
+            dde.integrate(ExponentialDecay(), 1.0, dt=1e-3,
+                          initial_state=np.array([1.0, 2.0]))
+
+
+class TestFluidTrace:
+    def make_trace(self):
+        times = np.linspace(0, 1, 11)
+        states = np.column_stack([times, times ** 2])
+        return FluidTrace(times, states, ["a", "b"])
+
+    def test_column_lookup(self):
+        trace = self.make_trace()
+        assert trace.column("b")[-1] == pytest.approx(1.0)
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            self.make_trace().column("zzz")
+
+    def test_tail_mean_and_std(self):
+        trace = self.make_trace()
+        assert trace.tail_mean("a", 0.2) == pytest.approx(0.9, abs=1e-9)
+        assert trace.tail_std("a", 0.0) == pytest.approx(0.0)
+
+    def test_subsample(self):
+        trace = self.make_trace().subsample(2)
+        assert len(trace) == 6
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            FluidTrace(np.array([0.0]), np.array([[1.0, 2.0]]),
+                       ["x", "x"])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            FluidTrace(np.array([0.0, 1.0]), np.array([[1.0]]), ["x"])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = self.make_trace()
+        target = tmp_path / "trace.npz"
+        trace.save(target)
+        loaded = FluidTrace.load(target)
+        assert loaded.labels == trace.labels
+        assert loaded.times == pytest.approx(trace.times)
+        assert loaded.states == pytest.approx(trace.states)
+        assert loaded.final("b") == trace.final("b")
+
+    def test_saved_integration_reloads(self, tmp_path):
+        original = dde.integrate(ExponentialDecay(), 0.5, dt=1e-3)
+        target = tmp_path / "decay.npz"
+        original.save(target)
+        loaded = FluidTrace.load(target)
+        assert loaded.tail_mean("x", 0.1) == pytest.approx(
+            original.tail_mean("x", 0.1))

@@ -1,0 +1,126 @@
+"""Event engine: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_time_ordering(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, lambda: log.append("c"))
+        sim.schedule(0.1, lambda: log.append("a"))
+        sim.schedule(0.2, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+        for name in "abcde":
+            sim.schedule(0.5, lambda n=name: log.append(n))
+        sim.run()
+        assert log == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(1.5)]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(2.0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(depth):
+            log.append(sim.now)
+            if depth > 0:
+                sim.schedule(0.1, lambda: chain(depth - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert log == pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.schedule(3.0, lambda: log.append("late"))
+        sim.run(until=2.0)
+        assert log == ["early"]
+        assert sim.now == pytest.approx(2.0)
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, lambda: log.append("no"))
+        sim.schedule(2.0, lambda: log.append("yes"))
+        event.cancel()
+        sim.run()
+        assert log == ["yes"]
+
+    def test_stop_aborts_run(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("one"), sim.stop()))
+        sim.schedule(2.0, lambda: log.append("two"))
+        sim.run()
+        assert log == ["one"]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_determinism_across_instances(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+            sim.schedule(0.2, lambda: log.append(("b", sim.now)))
+            sim.schedule(0.2, lambda: log.append(("c", sim.now)))
+            sim.schedule(0.1, lambda: log.append(("a", sim.now)))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

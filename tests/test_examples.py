@@ -1,0 +1,51 @@
+"""The example scripts must at least import and expose main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Examples read sys.argv defaults; keep it clean.
+    old_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.argv = old_argv
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {"quickstart", "timely_unfairness", "fct_comparison",
+                "pi_controller", "stability_map",
+                "beyond_the_paper"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES,
+                             ids=lambda p: p.stem)
+    def test_imports_cleanly_and_has_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None)), \
+            f"{path.stem} lacks a main()"
+
+    def test_quickstart_analytics_section_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "quickstart.py")
+        module.analytic_fixed_points()
+        out = capsys.readouterr().out
+        assert "p* exact" in out
+
+    def test_timely_unfairness_family_section_runs(self, capsys):
+        module = load_example(EXAMPLES_DIR / "timely_unfairness.py")
+        module.show_family()
+        out = capsys.readouterr().out
+        assert "max/min" in out

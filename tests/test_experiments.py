@@ -1,0 +1,181 @@
+"""Experiment drivers: fast smoke runs plus paper-shape assertions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (fig02_dcqcn_validation,
+                               fig03_dcqcn_phase_margin,
+                               fig04_dcqcn_delay_impact,
+                               fig05_dcqcn_sim_instability,
+                               fig08_timely_validation,
+                               fig09_timely_unfairness,
+                               fig10_burst_pacing,
+                               fig11_patched_phase_margin,
+                               fig12_patched_timely,
+                               fig17_ingress_marking,
+                               fig20_jitter)
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        figures = {"fig02", "fig03", "fig04", "fig05", "fig08",
+                   "fig09", "fig10", "fig11", "fig12", "fig14",
+                   "fig15", "fig16", "fig17", "fig18", "fig19",
+                   "fig20"}
+        assert figures <= set(EXPERIMENTS)
+
+    def test_extensions_present(self):
+        extensions = {"ext_parking_lot", "ext_incast_pfc", "ext_pi_sim",
+                      "ext_burst_mitigation", "abl_cnp_timer",
+                      "abl_ewma_gain", "abl_weight",
+                      "abl_gradient_clamp"}
+        assert extensions <= set(EXPERIMENTS)
+
+    def test_entries_are_callable(self):
+        for experiment in EXPERIMENTS.values():
+            assert callable(experiment.run)
+            assert callable(experiment.report)
+            assert experiment.description
+
+
+class TestFig02:
+    def test_fluid_matches_simulation(self):
+        rows = fig02_dcqcn_validation.run(flow_counts=(2,),
+                                          duration=0.03)
+        row = rows[0]
+        assert row.rate_error < 0.1
+        assert row.queue_error < 0.5
+        report = fig02_dcqcn_validation.report(rows)
+        assert "Fig. 2" in report
+
+
+class TestFig03:
+    def test_panel_a_non_monotonic_at_high_delay(self):
+        sweeps = fig03_dcqcn_phase_margin.panel_a(
+            delays_us=(85.0,), flow_counts=(1, 10, 100))
+        margins = sweeps[0].margins_deg
+        assert margins[1] < margins[0]
+        assert margins[1] < margins[2]
+        assert 10 in sweeps[0].unstable_counts()
+
+    def test_panel_b_smaller_rai_more_stable(self):
+        sweeps = fig03_dcqcn_phase_margin.panel_b(
+            rate_ai_mbps=(10, 150), flow_counts=(10,))
+        assert sweeps[0].margins_deg[0] > sweeps[1].margins_deg[0]
+
+    def test_panel_c_larger_kmax_more_stable(self):
+        sweeps = fig03_dcqcn_phase_margin.panel_c(
+            kmax_kb=(200, 1000), flow_counts=(10,))
+        assert sweeps[1].margins_deg[0] > sweeps[0].margins_deg[0]
+
+    def test_report_renders(self):
+        sweeps = fig03_dcqcn_phase_margin.panel_a(
+            delays_us=(4.0,), flow_counts=(2, 10))
+        out = fig03_dcqcn_phase_margin.report(sweeps, "title")
+        assert "tau*=4us" in out
+
+
+class TestFig04:
+    def test_delay_instability_pattern(self):
+        """The paper's headline: 85us breaks 10 flows but not 2 or 64."""
+        rows = fig04_dcqcn_delay_impact.run(delays_us=(4.0, 85.0),
+                                            flow_counts=(2, 10, 64))
+        by_key = {(r.delay_us, r.num_flows): r for r in rows}
+        for n in (2, 10, 64):
+            assert not by_key[(4.0, n)].oscillating, f"N={n} at 4us"
+        assert by_key[(85.0, 10)].oscillating
+        assert not by_key[(85.0, 2)].oscillating
+        assert not by_key[(85.0, 64)].oscillating
+
+
+class TestFig05:
+    def test_extra_delay_destabilizes_simulation(self):
+        rows = fig05_dcqcn_sim_instability.run(duration=0.05)
+        baseline, delayed = rows
+        assert delayed.coefficient_of_variation > \
+            2 * baseline.coefficient_of_variation
+        assert delayed.queue_peak_kb > baseline.queue_peak_kb
+
+
+class TestFig08:
+    def test_fluid_and_sim_agree_on_rate(self):
+        rows = fig08_timely_validation.run(flow_counts=(2,),
+                                           duration=0.04)
+        assert rows[0].rate_error < 0.25
+        assert rows[0].sim_queue_std_kb > 0  # TIMELY oscillates
+
+
+class TestFig09:
+    def test_initial_conditions_pick_the_regime(self):
+        rows = fig09_timely_unfairness.run(duration=0.05)
+        by_label = {r.label: r for r in rows}
+        symmetric = by_label["(a) both 5Gbps at t=0"]
+        skewed = by_label["(c) 7Gbps vs 3Gbps"]
+        assert symmetric.jain_index > 0.99
+        assert skewed.jain_index < 0.95
+        assert skewed.max_min > 1.5
+
+
+class TestFig10:
+    def test_16kb_converges_64kb_collapses(self):
+        rows = fig10_burst_pacing.run(duration=0.1)
+        small, big = rows
+        assert small.segment_kb == 16.0
+        assert small.recovered
+        assert small.jain_index > 0.9
+        assert not big.recovered
+        assert big.early_total_gbps < 0.5 * small.early_total_gbps
+
+
+class TestFig11:
+    def test_margin_crosses_zero_at_moderate_n(self):
+        rows = fig11_patched_phase_margin.run(
+            flow_counts=(2, 5, 10, 20, 30, 40))
+        crossover = fig11_patched_phase_margin.crossover_flows(rows)
+        assert crossover is not None
+        assert 10 < crossover <= 40
+        # Feedback delay grows with N (the mechanism).
+        delays = [r.feedback_delay_us for r in rows
+                  if not math.isnan(r.feedback_delay_us)]
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+
+
+class TestFig12:
+    def test_asymmetric_start_converges(self):
+        row = fig12_patched_timely.run_asymmetric()
+        assert row.jain_index > 0.999
+        assert row.queue_error < 0.1
+        assert not row.oscillating
+
+    def test_stability_degrades_with_n(self):
+        rows = fig12_patched_timely.run_flow_sweep(
+            flow_counts=(10, 64), duration=0.15)
+        assert not rows[0].oscillating
+        assert rows[1].oscillating
+
+
+class TestFig17:
+    def test_ingress_marking_fluctuates_more(self):
+        rows = fig17_ingress_marking.run()
+        by_point = {r.marking_point: r for r in rows}
+        assert by_point["ingress"].coefficient_of_variation > \
+            1.5 * by_point["egress"].coefficient_of_variation
+        assert by_point["ingress"].queue_std_kb > \
+            by_point["egress"].queue_std_kb
+
+
+class TestFig20:
+    def test_jitter_hurts_timely_not_dcqcn(self):
+        rows = fig20_jitter.run(duration=0.05)
+        table = {(r.protocol, r.jitter_us): r for r in rows}
+        timely_clean = table[("patched_timely", 0.0)]
+        timely_jittered = table[("patched_timely", 100.0)]
+        dcqcn_clean = table[("dcqcn", 0.0)]
+        dcqcn_jittered = table[("dcqcn", 100.0)]
+        assert timely_jittered.coefficient_of_variation > \
+            5 * timely_clean.coefficient_of_variation
+        assert dcqcn_jittered.coefficient_of_variation < \
+            2 * dcqcn_clean.coefficient_of_variation + 0.05

@@ -1,0 +1,107 @@
+"""CSV export of experiment results."""
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import flatten_result, to_csv, write_csv
+
+
+@dataclass(frozen=True)
+class Inner:
+    x: float
+    y: float
+
+
+@dataclass
+class Sample:
+    name: str
+    value: float
+    inner: Inner
+    series: np.ndarray
+    tags: "list[str]"
+
+
+def make_sample(name="a", value=1.5):
+    return Sample(name=name, value=value, inner=Inner(x=1.0, y=2.0),
+                  series=np.array([1.0, 2.0, 3.0]),
+                  tags=["p", "q"])
+
+
+class TestFlatten:
+    def test_single_dataclass(self):
+        rows = flatten_result(make_sample())
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["name"] == "a"
+        assert row["inner.x"] == 1.0
+        assert row["series.count"] == 3
+        assert row["series.mean"] == pytest.approx(2.0)
+        assert row["tags"] == "p/q"
+
+    def test_list_of_dataclasses(self):
+        rows = flatten_result([make_sample("a"), make_sample("b")])
+        assert [r["name"] for r in rows] == ["a", "b"]
+
+    def test_dict_adds_group_column(self):
+        rows = flatten_result({"dcqcn": [make_sample("a")],
+                               "timely": [make_sample("b")]})
+        groups = {r["group"] for r in rows}
+        assert groups == {"dcqcn", "timely"}
+
+    def test_empty_array_field(self):
+        sample = make_sample()
+        sample.series = np.array([])
+        row = flatten_result(sample)[0]
+        assert row["series.count"] == 0
+
+    def test_unflattenable_rejected(self):
+        with pytest.raises(TypeError):
+            flatten_result(42)
+
+
+class TestCSV:
+    def test_round_trips_through_csv_reader(self):
+        import csv
+        import io
+        text = to_csv([make_sample("a", 1.0), make_sample("b", 2.0)])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[1]["name"] == "b"
+        assert float(rows[1]["value"]) == 2.0
+
+    def test_write_csv_creates_directories(self, tmp_path):
+        target = write_csv(make_sample(), tmp_path / "deep" / "out.csv")
+        assert target.exists()
+        assert "name" in target.read_text()
+
+    def test_real_experiment_rows_export(self):
+        """Every registry result shape must flatten."""
+        from repro.experiments.fig11_patched_phase_margin import \
+            PatchedMarginRow
+        rows = [PatchedMarginRow(num_flows=2, margin_deg=7.0,
+                                 queue_star_kb=76.0,
+                                 feedback_delay_us=67.0)]
+        text = to_csv(rows)
+        assert "num_flows" in text
+        assert "76.0" in text
+
+
+class TestCLIIntegration:
+    def test_run_with_csv(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+        from repro.experiments.registry import EXPERIMENTS, Experiment
+
+        @dataclass
+        class Row:
+            k: int
+
+        fake = Experiment("fake", "fake", lambda: [Row(1), Row(2)],
+                          lambda rows: "ok")
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        assert main(["run", "fake", "--csv", str(tmp_path)]) == 0
+        out_file = tmp_path / "fake.csv"
+        assert out_file.exists()
+        assert out_file.read_text().startswith("k")

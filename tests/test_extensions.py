@@ -1,0 +1,177 @@
+"""Extension experiments: multi-bottleneck, incast/PFC, PI-in-sim,
+burst mitigation, and the ablation sweeps."""
+
+import math
+
+import pytest
+
+from repro.experiments import (ablations, ext_burst_mitigation,
+                               ext_incast_pfc, ext_parking_lot,
+                               ext_pi_switch_sim)
+from repro.sim.parking_lot import parking_lot
+
+
+class TestParkingLotTopology:
+    def test_chain_wiring(self):
+        net = parking_lot(3)
+        assert set(net.switches) == {"sw0", "sw1", "sw2", "sw3"}
+        assert {"sx", "rx", "s0", "s1", "s2",
+                "r0", "r1", "r2"} <= set(net.hosts)
+        # Chain routing: sw0 reaches rx via sw1, sw3 directly.
+        assert net.switches["sw0"].fib["rx"] == "sw1"
+        assert net.switches["sw3"].fib["rx"] == "rx"
+        # And backwards for control traffic.
+        assert net.switches["sw3"].fib["sx"] == "sw2"
+
+    def test_single_segment(self):
+        net = parking_lot(1)
+        assert net.switches["sw0"].fib["r0"] == "sw1"
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            parking_lot(0)
+
+
+class TestParkingLotExperiment:
+    def test_multi_hop_beat_down(self):
+        rows = ext_parking_lot.run(protocols=("dcqcn",),
+                                   segment_counts=(1, 4),
+                                   duration=0.05)
+        one_hop, four_hop = rows
+        # One bottleneck: roughly the per-link fair half.
+        assert one_hop.cross_fraction > 0.7
+        # Four bottlenecks: the cross flow accumulates marks from every
+        # hop and drops well below the per-link half.
+        assert four_hop.cross_fraction < 0.7 * one_hop.cross_fraction
+        # But DCQCN never starves it outright.
+        assert four_hop.cross_share_gbps > 0.5
+
+    def test_delay_based_starves_cross_flow(self):
+        rows = ext_parking_lot.run(protocols=("patched_timely",),
+                                   segment_counts=(1, 2),
+                                   duration=0.05)
+        one_hop, two_hop = rows
+        assert one_hop.cross_fraction > 0.8
+        # The cross flow's RTT sums both queues: its absolute-RTT error
+        # stays positive even at its minimum rate.
+        assert two_hop.cross_fraction < 0.2
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            ext_parking_lot.run(protocols=("tcp",),
+                                segment_counts=(1,))
+
+
+class TestIncastPFC:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.config: r for r in ext_incast_pfc.run(duration=0.04)}
+
+    def test_plain_drops_and_stalls(self, rows):
+        plain = rows["plain"]
+        assert plain.dropped_packets > 0
+        assert plain.completed < plain.senders
+        assert math.isnan(plain.last_fct_ms)
+
+    def test_pfc_is_lossless(self, rows):
+        pfc = rows["pfc"]
+        assert pfc.dropped_packets == 0
+        assert pfc.completed == pfc.senders
+        assert pfc.pauses > 0
+
+    def test_dcqcn_alone_cannot_save_first_rtt(self, rows):
+        dcqcn = rows["dcqcn"]
+        assert dcqcn.dropped_packets > 0
+        assert dcqcn.dropped_packets < rows["plain"].dropped_packets
+
+    def test_combination_is_lossless_with_fewer_pauses(self, rows):
+        combo = rows["dcqcn+pfc"]
+        assert combo.dropped_packets == 0
+        assert combo.completed == combo.senders
+        assert combo.pauses < rows["pfc"].pauses
+
+    def test_timely_needs_pfc_just_as_much(self, rows):
+        """Both protocols start at line rate; neither signal returns
+        within the first RTT, so the inrush is identical."""
+        timely = rows["timely"]
+        assert timely.dropped_packets > 0
+        protected = rows["timely+pfc"]
+        assert protected.dropped_packets == 0
+        assert protected.completed == protected.senders
+
+    def test_ecn_reduces_pause_load_delay_does_not(self, rows):
+        """The asymmetry: DCQCN's marks retire PAUSEs early; TIMELY's
+        RTT signal arrives too late to change the PAUSE churn within
+        the incast epoch."""
+        assert rows["dcqcn+pfc"].pauses < rows["timely+pfc"].pauses
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            ext_incast_pfc.run(configs=("magic",))
+
+
+class TestPISwitchSim:
+    def test_queue_pinned_at_packet_level(self):
+        rows = ext_pi_switch_sim.run(flow_counts=(2, 10),
+                                     duration=0.3)
+        for row in rows:
+            # Packet-level marking noise leaves a visible swing, but
+            # the *mean* sits on the reference (the fluid Fig. 18
+            # result carries over).
+            assert row.pinned, f"N={row.num_flows}"
+            assert row.jain_index > 0.95
+        # The controller adapts p upward with more flows (Eq. 11).
+        assert rows[1].p_final > rows[0].p_final
+
+
+class TestBurstMitigation:
+    def test_half_rate_bursts_defuse_incast(self):
+        rows = ext_burst_mitigation.run(fractions=(1.0, 0.5),
+                                        duration=0.1)
+        full, half = rows
+        assert not full.healthy
+        assert half.healthy
+        assert half.utilization > 2 * full.utilization
+
+    def test_too_low_fraction_caps_throughput(self):
+        rows = ext_burst_mitigation.run(fractions=(0.25,),
+                                        duration=0.08)
+        capped = rows[0]
+        # Two flows at <= 0.25 line each: utilization ~ 0.5, not full.
+        assert capped.utilization < 0.6
+        assert not capped.healthy
+
+
+class TestAblations:
+    def test_cnp_timer_reports_fixed_points(self):
+        rows = ablations.cnp_timer(taus_us=(25.0, 100.0))
+        assert len(rows) == 2
+        for row in rows:
+            p_star, q_star_kb, alpha_star, margin = row.metrics
+            assert 0 < p_star < 0.1
+            assert 0 < alpha_star < 1
+
+    def test_ewma_gain_contraction_all_below_one(self):
+        rows = ablations.ewma_gain(gains=(1 / 64, 1 / 1024))
+        for row in rows:
+            contraction = row.metrics[0]
+            assert contraction < 1.0
+
+    def test_weight_halfwidth_rows(self):
+        rows = ablations.weight_halfwidth(halfwidths=(0.25,),
+                                          duration=0.05)
+        gap_gbps, queue_std = rows[0].metrics
+        assert gap_gbps >= 0
+        assert queue_std >= 0
+
+    def test_gradient_clamp_rescues_throughput(self):
+        rows = ablations.gradient_clamp(duration=0.08)
+        unclamped, clamped = rows
+        assert clamped.metrics[0] > unclamped.metrics[0]
+
+    def test_reports_render(self):
+        assert "tau" in ablations.report_cnp_timer(
+            ablations.cnp_timer(taus_us=(50.0,)))
+        assert "halfwidth" in ablations.report_weight_halfwidth(
+            ablations.weight_halfwidth(halfwidths=(0.25,),
+                                       duration=0.03))

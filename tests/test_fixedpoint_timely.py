@@ -1,0 +1,151 @@
+"""Theorems 3-5: TIMELY's fixed-point taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint.timely import (TimelyFixedPoint,
+                                          is_modified_fixed_point,
+                                          original_residual,
+                                          patched_fixed_point,
+                                          patched_residual,
+                                          sample_fixed_points)
+from repro.core.params import PatchedTimelyParams, TimelyParams
+
+
+class TestTheorem3:
+    """The Algorithm-1 system has no fixed point."""
+
+    def test_residual_strictly_positive(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        assert original_residual(timely_params, rates, queue) > 0
+
+    def test_residual_positive_for_any_rate_split(self, timely_params):
+        c = timely_params.capacity
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        for split in (0.5, 0.9, 0.999):
+            rates = [split * c, (1 - split) * c]
+            assert original_residual(timely_params, rates, queue) > 0
+
+    def test_rejects_queue_outside_band(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        with pytest.raises(ValueError):
+            original_residual(timely_params, rates,
+                              timely_params.q_low / 2)
+
+    def test_rejects_wrong_rate_count(self, timely_params):
+        with pytest.raises(ValueError):
+            original_residual(timely_params, [1.0], 100.0)
+
+
+class TestTheorem4:
+    """The Eq. 28 system has infinitely many fixed points."""
+
+    def test_fair_split_is_a_fixed_point(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        assert is_modified_fixed_point(timely_params, rates, queue,
+                                       [0.0, 0.0])
+
+    def test_arbitrarily_unfair_splits_are_fixed_points(self,
+                                                        timely_params):
+        c = timely_params.capacity
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        for split in (0.6, 0.9, 0.999):
+            rates = [split * c, (1 - split) * c]
+            assert is_modified_fixed_point(timely_params, rates, queue,
+                                           [0.0, 0.0])
+
+    def test_any_queue_in_band_is_a_fixed_point(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        for frac in (0.05, 0.3, 0.7, 0.95):
+            queue = timely_params.q_low + frac * (
+                timely_params.q_high - timely_params.q_low)
+            assert is_modified_fixed_point(timely_params, rates, queue,
+                                           [0.0, 0.0])
+
+    def test_nonzero_gradient_is_not_fixed(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        assert not is_modified_fixed_point(timely_params, rates, queue,
+                                           [0.1, 0.0])
+
+    def test_rates_must_sum_to_capacity(self, timely_params):
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        rates = [timely_params.fair_share] * 2
+        short = [r * 0.9 for r in rates]
+        assert not is_modified_fixed_point(timely_params, short, queue,
+                                           [0.0, 0.0])
+
+    def test_queue_outside_band_is_not_fixed(self, timely_params):
+        rates = [timely_params.fair_share] * 2
+        assert not is_modified_fixed_point(
+            timely_params, rates, timely_params.q_low * 0.5, [0.0, 0.0])
+        assert not is_modified_fixed_point(
+            timely_params, rates, timely_params.q_high * 1.5, [0.0, 0.0])
+
+    def test_sampled_family_members_are_valid_and_unfair(self,
+                                                         timely_params):
+        points = list(sample_fixed_points(timely_params, 50, seed=3))
+        assert len(points) == 50
+        ratios = []
+        for point in points:
+            assert is_modified_fixed_point(
+                timely_params, point.rates, point.queue,
+                np.zeros(2), tolerance=1e-6)
+            ratios.append(point.fairness_ratio)
+        # The family includes heavily unfair members.
+        assert max(ratios) > 10.0
+
+    def test_sample_count_validation(self, timely_params):
+        with pytest.raises(ValueError):
+            list(sample_fixed_points(timely_params, 0))
+
+
+class TestTheorem5:
+    """Patched TIMELY's unique fair fixed point (Eq. 31)."""
+
+    def test_rates_fair(self, patched_params):
+        point = patched_fixed_point(patched_params)
+        assert np.all(point.rates == pytest.approx(
+            patched_params.base.fair_share))
+
+    def test_queue_matches_eq31(self, patched_params):
+        point = patched_fixed_point(patched_params)
+        assert point.queue == pytest.approx(
+            patched_params.fixed_point_queue)
+
+    def test_residual_zero_at_fixed_point(self, patched_params):
+        point = patched_fixed_point(patched_params)
+        scale = patched_params.base.delta / patched_params.base.min_rtt
+        assert patched_residual(patched_params, point) < 1e-9 * scale
+
+    def test_residual_positive_elsewhere(self, patched_params):
+        point = patched_fixed_point(patched_params)
+        off = TimelyFixedPoint(rates=point.rates,
+                               queue=point.queue * 1.5)
+        assert patched_residual(patched_params, off) > 0
+
+    def test_unfair_split_is_not_stationary(self, patched_params):
+        c = patched_params.base.capacity
+        off = TimelyFixedPoint(
+            rates=np.array([0.9 * c, 0.1 * c]),
+            queue=patched_params.fixed_point_queue)
+        assert patched_residual(patched_params, off) > 0
+
+    def test_queue_grows_linearly_with_n(self):
+        queues = [patched_fixed_point(
+            PatchedTimelyParams.paper_default(num_flows=n)).queue
+            for n in (2, 4, 8)]
+        increments = np.diff(queues)
+        # Eq. 31 is affine in N.
+        assert increments[1] == pytest.approx(2 * increments[0],
+                                              rel=1e-6)
+
+    def test_raises_when_queue_leaves_band(self):
+        params = PatchedTimelyParams.paper_default(num_flows=100)
+        if params.fixed_point_queue > params.base.q_high:
+            with pytest.raises(ValueError):
+                patched_fixed_point(params)
+        else:
+            pytest.skip("Eq. 31 queue still inside the band")

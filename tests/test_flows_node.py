@@ -1,0 +1,132 @@
+"""Flow bookkeeping and host dispatch."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.flows import Flow, FlowRegistry
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+
+
+class RecordingAgent:
+    def __init__(self):
+        self.data = []
+        self.acks = []
+        self.cnps = []
+
+    def on_data(self, packet):
+        self.data.append(packet)
+
+    def on_ack(self, packet):
+        self.acks.append(packet)
+
+    def on_cnp(self, packet):
+        self.cnps.append(packet)
+
+
+class TestFlow:
+    def test_fct_requires_completion(self):
+        flow = Flow(0, "s0", "r0", 1000, 0.5)
+        with pytest.raises(ValueError):
+            flow.fct
+        flow.completion_time = 1.5
+        assert flow.fct == pytest.approx(1.0)
+
+    def test_long_lived_flow_never_completes(self):
+        flow = Flow(0, "s0", "r0", None, 0.0)
+        assert flow.is_long_lived
+        assert not flow.all_bytes_sent()
+
+    def test_all_bytes_sent(self):
+        flow = Flow(0, "s0", "r0", 2048, 0.0)
+        flow.bytes_sent = 1024
+        assert not flow.all_bytes_sent()
+        flow.bytes_sent = 2048
+        assert flow.all_bytes_sent()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(0, "s0", "r0", 0, 0.0)
+        with pytest.raises(ValueError):
+            Flow(0, "s0", "r0", 100, -1.0)
+
+
+class TestFlowRegistry:
+    def test_unique_ids(self):
+        registry = FlowRegistry()
+        flows = [registry.create("s0", "r0", 100, 0.0)
+                 for _ in range(5)]
+        assert len({f.flow_id for f in flows}) == 5
+        assert len(registry) == 5
+
+    def test_lookup(self):
+        registry = FlowRegistry()
+        flow = registry.create("s0", "r0", 100, 0.0)
+        assert registry[flow.flow_id] is flow
+
+    def test_completed_sorted_by_completion(self):
+        registry = FlowRegistry()
+        first = registry.create("s0", "r0", 100, 0.0)
+        second = registry.create("s1", "r1", 100, 0.0)
+        second.completion_time = 1.0
+        first.completion_time = 2.0
+        assert registry.completed() == [second, first]
+
+    def test_incomplete_excludes_long_lived(self):
+        registry = FlowRegistry()
+        registry.create("s0", "r0", None, 0.0)
+        pending = registry.create("s1", "r1", 100, 0.0)
+        assert registry.incomplete() == [pending]
+
+
+class TestHostDispatch:
+    def make_host(self):
+        return Host(Simulator(), "h0")
+
+    def test_data_goes_to_receiver(self):
+        host = self.make_host()
+        agent = RecordingAgent()
+        host.register_receiver(7, agent)
+        host.receive(Packet(7, 1024, "s", "h0", kind="data"))
+        assert len(agent.data) == 1
+
+    def test_ack_and_cnp_go_to_sender(self):
+        host = self.make_host()
+        agent = RecordingAgent()
+        host.register_sender(7, agent)
+        host.receive(Packet(7, 64, "r", "h0", kind="ack"))
+        host.receive(Packet(7, 64, "r", "h0", kind="cnp"))
+        assert len(agent.acks) == 1
+        assert len(agent.cnps) == 1
+
+    def test_unknown_flow_dropped_silently(self):
+        host = self.make_host()
+        host.receive(Packet(99, 1024, "s", "h0", kind="data"))
+        host.receive(Packet(99, 64, "s", "h0", kind="ack"))
+
+    def test_unknown_kind_raises(self):
+        host = self.make_host()
+        with pytest.raises(ValueError):
+            host.receive(Packet(0, 64, "s", "h0", kind="pause"))
+
+    def test_duplicate_registration_rejected(self):
+        host = self.make_host()
+        host.register_sender(1, RecordingAgent())
+        with pytest.raises(ValueError):
+            host.register_sender(1, RecordingAgent())
+
+    def test_active_senders_tracks_registry(self):
+        host = self.make_host()
+        assert host.active_senders == 0
+        host.register_sender(1, RecordingAgent())
+        host.register_sender(2, RecordingAgent())
+        assert host.active_senders == 2
+        host.unregister_sender(1)
+        assert host.active_senders == 1
+        host.unregister_sender(1)  # idempotent
+        assert host.active_senders == 1
+
+    def test_send_requires_nic(self):
+        host = self.make_host()
+        with pytest.raises(RuntimeError):
+            host.send(Packet(0, 1024, "h0", "r", kind="data"))

@@ -1,0 +1,228 @@
+"""DCQCN fluid model: event-rate algebra, dynamics, convergence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core.fluid import dde
+from repro.core.fluid.dcqcn import (DCQCNFluidModel, MIN_RATE,
+                                    qcn_event_rates, survival_exponent)
+from repro.core.fluid.history import UniformHistory
+from repro.core.params import DCQCNParams
+
+
+class TestSurvivalExponent:
+    def test_p_zero_is_one(self):
+        assert survival_exponent(0.0, 1000.0) == pytest.approx(1.0)
+
+    def test_matches_direct_power_for_small_counts(self):
+        assert survival_exponent(0.01, 100.0) == pytest.approx(
+            0.99 ** 100, rel=1e-9)
+
+    def test_huge_count_underflows_to_zero(self):
+        assert survival_exponent(0.5, 1e7) == 0.0
+
+    @given(st.floats(min_value=1e-6, max_value=0.99),
+           st.floats(min_value=1.0, max_value=1e6))
+    def test_in_unit_interval(self, p, count):
+        value = survival_exponent(p, count)
+        assert 0.0 <= value <= 1.0
+
+
+class TestQCNEventRates:
+    def test_zero_p_limits(self, dcqcn_params):
+        rate = np.array([dcqcn_params.fair_share])
+        events = qcn_event_rates(0.0, rate, dcqcn_params)
+        assert events.mark_fraction[0] == pytest.approx(0.0)
+        # Byte counter fires every B packets -> rate R/B.
+        assert events.byte_rate[0] == pytest.approx(
+            rate[0] / dcqcn_params.byte_counter)
+        # Timer fires every T seconds.
+        assert events.timer_rate[0] == pytest.approx(
+            1.0 / dcqcn_params.timer)
+        # Without marking, every event is past fast recovery.
+        assert events.byte_ai_rate[0] == pytest.approx(
+            events.byte_rate[0])
+        assert events.timer_ai_rate[0] == pytest.approx(
+            events.timer_rate[0])
+
+    def test_small_p_continuity(self, dcqcn_params):
+        rate = np.array([dcqcn_params.fair_share])
+        at_zero = qcn_event_rates(0.0, rate, dcqcn_params)
+        near_zero = qcn_event_rates(1e-12, rate, dcqcn_params)
+        assert near_zero.byte_rate[0] == pytest.approx(
+            at_zero.byte_rate[0], rel=1e-6)
+        assert near_zero.timer_rate[0] == pytest.approx(
+            at_zero.timer_rate[0], rel=1e-6)
+
+    def test_marking_suppresses_ai_events(self, dcqcn_params):
+        rate = np.array([dcqcn_params.fair_share])
+        events = qcn_event_rates(0.05, rate, dcqcn_params)
+        # Post-fast-recovery events need long unmarked runs, so they
+        # are strictly rarer than raw events under marking.
+        assert events.byte_ai_rate[0] < events.byte_rate[0]
+        assert events.timer_ai_rate[0] < events.timer_rate[0]
+
+    def test_mark_fraction_increases_with_p(self, dcqcn_params):
+        rate = np.array([dcqcn_params.fair_share])
+        fractions = [qcn_event_rates(p, rate,
+                                     dcqcn_params).mark_fraction[0]
+                     for p in (1e-4, 1e-3, 1e-2, 1e-1)]
+        assert all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=50)
+    def test_rates_nonnegative_and_finite(self, p):
+        params = DCQCNParams.paper_default()
+        rate = np.array([params.fair_share])
+        events = qcn_event_rates(p, rate, params)
+        for field in events:
+            assert np.all(field >= 0.0)
+            assert np.all(np.isfinite(field))
+
+    def test_vectorized_over_flows(self, dcqcn_params):
+        rates = np.array([1e5, 5e5, 2e6])
+        events = qcn_event_rates(0.01, rates, dcqcn_params)
+        assert events.byte_rate.shape == (3,)
+        # Byte-counter event rate grows with the flow's rate.
+        assert events.byte_rate[0] < events.byte_rate[2]
+
+
+class TestModelConstruction:
+    def test_state_layout(self, dcqcn_ten_flows):
+        model = DCQCNFluidModel(dcqcn_ten_flows)
+        labels = model.state_labels()
+        assert len(labels) == 1 + 3 * 10
+        assert labels[0] == "q"
+        assert labels[model.rc_slice()][0] == "rc[0]"
+
+    def test_initial_state_line_rate(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        state = model.initial_state()
+        assert np.all(state[model.rc_slice()] ==
+                      pytest.approx(dcqcn_params.capacity))
+        assert np.all(state[model.alpha_slice()] == 1.0)
+        assert state[model.queue_index] == 0.0
+
+    def test_custom_initial_rates(self, dcqcn_params):
+        rates = [1e5, 2e5]
+        model = DCQCNFluidModel(dcqcn_params, initial_rates=rates)
+        state = model.initial_state()
+        assert state[model.rc_slice()] == pytest.approx(rates)
+
+    def test_rejects_wrong_rate_count(self, dcqcn_params):
+        with pytest.raises(ValueError):
+            DCQCNFluidModel(dcqcn_params, initial_rates=[1e5])
+
+    def test_rejects_negative_queue(self, dcqcn_params):
+        with pytest.raises(ValueError):
+            DCQCNFluidModel(dcqcn_params, initial_queue=-1.0)
+
+    def test_rejects_negative_marking_delay(self, dcqcn_params):
+        with pytest.raises(ValueError):
+            DCQCNFluidModel(dcqcn_params, marking_delay=-1e-6)
+
+
+class TestDerivatives:
+    def make_history(self, model, state, dt=1e-6):
+        return UniformHistory(0.0, dt, state)
+
+    def test_queue_grows_at_line_rate_start(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        state = model.initial_state()
+        history = self.make_history(model, state)
+        deriv = model.derivatives(0.0, state, history)
+        # Two line-rate flows into one line-rate bottleneck: the queue
+        # grows at (2 - 1) * C.
+        assert deriv[model.queue_index] == pytest.approx(
+            dcqcn_params.capacity)
+
+    def test_empty_queue_cannot_drain(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params,
+                                initial_rates=[1e3, 1e3])
+        state = model.initial_state()
+        history = self.make_history(model, state)
+        deriv = model.derivatives(0.0, state, history)
+        assert deriv[model.queue_index] == 0.0
+
+    def test_no_marking_below_kmin(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        state = model.initial_state()
+        history = self.make_history(model, state)
+        assert model.marking_probability(0.0, history) == 0.0
+
+    def test_alpha_decays_without_marking(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        state = model.initial_state()
+        history = self.make_history(model, state)
+        deriv = model.derivatives(0.0, state, history)
+        assert np.all(deriv[model.alpha_slice()] < 0.0)
+
+    def test_clamp_bounds_everything(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        state = model.initial_state()
+        state[model.queue_index] = -5.0
+        state[model.alpha_slice()] = 2.0
+        state[model.rc_slice()] = 1e12
+        clamped = model.clamp(state)
+        assert clamped[model.queue_index] == 0.0
+        assert np.all(clamped[model.alpha_slice()] <= 1.0)
+        assert np.all(clamped[model.rc_slice()] <= model.line_rate)
+        state[model.rc_slice()] = 0.0
+        assert np.all(model.clamp(state)[model.rc_slice()] >= MIN_RATE)
+
+
+class TestConvergence:
+    def test_two_flows_converge_to_fair_share(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        trace = dde.integrate(model, t_end=0.03, dt=2e-6,
+                              record_stride=20)
+        fair = dcqcn_params.fair_share
+        assert trace.tail_mean("rc[0]", 0.005) == pytest.approx(
+            fair, rel=0.05)
+        assert trace.tail_mean("rc[1]", 0.005) == pytest.approx(
+            fair, rel=0.05)
+
+    def test_asymmetric_start_converges(self, dcqcn_params):
+        mtu = dcqcn_params.mtu_bytes
+        model = DCQCNFluidModel(
+            dcqcn_params,
+            initial_rates=[units.gbps_to_pps(30, mtu),
+                           units.gbps_to_pps(10, mtu)])
+        trace = dde.integrate(model, t_end=0.05, dt=2e-6,
+                              record_stride=20)
+        r0 = trace.tail_mean("rc[0]", 0.01)
+        r1 = trace.tail_mean("rc[1]", 0.01)
+        assert r0 == pytest.approx(r1, rel=0.1)
+
+    def test_queue_settles_between_red_thresholds(self, dcqcn_params):
+        model = DCQCNFluidModel(dcqcn_params)
+        trace = dde.integrate(model, t_end=0.03, dt=2e-6,
+                              record_stride=20)
+        queue = trace.tail_mean("q", 0.005)
+        assert dcqcn_params.red.kmin < queue < dcqcn_params.red.kmax
+
+    def test_large_delay_ten_flows_oscillates(self):
+        params = DCQCNParams.paper_default(num_flows=10,
+                                           tau_star_us=85.0)
+        model = DCQCNFluidModel(params)
+        trace = dde.integrate(model, t_end=0.05, dt=2e-6,
+                              record_stride=20)
+        stable_params = DCQCNParams.paper_default(num_flows=10,
+                                                  tau_star_us=4.0)
+        stable = dde.integrate(DCQCNFluidModel(stable_params),
+                               t_end=0.05, dt=2e-6, record_stride=20)
+        # The 85us system's tail queue swings far more than the 4us one.
+        assert trace.tail_std("q", 0.01) > 5 * stable.tail_std("q", 0.01)
+
+    def test_ingress_marking_delay_degrades_stability(self):
+        params = DCQCNParams.paper_default(num_flows=2,
+                                           tau_star_us=85.0)
+        egress = dde.integrate(DCQCNFluidModel(params), 0.05, dt=2e-6,
+                               record_stride=20)
+        ingress = dde.integrate(
+            DCQCNFluidModel(params, marking_delay=units.us(40)),
+            0.05, dt=2e-6, record_stride=20)
+        assert ingress.tail_std("q", 0.01) > egress.tail_std("q", 0.01)

@@ -1,0 +1,175 @@
+"""TIMELY fluid model: Eq. 20-24 mechanics and limit-cycle behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.fluid import dde
+from repro.core.fluid.history import UniformHistory
+from repro.core.fluid.timely import (ModifiedTimelyFluidModel,
+                                     TimelyFluidModel)
+from repro.core.params import TimelyParams
+
+
+def make_history(state, dt=1e-6):
+    return UniformHistory(0.0, dt, state)
+
+
+class TestConstruction:
+    def test_state_layout(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        labels = model.state_labels()
+        assert labels == ["q", "g[0]", "g[1]", "r[0]", "r[1]"]
+
+    def test_default_initial_rates_fair(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        state = model.initial_state()
+        assert np.all(state[model.rate_slice()] == pytest.approx(
+            timely_params.fair_share))
+
+    def test_gradients_start_zero(self, timely_params):
+        state = TimelyFluidModel(timely_params).initial_state()
+        assert np.all(state[1:3] == 0.0)
+
+    def test_rejects_bad_start_times(self, timely_params):
+        with pytest.raises(ValueError):
+            TimelyFluidModel(timely_params, start_times=[-1.0, 0.0])
+        with pytest.raises(ValueError):
+            TimelyFluidModel(timely_params, start_times=[0.0])
+
+
+class TestEquation23And24:
+    def test_update_interval_floor_is_min_rtt(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        fast = np.array([timely_params.capacity * 10])
+        assert model.update_intervals(fast)[0] == pytest.approx(
+            timely_params.min_rtt)
+
+    def test_update_interval_segment_bound(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        slow = np.array([timely_params.segment
+                         / (2 * timely_params.min_rtt)])
+        assert model.update_intervals(slow)[0] == pytest.approx(
+            2 * timely_params.min_rtt)
+
+    def test_feedback_delay_grows_with_queue(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        empty = model.feedback_delay(0.0, 0.0)
+        full = model.feedback_delay(1000.0, 0.0)
+        assert full - empty == pytest.approx(
+            1000.0 / timely_params.capacity)
+
+    def test_feedback_delay_includes_prop_and_mtu(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        assert model.feedback_delay(0.0, 0.0) == pytest.approx(
+            timely_params.prop_delay + 1.0 / timely_params.capacity)
+
+
+class TestRateLawBranches:
+    """Eq. 21's four branches, probed directly."""
+
+    def branch_rate(self, params, queue, gradient):
+        model = TimelyFluidModel(params)
+        rates = np.array([params.fair_share] * params.num_flows)
+        tau = model.update_intervals(rates)
+        gradients = np.full(params.num_flows, gradient)
+        return model.rate_derivative(queue, gradients, rates, tau)
+
+    def test_below_t_low_increases(self, timely_params):
+        deriv = self.branch_rate(timely_params,
+                                 timely_params.q_low * 0.5, gradient=5.0)
+        assert np.all(deriv > 0)
+
+    def test_above_t_high_decreases(self, timely_params):
+        deriv = self.branch_rate(timely_params,
+                                 timely_params.q_high * 2.0,
+                                 gradient=-5.0)
+        assert np.all(deriv < 0)
+
+    def test_negative_gradient_in_band_increases(self, timely_params):
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        deriv = self.branch_rate(timely_params, queue, gradient=-0.5)
+        assert np.all(deriv > 0)
+
+    def test_positive_gradient_in_band_decreases(self, timely_params):
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        deriv = self.branch_rate(timely_params, queue, gradient=0.5)
+        assert np.all(deriv < 0)
+
+    def test_zero_gradient_increases_in_original(self, timely_params):
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        deriv = self.branch_rate(timely_params, queue, gradient=0.0)
+        assert np.all(deriv > 0)
+
+    def test_zero_gradient_freezes_in_modified(self, timely_params):
+        model = ModifiedTimelyFluidModel(timely_params)
+        queue = (timely_params.q_low + timely_params.q_high) / 2
+        rates = np.array([timely_params.fair_share] * 2)
+        tau = model.update_intervals(rates)
+        deriv = model.rate_derivative(queue, np.zeros(2), rates, tau)
+        # g = 0 lands on the decrease side, whose magnitude is g*beta*R = 0.
+        assert np.all(deriv == pytest.approx(0.0))
+
+    def test_t_high_decrease_scales_with_excess(self, timely_params):
+        mild = self.branch_rate(timely_params,
+                                timely_params.q_high * 1.1, 0.0)
+        severe = self.branch_rate(timely_params,
+                                  timely_params.q_high * 3.0, 0.0)
+        assert np.all(severe < mild)
+
+
+class TestStartTimes:
+    def test_inactive_flow_contributes_nothing(self, timely_params):
+        model = TimelyFluidModel(timely_params,
+                                 start_times=[0.0, 1.0])
+        state = model.initial_state()
+        history = make_history(state)
+        deriv = model.derivatives(0.0, state, history)
+        # Only flow 0 feeds the queue: C/2 total against capacity C
+        # cannot grow the (empty) queue.
+        assert deriv[model.queue_index] == 0.0
+        # Flow 1's state is frozen.
+        assert deriv[model.rate_slice()][1] == 0.0
+        assert deriv[model.gradient_slice()][1] == 0.0
+
+    def test_active_mask_flips_at_start_time(self, timely_params):
+        model = TimelyFluidModel(timely_params, start_times=[0.0, 0.01])
+        assert list(model.active_flows(0.005)) == [True, False]
+        assert list(model.active_flows(0.02)) == [True, True]
+
+
+class TestLimitCycles:
+    def test_queue_never_settles(self, timely_params):
+        """Theorem 3 in action: sustained oscillation, no fixed point."""
+        model = TimelyFluidModel(timely_params)
+        trace = dde.integrate(model, t_end=0.05, dt=1e-6,
+                              record_stride=20)
+        assert trace.tail_std("q", 0.01) > 5.0  # packets
+
+    def test_final_rates_depend_on_initial_conditions(self,
+                                                      timely_params):
+        """Theorem 4: different starts land in different regimes."""
+        mtu = timely_params.mtu_bytes
+        even = dde.integrate(
+            TimelyFluidModel(timely_params), 0.04, dt=1e-6,
+            record_stride=20)
+        skewed = dde.integrate(
+            TimelyFluidModel(
+                timely_params,
+                initial_rates=[units.gbps_to_pps(7, mtu),
+                               units.gbps_to_pps(3, mtu)]),
+            0.04, dt=1e-6, record_stride=20)
+        gap_even = abs(even.tail_mean("r[0]", 0.01)
+                       - even.tail_mean("r[1]", 0.01))
+        gap_skewed = abs(skewed.tail_mean("r[0]", 0.01)
+                         - skewed.tail_mean("r[1]", 0.01))
+        assert gap_skewed > 5 * max(gap_even,
+                                    0.01 * timely_params.fair_share)
+
+    def test_total_rate_tracks_capacity(self, timely_params):
+        model = TimelyFluidModel(timely_params)
+        trace = dde.integrate(model, t_end=0.05, dt=1e-6,
+                              record_stride=20)
+        total = trace.tail_mean("r[0]", 0.01) \
+            + trace.tail_mean("r[1]", 0.01)
+        assert total == pytest.approx(timely_params.capacity, rel=0.15)

@@ -1,0 +1,93 @@
+"""Cross-module integration: the Section 5.1 pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.experiments import fct_study
+from repro.experiments.fig15_fct_cdf import quantile_rows
+from repro.experiments.fig15_fct_cdf import run as run_cdf
+
+
+#: Shared small configuration so the expensive dumbbell runs happen
+#: once per protocol for the whole module.
+SMALL = dict(duration=0.12, drain=0.1, n_pairs=6, seed=7, warmup=0.01)
+
+
+@pytest.fixture(scope="module")
+def study_runs():
+    return {protocol: fct_study.run_protocol(protocol, 0.6, **SMALL)
+            for protocol in fct_study.STUDY_PROTOCOLS}
+
+
+class TestFCTStudy:
+    def test_all_protocols_complete_most_flows(self, study_runs):
+        for protocol, run in study_runs.items():
+            assert run.installed > 50, protocol
+            assert run.completion_fraction > 0.9, protocol
+
+    def test_summary_percentiles_ordered(self, study_runs):
+        for run in study_runs.values():
+            assert run.summary.median_s <= run.summary.p90_s \
+                <= run.summary.p99_s
+
+    def test_queue_series_nonempty(self, study_runs):
+        for run in study_runs.values():
+            assert run.queue_times.size > 100
+            assert run.queue_bytes.min() >= 0
+
+    def test_utilization_sane(self, study_runs):
+        # Offered 0.6 * 8 Gbps on a 10 Gbps link = 48%, measured over
+        # the arrival horizon (drain traffic can push it a bit higher).
+        for protocol, run in study_runs.items():
+            assert 0.25 < run.utilization < 1.05, protocol
+
+    def test_dcqcn_controls_queue_best(self, study_runs):
+        """Fig. 16's shape: DCQCN's queue stays in the RED band while
+        the delay-based protocols wander far above it."""
+        dcqcn_p99 = np.percentile(study_runs["dcqcn"].queue_bytes, 99)
+        timely_max = study_runs["timely"].queue_bytes.max()
+        patched_max = study_runs["patched_timely"].queue_bytes.max()
+        assert timely_max > dcqcn_p99
+        assert patched_max > dcqcn_p99
+
+    def test_report_rendering(self, study_runs):
+        table = fct_study.report_queue_stats(list(study_runs.values()))
+        assert "Fig. 16" in table
+        loads_table = fct_study.report_fct_vs_load(
+            {p: [r] for p, r in study_runs.items()})
+        assert "Fig. 14" in loads_table
+        for protocol in fct_study.STUDY_PROTOCOLS:
+            assert protocol in loads_table
+
+
+class TestFig15Pipeline:
+    def test_cdf_quantiles_monotone(self, study_runs):
+        rows = quantile_rows(study_runs)
+        for row in rows:
+            values = row[1:]
+            assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            fct_study.protocol_setup("swift", 10.0)
+
+
+class TestProtocolSetup:
+    def test_dcqcn_gets_marker(self):
+        params, marker, kwargs = fct_study.protocol_setup("dcqcn", 10.0)
+        assert marker is not None
+        assert kwargs == {}
+
+    def test_timely_uses_64kb_bursts(self):
+        params, marker, kwargs = fct_study.protocol_setup("timely",
+                                                          10.0)
+        assert marker is None
+        assert kwargs == {"pacing": "burst"}
+        assert params.segment == pytest.approx(64.0)
+
+    def test_patched_uses_16kb_segments(self):
+        params, _, kwargs = fct_study.protocol_setup("patched_timely",
+                                                     10.0)
+        assert params.base.segment == pytest.approx(16.0)
+        assert kwargs == {"pacing": "burst"}

@@ -1,0 +1,76 @@
+"""The latency-CDF and churn-fairness extensions."""
+
+import math
+
+import pytest
+
+from repro.experiments import ext_latency_cdf, ext_longflow_fairness
+
+
+class TestLatencyCDF:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.protocol: r
+                for r in ext_latency_cdf.run(duration=0.12,
+                                             drain=0.08)}
+
+    def test_every_protocol_traced(self, rows):
+        for protocol, row in rows.items():
+            assert row.packets > 10_000, protocol
+            for p, value in row.latency_us.items():
+                assert math.isfinite(value)
+
+    def test_percentiles_monotone(self, rows):
+        for row in rows.values():
+            values = [row.latency_us[p]
+                      for p in ext_latency_cdf.PERCENTILES]
+            assert values == sorted(values)
+
+    def test_ecn_has_the_lowest_tail_latency(self, rows):
+        """The Fig. 16 story in packet currency: DCQCN bounds the
+        queue, so its p99 packet latency sits far below both
+        delay-based protocols'."""
+        dcqcn_p99 = rows["dcqcn"].latency_us[99]
+        assert rows["timely"].latency_us[99] > 1.5 * dcqcn_p99
+        assert rows["patched_timely"].latency_us[99] > 1.5 * dcqcn_p99
+
+    def test_dcqcn_marks_some_packets(self, rows):
+        assert 0.0 < rows["dcqcn"].marked_fraction < 0.5
+
+    def test_report_renders(self, rows):
+        out = ext_latency_cdf.report(list(rows.values()))
+        assert "p99" in out
+
+
+class TestLongFlowFairness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.protocol: r
+                for r in ext_longflow_fairness.run(duration=0.15)}
+
+    def test_dcqcn_stays_fair_through_churn(self, rows):
+        dcqcn = rows["dcqcn"]
+        assert dcqcn.jain_mean > 0.97
+        assert dcqcn.jain_p10 > 0.9
+
+    def test_dcqcn_long_flows_keep_real_bandwidth(self, rows):
+        assert rows["dcqcn"].long_flow_share > 0.4
+
+    def test_timely_long_flows_starve_under_churn(self, rows):
+        """Burst-noise cuts hit the long flows on every churn spike
+        while their delta-paced recovery crawls: they end up with a
+        tiny fraction of the link."""
+        timely = rows["timely"]
+        assert timely.long_flow_share < \
+            0.3 * rows["dcqcn"].long_flow_share
+        assert timely.jain_mean < rows["dcqcn"].jain_mean
+
+    def test_patched_is_fair_but_timid(self, rows):
+        patched = rows["patched_timely"]
+        assert patched.jain_mean > 0.95
+        assert patched.long_flow_share < \
+            rows["dcqcn"].long_flow_share
+
+    def test_report_renders(self, rows):
+        out = ext_longflow_fairness.report(list(rows.values()))
+        assert "Jain" in out

@@ -1,0 +1,102 @@
+"""Leaf-spine fabric: wiring, routing determinism, traffic flow."""
+
+import pytest
+
+from repro.core.params import DCQCNParams
+from repro.sim.leaf_spine import (cross_rack_pairs, host_name,
+                                  leaf_spine)
+from repro.sim.topology import install_flow
+
+
+class TestBuilder:
+    def test_switch_and_host_counts(self):
+        net = leaf_spine(n_leaves=3, n_spines=2, hosts_per_leaf=4)
+        leaves = [s for s in net.switches if s.startswith("leaf")]
+        spines = [s for s in net.switches if s.startswith("spine")]
+        assert len(leaves) == 3
+        assert len(spines) == 2
+        assert len(net.hosts) == 12
+
+    def test_local_routing_stays_on_leaf(self):
+        net = leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+        leaf0 = net.switches["leaf0"]
+        assert leaf0.fib[host_name(0, 1)] == host_name(0, 1)
+
+    def test_remote_routing_goes_via_a_spine(self):
+        net = leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=2)
+        leaf0 = net.switches["leaf0"]
+        via = leaf0.fib[host_name(1, 0)]
+        assert via.startswith("spine")
+
+    def test_spine_routes_to_destination_leaf(self):
+        net = leaf_spine(n_leaves=2, n_spines=1, hosts_per_leaf=2)
+        spine = net.switches["spine0"]
+        assert spine.fib[host_name(1, 1)] == "leaf1"
+
+    def test_routing_is_deterministic_across_builds(self):
+        first = leaf_spine(n_leaves=4, n_spines=3, hosts_per_leaf=2)
+        second = leaf_spine(n_leaves=4, n_spines=3, hosts_per_leaf=2)
+        for name in first.switches:
+            assert first.switches[name].fib == second.switches[name].fib
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(n_leaves=1)
+        with pytest.raises(ValueError):
+            leaf_spine(n_spines=0)
+        with pytest.raises(ValueError):
+            leaf_spine(hosts_per_leaf=0)
+
+
+class TestPermutation:
+    def test_cross_rack_pairs_all_cross(self):
+        pairs = cross_rack_pairs(3, 2)
+        assert len(pairs) == 6
+        for src, dst in pairs:
+            assert src.split("_")[0] != dst.split("_")[0]
+
+    def test_every_host_sends_and_receives_once(self):
+        pairs = cross_rack_pairs(4, 3)
+        sources = [p[0] for p in pairs]
+        destinations = [p[1] for p in pairs]
+        assert len(set(sources)) == len(pairs)
+        assert len(set(destinations)) == len(pairs)
+
+
+class TestTraffic:
+    def test_cross_rack_transfer_completes(self):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=2)
+        net = leaf_spine(n_leaves=2, n_spines=1, hosts_per_leaf=2)
+        done = []
+        install_flow(net, "dcqcn", host_name(0, 0), host_name(1, 0),
+                     64 * 1024, 0.0, params, on_complete=done.append)
+        net.sim.run(until=0.01)
+        assert len(done) == 1
+        # The transfer crossed a spine uplink.
+        uplink = net.switches["leaf0"].ports["spine0"]
+        assert uplink.bytes_transmitted >= 64 * 1024
+
+    def test_oversubscribed_uplink_shares_fairly(self):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=4)
+        from repro.sim.red import REDMarker
+        counter = [0]
+
+        def factory():
+            counter[0] += 1
+            return REDMarker(params.red, params.mtu_bytes,
+                             seed=counter[0])
+
+        net = leaf_spine(n_leaves=2, n_spines=1, hosts_per_leaf=4,
+                         marker_factory=factory)
+        senders = []
+        for idx in range(4):
+            sender, _ = install_flow(
+                net, "dcqcn", host_name(0, idx), host_name(1, idx),
+                None, 0.0, params)
+            senders.append(sender)
+        net.sim.run(until=0.03)
+        fair = net.link_rate_bytes / 4
+        for sender in senders:
+            assert sender.rate == pytest.approx(fair, rel=0.5)

@@ -1,0 +1,212 @@
+"""Ports, links, switches: serialization timing, forwarding, marking."""
+
+import pytest
+
+from repro.core.params import REDParams
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+from repro.sim.red import REDMarker
+from repro.sim.switch import Switch, connect
+
+
+class Sink:
+    """Terminal device recording arrivals."""
+
+    def __init__(self, name="sink"):
+        self.name = name
+        self.arrivals = []
+
+    def receive(self, packet, ingress=None):
+        self.arrivals.append((packet, ingress))
+
+
+def make_port(sim, sink, rate=1e9, delay=1e-6, **kw):
+    link = Link(sim, delay, sink, ingress_label="up")
+    return Port(sim, rate, link, **kw)
+
+
+def data_packet(size=1000, flow=0, dst="sink"):
+    return Packet(flow, size, "s0", dst, kind="data")
+
+
+class TestPortTiming:
+    def test_serialization_plus_propagation(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.5)
+        port.send(data_packet(1000))
+        sim.run()
+        # 1000 B at 1e6 B/s = 1 ms serialization + 0.5 s propagation.
+        assert sim.now == pytest.approx(0.001 + 0.5)
+        assert len(sink.arrivals) == 1
+
+    def test_back_to_back_serialization(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.0)
+        for _ in range(3):
+            port.send(data_packet(1000))
+        sim.run()
+        assert sim.now == pytest.approx(0.003)
+        assert port.packets_transmitted == 3
+        assert port.bytes_transmitted == 3000
+
+    def test_ingress_label_delivered(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink)
+        port.send(data_packet())
+        sim.run()
+        assert sink.arrivals[0][1] == "up"
+
+    def test_pause_holds_queue(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.0)
+        port.pause()
+        port.send(data_packet())
+        sim.run()
+        assert not sink.arrivals
+        port.resume()
+        sim.run()
+        assert len(sink.arrivals) == 1
+
+    def test_pause_mid_transmission_completes_current(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.0)
+        port.send(data_packet(1000))
+        port.send(data_packet(1000))
+        sim.schedule(0.0005, port.pause)
+        sim.run()
+        assert len(sink.arrivals) == 1  # first finished, second held
+        port.resume()
+        sim.run()
+        assert len(sink.arrivals) == 2
+
+    def test_on_transmit_hook(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink)
+        seen = []
+        port.on_transmit = seen.append
+        port.send(data_packet())
+        sim.run()
+        assert len(seen) == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        sink = Sink()
+        with pytest.raises(ValueError):
+            make_port(sim, sink, rate=0.0)
+        with pytest.raises(ValueError):
+            Link(sim, -1.0, sink)
+        with pytest.raises(ValueError):
+            make_port(sim, sink, marking_point="middle")
+
+
+class TestMarkingPoints:
+    def saturated_marker(self):
+        # kmin tiny so everything above 1 packet marks with pmax=1.
+        red = REDParams(kmin=0.5, kmax=1.0, pmax=0.999999)
+        return REDMarker(red, 1024, seed=0)
+
+    def test_egress_marks_on_departure_queue(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.0,
+                         marker=self.saturated_marker(),
+                         marking_point="egress")
+        # Two packets: when the first departs the backlog is 2 packets
+        # (itself + one waiting) -> marked; when the second departs the
+        # backlog is 1 packet -> also above kmin=0.5... use arrival
+        # pattern instead: send one packet, queue never exceeds itself.
+        port.send(data_packet(1024))
+        sim.run()
+        (packet, _), = sink.arrivals
+        # Single packet: occupancy at departure = 1 packet > kmin -> marked.
+        assert packet.ecn_marked
+
+    def test_control_packets_never_marked(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e6, delay=0.0,
+                         marker=self.saturated_marker())
+        cnp = Packet(0, 64, "s0", "sink", kind="cnp")
+        port.send(cnp)
+        sim.run()
+        assert not sink.arrivals[0][0].ecn_marked
+
+    def test_ingress_marks_at_enqueue(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, rate=1e3, delay=0.0,
+                         marker=self.saturated_marker(),
+                         marking_point="ingress")
+        packet = data_packet(1024)
+        port.send(packet)
+        # Decision already taken at enqueue time.
+        assert packet.ecn_marked
+
+    def test_egress_mark_reflects_departure_not_arrival(self):
+        """A packet arriving at a long queue but departing from an
+        empty one must NOT be marked under egress marking."""
+        sim = Simulator()
+        sink = Sink()
+        red = REDParams(kmin=2.5, kmax=3.0, pmax=0.999999)
+        port = make_port(sim, sink, rate=1e6, delay=0.0,
+                         marker=REDMarker(red, 1024, seed=0),
+                         marking_point="egress")
+        for _ in range(4):
+            port.send(data_packet(1024))
+        sim.run()
+        # The first packet starts serializing the moment it arrives
+        # (backlog 1); the rest see departure backlogs 3, 2, 1.  Only
+        # the departure backlog of 3 exceeds kmin=2.5 -- even though
+        # packets 3 and 4 *arrived* at a 3-4 deep queue.
+        marks = [p.ecn_marked for p, _ in sink.arrivals]
+        assert marks == [False, True, False, False]
+
+
+class TestSwitch:
+    def build(self):
+        sim = Simulator()
+        switch = Switch(sim, "sw")
+        sink_a = Sink("a")
+        sink_b = Sink("b")
+        connect(sim, switch, sink_a, 1e9, 1e-6)
+        connect(sim, switch, sink_b, 1e9, 1e-6)
+        switch.add_route("a", "a")
+        switch.add_route("b", "b")
+        return sim, switch, sink_a, sink_b
+
+    def test_forwards_by_destination(self):
+        sim, switch, sink_a, sink_b = self.build()
+        switch.receive(data_packet(dst="a"))
+        switch.receive(data_packet(dst="b"))
+        switch.receive(data_packet(dst="b"))
+        sim.run()
+        assert len(sink_a.arrivals) == 1
+        assert len(sink_b.arrivals) == 2
+        assert switch.packets_forwarded == 3
+
+    def test_unknown_destination_raises(self):
+        sim, switch, _, _ = self.build()
+        with pytest.raises(KeyError):
+            switch.receive(data_packet(dst="nowhere"))
+
+    def test_duplicate_port_rejected(self):
+        sim, switch, sink_a, _ = self.build()
+        with pytest.raises(ValueError):
+            connect(sim, switch, sink_a, 1e9, 1e-6)
+
+    def test_route_requires_attached_port(self):
+        sim = Simulator()
+        switch = Switch(sim, "sw")
+        with pytest.raises(ValueError):
+            switch.add_route("x", "missing")
+
+    def test_port_for_lookup(self):
+        _, switch, _, _ = self.build()
+        assert switch.port_for("a") is switch.ports["a"]

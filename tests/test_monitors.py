@@ -1,0 +1,127 @@
+"""Measurement probes: queue sampling, rate sampling, throughput."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.monitors import QueueMonitor, RateMonitor, ThroughputMeter
+from repro.sim.packet import Packet
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet, ingress=None):
+        pass
+
+
+def make_port(sim, rate=1e6):
+    return Port(sim, rate, Link(sim, 0.0, Sink()))
+
+
+class TestQueueMonitor:
+    def test_samples_on_interval(self):
+        sim = Simulator()
+        port = make_port(sim)
+        monitor = QueueMonitor(sim, port, interval=0.1)
+        sim.run(until=1.0)
+        times, occupancy = monitor.as_arrays()
+        assert times.size == 11  # t = 0.0 .. 1.0
+        assert np.allclose(np.diff(times), 0.1)
+
+    def test_observes_backlog(self):
+        sim = Simulator()
+        port = make_port(sim, rate=1e3)  # slow: 1 packet per second
+        monitor = QueueMonitor(sim, port, interval=0.25)
+        for _ in range(4):
+            port.send(Packet(0, 1000, "a", "sink", kind="data"))
+        sim.run(until=1.0)
+        _, occupancy = monitor.as_arrays()
+        assert occupancy.max() > 0
+
+    def test_stop_time(self):
+        sim = Simulator()
+        port = make_port(sim)
+        monitor = QueueMonitor(sim, port, interval=0.1, stop=0.5)
+        sim.run(until=2.0)
+        times, _ = monitor.as_arrays()
+        assert times[-1] <= 0.6
+
+    def test_tail_statistics(self):
+        sim = Simulator()
+        port = make_port(sim)
+        monitor = QueueMonitor(sim, port, interval=0.1)
+        sim.run(until=1.0)
+        assert monitor.tail_mean_bytes(0.5) == 0.0
+        assert monitor.tail_std_bytes(0.5) == 0.0
+
+    def test_validation(self):
+        sim = Simulator()
+        port = make_port(sim)
+        with pytest.raises(ValueError):
+            QueueMonitor(sim, port, interval=0.0)
+        monitor = QueueMonitor(sim, port, interval=0.1)
+        with pytest.raises(ValueError):
+            monitor.tail_mean_bytes(1.0)  # no samples yet
+
+
+class FixedRateSender:
+    def __init__(self, rate):
+        self.rate = rate
+
+
+class TestRateMonitor:
+    def test_tracks_rate_changes(self):
+        sim = Simulator()
+        sender = FixedRateSender(100.0)
+        monitor = RateMonitor(sim, {"s0": sender}, interval=0.1)
+        sim.schedule(0.45, lambda: setattr(sender, "rate", 300.0))
+        sim.run(until=1.0)
+        times, rates = monitor.series("s0")
+        assert rates[0] == 100.0
+        assert rates[-1] == 300.0
+
+    def test_final_rates(self):
+        sim = Simulator()
+        monitor = RateMonitor(sim, {"a": FixedRateSender(1.0),
+                                    "b": FixedRateSender(2.0)},
+                              interval=0.1)
+        sim.run(until=0.5)
+        finals = monitor.final_rates()
+        assert finals == {"a": 1.0, "b": 2.0}
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            RateMonitor(Simulator(), {}, interval=-1.0)
+
+
+class TestThroughputMeter:
+    def test_windows_accumulate_bytes(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, window=1.0)
+
+        def deliver(size):
+            meter.record(Packet(0, size, "a", "b", kind="data"))
+
+        sim.schedule(0.5, lambda: deliver(1000))
+        sim.schedule(1.5, lambda: deliver(3000))
+        sim.schedule(2.5, lambda: deliver(500))
+        sim.run()
+        times, rates = meter.as_arrays()
+        # Two closed windows: [0,1) -> 1000 B/s, [1,2) -> 3000 B/s.
+        assert list(rates) == pytest.approx([1000.0, 3000.0])
+        assert list(times) == pytest.approx([1.0, 2.0])
+
+    def test_empty_windows_reported_as_zero(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, window=0.5)
+        sim.schedule(1.6, lambda: meter.record(
+            Packet(0, 100, "a", "b", kind="data")))
+        sim.run()
+        _, rates = meter.as_arrays()
+        assert list(rates) == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputMeter(Simulator(), window=0.0)

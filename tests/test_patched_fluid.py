@@ -1,0 +1,190 @@
+"""Patched TIMELY fluid model (Eq. 29/30) and its PI variant."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.fluid import dde
+from repro.core.fluid.history import UniformHistory
+from repro.core.fluid.patched_timely import PatchedTimelyFluidModel
+from repro.core.fluid.pi import (DCQCNPIFluidModel,
+                                 PatchedTimelyPIFluidModel)
+from repro.core.params import (DCQCNParams, PIParams,
+                               PatchedTimelyParams)
+
+
+class TestWeights:
+    def test_vectorized_matches_scalar(self, patched_params):
+        model = PatchedTimelyFluidModel(patched_params)
+        gradients = np.array([-1.0, -0.1, 0.0, 0.1, 1.0])
+        vectorized = model.weights(gradients)
+        scalar = [patched_params.weight(g) for g in gradients]
+        assert vectorized == pytest.approx(scalar)
+
+
+class TestRateLaw:
+    def rate_deriv(self, params, queue, gradient):
+        model = PatchedTimelyFluidModel(params)
+        rates = np.full(2, params.base.fair_share)
+        tau = model.update_intervals(rates)
+        return model.rate_derivative(queue, np.full(2, gradient),
+                                     rates, tau)
+
+    def test_stationary_at_eq31_queue(self, patched_params):
+        deriv = self.rate_deriv(patched_params,
+                                patched_params.fixed_point_queue, 0.0)
+        scale = patched_params.base.delta / patched_params.base.min_rtt
+        assert np.all(np.abs(deriv) < 1e-9 * scale)
+
+    def test_decreases_above_eq31_queue(self, patched_params):
+        deriv = self.rate_deriv(patched_params,
+                                patched_params.fixed_point_queue * 1.5,
+                                0.0)
+        assert np.all(deriv < 0)
+
+    def test_increases_below_eq31_queue(self, patched_params):
+        queue = (patched_params.base.q_low
+                 + patched_params.fixed_point_queue) / 2
+        deriv = self.rate_deriv(patched_params, queue, 0.0)
+        assert np.all(deriv > 0)
+
+    def test_t_high_branch_uses_base_beta(self, patched_params):
+        """The emergency brake must stay strong (base beta, not 0.008)."""
+        queue = patched_params.base.q_high * 2.0
+        deriv = self.rate_deriv(patched_params, queue, 0.0)
+        base = patched_params.base
+        rates = np.full(2, base.fair_share)
+        model = PatchedTimelyFluidModel(patched_params)
+        tau = model.update_intervals(rates)
+        expected = -(base.beta / tau) * (1 - base.q_high / queue) * rates
+        assert deriv == pytest.approx(expected)
+
+
+class TestConvergence:
+    def test_asymmetric_start_converges_to_fair(self, patched_params):
+        mtu = patched_params.base.mtu_bytes
+        model = PatchedTimelyFluidModel(
+            patched_params,
+            initial_rates=[units.gbps_to_pps(7, mtu),
+                           units.gbps_to_pps(3, mtu)])
+        trace = dde.integrate(model, 0.08, dt=1e-6, record_stride=20)
+        r0 = trace.tail_mean("r[0]", 0.01)
+        r1 = trace.tail_mean("r[1]", 0.01)
+        assert r0 == pytest.approx(r1, rel=0.05)
+        assert r0 == pytest.approx(patched_params.base.fair_share,
+                                   rel=0.05)
+
+    def test_queue_converges_to_eq31(self, patched_params):
+        model = PatchedTimelyFluidModel(patched_params)
+        trace = dde.integrate(model, 0.08, dt=1e-6, record_stride=20)
+        assert trace.tail_mean("q", 0.01) == pytest.approx(
+            patched_params.fixed_point_queue, rel=0.03)
+        assert trace.tail_std("q", 0.01) < \
+            0.02 * patched_params.fixed_point_queue
+
+    def test_large_n_oscillates(self):
+        """Fig. 12(c): beyond the Fig. 11 margin crossover."""
+        patched = PatchedTimelyParams.paper_default(num_flows=40)
+        trace = dde.integrate(PatchedTimelyFluidModel(patched), 0.15,
+                              dt=1e-6, record_stride=50)
+        rel = trace.tail_std("q", 0.03) / trace.tail_mean("q", 0.03)
+        assert rel > 0.05
+
+
+class TestDCQCNPIModel:
+    def test_state_layout_appends_p_mark(self, dcqcn_params):
+        pi = PIParams.for_dcqcn(100.0)
+        model = DCQCNPIFluidModel(dcqcn_params, pi)
+        labels = model.state_labels()
+        assert labels[-1] == "p_mark"
+        assert model.initial_state().shape == (len(labels),)
+
+    def test_marking_is_the_delayed_pi_state(self, dcqcn_params):
+        pi = PIParams.for_dcqcn(100.0)
+        model = DCQCNPIFluidModel(dcqcn_params, pi)
+        state = model.initial_state()
+        state[model.p_mark_index] = 0.4
+        history = UniformHistory(0.0, 1e-6, state)
+        assert model.marking_probability(1.0, history) == \
+            pytest.approx(0.4)
+
+    def test_p_integrates_queue_error(self, dcqcn_params):
+        # Rates exactly fill the link (dq/dt = 0), so the proportional
+        # term vanishes and the integral term alone must push p up
+        # while the queue sits above the reference.
+        pi = PIParams.for_dcqcn(100.0)
+        half = dcqcn_params.capacity / 2
+        model = DCQCNPIFluidModel(dcqcn_params, pi,
+                                  initial_rates=[half, half],
+                                  initial_queue=2 * pi.q_ref)
+        state = model.initial_state()
+        state[model.p_mark_index] = 0.5
+        history = UniformHistory(0.0, 1e-6, state)
+        deriv = model.derivatives(0.0, state, history)
+        assert deriv[model.queue_index] == pytest.approx(0.0)
+        assert deriv[model.p_mark_index] == pytest.approx(pi.k2)
+
+    def test_anti_windup_freezes_at_floor(self, dcqcn_params):
+        pi = PIParams.for_dcqcn(100.0)
+        model = DCQCNPIFluidModel(dcqcn_params, pi,
+                                  initial_rates=[1e5, 1e5],
+                                  initial_queue=0.0)
+        state = model.initial_state()  # p_mark = 0, queue empty
+        history = UniformHistory(0.0, 1e-6, state)
+        deriv = model.derivatives(0.0, state, history)
+        assert deriv[model.p_mark_index] == 0.0
+
+    def test_clamp_bounds_p(self, dcqcn_params):
+        pi = PIParams.for_dcqcn(100.0)
+        model = DCQCNPIFluidModel(dcqcn_params, pi)
+        state = model.initial_state()
+        state[model.p_mark_index] = 1.7
+        assert model.clamp(state)[model.p_mark_index] == 1.0
+
+
+class TestPatchedTimelyPIModel:
+    def test_state_layout_appends_per_flow_p(self, patched_params):
+        pi = PIParams.for_timely(300.0)
+        model = PatchedTimelyPIFluidModel(patched_params, pi)
+        labels = model.state_labels()
+        assert labels[-2:] == ["p[0]", "p[1]"]
+
+    def test_initial_p_override(self, patched_params):
+        pi = PIParams.for_timely(300.0)
+        model = PatchedTimelyPIFluidModel(patched_params, pi,
+                                          initial_p=[0.1, 0.4])
+        state = model.initial_state()
+        assert state[model.p_slice()] == pytest.approx([0.1, 0.4])
+
+    def test_rejects_wrong_initial_p_shape(self, patched_params):
+        pi = PIParams.for_timely(300.0)
+        with pytest.raises(ValueError):
+            PatchedTimelyPIFluidModel(patched_params, pi,
+                                      initial_p=[0.1])
+
+    def test_unequal_p_gives_unequal_rate_derivatives(self,
+                                                      patched_params):
+        pi = PIParams.for_timely(300.0)
+        model = PatchedTimelyPIFluidModel(patched_params, pi,
+                                          initial_p=[0.1, 0.4],
+                                          initial_queue=pi.q_ref)
+        state = model.initial_state()
+        history = UniformHistory(0.0, 1e-6, state)
+        deriv = model.derivatives(0.0, state, history)
+        dr = deriv[model.rate_slice()]
+        # Larger p_i means stronger decrease for that flow.
+        assert dr[0] > dr[1]
+
+    def test_queue_pins_but_rates_stay_split(self, patched_params):
+        """Theorem 6, delay side: delay bounded, fairness lost."""
+        pi = PIParams.for_timely(300.0)
+        fair = patched_params.base.fair_share
+        model = PatchedTimelyPIFluidModel(
+            patched_params, pi, initial_rates=[fair, fair],
+            start_times=[0.0, 0.05])
+        trace = dde.integrate(model, 0.4, dt=1e-6, record_stride=50)
+        queue = trace.tail_mean("q", 0.05)
+        assert queue == pytest.approx(pi.q_ref, rel=0.25)
+        r0 = trace.tail_mean("r[0]", 0.05)
+        r1 = trace.tail_mean("r[1]", 0.05)
+        assert abs(r0 - r1) > 0.05 * fair

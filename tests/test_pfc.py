@@ -1,0 +1,142 @@
+"""PFC controller: thresholds, hysteresis, losslessness."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.pfc import PFCController
+
+
+class PausableStub:
+    """Records pause/resume callbacks."""
+
+    def __init__(self):
+        self.paused = False
+        self.transitions = []
+
+    def __call__(self, pause: bool) -> None:
+        self.paused = pause
+        self.transitions.append(pause)
+
+
+def make_controller(sim=None, pause_at=10_000, resume_at=5_000):
+    sim = sim or Simulator()
+    controller = PFCController(sim, pause_at, resume_at)
+    stub = PausableStub()
+    controller.register_upstream("up", stub)
+    return sim, controller, stub
+
+
+class TestThresholds:
+    def test_pause_at_watermark(self):
+        sim, controller, stub = make_controller()
+        controller.on_ingress("up", 9_999)
+        sim.run()
+        assert not stub.paused
+        controller.on_ingress("up", 1)
+        sim.run()
+        assert stub.paused
+        assert controller.pauses_sent == 1
+
+    def test_resume_with_hysteresis(self):
+        sim, controller, stub = make_controller()
+        controller.on_ingress("up", 12_000)
+        sim.run()
+        assert stub.paused
+        controller.on_egress("up", 6_000)  # 6000 left, above resume=5000
+        sim.run()
+        assert stub.paused
+        controller.on_egress("up", 1_500)  # 4500 left
+        sim.run()
+        assert not stub.paused
+        assert controller.resumes_sent == 1
+
+    def test_no_duplicate_pauses(self):
+        sim, controller, stub = make_controller()
+        controller.on_ingress("up", 11_000)
+        controller.on_ingress("up", 11_000)
+        sim.run()
+        assert stub.transitions == [True]
+
+    def test_buffered_accounting(self):
+        sim, controller, _ = make_controller()
+        controller.on_ingress("up", 3_000)
+        controller.on_egress("up", 1_000)
+        assert controller.buffered_bytes("up") == 2_000
+
+    def test_negative_accounting_raises(self):
+        _, controller, _ = make_controller()
+        controller.on_ingress("up", 100)
+        with pytest.raises(RuntimeError):
+            controller.on_egress("up", 200)
+
+    def test_untracked_upstream_ignored(self):
+        _, controller, _ = make_controller()
+        controller.on_ingress("other", 1_000_000)  # no explosion
+        assert controller.buffered_bytes("other") == 0
+
+    def test_reverse_delay_defers_pause(self):
+        sim = Simulator()
+        controller = PFCController(sim, 1_000, 500)
+        stub = PausableStub()
+        controller.register_upstream("up", stub, reverse_delay=0.25)
+        controller.on_ingress("up", 2_000)
+        assert not stub.paused  # frame still in flight
+        sim.run()
+        assert stub.paused
+        assert sim.now == pytest.approx(0.25)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PFCController(sim, 1_000, 1_000)
+        with pytest.raises(ValueError):
+            PFCController(sim, 1_000, -5)
+
+
+class TestLosslessness:
+    def test_pfc_prevents_drops_at_finite_buffer(self):
+        """End-to-end: a fast sender into a slow switch egress with a
+        finite queue drops packets without PFC and none with it."""
+        from repro.sim.link import Port, Link
+        from repro.sim.packet import Packet
+        from repro.sim.switch import Switch, connect
+
+        def run_once(with_pfc: bool) -> int:
+            sim = Simulator()
+            pfc = None
+            if with_pfc:
+                pfc = PFCController(sim, pause_threshold_bytes=20_000,
+                                    resume_threshold_bytes=10_000)
+            switch = Switch(sim, "sw", pfc=pfc)
+
+            class Sink:
+                name = "dst"
+
+                def receive(self, packet, ingress=None):
+                    pass
+
+            # Slow egress with a finite 40 KB buffer.
+            port = connect(sim, switch, Sink(), 1e6, 1e-6,
+                           capacity_bytes=40_000)
+            switch.add_route("dst", "dst")
+
+            # Fast upstream host feeding the switch.
+            class Source:
+                name = "src"
+            source = Source()
+            up_port = connect(sim, source, switch, 1e8, 1e-6)
+            if with_pfc:
+                pfc.register_upstream(
+                    "src",
+                    lambda pause: up_port.pause() if pause
+                    else up_port.resume(),
+                    reverse_delay=1e-6)
+
+            for i in range(100):
+                up_port.send(Packet(0, 1024, "src", "dst", kind="data",
+                                    seq=i))
+            sim.run(until=0.5)
+            return port.queue.dropped_packets
+
+        assert run_once(with_pfc=False) > 0
+        assert run_once(with_pfc=True) == 0

@@ -1,0 +1,122 @@
+"""Strict-priority control class on ports, and its experiment."""
+
+import pytest
+
+from repro.experiments import ext_feedback_priority
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+
+
+class Sink:
+    name = "sink"
+
+    def __init__(self):
+        self.arrivals = []
+
+    def receive(self, packet, ingress=None):
+        self.arrivals.append(packet)
+
+
+def make_port(sim, sink, priority, rate=1e6):
+    return Port(sim, rate, Link(sim, 0.0, sink),
+                priority_control=priority)
+
+
+def data(seq=0):
+    return Packet(0, 1000, "s", "sink", kind="data", seq=seq)
+
+
+def cnp():
+    return Packet(0, 64, "s", "sink", kind="cnp")
+
+
+class TestPriorityQueueing:
+    def test_control_overtakes_waiting_data(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=True)
+        for seq in range(3):
+            port.send(data(seq))
+        port.send(cnp())
+        sim.run()
+        kinds = [p.kind for p in sink.arrivals]
+        # The first data packet was already on the wire; the CNP jumps
+        # every queued data packet.
+        assert kinds == ["data", "cnp", "data", "data"]
+
+    def test_fifo_keeps_arrival_order(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=False)
+        for seq in range(3):
+            port.send(data(seq))
+        port.send(cnp())
+        sim.run()
+        kinds = [p.kind for p in sink.arrivals]
+        assert kinds == ["data", "data", "data", "cnp"]
+
+    def test_data_order_preserved_under_priority(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=True)
+        port.send(data(0))
+        port.send(cnp())
+        port.send(data(1))
+        port.send(cnp())
+        sim.run()
+        sequences = [p.seq for p in sink.arrivals if p.kind == "data"]
+        assert sequences == [0, 1]
+
+    def test_occupancy_counts_both_classes(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=True, rate=1e3)
+        port.send(data())
+        port.send(data())
+        port.send(cnp())
+        # One data packet is on the wire; one data + one cnp queued.
+        assert port.occupancy_bytes == 1000 + 64
+
+    def test_control_is_pfc_exempt(self):
+        """PFC pauses the data class; the control class keeps flowing
+        (CNPs ride an unpaused priority in real deployments)."""
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=True)
+        port.pause()
+        port.send(data())
+        port.send(cnp())
+        sim.run()
+        assert [p.kind for p in sink.arrivals] == ["cnp"]
+        port.resume()
+        sim.run()
+        assert [p.kind for p in sink.arrivals] == ["cnp", "data"]
+
+    def test_pause_still_holds_data_without_priority(self):
+        sim = Simulator()
+        sink = Sink()
+        port = make_port(sim, sink, priority=False)
+        port.pause()
+        port.send(data())
+        port.send(cnp())
+        sim.run()
+        assert not sink.arrivals
+        port.resume()
+        sim.run()
+        assert [p.kind for p in sink.arrivals] == ["data", "cnp"]
+
+
+class TestFeedbackPriorityExperiment:
+    def test_priority_cuts_cnp_latency(self):
+        rows = ext_feedback_priority.run(duration=0.04)
+        by_discipline = {r.discipline: r for r in rows}
+        fifo = by_discipline["fifo"]
+        priority = by_discipline["priority"]
+        assert priority.cnp_delay_mean_us < 0.5 * fifo.cnp_delay_mean_us
+        assert priority.cnp_delay_max_us < fifo.cnp_delay_max_us
+
+    def test_report_renders(self):
+        rows = ext_feedback_priority.run(duration=0.02)
+        out = ext_feedback_priority.report(rows)
+        assert "fifo" in out and "priority" in out

@@ -1,0 +1,215 @@
+"""DCQCN endpoint protocol: RP state machine and NP CNP generation."""
+
+import pytest
+
+from repro import units
+from repro.core.params import DCQCNParams
+from repro.sim.engine import Simulator
+from repro.sim.flows import Flow
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.protocols.dcqcn import DCQCNReceiver, DCQCNSender
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def make_sender(params=None, flow_size=None):
+    params = params or DCQCNParams.paper_default(capacity_gbps=40,
+                                                 num_flows=2)
+    sim = Simulator()
+    host = Host(sim, "s0")
+    flow = Flow(0, "s0", "recv", flow_size, 0.0)
+    sender = DCQCNSender(sim, host, flow, params)
+    return sim, sender, params
+
+
+def cnp():
+    return Packet(0, 64, "recv", "s0", kind="cnp")
+
+
+class TestRPDecrease:
+    def test_starts_at_line_rate(self):
+        _, sender, params = make_sender()
+        assert sender.rate == pytest.approx(
+            params.capacity * params.mtu_bytes)
+        assert sender.alpha == 1.0
+
+    def test_cnp_cuts_rate_by_alpha_half(self):
+        _, sender, _ = make_sender()
+        before = sender.rate
+        sender.on_cnp(cnp())
+        # alpha starts at 1 -> 50% cut; target remembers the old rate.
+        assert sender.rate == pytest.approx(before / 2)
+        assert sender.target_rate == pytest.approx(before)
+
+    def test_cnp_updates_alpha_ewma(self):
+        _, sender, params = make_sender()
+        sender.alpha = 0.5
+        sender.on_cnp(cnp())
+        assert sender.alpha == pytest.approx(
+            (1 - params.g) * 0.5 + params.g)
+
+    def test_consecutive_cnps_compound(self):
+        _, sender, _ = make_sender()
+        before = sender.rate
+        sender.on_cnp(cnp())
+        sender.on_cnp(cnp())
+        assert sender.rate < before / 3  # two near-halvings
+
+    def test_cnp_resets_increase_stages(self):
+        _, sender, _ = make_sender()
+        sender._byte_stage = 7
+        sender._time_stage = 3
+        sender.on_cnp(cnp())
+        assert sender._byte_stage == 0
+        assert sender._time_stage == 0
+
+
+class TestRPIncrease:
+    def test_fast_recovery_halves_gap_without_target_change(self):
+        _, sender, _ = make_sender()
+        sender.on_cnp(cnp())
+        target = sender.target_rate
+        gap = target - sender.rate
+        sender._byte_stage = 1
+        sender._rate_increase_event()
+        assert sender.target_rate == pytest.approx(target)
+        assert target - sender.rate == pytest.approx(gap / 2)
+
+    def test_additive_increase_past_fast_recovery(self):
+        _, sender, params = make_sender()
+        sender.on_cnp(cnp())
+        sender.on_cnp(cnp())  # pull the target below line rate
+        sender._byte_stage = params.fast_recovery_steps
+        target = sender.target_rate
+        sender._rate_increase_event()
+        assert sender.target_rate == pytest.approx(
+            target + params.rate_ai * params.mtu_bytes)
+
+    def test_hyper_increase_when_both_counters_past_f(self):
+        _, sender, params = make_sender()
+        sender.on_cnp(cnp())
+        sender.on_cnp(cnp())
+        sender._byte_stage = params.fast_recovery_steps
+        sender._time_stage = params.fast_recovery_steps
+        target = sender.target_rate
+        sender._rate_increase_event()
+        assert sender.target_rate == pytest.approx(
+            target + params.rate_hai * params.mtu_bytes)
+
+    def test_target_clamped_to_line_rate(self):
+        _, sender, params = make_sender()
+        sender._byte_stage = params.fast_recovery_steps
+        sender._rate_increase_event()
+        assert sender.target_rate <= sender.line_rate
+
+    def test_byte_counter_fires_every_b_bytes(self):
+        _, sender, params = make_sender()
+        sender.on_cnp(cnp())
+        byte_counter_bytes = params.byte_counter * params.mtu_bytes
+        packet = Packet(0, int(byte_counter_bytes / 2), "s0", "recv",
+                        kind="data")
+        sender.on_packet_sent(packet)
+        assert sender._byte_stage == 0
+        sender.on_packet_sent(packet)
+        assert sender._byte_stage == 1
+
+    def test_alpha_decay_timer(self):
+        sim, sender, params = make_sender()
+        # Defer the first emission past the horizon: this probes only
+        # the alpha timer (the bare test host has no NIC to emit on).
+        sender.flow.start_time = 1.0
+        sender.start()
+        sim.run(until=params.tau_prime * 3.5)
+        # Three decay intervals with no CNP.
+        assert sender.alpha == pytest.approx((1 - params.g) ** 3,
+                                             rel=1e-6)
+        sender.stop()
+
+
+class TestNP:
+    def build_receiver(self):
+        params = DCQCNParams.paper_default()
+        sim = Simulator()
+        host = Host(sim, "recv")
+        # Host needs a NIC to emit CNPs; wire it to a sink.
+        from repro.sim.link import Link, Port
+
+        class Sink:
+            name = "sw"
+
+            def __init__(self):
+                self.packets = []
+
+            def receive(self, packet, ingress=None):
+                self.packets.append(packet)
+
+        sink = Sink()
+        host.port = Port(sim, 1e9, Link(sim, 0.0, sink))
+        flow = Flow(0, "s0", "recv", None, 0.0)
+        receiver = DCQCNReceiver(sim, host, flow, params)
+        return sim, receiver, sink, params
+
+    def marked_packet(self, seq=0):
+        packet = Packet(0, 1024, "s0", "recv", kind="data", seq=seq)
+        packet.ecn_marked = True
+        return packet
+
+    def test_cnp_on_marked_packet(self):
+        sim, receiver, sink, _ = self.build_receiver()
+        receiver.on_data(self.marked_packet())
+        sim.run()
+        assert receiver.cnps_sent == 1
+        assert sink.packets[0].kind == "cnp"
+
+    def test_no_cnp_on_clean_packet(self):
+        sim, receiver, sink, _ = self.build_receiver()
+        packet = Packet(0, 1024, "s0", "recv", kind="data")
+        receiver.on_data(packet)
+        sim.run()
+        assert receiver.cnps_sent == 0
+
+    def test_cnp_rate_limited_by_tau(self):
+        sim, receiver, sink, params = self.build_receiver()
+        # A burst of marked packets within tau produces one CNP.
+        for seq in range(10):
+            receiver.on_data(self.marked_packet(seq))
+        sim.run()
+        assert receiver.cnps_sent == 1
+        # After tau elapses, the next mark produces another.
+        sim.schedule(params.tau * 1.01,
+                     lambda: receiver.on_data(self.marked_packet(99)))
+        sim.run()
+        assert receiver.cnps_sent == 2
+
+
+class TestEndToEnd:
+    def test_two_flows_fair_and_marked(self):
+        params = DCQCNParams.paper_default(capacity_gbps=40,
+                                           num_flows=2)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=2)
+        net = single_switch(2, link_gbps=40, marker=marker)
+        for i in range(2):
+            install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0,
+                         params)
+        net.sim.run(until=0.02)
+        rates = [net.senders[i].rate for i in range(2)]
+        fair = net.link_rate_bytes / 2
+        for rate in rates:
+            assert rate == pytest.approx(fair, rel=0.35)
+        assert net.utilization(0.02) > 0.9
+
+    def test_finite_flow_completes(self):
+        params = DCQCNParams.paper_default(capacity_gbps=40,
+                                           num_flows=2)
+        net = single_switch(1, link_gbps=40)
+        done = []
+        install_flow(net, "dcqcn", "s0", "recv", 100 * 1024, 0.0,
+                     params, on_complete=done.append)
+        net.sim.run(until=0.01)
+        assert len(done) == 1
+        flow = done[0]
+        assert flow.completed
+        assert flow.bytes_delivered >= 100 * 1024
+        # 100 KB at 40 Gbps line rate plus ~3 hops of latency.
+        assert flow.fct < 100e-6

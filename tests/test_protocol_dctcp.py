@@ -1,0 +1,193 @@
+"""DCTCP baseline: window mechanics, marking reaction, end to end."""
+
+import pytest
+
+from repro.core.params import DCTCPParams, REDParams
+from repro.sim.engine import Simulator
+from repro.sim.flows import Flow
+from repro.sim.link import Link, Port
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.protocols.dctcp import DCTCPReceiver, DCTCPSender
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+class _NullSink:
+    """Discards whatever the test host's NIC transmits."""
+
+    name = "sw"
+
+    def receive(self, packet, ingress=None):
+        pass
+
+
+def make_sender(flow_size=None, **kw):
+    sim = Simulator()
+    host = Host(sim, "s0")
+    host.port = Port(sim, 1e9, Link(sim, 0.0, _NullSink()))
+    flow = Flow(0, "s0", "recv", flow_size, 0.0)
+    sender = DCTCPSender(sim, host, flow, **kw)
+    return sim, sender
+
+
+def ack(cumulative, marked=False):
+    packet = Packet(0, 64, "recv", "s0", kind="ack")
+    packet.acked_bytes = cumulative
+    packet.ecn_marked = marked
+    return packet
+
+
+class TestParams:
+    def test_step_red_profile(self):
+        params = DCTCPParams(step_threshold=65.0)
+        red = params.step_red()
+        assert red.marking_probability(64.0) == 0.0
+        assert red.marking_probability(66.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCTCPParams(g=0.0)
+        with pytest.raises(ValueError):
+            DCTCPParams(step_threshold=0.0)
+        with pytest.raises(ValueError):
+            DCTCPParams(initial_window_packets=0)
+        with pytest.raises(ValueError):
+            DCTCPSender(Simulator(), Host(Simulator(), "x"),
+                        Flow(0, "x", "y", None, 0.0), g=2.0)
+
+
+class TestWindowMechanics:
+    def test_initial_window(self):
+        _, sender = make_sender(initial_window_packets=10)
+        assert sender.cwnd == pytest.approx(10 * 1024)
+        assert sender.in_slow_start
+
+    def test_unmarked_window_doubles_in_slow_start(self):
+        _, sender = make_sender()
+        sender._window_end_bytes = 10 * 1024
+        sender.on_ack(ack(10 * 1024))
+        assert sender.cwnd == pytest.approx(20 * 1024)
+        assert sender.in_slow_start
+
+    def test_marked_window_applies_alpha_cut(self):
+        _, sender = make_sender()
+        sender._window_end_bytes = 10 * 1024
+        cwnd = sender.cwnd
+        sender.on_ack(ack(10 * 1024, marked=True))
+        # Fully-marked window: F=1, alpha = g, cut by alpha/2.
+        g = sender.g
+        assert sender.alpha == pytest.approx(g)
+        assert sender.cwnd == pytest.approx(cwnd * (1 - g / 2))
+        assert not sender.in_slow_start
+
+    def test_additive_increase_after_slow_start(self):
+        _, sender = make_sender()
+        sender.in_slow_start = False
+        sender._window_end_bytes = 10 * 1024
+        cwnd = sender.cwnd
+        sender.on_ack(ack(10 * 1024))
+        assert sender.cwnd == pytest.approx(cwnd + 1024)
+
+    def test_partial_marking_ewma(self):
+        _, sender = make_sender()
+        sender._window_end_bytes = 10 * 1024
+        sender._window_acked = 5 * 1024
+        sender._window_marked = 1 * 1024
+        sender._last_cumulative_ack = 5 * 1024
+        sender.on_ack(ack(10 * 1024, marked=True))
+        # 6 of 10 KB marked in this window.
+        assert sender.alpha == pytest.approx(sender.g * 0.6)
+
+    def test_cwnd_floor_one_mss(self):
+        _, sender = make_sender()
+        sender.alpha = 1.0
+        sender.cwnd = 1024.0
+        sender.in_slow_start = False
+        sender._window_end_bytes = 1024
+        sender.on_ack(ack(1024, marked=True))
+        assert sender.cwnd >= 1024.0
+
+    def test_duplicate_ack_ignored(self):
+        _, sender = make_sender()
+        sender._window_end_bytes = 10 * 1024
+        sender.on_ack(ack(5 * 1024))
+        windows = sender.windows_completed
+        sender.on_ack(ack(5 * 1024))  # duplicate cumulative ACK
+        assert sender.windows_completed == windows
+
+    def test_cnp_rejected(self):
+        _, sender = make_sender()
+        with pytest.raises(ValueError):
+            sender.on_cnp(Packet(0, 64, "r", "s0", kind="cnp"))
+
+
+class TestReceiver:
+    def test_acks_every_packet_with_echo(self):
+        sim = Simulator()
+        host = Host(sim, "recv")
+
+        class Sink:
+            name = "sw"
+
+            def __init__(self):
+                self.packets = []
+
+            def receive(self, packet, ingress=None):
+                self.packets.append(packet)
+
+        sink = Sink()
+        host.port = Port(sim, 1e9, Link(sim, 0.0, sink))
+        flow = Flow(0, "s0", "recv", None, 0.0)
+        receiver = DCTCPReceiver(sim, host, flow)
+        data = Packet(0, 1024, "s0", "recv", kind="data")
+        data.sent_time = 0.0
+        data.ecn_marked = True
+        receiver.on_data(data)
+        sim.run()
+        assert receiver.acks_sent == 1
+        (echo,) = sink.packets
+        assert echo.kind == "ack"
+        assert echo.ecn_marked  # CE echoed
+        assert echo.acked_bytes == 1024
+
+
+class TestEndToEnd:
+    def test_two_flows_pin_queue_at_threshold(self):
+        params = DCTCPParams()
+        marker = REDMarker(params.step_red(), params.mtu_bytes, seed=3)
+        net = single_switch(2, link_gbps=10, marker=marker)
+        senders = []
+        for i in range(2):
+            sender, _ = install_flow(net, "dctcp", f"s{i}", "recv",
+                                     None, 0.0, params)
+            senders.append(sender)
+        from repro.sim.monitors import QueueMonitor
+        monitor = QueueMonitor(net.sim, net.bottleneck_port,
+                               interval=100e-6)
+        net.sim.run(until=0.05)
+        queue_kb = monitor.tail_mean_bytes(0.01) / 1024
+        # DCTCP holds the queue just below its step threshold K.
+        assert 0.5 * params.step_threshold < queue_kb \
+            < 1.5 * params.step_threshold
+        assert net.utilization(0.05) > 0.95
+        # Fair windows.
+        assert senders[0].cwnd == pytest.approx(senders[1].cwnd,
+                                                rel=0.4)
+
+    def test_finite_flow_completes(self):
+        params = DCTCPParams()
+        net = single_switch(1, link_gbps=10)
+        done = []
+        install_flow(net, "dctcp", "s0", "recv", 200 * 1024, 0.0,
+                     params, on_complete=done.append)
+        net.sim.run(until=0.05)
+        assert len(done) == 1
+        assert done[0].fct > 0
+
+    def test_wrong_params_rejected(self):
+        from repro.core.params import DCQCNParams
+        net = single_switch(1, link_gbps=10)
+        with pytest.raises(TypeError):
+            install_flow(net, "dctcp", "s0", "recv", None, 0.0,
+                         DCQCNParams.paper_default())

@@ -1,0 +1,184 @@
+"""ByteFIFO, RED marker, and PI marker behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import PIParams, REDParams
+from repro.sim.packet import Packet
+from repro.sim.piaqm import PIMarker
+from repro.sim.queues import ByteFIFO
+from repro.sim.red import REDMarker
+
+
+def data_packet(size=1024, flow=0):
+    return Packet(flow, size, "s0", "recv", kind="data")
+
+
+class TestByteFIFO:
+    def test_fifo_order(self):
+        fifo = ByteFIFO()
+        first, second = data_packet(), data_packet()
+        fifo.enqueue(first)
+        fifo.enqueue(second)
+        assert fifo.dequeue() is first
+        assert fifo.dequeue() is second
+
+    def test_byte_accounting(self):
+        fifo = ByteFIFO()
+        fifo.enqueue(data_packet(1000))
+        fifo.enqueue(data_packet(500))
+        assert fifo.size_bytes == 1500
+        fifo.dequeue()
+        assert fifo.size_bytes == 500
+
+    def test_high_water_mark(self):
+        fifo = ByteFIFO()
+        fifo.enqueue(data_packet(1000))
+        fifo.enqueue(data_packet(1000))
+        fifo.dequeue()
+        fifo.dequeue()
+        assert fifo.max_bytes == 2000
+
+    def test_capacity_drops(self):
+        fifo = ByteFIFO(capacity_bytes=1500)
+        assert fifo.enqueue(data_packet(1000))
+        assert not fifo.enqueue(data_packet(1000))
+        assert fifo.dropped_packets == 1
+        assert fifo.dropped_bytes == 1000
+        assert fifo.size_bytes == 1000
+
+    def test_empty_operations_raise(self):
+        fifo = ByteFIFO()
+        with pytest.raises(IndexError):
+            fifo.dequeue()
+        with pytest.raises(IndexError):
+            fifo.peek()
+
+    def test_peek_does_not_remove(self):
+        fifo = ByteFIFO()
+        packet = data_packet()
+        fifo.enqueue(packet)
+        assert fifo.peek() is packet
+        assert len(fifo) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ByteFIFO(capacity_bytes=0)
+
+    @given(st.lists(st.integers(min_value=64, max_value=9000),
+                    min_size=0, max_size=50))
+    def test_byte_count_invariant(self, sizes):
+        fifo = ByteFIFO()
+        for size in sizes:
+            fifo.enqueue(data_packet(size))
+        assert fifo.size_bytes == sum(sizes)
+        drained = 0
+        while not fifo.is_empty:
+            drained += fifo.dequeue().size_bytes
+        assert drained == sum(sizes)
+        assert fifo.size_bytes == 0
+
+
+class TestREDMarker:
+    def make(self, seed=0):
+        return REDMarker(REDParams.paper_default(), 1024, seed=seed)
+
+    def test_never_marks_below_kmin(self):
+        marker = self.make()
+        assert not any(marker.should_mark(4 * 1024)
+                       for _ in range(1000))
+
+    def test_always_marks_above_kmax(self):
+        marker = self.make()
+        assert all(marker.should_mark(250 * 1024) for _ in range(100))
+
+    def test_marking_rate_matches_probability(self):
+        marker = self.make(seed=42)
+        queue = 150 * 1024  # p ~ 0.00743 on the paper profile
+        expected = marker.marking_probability(queue)
+        trials = 200_000
+        marks = sum(marker.should_mark(queue) for _ in range(trials))
+        assert marks / trials == pytest.approx(expected, rel=0.1)
+
+    def test_probability_matches_core_profile(self):
+        marker = self.make()
+        red = REDParams.paper_default()
+        assert marker.marking_probability(100 * 1024) == pytest.approx(
+            red.marking_probability(100.0))
+
+    def test_deterministic_given_seed(self):
+        a = [self.make(seed=7).should_mark(100 * 1024)
+             for _ in range(1)]
+        b = [self.make(seed=7).should_mark(100 * 1024)
+             for _ in range(1)]
+        assert a == b
+
+    def test_update_is_noop(self):
+        marker = self.make()
+        marker.update(1e9, 0.0)
+        assert marker.update_interval is None
+
+    def test_rejects_bad_mtu(self):
+        with pytest.raises(ValueError):
+            REDMarker(REDParams.paper_default(), 0)
+
+
+class TestPIMarker:
+    def make(self, q_ref_kb=100.0, **kw):
+        return PIMarker(PIParams.for_dcqcn(q_ref_kb), 1024, **kw)
+
+    def test_starts_at_zero(self):
+        assert self.make().p == 0.0
+
+    def test_integrates_positive_error(self):
+        marker = self.make()
+        for _ in range(100):
+            marker.update(200 * 1024, 0.0)
+        assert marker.p > 0.0
+
+    def test_unwinds_on_negative_error(self):
+        marker = self.make()
+        for _ in range(100):
+            marker.update(200 * 1024, 0.0)
+        peak = marker.p
+        for _ in range(200):
+            marker.update(0.0, 0.0)
+        assert marker.p < peak
+
+    def test_clamped_to_unit_interval(self):
+        marker = self.make()
+        for _ in range(100000):
+            marker.update(10_000 * 1024, 0.0)
+        assert marker.p <= 1.0
+        for _ in range(100000):
+            marker.update(0, 0.0)
+        assert marker.p >= 0.0
+
+    def test_equilibrium_at_reference(self):
+        marker = self.make()
+        marker.update(100 * 1024, 0.0)
+        p_before = marker.p
+        marker.update(100 * 1024, 0.0)  # at reference, no slope
+        assert marker.p == pytest.approx(p_before)
+
+    def test_marking_probability_is_state_not_queue(self):
+        marker = self.make()
+        for _ in range(50):
+            marker.update(500 * 1024, 0.0)
+        assert marker.marking_probability(0.0) == marker.p
+
+    def test_should_mark_statistics(self):
+        marker = self.make(seed=5)
+        marker.p = 0.3
+        trials = 100_000
+        marks = sum(marker.should_mark(0) for _ in range(trials))
+        assert marks / trials == pytest.approx(0.3, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIMarker(PIParams.for_dcqcn(100.0), 1024,
+                     update_interval=0.0)
+        with pytest.raises(ValueError):
+            PIMarker(PIParams.for_dcqcn(100.0), 0)

@@ -1,0 +1,149 @@
+"""Property-based simulator invariants (hypothesis).
+
+Randomized flow sets and scenarios must never violate the physical
+invariants of a lossless network: byte conservation, per-flow FIFO
+delivery, non-negative queues, and deterministic replay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DCQCNParams, DCTCPParams, TimelyParams
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+#: Keep the randomized packet-level runs short: each example is a full
+#: discrete-event simulation.
+FAST = settings(max_examples=12, deadline=None)
+
+
+class RecordingReceiver:
+    """Captures delivery order for FIFO checks."""
+
+    name = "recv"
+
+    def __init__(self):
+        self.sequence_by_flow = {}
+
+    def receive(self, packet, ingress=None):
+        self.sequence_by_flow.setdefault(packet.flow_id,
+                                         []).append(packet.seq)
+
+
+class TestFIFODelivery:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                              st.integers(min_value=64,
+                                          max_value=1500)),
+                    min_size=1, max_size=60))
+    @FAST
+    def test_per_flow_order_preserved(self, sends):
+        """Packets of each flow arrive in emission order through a
+        port, whatever the interleaving and sizes."""
+        sim = Simulator()
+        receiver = RecordingReceiver()
+        port = Port(sim, 1e8, Link(sim, 1e-6, receiver))
+        counters = {}
+        for flow_id, size in sends:
+            seq = counters.get(flow_id, 0)
+            counters[flow_id] = seq + 1
+            port.send(Packet(flow_id, size, "s", "recv", kind="data",
+                             seq=seq))
+        sim.run()
+        for flow_id, seqs in receiver.sequence_by_flow.items():
+            assert seqs == sorted(seqs)
+        delivered = sum(len(v) for v in
+                        receiver.sequence_by_flow.values())
+        assert delivered == len(sends)
+
+
+class TestConservation:
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=8, max_value=64),
+           st.integers(min_value=0, max_value=2 ** 16))
+    @FAST
+    def test_dcqcn_delivers_exactly_what_flows_send(self, n_flows,
+                                                    size_kb, seed):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=n_flows)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=seed)
+        net = single_switch(n_flows, link_gbps=10, marker=marker)
+        done = []
+        for i in range(n_flows):
+            install_flow(net, "dcqcn", f"s{i}", "recv",
+                         size_kb * 1024, 0.0, params,
+                         on_complete=done.append)
+        net.sim.run(until=0.05)
+        assert len(done) == n_flows
+        for flow in done:
+            assert flow.bytes_delivered == flow.size_bytes
+            assert flow.bytes_sent == flow.size_bytes
+            assert flow.fct > 0
+
+    @given(st.sampled_from(["dcqcn", "timely", "dctcp"]),
+           st.integers(min_value=4, max_value=128))
+    @FAST
+    def test_any_protocol_conserves_bytes(self, protocol, size_kb):
+        if protocol == "dcqcn":
+            params = DCQCNParams.paper_default(capacity_gbps=10,
+                                               num_flows=1)
+        elif protocol == "timely":
+            params = TimelyParams.paper_default(capacity_gbps=10)
+        else:
+            params = DCTCPParams()
+        net = single_switch(1, link_gbps=10)
+        done = []
+        install_flow(net, protocol, "s0", "recv", size_kb * 1024,
+                     0.0, params, on_complete=done.append)
+        net.sim.run(until=0.08)
+        assert len(done) == 1
+        flow = done[0]
+        assert flow.bytes_delivered == size_kb * 1024
+        # A sender never emits beyond the flow size.
+        assert flow.bytes_sent == flow.size_bytes
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @FAST
+    def test_identical_seeds_replay_identically(self, seed):
+        def run_once():
+            params = DCQCNParams.paper_default(capacity_gbps=10,
+                                               num_flows=2)
+            marker = REDMarker(params.red, params.mtu_bytes,
+                               seed=seed)
+            net = single_switch(2, link_gbps=10, marker=marker)
+            for i in range(2):
+                install_flow(net, "dcqcn", f"s{i}", "recv", None,
+                             0.0, params)
+            net.sim.run(until=0.005)
+            return (net.sim.events_processed,
+                    net.bottleneck_port.bytes_transmitted,
+                    tuple(net.senders[i].rate for i in range(2)))
+
+        assert run_once() == run_once()
+
+
+class TestQueueBounds:
+    @given(st.integers(min_value=1, max_value=8))
+    @FAST
+    def test_occupancy_never_negative_and_bounded_by_arrivals(self,
+                                                              n_flows):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=n_flows)
+        net = single_switch(n_flows, link_gbps=10)
+        for i in range(n_flows):
+            install_flow(net, "dcqcn", f"s{i}", "recv", 32 * 1024,
+                         0.0, params)
+        from repro.sim.monitors import QueueMonitor
+        monitor = QueueMonitor(net.sim, net.bottleneck_port,
+                               interval=20e-6)
+        net.sim.run(until=0.01)
+        _, occupancy = monitor.as_arrays()
+        assert np.all(occupancy >= 0)
+        # The queue can never exceed what every flow injected.
+        assert occupancy.max() <= n_flows * 32 * 1024

@@ -1,0 +1,49 @@
+"""The (N, delay) stability map and its non-monotonic frontier."""
+
+import pytest
+
+from repro.experiments import ext_stability_map
+
+
+class TestStabilityMap:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_stability_map.run(
+            flow_counts=(1, 8, 30),
+            delays_us=(4, 55, 100, 170))
+
+    def test_margins_decrease_with_delay(self, rows):
+        for row in rows:
+            margins = row.margins_deg
+            assert all(a > b for a, b in zip(margins, margins[1:])), \
+                f"N={row.num_flows}"
+
+    def test_frontier_extraction(self, rows):
+        frontier = dict(ext_stability_map.boundary(rows))
+        # N=1 stable through 55us; N=8 also 55 or less; N=30 reaches
+        # at least 100us (the recovery side of the dip).
+        assert frontier[30] >= 100.0
+        assert frontier[8] <= frontier[30]
+
+    def test_frontier_is_non_monotonic_in_n(self):
+        rows = ext_stability_map.run(
+            flow_counts=(1, 8, 50),
+            delays_us=(40, 55, 70, 85, 100, 130, 170))
+        frontier = dict(ext_stability_map.boundary(rows))
+        # The dip: mid N tolerates *less* delay than both extremes.
+        assert frontier[8] < frontier[1]
+        assert frontier[8] < frontier[50]
+
+    def test_all_unstable_row_reports_none(self):
+        rows = ext_stability_map.run(flow_counts=(8,),
+                                     delays_us=(150, 200))
+        assert rows[0].max_stable_delay_us is None
+
+    def test_report_renders(self, rows):
+        out = ext_stability_map.report(rows)
+        assert "max stable" in out
+        assert "none" in out or "us" in out
+
+    def test_report_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ext_stability_map.report([])

@@ -1,0 +1,117 @@
+"""Topology builders and flow installation."""
+
+import pytest
+
+from repro.core.params import (DCQCNParams, DCTCPParams,
+                               PatchedTimelyParams, TimelyParams)
+from repro.sim.topology import (PROTOCOLS, dumbbell, install_flow,
+                                single_switch)
+
+
+class TestSingleSwitch:
+    def test_host_and_route_wiring(self):
+        net = single_switch(3, link_gbps=10)
+        assert set(net.hosts) == {"s0", "s1", "s2", "recv"}
+        switch = net.switches["sw"]
+        for host in net.hosts:
+            assert switch.fib[host] == host
+
+    def test_bottleneck_is_switch_to_receiver(self):
+        net = single_switch(2)
+        assert net.bottleneck_port is net.switches["sw"].ports["recv"]
+
+    def test_feedback_extra_delay_on_reverse_links(self):
+        net = single_switch(1, feedback_extra_delay=85e-6,
+                            link_delay=1e-6)
+        switch = net.switches["sw"]
+        assert switch.ports["s0"].link.delay == pytest.approx(86e-6)
+        assert switch.ports["recv"].link.delay == pytest.approx(1e-6)
+
+    def test_rejects_zero_senders(self):
+        with pytest.raises(ValueError):
+            single_switch(0)
+
+    def test_link_rate_conversion(self):
+        net = single_switch(1, link_gbps=40)
+        assert net.link_rate_bytes == pytest.approx(5e9)
+
+
+class TestDumbbell:
+    def test_pairs_and_routes(self):
+        net = dumbbell(4)
+        assert sum(1 for h in net.hosts if h.startswith("s")) == 4
+        assert sum(1 for h in net.hosts if h.startswith("r")) == 4
+        sw1, sw2 = net.switches["sw1"], net.switches["sw2"]
+        assert sw1.fib["r2"] == "sw2"
+        assert sw2.fib["r2"] == "r2"
+        assert sw2.fib["s2"] == "sw1"
+
+    def test_bottleneck_is_inter_switch_link(self):
+        net = dumbbell(2)
+        assert net.bottleneck_port is net.switches["sw1"].ports["sw2"]
+
+    def test_data_crosses_bottleneck(self):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=1)
+        net = dumbbell(2, link_gbps=10)
+        done = []
+        install_flow(net, "dcqcn", "s0", "r1", 10 * 1024, 0.0, params,
+                     on_complete=done.append)
+        net.sim.run(until=0.01)
+        assert len(done) == 1
+        assert net.bottleneck_port.bytes_transmitted >= 10 * 1024
+
+    def test_rejects_zero_pairs(self):
+        with pytest.raises(ValueError):
+            dumbbell(0)
+
+
+class TestInstallFlow:
+    def test_protocol_param_type_checked(self):
+        net = single_switch(1)
+        with pytest.raises(TypeError):
+            install_flow(net, "dcqcn", "s0", "recv", None, 0.0,
+                         TimelyParams.paper_default())
+        with pytest.raises(TypeError):
+            install_flow(net, "timely", "s0", "recv", None, 0.0,
+                         DCQCNParams.paper_default())
+        with pytest.raises(TypeError):
+            install_flow(net, "patched_timely", "s0", "recv", None,
+                         0.0, TimelyParams.paper_default())
+
+    def test_unknown_protocol_rejected(self):
+        net = single_switch(1)
+        with pytest.raises(ValueError):
+            install_flow(net, "tcp", "s0", "recv", None, 0.0, None)
+
+    def test_all_protocols_install(self):
+        for protocol in PROTOCOLS:
+            net = single_switch(1, link_gbps=10)
+            if protocol == "dcqcn":
+                params = DCQCNParams.paper_default(capacity_gbps=10,
+                                                   num_flows=1)
+            elif protocol == "timely":
+                params = TimelyParams.paper_default(capacity_gbps=10)
+            elif protocol == "dctcp":
+                params = DCTCPParams()
+            else:
+                params = PatchedTimelyParams.paper_default(
+                    capacity_gbps=10)
+            sender, receiver = install_flow(net, protocol, "s0",
+                                            "recv", None, 0.0, params)
+            assert net.senders[sender.flow.flow_id] is sender
+            assert net.registry[sender.flow.flow_id] is sender.flow
+
+    def test_sender_kwargs_forwarded(self):
+        net = single_switch(1, link_gbps=10)
+        params = TimelyParams.paper_default(capacity_gbps=10)
+        sender, _ = install_flow(net, "timely", "s0", "recv", None,
+                                 0.0, params, pacing="burst",
+                                 initial_rate=1e8)
+        assert sender.pacing == "burst"
+        assert sender.rate == pytest.approx(1e8)
+
+    def test_utilization_validation(self):
+        net = single_switch(1)
+        with pytest.raises(ValueError):
+            net.utilization(0.0)

@@ -1,0 +1,124 @@
+"""Packet tracer: filtering, chaining, and non-intrusiveness."""
+
+import pytest
+
+from repro.core.params import DCQCNParams
+from repro.sim.red import REDMarker
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+from repro.sim.topology import install_flow, single_switch
+from repro.sim.tracing import PacketTracer
+
+
+class Sink:
+    name = "sink"
+
+    def receive(self, packet, ingress=None):
+        pass
+
+
+def build_port(sim):
+    return Port(sim, 1e9, Link(sim, 0.0, Sink()), name="p0")
+
+
+class TestRecording:
+    def test_records_departures_in_order(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        for seq in range(3):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+        assert [e.seq for e in tracer.events] == [0, 1, 2]
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_kind_filter(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim, kinds=["cnp"])
+        tracer.attach(port)
+        port.send(Packet(0, 1024, "s", "sink", kind="data"))
+        port.send(Packet(0, 64, "s", "sink", kind="cnp"))
+        sim.run()
+        assert [e.kind for e in tracer.events] == ["cnp"]
+
+    def test_flow_filter(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim, flow_ids=[7])
+        tracer.attach(port)
+        port.send(Packet(7, 1024, "s", "sink", kind="data"))
+        port.send(Packet(8, 1024, "s", "sink", kind="data"))
+        sim.run()
+        assert [e.flow_id for e in tracer.events] == [7]
+
+    def test_event_cap(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim, max_events=2)
+        tracer.attach(port)
+        for seq in range(5):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+        assert "beyond" in tracer.dump()
+
+    def test_chains_existing_hook(self):
+        sim = Simulator()
+        port = build_port(sim)
+        seen = []
+        port.on_transmit = seen.append
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        port.send(Packet(0, 1024, "s", "sink", kind="data"))
+        sim.run()
+        assert len(seen) == 1           # original hook still fires
+        assert len(tracer.events) == 1  # and the tracer records
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketTracer(Simulator(), max_events=0)
+        tracer = PacketTracer(Simulator())
+        with pytest.raises(ValueError):
+            tracer.marked_fraction()
+
+
+class TestOnRealScenario:
+    def test_marked_fraction_tracks_red(self):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=2)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=3)
+        net = single_switch(2, link_gbps=10, marker=marker)
+        tracer = PacketTracer(net.sim, kinds=["data"])
+        tracer.attach(net.bottleneck_port)
+        for i in range(2):
+            install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0,
+                         params)
+        net.sim.run(until=0.01)
+        fraction = tracer.marked_fraction()
+        # Congested DCQCN marks a small but nonzero fraction.
+        assert 0.0 < fraction < 0.2
+        # Departures are serialization-limited: gaps >= packet time.
+        gaps = tracer.interarrival_times()
+        packet_time = 1024 / net.link_rate_bytes
+        assert min(gaps) >= packet_time * 0.99
+
+    def test_dump_format(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        packet = Packet(3, 1024, "s", "sink", kind="data", seq=9)
+        packet.ecn_marked = True
+        port.send(packet)
+        sim.run()
+        text = tracer.dump()
+        assert "flow=3" in text
+        assert "seq=9" in text
+        assert "CE" in text

@@ -1,0 +1,92 @@
+"""Unit conversion tests, including hypothesis round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_gbps_to_pps_40g_1kb_mtu(self):
+        # 40 Gbps over 8192-bit packets.
+        assert units.gbps_to_pps(40.0) == pytest.approx(40e9 / 8192)
+
+    def test_mbps_matches_gbps_scaling(self):
+        assert units.mbps_to_pps(1000.0) == pytest.approx(
+            units.gbps_to_pps(1.0))
+
+    def test_custom_mtu_scales_inverse(self):
+        assert units.gbps_to_pps(10.0, mtu_bytes=2048) == pytest.approx(
+            units.gbps_to_pps(10.0, mtu_bytes=1024) / 2)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.sampled_from([512, 1024, 1500, 4096, 9000]))
+    def test_gbps_roundtrip(self, gbps, mtu):
+        assert units.pps_to_gbps(units.gbps_to_pps(gbps, mtu), mtu) == \
+            pytest.approx(gbps, rel=1e-12)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6),
+           st.sampled_from([512, 1024, 1500]))
+    def test_mbps_roundtrip(self, mbps, mtu):
+        assert units.pps_to_mbps(units.mbps_to_pps(mbps, mtu), mtu) == \
+            pytest.approx(mbps, rel=1e-12)
+
+
+class TestTimeConversions:
+    def test_us(self):
+        assert units.us(55) == pytest.approx(55e-6)
+
+    def test_ms(self):
+        assert units.ms(10) == pytest.approx(0.01)
+
+    def test_seconds_to_us_inverts_us(self):
+        assert units.seconds_to_us(units.us(123.4)) == pytest.approx(123.4)
+
+
+class TestSizeConversions:
+    def test_kb_to_packets_default_mtu(self):
+        assert units.kb_to_packets(200) == pytest.approx(200.0)
+
+    def test_mb_to_packets(self):
+        assert units.mb_to_packets(10) == pytest.approx(10240.0)
+
+    def test_bytes_to_packets_fractional(self):
+        assert units.bytes_to_packets(512) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6))
+    def test_kb_roundtrip(self, kb):
+        assert units.packets_to_kb(units.kb_to_packets(kb)) == \
+            pytest.approx(kb, rel=1e-12)
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_packets_to_bytes_roundtrip(self, packets):
+        assert units.bytes_to_packets(
+            units.packets_to_bytes(packets)) == pytest.approx(packets)
+
+
+class TestSerializationDelay:
+    def test_one_packet_at_one_pps_takes_one_second(self):
+        assert units.serialization_delay(1024, 1.0) == pytest.approx(1.0)
+
+    def test_scales_with_bytes(self):
+        base = units.serialization_delay(1024, 1e6)
+        assert units.serialization_delay(4096, 1e6) == pytest.approx(
+            4 * base)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.serialization_delay(1024, 0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e9),
+           st.floats(min_value=1.0, max_value=1e9))
+    def test_always_positive(self, nbytes, rate):
+        assert units.serialization_delay(nbytes, rate) > 0
+
+    def test_40g_mtu_is_two_hundred_nanoseconds(self):
+        rate = units.gbps_to_pps(40.0)
+        delay = units.serialization_delay(1024, rate)
+        assert delay == pytest.approx(8192 / 40e9)
+        assert math.isclose(delay, 204.8e-9)

@@ -1,0 +1,193 @@
+"""Workload generation: size CDF, arrivals, dynamic traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import DCQCNParams
+from repro.sim.red import REDMarker
+from repro.sim.topology import dumbbell
+from repro.workloads.distributions import (DATA_MINING_CDF_KB,
+                                           EmpiricalCDF,
+                                           WEB_SEARCH_CDF_KB,
+                                           arrival_rate_for_load,
+                                           data_mining_sizes_bytes,
+                                           poisson_interarrivals,
+                                           web_search_sizes_bytes)
+from repro.workloads.generator import DynamicWorkload, WorkloadConfig
+
+
+class TestEmpiricalCDF:
+    def test_quantile_endpoints(self):
+        cdf = web_search_sizes_bytes()
+        assert cdf.quantile(0.0) == pytest.approx(1024.0)
+        assert cdf.quantile(1.0) == pytest.approx(6900 * 1024.0)
+
+    def test_quantile_interpolates(self):
+        cdf = EmpiricalCDF([(0.0, 0.0), (10.0, 1.0)])
+        assert cdf.quantile(0.25) == pytest.approx(2.5)
+
+    def test_mean_uniform(self):
+        cdf = EmpiricalCDF([(0.0, 0.0), (10.0, 1.0)])
+        assert cdf.mean() == pytest.approx(5.0)
+
+    def test_web_search_mean_in_expected_range(self):
+        mean_kb = EmpiricalCDF(WEB_SEARCH_CDF_KB).mean()
+        # Heavy tail pulls the mean into the hundreds of KB.
+        assert 150 < mean_kb < 500
+
+    def test_sample_mean_matches_analytic(self):
+        cdf = web_search_sizes_bytes()
+        rng = np.random.default_rng(0)
+        samples = cdf.sample_many(rng, 200_000)
+        assert samples.mean() == pytest.approx(cdf.mean(), rel=0.02)
+
+    def test_small_flow_fraction(self):
+        """~70% of web-search flows are below 100 KB (paper's 'small')."""
+        cdf = web_search_sizes_bytes()
+        rng = np.random.default_rng(1)
+        samples = cdf.sample_many(rng, 100_000)
+        fraction = np.mean(samples < 100 * 1024)
+        assert fraction == pytest.approx(0.75, abs=0.07)
+
+    def test_data_mining_heavier_tail_than_web_search(self):
+        """Data mining: smaller median, far larger mean -- most bytes
+        ride on elephants."""
+        web = web_search_sizes_bytes()
+        mining = data_mining_sizes_bytes()
+        assert mining.quantile(0.5) < web.quantile(0.5)
+        assert mining.mean() > web.mean()
+
+    def test_data_mining_mostly_tiny_flows(self):
+        cdf = data_mining_sizes_bytes()
+        rng = np.random.default_rng(2)
+        samples = cdf.sample_many(rng, 100_000)
+        assert np.mean(samples < 100 * 1024) > 0.7
+
+    def test_data_mining_usable_as_workload_cdf(self):
+        from repro.core.params import DCQCNParams
+        from repro.sim.red import REDMarker
+        from repro.sim.topology import dumbbell
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=10)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+        net = dumbbell(4, link_gbps=10, marker=marker)
+        config = WorkloadConfig(protocol="dcqcn", load=0.3,
+                                duration=0.05, seed=3,
+                                size_cdf=data_mining_sizes_bytes())
+        workload = DynamicWorkload(net, config, params)
+        workload.run(drain_time=0.1)
+        assert workload.completion_fraction > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(0.0, 0.1), (1.0, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(5.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(0.0, 0.0), (1.0, 0.5), (2.0, 0.4),
+                          (3.0, 1.0)])
+        cdf = web_search_sizes_bytes()
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        with pytest.raises(ValueError):
+            cdf.sample_many(np.random.default_rng(0), -1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_quantile_monotone(self, u1, u2):
+        cdf = web_search_sizes_bytes()
+        low, high = sorted([u1, u2])
+        assert cdf.quantile(low) <= cdf.quantile(high)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=20)
+    def test_samples_within_support(self, count):
+        cdf = web_search_sizes_bytes()
+        samples = cdf.sample_many(np.random.default_rng(7), count)
+        if count:
+            assert samples.min() >= 1024.0 - 1e-6
+            assert samples.max() <= 6900 * 1024.0 + 1e-6
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(3)
+        times = poisson_interarrivals(rng, rate_per_s=1000.0,
+                                      horizon_s=20.0)
+        assert times.size == pytest.approx(20_000, rel=0.05)
+        assert np.all(np.diff(times) > 0)
+        assert times[-1] < 20.0
+
+    def test_poisson_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_interarrivals(rng, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_interarrivals(rng, 1.0, 0.0)
+
+    def test_arrival_rate_for_load(self):
+        # 8 Gbps reference at load 0.5 with 1 MB mean flows.
+        rate = arrival_rate_for_load(0.5, 1e9, 1e6)
+        assert rate == pytest.approx(500.0)
+
+    def test_arrival_rate_validation(self):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0.0, 1e9, 1e6)
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0.5, 0.0, 1e6)
+
+
+class TestDynamicWorkload:
+    def build(self, load=0.4, duration=0.05, seed=1):
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=10)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=9)
+        net = dumbbell(4, link_gbps=10, marker=marker)
+        config = WorkloadConfig(protocol="dcqcn", load=load,
+                                duration=duration, seed=seed)
+        return net, DynamicWorkload(net, config, params)
+
+    def test_flows_complete(self):
+        net, workload = self.build()
+        workload.run(drain_time=0.05)
+        assert workload.scheduled_count > 0
+        assert len(workload.flows) == workload.scheduled_count
+        assert workload.completion_fraction > 0.9
+
+    def test_offered_load_close_to_target(self):
+        net, workload = self.build(load=0.4, duration=0.05)
+        offered_rate = workload.offered_bytes / 0.05
+        target = 0.4 * 1e9  # 0.4 of the 8 Gbps reference, in bytes/s
+        assert offered_rate == pytest.approx(target, rel=0.45)
+
+    def test_deterministic_given_seed(self):
+        _, first = self.build(seed=5)
+        _, second = self.build(seed=5)
+        assert first.scheduled_count == second.scheduled_count
+        assert first.offered_bytes == second.offered_bytes
+
+    def test_different_seeds_differ(self):
+        _, first = self.build(seed=5)
+        _, second = self.build(seed=6)
+        assert first.offered_bytes != second.offered_bytes
+
+    def test_completed_senders_retired(self):
+        net, workload = self.build()
+        workload.run(drain_time=0.05)
+        for flow in workload.completed_flows:
+            assert flow.flow_id not in net.senders
+
+    def test_requires_dumbbell_style_names(self):
+        from repro.sim.topology import single_switch
+        params = DCQCNParams.paper_default(capacity_gbps=10,
+                                           num_flows=1)
+        net = single_switch(2, link_gbps=10)
+        config = WorkloadConfig(protocol="dcqcn", load=0.2,
+                                duration=0.01)
+        with pytest.raises(ValueError):
+            DynamicWorkload(net, config, params)
