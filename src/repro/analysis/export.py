@@ -13,7 +13,7 @@ import csv
 import dataclasses
 import io
 from pathlib import Path
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, List
 
 import numpy as np
 

@@ -34,7 +34,7 @@ gives two exponential laws this module lets you verify numerically:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -99,7 +99,7 @@ class DCTCPFluidModel(FluidModel):
                 f"initial_queue must be >= 0, got {initial_queue}")
         self._initial_queue = float(initial_queue)
 
-    # -- state layout ----------------------------------------------------------
+    # -- state layout ---------------------------------------------------------
 
     @property
     def queue_index(self) -> int:
@@ -124,7 +124,7 @@ class DCTCPFluidModel(FluidModel):
         labels += [f"w[{i}]" for i in range(self.n)]
         return labels
 
-    # -- dynamics ---------------------------------------------------------------
+    # -- dynamics -------------------------------------------------------------
 
     def rtt(self, queue: float) -> float:
         """R(t) = d + q/C."""

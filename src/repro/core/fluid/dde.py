@@ -25,6 +25,7 @@ default ``dt`` of 1 us resolves them comfortably.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -34,6 +35,50 @@ from repro.core.fluid.history import UniformHistory
 
 #: Default integration step, seconds.
 DEFAULT_DT = 1e-6
+
+#: State magnitude beyond which the integration counts as diverged
+#: even while still finite.  The models' states are packets and
+#: packets/second -- physically bounded around 1e7 -- so 1e12 only
+#: trips on genuine blow-ups, well before float overflow turns them
+#: into a late, uninformative ``inf``.
+DEFAULT_DIVERGENCE_LIMIT = 1e12
+
+
+@dataclass(frozen=True)
+class IntegrationFailure:
+    """Where and why an integration attempt diverged.
+
+    Carried by :class:`IntegrationError` so callers (experiments,
+    sweeps over unstable configurations) can triage programmatically
+    instead of parsing an exception string.
+    """
+
+    step: int
+    time: float
+    state: np.ndarray
+    cause: str
+    method: str
+    dt: float
+    retries: int
+
+    def __str__(self) -> str:
+        return (f"integration diverged at t={self.time:.6g}s "
+                f"(step {self.step}, method={self.method}, "
+                f"dt={self.dt:g}, after {self.retries} halved-step "
+                f"retries): {self.cause}; state={self.state}")
+
+
+class IntegrationError(FloatingPointError):
+    """Integration diverged even after halved-step retries.
+
+    Subclasses ``FloatingPointError`` for compatibility with callers
+    that guarded the old bare-exception behaviour; :attr:`failure`
+    holds the structured :class:`IntegrationFailure`.
+    """
+
+    def __init__(self, failure: IntegrationFailure):
+        self.failure = failure
+        super().__init__(str(failure))
 
 _STEPPERS = {}
 
@@ -83,6 +128,9 @@ def integrate(model: FluidModel,
               record_stride: int = 1,
               t_start: float = 0.0,
               initial_state: Optional[np.ndarray] = None,
+              max_retries: int = 1,
+              divergence_limit: Optional[float] =
+              DEFAULT_DIVERGENCE_LIMIT,
               ) -> FluidTrace:
     """Integrate ``model`` from ``t_start`` to ``t_end``.
 
@@ -107,6 +155,18 @@ def integrate(model: FluidModel,
     initial_state:
         Override for ``model.initial_state()`` -- used by experiments
         that restart a model from a perturbed fixed point.
+    max_retries:
+        On divergence (NaN/inf or ``divergence_limit`` exceeded), retry
+        the whole integration with the step halved, this many times.
+        Rescues fixed-step runs whose dt was marginally too coarse for
+        a stiff transient; a genuinely unstable model still fails, as
+        :class:`IntegrationError` carrying the structured
+        :class:`IntegrationFailure` of the final attempt.  0 disables
+        retrying.
+    divergence_limit:
+        Any state component exceeding this magnitude counts as
+        divergence even while finite (catches blow-ups hundreds of
+        steps before float overflow).  None checks finiteness only.
 
     Returns
     -------
@@ -120,6 +180,8 @@ def integrate(model: FluidModel,
             f"t_end ({t_end}) must exceed t_start ({t_start})")
     if record_stride < 1:
         raise ValueError(f"record_stride must be >= 1, got {record_stride}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     try:
         stepper = _STEPPERS[method]
     except KeyError:
@@ -127,15 +189,36 @@ def integrate(model: FluidModel,
             f"unknown method {method!r}; choose from {available_methods()}")
 
     if initial_state is None:
-        state = np.array(model.initial_state(), dtype=float)
+        initial = np.array(model.initial_state(), dtype=float)
     else:
-        state = np.array(initial_state, dtype=float)
+        initial = np.array(initial_state, dtype=float)
     labels = model.state_labels()
-    if state.shape != (len(labels),):
+    if initial.shape != (len(labels),):
         raise ValueError(
-            f"initial state has shape {state.shape}, expected "
+            f"initial state has shape {initial.shape}, expected "
             f"({len(labels)},) to match state_labels()")
 
+    attempt_dt = dt
+    for attempt in range(max_retries + 1):
+        try:
+            return _integrate_once(model, stepper, t_start, t_end,
+                                   attempt_dt, record_stride, initial,
+                                   labels, method, divergence_limit,
+                                   retries=attempt)
+        except IntegrationError:
+            if attempt == max_retries:
+                raise
+            attempt_dt *= 0.5
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,
+                    t_end: float, dt: float, record_stride: int,
+                    initial: np.ndarray, labels, method: str,
+                    divergence_limit: Optional[float],
+                    retries: int) -> FluidTrace:
+    """One fixed-step pass; raises :class:`IntegrationError` on blow-up."""
+    state = initial.copy()
     history = UniformHistory(t_start, dt, state)
     n_steps = int(round((t_end - t_start) / dt))
 
@@ -145,10 +228,18 @@ def integrate(model: FluidModel,
     for step in range(1, n_steps + 1):
         state = stepper(model, t, state, dt, history)
         state = model.clamp(state)
+        cause = None
         if not np.all(np.isfinite(state)):
-            raise FloatingPointError(
-                f"integration diverged at t={t + dt:.6g}s "
-                f"(method={method}, dt={dt:g}); state={state}")
+            cause = "non-finite state (NaN or inf)"
+        elif divergence_limit is not None and \
+                np.max(np.abs(state)) > divergence_limit:
+            cause = (f"state magnitude "
+                     f"{np.max(np.abs(state)):.3g} exceeded "
+                     f"divergence limit {divergence_limit:.3g}")
+        if cause is not None:
+            raise IntegrationError(IntegrationFailure(
+                step=step, time=t + dt, state=state, cause=cause,
+                method=method, dt=dt, retries=retries))
         history.append(state)
         t = t_start + step * dt
         if step % record_stride == 0:

@@ -83,7 +83,10 @@ class REDParams:
         return self.pmax / (self.kmax - self.kmin)
 
     @classmethod
-    def paper_default(cls, mtu_bytes: int = units.DEFAULT_MTU_BYTES) -> "REDParams":
+    def paper_default(
+            cls,
+            mtu_bytes: int = units.DEFAULT_MTU_BYTES,
+    ) -> "REDParams":
         """Defaults from [31]: Kmin=5KB, Kmax=200KB, Pmax=1%."""
         return cls(kmin=units.kb_to_packets(5, mtu_bytes),
                    kmax=units.kb_to_packets(200, mtu_bytes),

@@ -27,7 +27,7 @@ from typing import Iterable, List
 
 import numpy as np
 
-from repro.core.fixedpoint.dcqcn import DCQCNFixedPoint, solve_fixed_point
+from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.fluid.dcqcn import qcn_event_rates
 from repro.core.params import DCQCNParams
 from repro.core.stability.bode import PhaseMarginResult, phase_margin

@@ -18,11 +18,10 @@ smooth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
-from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import convergence_time
 from repro.core.fluid import dde

@@ -1,0 +1,151 @@
+"""Extension: DCQCN resilience to lossy feedback and link flaps.
+
+Fig. 20 asked how the protocols weather feedback *jitter*; this
+extension asks the harsher operational questions a datacenter actually
+poses: what if CNPs are outright *lost* (a congested or misconfigured
+reverse path), and what if the bottleneck link *flaps*?  The Fig. 2
+validation setup (N DCQCN senders through one RED-marked switch port)
+runs under a :class:`~repro.sim.faults.FaultPlan` sweeping CNP-loss
+probability and flap frequency, with an
+:class:`~repro.sim.invariants.InvariantMonitor` riding along to prove
+the simulator's own physics survive every scenario.
+
+The headline result mirrors the paper's thesis from a new angle:
+DCQCN's control loop degrades gracefully under feedback loss -- lost
+CNPs mean *less* braking, so senders keep their throughput (the queue
+pays the price) -- while the rate-limiter timeout keeps flows from
+idling when feedback dies entirely during flaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.convergence.metrics import jain_fairness
+from repro.core.params import DCQCNParams
+from repro.sim import faults
+from repro.sim.invariants import InvariantMonitor
+from repro.sim.monitors import QueueMonitor, RateMonitor
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """Outcome of one fault scenario."""
+
+    cnp_loss: float
+    flap_hz: float
+    throughput_gbps: float
+    fairness: float
+    queue_mean_kb: float
+    queue_std_kb: float
+    min_rate_gbps: float
+    cnps_lost: int
+    flap_drops: int
+    rate_limiter_timeouts: int
+    invariant_violations: int
+
+
+def _fault_plan(cnp_loss: float, flap_hz: float,
+                duration: float) -> faults.FaultPlan:
+    """CNP loss on the receiver's reverse NIC + bottleneck flaps."""
+    plan = faults.FaultPlan()
+    if cnp_loss > 0:
+        # Every CNP funnels through the receiver's NIC toward the
+        # switch; one rule covers all flows.
+        plan.add(faults.PacketLoss("recv->sw", rate=cnp_loss,
+                                   kinds=("cnp",)))
+    if flap_hz > 0:
+        period = 1.0 / flap_hz
+        count = max(int(duration / period) - 1, 1)
+        # Each flap darkens the bottleneck for a tenth of its period.
+        plan.add(faults.LinkFlap("sw->recv", start=period,
+                                 duration=0.1 * period, mode="drop",
+                                 period=period, count=count))
+    return plan
+
+
+def run(cnp_loss_rates: Sequence[float] = (0.0, 0.2, 0.5),
+        flap_frequencies_hz: Sequence[float] = (0.0, 200.0),
+        capacity_gbps: float = 40.0,
+        num_flows: int = 2,
+        duration: float = 0.02,
+        cnp_timeout: Optional[float] = 2e-3,
+        seed: int = 3) -> List[ResilienceRow]:
+    """Sweep the fault grid: loss rates alone, plus flaps at zero loss
+    and the worst loss rate (the full cross product adds little)."""
+    grid: List[Tuple[float, float]] = [(loss, 0.0)
+                                       for loss in cnp_loss_rates]
+    worst = max(cnp_loss_rates)
+    for flap_hz in flap_frequencies_hz:
+        if flap_hz > 0:
+            grid.append((0.0, flap_hz))
+            if worst > 0:
+                grid.append((worst, flap_hz))
+
+    rows = []
+    window = duration / 4.0
+    for cnp_loss, flap_hz in grid:
+        params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
+                                           num_flows=num_flows,
+                                           tau_star_us=4.0)
+        # One generator drives marking *and* fault randomness: the
+        # whole faulty simulation replays from this single seed.
+        rng = np.random.default_rng(seed)
+        marker = REDMarker(params.red, params.mtu_bytes, rng=rng)
+        net = single_switch(num_flows, link_gbps=capacity_gbps,
+                            marker=marker)
+        senders = []
+        for i in range(num_flows):
+            sender, _ = install_flow(net, "dcqcn", f"s{i}", "recv",
+                                     None, 0.0, params,
+                                     cnp_timeout=cnp_timeout)
+            senders.append(sender)
+
+        injector = faults.install(
+            net, _fault_plan(cnp_loss, flap_hz, duration), rng=rng)
+        monitor = InvariantMonitor.for_network(net,
+                                               interval=duration / 40.0)
+        queue_mon = QueueMonitor(net.sim, net.bottleneck_port,
+                                 interval=50e-6)
+        rate_mon = RateMonitor(
+            net.sim, {f"s{i}": senders[i] for i in range(num_flows)},
+            interval=100e-6)
+        net.sim.run(until=duration)
+
+        final = rate_mon.final_rates()
+        rates = np.array([final[f"s{i}"] for i in range(num_flows)])
+        delivered = sum(flow.bytes_delivered
+                        for flow in net.registry.flows.values())
+        rows.append(ResilienceRow(
+            cnp_loss=cnp_loss,
+            flap_hz=flap_hz,
+            throughput_gbps=delivered * 8 / duration / 1e9,
+            fairness=float(jain_fairness(rates)),
+            queue_mean_kb=queue_mon.tail_mean_bytes(window) / 1024,
+            queue_std_kb=queue_mon.tail_std_bytes(window) / 1024,
+            min_rate_gbps=float(rates.min()) * 8 / 1e9,
+            cnps_lost=injector.stats.lost_by_kind.get("cnp", 0),
+            flap_drops=injector.stats.flap_drops,
+            rate_limiter_timeouts=sum(s.rate_limiter_timeouts
+                                      for s in senders),
+            invariant_violations=len(monitor.violations)))
+    return rows
+
+
+def report(rows: List[ResilienceRow]) -> str:
+    """Render the fault-resilience sweep."""
+    return format_table(
+        ["CNP loss", "flap (Hz)", "tput (Gbps)", "Jain", "q mean (KB)",
+         "q std (KB)", "min rate (Gbps)", "CNPs lost", "flap drops",
+         "RL timeouts", "violations"],
+        [[r.cnp_loss, r.flap_hz, r.throughput_gbps, r.fairness,
+          r.queue_mean_kb, r.queue_std_kb, r.min_rate_gbps, r.cnps_lost,
+          r.flap_drops, r.rate_limiter_timeouts,
+          r.invariant_violations] for r in rows],
+        title="ext -- DCQCN under CNP loss and bottleneck link flaps")

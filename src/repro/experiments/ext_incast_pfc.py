@@ -24,7 +24,7 @@ buffer, under four configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro import units
 from repro.analysis.reporting import format_table

@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
 from repro.core.stability.bode import phase_margin

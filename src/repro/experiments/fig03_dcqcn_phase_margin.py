@@ -13,7 +13,7 @@ Three panels:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro import units
 from repro.analysis.reporting import format_table

@@ -17,6 +17,7 @@ from repro.experiments import (ablations,
                                ext_burst_mitigation,
                                ext_convergence_time,
                                ext_dctcp_baseline,
+                               ext_fault_resilience,
                                ext_feedback_priority,
                                ext_incast_pfc,
                                ext_latency_cdf,
@@ -137,6 +138,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("ext_leaf_spine",
                    "DCQCN on a leaf-spine fabric (future work)",
                    ext_leaf_spine.run, ext_leaf_spine.report),
+        Experiment("ext_faults",
+                   "CNP loss + link flaps: fault resilience sweep",
+                   ext_fault_resilience.run, ext_fault_resilience.report),
         Experiment("ext_feedback_priority",
                    "prioritizing feedback packets (Section 5.2)",
                    ext_feedback_priority.run,

@@ -5,4 +5,13 @@ Build a topology (:mod:`repro.sim.topology`,
 protocol agents (:mod:`repro.sim.protocols`), attach monitors
 (:mod:`repro.sim.monitors`), and run the
 :class:`~repro.sim.engine.Simulator`.
+
+For degraded-fabric studies, declare a
+:class:`~repro.sim.faults.FaultPlan` (link flaps, seeded packet
+loss/corruption, feedback delay) and install it with
+:func:`repro.sim.faults.install`; an
+:class:`~repro.sim.invariants.InvariantMonitor` audits conservation,
+PFC pairing and deadlock while the engine's watchdogs
+(``max_events``/``max_wall_seconds``) abort runaway runs with a
+structured :class:`~repro.sim.engine.SimulationAborted`.
 """

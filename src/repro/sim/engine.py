@@ -8,13 +8,66 @@ reproducible.
 
 Components never advance time themselves; they schedule callbacks and
 read :attr:`Simulator.now`.
+
+Runaway simulations (event storms, accidental infinite timer chains,
+pathological fault scenarios) are caught by two watchdogs on
+:meth:`Simulator.run` -- ``max_events`` and ``max_wall_seconds`` --
+which abort with a structured :class:`SimulationAborted` carrying the
+engine state at the abort point.  The simulator itself is left
+consistent and resumable: the clock sits at the last processed event
+and ``run`` can simply be called again.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from typing import Any, Callable, Optional
+
+#: How many events to process between wall-clock watchdog checks.
+#: ``time.monotonic()`` is cheap but not free; the event loop runs
+#: millions of events per second, so polling every event would cost
+#: more than the events themselves.
+WALL_CHECK_STRIDE = 1024
+
+
+class SimulationAborted(RuntimeError):
+    """A watchdog stopped :meth:`Simulator.run` before completion.
+
+    Subclasses ``RuntimeError`` for backward compatibility with callers
+    that guarded the old ``max_events`` behaviour.  The simulator is
+    left in a *resumable* state: all events processed so far are
+    committed, the clock sits at the last processed event, and the
+    pending heap is intact -- call ``run`` again to continue.
+
+    Attributes
+    ----------
+    reason:
+        Which watchdog fired (``"max_events"`` or ``"wall_clock"``)
+        or a caller-supplied tag.
+    events_processed:
+        Events executed by the aborted ``run`` call.
+    sim_time:
+        Simulation clock at the abort, seconds.
+    heap_depth:
+        Events still pending when the run aborted.
+    """
+
+    def __init__(self, reason: str, events_processed: int,
+                 sim_time: float, heap_depth: int,
+                 detail: str = ""):
+        self.reason = reason
+        self.events_processed = events_processed
+        self.sim_time = sim_time
+        self.heap_depth = heap_depth
+        self.detail = detail
+        message = (f"simulation aborted ({reason}) at t={sim_time:.6f}s: "
+                   f"{events_processed} events processed, "
+                   f"{heap_depth} still pending")
+        if detail:
+            message += f" -- {detail}"
+        super().__init__(message)
 
 
 class Event:
@@ -52,6 +105,11 @@ class Simulator:
         """Number of callbacks executed so far (for perf reporting)."""
         return self._processed
 
+    @property
+    def pending_events(self) -> int:
+        """Heap depth: scheduled events not yet executed (incl. cancelled)."""
+        return len(self._heap)
+
     def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
         """Run ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
@@ -69,7 +127,8 @@ class Simulator:
         return event
 
     def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> None:
+            max_events: Optional[int] = None,
+            max_wall_seconds: Optional[float] = None) -> None:
         """Process events in time order.
 
         Parameters
@@ -78,28 +137,50 @@ class Simulator:
             Stop once the clock would pass this time (the clock is left
             at ``until``).  None runs until the heap empties.
         max_events:
-            Safety valve against runaway event storms.
+            Event-storm watchdog: abort with :class:`SimulationAborted`
+            after this many events.  The simulator stays resumable.
+        max_wall_seconds:
+            Wall-clock watchdog: abort (with :class:`SimulationAborted`)
+            once this much real time has elapsed, checked every
+            :data:`WALL_CHECK_STRIDE` events.  Guards against
+            simulations that make sim-time progress but will never
+            finish within a usable budget.
         """
         self._running = True
         processed = 0
         heap = self._heap
-        while heap and self._running:
-            time, _seq, event = heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self._now = time
-            event.callback()
-            processed += 1
-            self._processed += 1
-            if max_events is not None and processed >= max_events:
-                raise RuntimeError(
-                    f"exceeded max_events={max_events} at t={self._now:.6f}")
-        if until is not None and self._now < until:
-            self._now = until
-        self._running = False
+        wall_start = _time.monotonic() if max_wall_seconds is not None \
+            else None
+        try:
+            while heap and self._running:
+                time, _seq, event = heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self._now = time
+                event.callback()
+                processed += 1
+                self._processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationAborted(
+                        "max_events", processed, self._now, len(heap),
+                        detail=f"exceeded max_events={max_events}")
+                if wall_start is not None and \
+                        processed % WALL_CHECK_STRIDE == 0 and \
+                        _time.monotonic() - wall_start > max_wall_seconds:
+                    raise SimulationAborted(
+                        "wall_clock", processed, self._now, len(heap),
+                        detail=f"exceeded max_wall_seconds="
+                               f"{max_wall_seconds}")
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            # Always leave the simulator resumable: the clock is
+            # consistent (last processed event, or ``until``) and the
+            # heap holds exactly the unprocessed events.
+            self._running = False
 
     def stop(self) -> None:
         """Abort :meth:`run` after the current callback returns."""

@@ -1,0 +1,414 @@
+"""Declarative fault injection for the packet simulator.
+
+The paper's protocols live or die by their feedback signals -- CNPs
+for DCQCN, RTT samples for TIMELY -- and Section 5.2 studies what
+happens when those signals degrade.  This module makes the degraded
+fabric a first-class, *declarative* experiment input: a
+:class:`FaultPlan` lists faults (link flaps, seeded packet loss or
+corruption, feedback delay/jitter) and a :class:`FaultInjector`
+realizes them against a built topology without modifying any device
+code.
+
+Injection point
+---------------
+Every fault acts at the *link*: the injector replaces ``port.link``
+with a :class:`FaultyLink` proxy that consults the active rules on
+each delivery.  Ports, switches, PFC accounting and the
+``on_transmit``/``on_drop`` hook chains are untouched, so
+
+* an **empty plan installs nothing** -- runs are bit-identical to a
+  simulation without the fault layer, and
+* loss/corruption happen *after* serialization and PFC byte release
+  (the packet really crossed the egress), which is where wire faults
+  live in real fabrics.
+
+Determinism: the injector draws randomness only when a stochastic rule
+is actually active for a matching packet, from one seeded
+``numpy`` Generator (optionally shared with the AQM markers via
+``rng=``), so a whole faulty simulation replays from a single seed.
+
+Faults reference ports by :attr:`~repro.sim.link.Port.name`, the
+``"<src>-><dst>"`` labels assigned by :func:`repro.sim.switch.connect`
+(e.g. ``"sw->recv"``, ``"leaf0->spine1"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, Port
+from repro.sim.packet import Packet
+
+#: Link-flap handling of packets that reach a downed link.
+FLAP_MODES = ("drop", "hold")
+
+
+# -- fault declarations -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Take a link down at ``start`` for ``duration`` seconds.
+
+    ``mode="drop"`` black-holes packets that reach the downed link
+    (clean fiber cut); ``mode="hold"`` parks them, preserving order,
+    and releases the backlog when the link recovers (a transient
+    switch-firmware stall).  ``period``/``count`` repeat the flap for
+    frequency sweeps.  ``reroute=True`` asks the injector to invoke
+    its topology callbacks on each transition -- used with
+    :func:`repro.sim.leaf_spine.reroute_around_spine` so a leaf-spine
+    fabric steers new packets onto surviving spines while the link is
+    dark.
+    """
+
+    port: str
+    start: float
+    duration: float
+    mode: str = "drop"
+    period: Optional[float] = None
+    count: int = 1
+    reroute: bool = False
+
+    def __post_init__(self):
+        if self.mode not in FLAP_MODES:
+            raise ValueError(
+                f"mode must be one of {FLAP_MODES}, got {self.mode!r}")
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(
+                f"need start >= 0 and duration > 0, got "
+                f"start={self.start}, duration={self.duration}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.count > 1 and (self.period is None
+                               or self.period <= self.duration):
+            raise ValueError(
+                "repeating flaps need period > duration, got "
+                f"period={self.period}, duration={self.duration}")
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Seeded Bernoulli loss (or corruption) on one port's link.
+
+    ``kinds`` filters which packets are at risk -- ``("cnp",)`` models
+    lossy feedback while data sails through, ``("ack",)`` starves
+    TIMELY of RTT samples, ``None`` afflicts everything.  With
+    ``corrupt=True`` the packet is delivered but flagged corrupted;
+    the destination NIC discards it after it has consumed wire and
+    buffer resources (the more expensive failure).
+    """
+
+    port: str
+    rate: float
+    kinds: Optional[Tuple[str, ...]] = None
+    start: float = 0.0
+    stop: Optional[float] = None
+    corrupt: bool = False
+
+    def __post_init__(self):
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(
+                f"stop ({self.stop}) must exceed start ({self.start})")
+
+    def matches(self, packet: Packet, now: float) -> bool:
+        """Whether this rule applies to ``packet`` at time ``now``."""
+        if now < self.start or (self.stop is not None
+                                and now >= self.stop):
+            return False
+        return self.kinds is None or packet.kind in self.kinds
+
+
+@dataclass(frozen=True)
+class FeedbackDelay:
+    """Extra (optionally jittered) latency for selected packet kinds.
+
+    The packet-level analogue of the Fig. 20 fluid jitter study:
+    ``extra`` shifts every matching packet deterministically, and each
+    packet additionally draws uniform extra delay in ``[0, jitter)``.
+    Defaults to the feedback kinds (ACKs and CNPs), the signals whose
+    staleness the paper's Section 5.2 analysis is about.
+    """
+
+    port: str
+    extra: float = 0.0
+    jitter: float = 0.0
+    kinds: Optional[Tuple[str, ...]] = ("ack", "cnp")
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    def __post_init__(self):
+        if self.extra < 0 or self.jitter < 0:
+            raise ValueError(
+                f"extra and jitter must be >= 0, got extra={self.extra}, "
+                f"jitter={self.jitter}")
+        if self.extra == 0 and self.jitter == 0:
+            raise ValueError("need extra > 0 or jitter > 0")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(
+                f"stop ({self.stop}) must exceed start ({self.start})")
+
+    def matches(self, packet: Packet, now: float) -> bool:
+        """Whether this rule applies to ``packet`` at time ``now``."""
+        if now < self.start or (self.stop is not None
+                                and now >= self.stop):
+            return False
+        return self.kinds is None or packet.kind in self.kinds
+
+
+class FaultPlan:
+    """An ordered schedule of faults to inject into one simulation."""
+
+    def __init__(self, faults: Iterable[object] = ()):
+        self.flaps: List[LinkFlap] = []
+        self.losses: List[PacketLoss] = []
+        self.delays: List[FeedbackDelay] = []
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: object) -> "FaultPlan":
+        """Append one fault; returns self for chaining."""
+        if isinstance(fault, LinkFlap):
+            self.flaps.append(fault)
+        elif isinstance(fault, PacketLoss):
+            self.losses.append(fault)
+        elif isinstance(fault, FeedbackDelay):
+            self.delays.append(fault)
+        else:
+            raise TypeError(
+                f"unsupported fault type {type(fault).__name__}; expected "
+                "LinkFlap, PacketLoss or FeedbackDelay")
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.flaps or self.losses or self.delays)
+
+    def ports(self) -> "set[str]":
+        """Names of every port any fault references."""
+        return {f.port for f in self.flaps} \
+            | {f.port for f in self.losses} \
+            | {f.port for f in self.delays}
+
+    def __len__(self) -> int:
+        return len(self.flaps) + len(self.losses) + len(self.delays)
+
+
+# -- injection machinery ------------------------------------------------------
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for reports and assertions."""
+
+    lost_packets: int = 0
+    lost_bytes: int = 0
+    lost_by_kind: Dict[str, int] = field(default_factory=dict)
+    corrupted_packets: int = 0
+    delayed_packets: int = 0
+    flap_drops: int = 0
+    held_packets: int = 0
+    link_downs: int = 0
+    link_ups: int = 0
+
+    def summary(self) -> str:
+        return (f"lost={self.lost_packets} "
+                f"corrupted={self.corrupted_packets} "
+                f"delayed={self.delayed_packets} "
+                f"flap_drops={self.flap_drops} "
+                f"held={self.held_packets} "
+                f"flaps={self.link_downs}")
+
+
+class FaultyLink:
+    """Link proxy applying the active fault rules on each delivery."""
+
+    def __init__(self, inner: Link, sim: Simulator, port_name: str,
+                 injector: "FaultInjector"):
+        self._inner = inner
+        self.sim = sim
+        self.port_name = port_name
+        self.injector = injector
+        self.up = True
+        self.hold = False
+        self._held: List[Packet] = []
+        self.losses: List[PacketLoss] = []
+        self.delays: List[FeedbackDelay] = []
+
+    # Transparent passthrough of the Link surface devices rely on.
+    @property
+    def delay(self) -> float:
+        return self._inner.delay
+
+    @property
+    def dst(self) -> object:
+        return self._inner.dst
+
+    @property
+    def ingress_label(self) -> Optional[str]:
+        return self._inner.ingress_label
+
+    def deliver(self, packet: Packet) -> None:
+        """Apply down/loss/delay rules, then defer to the real link."""
+        stats = self.injector.stats
+        if not self.up:
+            if self.hold:
+                self._held.append(packet)
+                stats.held_packets += 1
+            else:
+                stats.flap_drops += 1
+            return
+        now = self.sim.now
+        rng = self.injector.rng
+        for rule in self.losses:
+            if rule.matches(packet, now) and rng.random() < rule.rate:
+                if rule.corrupt:
+                    packet.corrupted = True
+                    stats.corrupted_packets += 1
+                    break  # still delivered; skip further loss rules
+                stats.lost_packets += 1
+                stats.lost_bytes += packet.size_bytes
+                stats.lost_by_kind[packet.kind] = \
+                    stats.lost_by_kind.get(packet.kind, 0) + 1
+                return
+        extra = 0.0
+        for rule in self.delays:
+            if rule.matches(packet, now):
+                extra += rule.extra
+                if rule.jitter > 0:
+                    extra += rule.jitter * rng.random()
+        if extra > 0.0:
+            stats.delayed_packets += 1
+            self.sim.schedule(
+                extra, lambda p=packet: self._inner.deliver(p))
+            return
+        self._inner.deliver(packet)
+
+    # -- flap transitions -----------------------------------------------------
+
+    def take_down(self, hold: bool) -> None:
+        """Link goes dark; arriving packets are held or dropped."""
+        self.up = False
+        self.hold = hold
+        self.injector.stats.link_downs += 1
+
+    def bring_up(self) -> None:
+        """Link recovers; a held backlog drains in arrival order."""
+        self.up = True
+        self.injector.stats.link_ups += 1
+        held, self._held = self._held, []
+        for packet in held:
+            self._inner.deliver(packet)
+
+
+class FaultInjector:
+    """Realizes a :class:`FaultPlan` against built topology ports.
+
+    Parameters
+    ----------
+    sim:
+        The simulation clock (flap transitions are scheduled on it).
+    ports:
+        Port-name -> :class:`~repro.sim.link.Port` map covering at
+        least every port the plan references.  Use :func:`collect_ports`
+        to harvest them from a :class:`~repro.sim.topology.Network`.
+    plan:
+        The fault schedule.  An empty plan installs nothing at all.
+    rng:
+        Optional shared ``numpy.random.Generator`` (the simulation-wide
+        stream); falls back to a private generator from ``seed``.
+    on_link_down / on_link_up:
+        Topology callbacks ``fn(port_name)`` fired on each flap
+        transition of a fault with ``reroute=True`` -- the hook for
+        leaf-spine FIB reroutes.
+    """
+
+    def __init__(self, sim: Simulator, ports: Dict[str, Port],
+                 plan: FaultPlan,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0,
+                 on_link_down: Optional[Callable[[str], None]] = None,
+                 on_link_up: Optional[Callable[[str], None]] = None):
+        self.sim = sim
+        self.plan = plan
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.stats = FaultStats()
+        self.on_link_down = on_link_down
+        self.on_link_up = on_link_up
+        self._links: Dict[str, FaultyLink] = {}
+
+        missing = plan.ports() - set(ports)
+        if missing:
+            raise KeyError(
+                f"fault plan references unknown ports {sorted(missing)}; "
+                f"known: {sorted(ports)}")
+
+        for name in sorted(plan.ports()):
+            port = ports[name]
+            faulty = FaultyLink(port.link, sim, name, self)
+            port.link = faulty
+            self._links[name] = faulty
+        for loss in plan.losses:
+            self._links[loss.port].losses.append(loss)
+        for delay in plan.delays:
+            self._links[delay.port].delays.append(delay)
+        for flap in plan.flaps:
+            self._schedule_flap(flap)
+
+    def link_is_up(self, port_name: str) -> bool:
+        """Current state of an injected link (True for untouched ports)."""
+        link = self._links.get(port_name)
+        return True if link is None else link.up
+
+    def _schedule_flap(self, flap: LinkFlap) -> None:
+        link = self._links[flap.port]
+        for i in range(flap.count):
+            offset = flap.start + (flap.period or 0.0) * i
+            self.sim.schedule_at(
+                offset, lambda: self._down(link, flap))
+            self.sim.schedule_at(
+                offset + flap.duration, lambda: self._up(link, flap))
+
+    def _down(self, link: FaultyLink, flap: LinkFlap) -> None:
+        link.take_down(hold=flap.mode == "hold")
+        if flap.reroute and self.on_link_down is not None:
+            self.on_link_down(link.port_name)
+
+    def _up(self, link: FaultyLink, flap: LinkFlap) -> None:
+        link.bring_up()
+        if flap.reroute and self.on_link_up is not None:
+            self.on_link_up(link.port_name)
+
+
+def collect_ports(network: object) -> Dict[str, Port]:
+    """Harvest every port of a built topology, keyed by port name.
+
+    Works on any object with ``hosts`` (name -> Host with ``.port``)
+    and ``switches`` (name -> Switch with ``.ports``) mappings --
+    i.e. :class:`repro.sim.topology.Network` from any builder.
+    """
+    ports: Dict[str, Port] = {}
+    for host in getattr(network, "hosts", {}).values():
+        if getattr(host, "port", None) is not None:
+            ports[host.port.name] = host.port
+    for switch in getattr(network, "switches", {}).values():
+        for port in switch.ports.values():
+            ports[port.name] = port
+    return ports
+
+
+def install(network: object, plan: FaultPlan,
+            rng: Optional[np.random.Generator] = None,
+            seed: int = 0,
+            on_link_down: Optional[Callable[[str], None]] = None,
+            on_link_up: Optional[Callable[[str], None]] = None
+            ) -> FaultInjector:
+    """Convenience: build a :class:`FaultInjector` for a ``Network``."""
+    return FaultInjector(network.sim, collect_ports(network), plan,
+                         rng=rng, seed=seed,
+                         on_link_down=on_link_down, on_link_up=on_link_up)

@@ -1,0 +1,236 @@
+"""Simulation watchdogs: periodic invariant checks and deadlock detection.
+
+Fault injection (:mod:`repro.sim.faults`) makes it easy to push the
+simulator into regimes the paper never exercised -- lossy feedback,
+dark links, PFC storms.  The :class:`InvariantMonitor` rides along any
+simulation and verifies, on a fixed cadence, that the physics still
+hold:
+
+* **Queue conservation** -- every port FIFO's byte counter matches its
+  queued packets, and lifetime enqueued bytes equal dequeued bytes
+  plus occupancy (:meth:`repro.sim.queues.ByteFIFO.audit`).
+* **Serializer accounting** -- a port never transmits more bytes than
+  its queues released, and the gap is exactly one in-flight packet.
+* **Non-negative, finite rates** -- no sender's rate goes zero,
+  negative, NaN or infinite.
+* **PFC pairing** -- pauses minus resumes equals the number of
+  currently-paused upstreams, and per-upstream buffered bytes never
+  go negative.
+* **PFC deadlock** -- pauses outstanding while no data bytes make
+  progress anywhere for several consecutive checks: the signature of
+  a cyclic buffer dependency (or a pause whose resume was lost).
+
+Violations are recorded as structured :class:`InvariantViolation`
+rows; ``strict=True`` stops the simulation on the first one so the
+offending state is still inspectable.  A clean run reports
+``violations == []``, which experiments and tests assert via
+:meth:`InvariantMonitor.assert_clean`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Port
+from repro.sim.pfc import PFCController
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed check: when, which invariant, and the evidence."""
+
+    time: float
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[t={self.time:.6f}s] {self.check} on {self.subject}: "
+                f"{self.detail}")
+
+
+class InvariantMonitor:
+    """Periodic auditor for a running simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulation to audit.
+    ports:
+        Ports to conservation-check, keyed by name.  Usually
+        :func:`repro.sim.faults.collect_ports` output.
+    senders:
+        Label -> sender agents whose ``rate`` must stay positive and
+        finite.
+    pfcs:
+        Label -> :class:`~repro.sim.pfc.PFCController` to audit for
+        pause/resume pairing and deadlock.
+    interval:
+        Audit cadence, simulated seconds.
+    deadlock_checks:
+        Consecutive no-progress-while-paused audits that constitute a
+        PFC deadlock.
+    strict:
+        Stop the simulation (``sim.stop()``) on the first violation.
+    """
+
+    def __init__(self, sim: Simulator,
+                 ports: Optional[Dict[str, Port]] = None,
+                 senders: Optional[Dict[str, object]] = None,
+                 pfcs: Optional[Dict[str, PFCController]] = None,
+                 interval: float = 1e-3,
+                 deadlock_checks: int = 3,
+                 strict: bool = False):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if deadlock_checks < 1:
+            raise ValueError(
+                f"deadlock_checks must be >= 1, got {deadlock_checks}")
+        self.sim = sim
+        self.ports = dict(ports or {})
+        self.senders = dict(senders or {})
+        self.pfcs = dict(pfcs or {})
+        self.interval = interval
+        self.deadlock_checks = deadlock_checks
+        self.strict = strict
+        self.violations: List[InvariantViolation] = []
+        self.checks_run = 0
+        self._stalled_audits = 0
+        self._last_data_bytes = self._total_transmitted()
+        self._deadlock_reported = False
+        sim.schedule(interval, self._audit)
+
+    @classmethod
+    def for_network(cls, network: object, **kwargs) -> "InvariantMonitor":
+        """Build a monitor covering a whole ``Network``."""
+        from repro.sim.faults import collect_ports
+        senders = {f"flow{fid}": sender for fid, sender
+                   in getattr(network, "senders", {}).items()}
+        pfcs = {name: switch.pfc
+                for name, switch in getattr(network, "switches", {}).items()
+                if getattr(switch, "pfc", None) is not None}
+        return cls(network.sim, ports=collect_ports(network),
+                   senders=senders, pfcs=pfcs, **kwargs)
+
+    # -- audit loop -----------------------------------------------------------
+
+    def _audit(self) -> None:
+        self.checks_run += 1
+        self._check_ports()
+        self._check_senders()
+        self._check_pfc()
+        self._check_deadlock()
+        if not (self.strict and self.violations):
+            self.sim.schedule(self.interval, self._audit)
+
+    def _record(self, check: str, subject: str, detail: str) -> None:
+        self.violations.append(
+            InvariantViolation(self.sim.now, check, subject, detail))
+        if self.strict:
+            self.sim.stop()
+
+    def _check_ports(self) -> None:
+        for name, port in self.ports.items():
+            queues = [("data", port.queue)]
+            if port.control_queue is not None:
+                queues.append(("control", port.control_queue))
+            released = 0
+            for label, fifo in queues:
+                problem = fifo.audit()
+                if problem is not None:
+                    self._record("queue_conservation",
+                                 f"{name}/{label}", problem)
+                released += fifo.dequeued_bytes
+            gap = released - port.bytes_transmitted
+            if gap < 0:
+                self._record(
+                    "serializer_accounting", name,
+                    f"transmitted {port.bytes_transmitted} bytes but "
+                    f"queues only released {released}")
+            elif gap == 0 and port.busy:
+                self._record(
+                    "serializer_accounting", name,
+                    "busy with no dequeued packet outstanding")
+            elif gap > 0 and not port.busy:
+                self._record(
+                    "serializer_accounting", name,
+                    f"idle with {gap} dequeued bytes unaccounted")
+
+    def _check_senders(self) -> None:
+        for label, sender in self.senders.items():
+            rate = getattr(sender, "rate", None)
+            if rate is None:
+                continue  # window-based sender (DCTCP): no rate state
+            if not math.isfinite(rate) or rate <= 0:
+                self._record("sender_rate", label,
+                             f"rate is {rate!r} (must be finite and > 0)")
+
+    def _check_pfc(self) -> None:
+        for name, pfc in self.pfcs.items():
+            paused = pfc.paused_upstreams()
+            balance = pfc.pauses_sent - pfc.resumes_sent
+            if balance != len(paused):
+                self._record(
+                    "pfc_pairing", name,
+                    f"pauses {pfc.pauses_sent} - resumes "
+                    f"{pfc.resumes_sent} = {balance}, but "
+                    f"{len(paused)} upstreams paused: {paused}")
+            for label in pfc.upstream_labels():
+                buffered = pfc.buffered_bytes(label)
+                if buffered < 0:
+                    self._record(
+                        "pfc_accounting", f"{name}/{label}",
+                        f"buffered bytes negative: {buffered}")
+
+    def _total_transmitted(self) -> int:
+        return sum(port.bytes_transmitted for port in self.ports.values())
+
+    def _check_deadlock(self) -> None:
+        any_paused = any(pfc.paused_upstreams()
+                         for pfc in self.pfcs.values())
+        total = self._total_transmitted()
+        progressed = total > self._last_data_bytes
+        self._last_data_bytes = total
+        if not any_paused or progressed:
+            self._stalled_audits = 0
+            self._deadlock_reported = False
+            return
+        self._stalled_audits += 1
+        if self._stalled_audits >= self.deadlock_checks \
+                and not self._deadlock_reported:
+            self._deadlock_reported = True
+            paused = {name: pfc.paused_upstreams()
+                      for name, pfc in self.pfcs.items()
+                      if pfc.paused_upstreams()}
+            self._record(
+                "pfc_deadlock", "fabric",
+                f"no transmission progress for {self._stalled_audits} "
+                f"audits ({self._stalled_audits * self.interval:.6f}s) "
+                f"with pauses outstanding: {paused}")
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True when no invariant has been violated so far."""
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` listing any recorded violations."""
+        if self.violations:
+            lines = "\n".join(str(v) for v in self.violations)
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s):\n{lines}")
+
+    def report(self) -> str:
+        """Human-readable audit summary."""
+        if not self.violations:
+            return (f"invariants clean: {self.checks_run} audits, "
+                    f"0 violations")
+        lines = [f"{len(self.violations)} violation(s) in "
+                 f"{self.checks_run} audits:"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)

@@ -119,6 +119,61 @@ def leaf_spine(n_leaves: int = 4,
                    mtu_bytes=mtu_bytes, link_rate_bytes=host_rate)
 
 
+def _spine_names(net: Network) -> List[str]:
+    """Spine switch names in index order."""
+    return sorted((name for name in net.switches if name.startswith("spine")),
+                  key=lambda name: int(name[len("spine"):]))
+
+
+def reroute_around_spine(net: Network, leaf_name: str,
+                         spine_name: str) -> int:
+    """Steer ``leaf_name``'s routes off ``spine_name`` onto survivors.
+
+    The topology-aware reaction to a failed leaf->spine uplink: every
+    FIB entry at the leaf that pointed at the dark spine is re-hashed
+    (deterministically) across the remaining spines, so cross-rack
+    traffic reroutes instead of black-holing.  Returns the number of
+    rewritten routes.  With a single spine there is nowhere to go and
+    the traffic legitimately stalls -- 0 is returned.
+
+    Designed as the ``on_link_down`` callback of a
+    :class:`repro.sim.faults.FaultInjector` (parse the port name
+    ``"leafX->spineY"`` and delegate here); pair with
+    :func:`restore_spine_routes` on link recovery.
+    """
+    leaf = net.switches[leaf_name]
+    survivors = [s for s in _spine_names(net) if s != spine_name]
+    if not survivors:
+        return 0
+    rewritten = 0
+    for dst, via in list(leaf.fib.items()):
+        if via == spine_name:
+            pick = _stable_hash(leaf_name, dst) % len(survivors)
+            leaf.fib[dst] = survivors[pick]
+            rewritten += 1
+    return rewritten
+
+
+def restore_spine_routes(net: Network, leaf_name: str) -> int:
+    """Recompute ``leaf_name``'s original hash-based spine choices.
+
+    Undoes :func:`reroute_around_spine` once the flapped uplink is
+    back: every cross-rack route returns to the spine the original
+    ECMP hash selected.  Returns the number of routes touched.
+    """
+    leaf = net.switches[leaf_name]
+    spines = _spine_names(net)
+    restored = 0
+    for dst, via in list(leaf.fib.items()):
+        if via == dst:
+            continue  # local host, not a spine route
+        original = spines[_stable_hash(leaf_name, dst) % len(spines)]
+        if via != original:
+            leaf.fib[dst] = original
+            restored += 1
+    return restored
+
+
 def cross_rack_pairs(n_leaves: int, hosts_per_leaf: int
                      ) -> List["tuple[str, str]"]:
     """A rack-rotation permutation: every host sends to the host with

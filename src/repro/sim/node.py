@@ -26,6 +26,9 @@ class Host:
         self.port: Optional[Port] = None
         self._senders: Dict[int, object] = {}
         self._receivers: Dict[int, object] = {}
+        #: Packets discarded on arrival because the fault injector
+        #: corrupted them in flight (CRC failure at the NIC).
+        self.corrupted_discarded = 0
 
     # -- agent registration ---------------------------------------------------
 
@@ -60,7 +63,7 @@ class Host:
         """
         return len(self._senders)
 
-    # -- data path -------------------------------------------------------------
+    # -- data path ------------------------------------------------------------
 
     def send(self, packet: Packet) -> None:
         """Hand a packet to the NIC for (serialized) transmission."""
@@ -73,8 +76,12 @@ class Host:
 
         Packets for unknown flows are dropped silently: they are
         in-flight stragglers of flows whose agents already finished
-        and deregistered.
+        and deregistered.  Corrupted packets (fault injection) fail
+        the NIC CRC check and are discarded before dispatch.
         """
+        if packet.corrupted:
+            self.corrupted_discarded += 1
+            return
         if packet.kind == "data":
             receiver = self._receivers.get(packet.flow_id)
             if receiver is not None:

@@ -42,7 +42,7 @@ class Packet:
 
     __slots__ = ("packet_id", "flow_id", "size_bytes", "src", "dst",
                  "kind", "sent_time", "ecn_marked", "echo_time",
-                 "acked_bytes", "seq", "pfc_ingress")
+                 "acked_bytes", "seq", "pfc_ingress", "corrupted")
 
     def __init__(self, flow_id: int, size_bytes: int, src: str, dst: str,
                  kind: str = "data", seq: int = 0):
@@ -60,6 +60,10 @@ class Packet:
         #: Upstream label at the switch currently buffering the packet
         #: (PFC accounting; rewritten at each hop).
         self.pfc_ingress: Optional[str] = None
+        #: Set by the fault injector: the packet still occupies wire
+        #: and buffer resources but fails its CRC at the destination
+        #: host, which discards it (RoCE has no payload recovery).
+        self.corrupted = False
 
     @property
     def is_control(self) -> bool:

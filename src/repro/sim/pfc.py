@@ -77,6 +77,20 @@ class PFCController:
         """Whether PAUSE is currently asserted toward ``label``."""
         return self._paused.get(label, False)
 
+    def upstream_labels(self) -> "list[str]":
+        """All registered upstream labels (for invariant auditing)."""
+        return sorted(self._buffered)
+
+    def paused_upstreams(self) -> "list[str]":
+        """Labels with PAUSE currently asserted.
+
+        The invariant monitor uses this both for pause/resume pairing
+        checks and for PFC-deadlock detection (pauses outstanding while
+        no data makes progress).
+        """
+        return sorted(label for label, paused in self._paused.items()
+                      if paused)
+
     def on_ingress(self, label: str, nbytes: int) -> None:
         """Account bytes entering the switch via ``label``."""
         if label not in self._buffered:

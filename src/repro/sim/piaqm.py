@@ -21,7 +21,8 @@ class PIMarker:
     """Integral marking controller on a byte-denominated egress queue."""
 
     def __init__(self, pi: PIParams, mtu_bytes: int,
-                 update_interval: float = 10e-6, seed: int = 0):
+                 update_interval: float = 10e-6, seed: int = 0,
+                 rng: "np.random.Generator" = None):
         if mtu_bytes <= 0:
             raise ValueError(f"mtu_bytes must be positive, got {mtu_bytes}")
         if update_interval <= 0:
@@ -34,7 +35,9 @@ class PIMarker:
         self.update_interval = update_interval
         self.p = 0.0
         self._previous_queue: float = 0.0
-        self._rng = np.random.default_rng(seed)
+        # ``rng`` shares one simulation-wide stream across components;
+        # otherwise the marker owns a private stream seeded by ``seed``.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def update(self, queue_bytes: float, now: float) -> None:
         """Advance the controller one sampling interval."""

@@ -127,7 +127,7 @@ class RateBasedSender:
         self.host.send(packet)
         self.on_packet_sent(packet)
 
-    # -- protocol hooks --------------------------------------------------------
+    # -- protocol hooks -------------------------------------------------------
 
     def on_packet_sent(self, packet: Packet) -> None:
         """Called after each data packet emission (byte counters...)."""

@@ -38,7 +38,11 @@ class DCQCNSender(RateBasedSender):
     def __init__(self, sim: Simulator, host: Host, flow: Flow,
                  params: DCQCNParams,
                  line_rate: Optional[float] = None,
-                 initial_rate: Optional[float] = None):
+                 initial_rate: Optional[float] = None,
+                 cnp_timeout: Optional[float] = None):
+        if cnp_timeout is not None and cnp_timeout <= 0:
+            raise ValueError(
+                f"cnp_timeout must be positive or None, got {cnp_timeout}")
         self.params = params
         mtu = params.mtu_bytes
         line = line_rate if line_rate is not None \
@@ -59,11 +63,22 @@ class DCQCNSender(RateBasedSender):
         #: for the feedback-prioritization experiment.
         self.cnp_delay_sum = 0.0
         self.cnp_delay_max = 0.0
+        #: Graceful degradation under lossy feedback: hardware DCQCN
+        #: implementations release a flow's rate limiter outright after
+        #: a long CNP-free interval ([31]'s rate-limiter timeout).
+        #: When the fault injector eats the CNP stream, this prevents a
+        #: flow from idling forever at a stale throttled rate.  None
+        #: (the default) disables the timeout -- fault-free behaviour
+        #: is untouched.
+        self.cnp_timeout = cnp_timeout
+        self._cnp_timeout_timer = None
+        self.rate_limiter_timeouts = 0
 
     def start(self) -> None:
         super().start()
         self._arm_alpha_timer()
         self._arm_rate_timer()
+        self._arm_cnp_timeout()
 
     def stop(self) -> None:
         super().stop()
@@ -71,8 +86,10 @@ class DCQCNSender(RateBasedSender):
             self._alpha_timer.cancel()
         if self._rate_timer is not None:
             self._rate_timer.cancel()
+        if self._cnp_timeout_timer is not None:
+            self._cnp_timeout_timer.cancel()
 
-    # -- timers -----------------------------------------------------------------
+    # -- timers ---------------------------------------------------------------
 
     def _arm_alpha_timer(self) -> None:
         if self._alpha_timer is not None:
@@ -96,7 +113,31 @@ class DCQCNSender(RateBasedSender):
         self._rate_increase_event()
         self._arm_rate_timer()
 
-    # -- RP reactions -----------------------------------------------------------
+    def _arm_cnp_timeout(self) -> None:
+        if self.cnp_timeout is None:
+            return
+        if self._cnp_timeout_timer is not None:
+            self._cnp_timeout_timer.cancel()
+        self._cnp_timeout_timer = self.sim.schedule(
+            self.cnp_timeout, self._cnp_timeout_fired)
+
+    def _cnp_timeout_fired(self) -> None:
+        """No CNP for the whole timeout: release the rate limiter.
+
+        The flow returns to its unthrottled initial state (line rate,
+        fresh alpha, counters reset); the timer re-arms only when
+        feedback reappears.
+        """
+        self.rate_limiter_timeouts += 1
+        self._cnp_timeout_timer = None
+        self.alpha = 1.0
+        self.target_rate = self.line_rate
+        self.rate = self.line_rate
+        self._bytes_since_event = 0.0
+        self._byte_stage = 0
+        self._time_stage = 0
+
+    # -- RP reactions ---------------------------------------------------------
 
     def on_cnp(self, packet: Packet) -> None:
         """Eq. 1: multiplicative decrease plus full increase-state reset."""
@@ -113,6 +154,7 @@ class DCQCNSender(RateBasedSender):
         self._time_stage = 0
         self._arm_alpha_timer()
         self._arm_rate_timer()
+        self._arm_cnp_timeout()
 
     def on_packet_sent(self, packet: Packet) -> None:
         self._bytes_since_event += packet.size_bytes

@@ -78,7 +78,7 @@ class DCTCPSender:
         self.windows_completed = 0
         self.marked_windows = 0
 
-    # -- lifecycle ---------------------------------------------------------------
+    # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
         """Register with the host and open the first window."""
@@ -96,7 +96,7 @@ class DCTCPSender:
         self._stopped = True
         self.host.unregister_sender(self.flow.flow_id)
 
-    # -- transmission ------------------------------------------------------------
+    # -- transmission ---------------------------------------------------------
 
     def _fill_window(self) -> None:
         """Emit packets while the window allows and data remains."""
@@ -120,7 +120,7 @@ class DCTCPSender:
             self._window_end_bytes = int(self.cwnd)
         self.host.send(packet)
 
-    # -- ACK processing ----------------------------------------------------------
+    # -- ACK processing -------------------------------------------------------
 
     def on_ack(self, packet: Packet) -> None:
         """Per-packet ACK: credit the window, run DCTCP at its edges."""

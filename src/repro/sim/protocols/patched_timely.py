@@ -33,10 +33,12 @@ class PatchedTimelySender(TimelySender):
                  line_rate: Optional[float] = None,
                  initial_rate: Optional[float] = None,
                  pacing: str = "packet",
-                 base_rtt: float = 0.0):
+                 base_rtt: float = 0.0,
+                 rtt_outlier_factor: Optional[float] = None):
         super().__init__(sim, host, flow, patched.base,
                          line_rate=line_rate, initial_rate=initial_rate,
-                         pacing=pacing)
+                         pacing=pacing,
+                         rtt_outlier_factor=rtt_outlier_factor)
         self.patched = patched
         if base_rtt < 0:
             raise ValueError(f"base_rtt must be >= 0, got {base_rtt}")

@@ -45,7 +45,8 @@ class TimelySender(RateBasedSender):
                  initial_rate: Optional[float] = None,
                  pacing: str = "packet",
                  gradient_clamp: Optional[float] = 0.25,
-                 burst_rate_fraction: float = 1.0):
+                 burst_rate_fraction: float = 1.0,
+                 rtt_outlier_factor: Optional[float] = None):
         if pacing not in PACING_MODES:
             raise ValueError(
                 f"pacing must be one of {PACING_MODES}, got {pacing!r}")
@@ -57,6 +58,10 @@ class TimelySender(RateBasedSender):
             raise ValueError(
                 f"burst_rate_fraction must be in (0, 1], got "
                 f"{burst_rate_fraction}")
+        if rtt_outlier_factor is not None and rtt_outlier_factor <= 1.0:
+            raise ValueError(
+                f"rtt_outlier_factor must exceed 1 or be None, got "
+                f"{rtt_outlier_factor}")
         self.params = params
         mtu = params.mtu_bytes
         line = line_rate if line_rate is not None \
@@ -95,8 +100,20 @@ class TimelySender(RateBasedSender):
         self.burst_rate_fraction = burst_rate_fraction
         self._burst_start = 0.0
         self._burst_emitted = 0.0
+        #: Graceful degradation under faulty feedback: with a factor F,
+        #: an RTT sample exceeding F times the running EWMA baseline is
+        #: rejected outright -- it is far likelier to be a delayed or
+        #: duplicated feedback packet (fault injection, link flap
+        #: backlog release) than a real congestion signal, and TIMELY's
+        #: gradient math has no defence against such a spike beyond the
+        #: clamp.  Rejected samples update nothing; the baseline learns
+        #: only from accepted samples.  None disables rejection
+        #: (fault-free behaviour untouched).
+        self.rtt_outlier_factor = rtt_outlier_factor
+        self._rtt_baseline: Optional[float] = None
+        self.rtt_outliers_rejected = 0
 
-    # -- pacing -----------------------------------------------------------------
+    # -- pacing ---------------------------------------------------------------
 
     def _pace(self) -> None:
         if self.pacing == "packet":
@@ -137,18 +154,33 @@ class TimelySender(RateBasedSender):
         delay = max(next_burst - self.sim.now, 0.0)
         self._next_emission = self.sim.schedule(delay, self._pace)
 
-    # -- Algorithm 1 --------------------------------------------------------------
+    # -- Algorithm 1 ----------------------------------------------------------
 
     def on_ack(self, packet: Packet) -> None:
         if packet.echo_time is None:
             raise ValueError("TIMELY ACK without an echoed timestamp")
         rtt = self.sim.now - packet.echo_time
         self.rtt_samples += 1
+        if self._reject_outlier(rtt):
+            return
         if self._last_update is not None and \
                 self.sim.now - self._last_update < self.params.min_rtt:
             return
         self._last_update = self.sim.now
         self.update_rate(rtt)
+
+    def _reject_outlier(self, rtt: float) -> bool:
+        """Outlier rejection against the EWMA baseline (if enabled)."""
+        if self.rtt_outlier_factor is None:
+            return False
+        if self._rtt_baseline is not None and \
+                rtt > self.rtt_outlier_factor * self._rtt_baseline:
+            self.rtt_outliers_rejected += 1
+            return True
+        a = self.params.ewma_alpha
+        self._rtt_baseline = rtt if self._rtt_baseline is None \
+            else (1.0 - a) * self._rtt_baseline + a * rtt
+        return False
 
     def update_rate(self, rtt: float) -> None:
         """Algorithm 1, lines 1-12."""

@@ -26,6 +26,11 @@ class ByteFIFO:
         self._bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        #: Lifetime byte totals, for conservation audits
+        #: (:mod:`repro.sim.invariants`): every byte that entered must
+        #: either still be queued or have been dequeued.
+        self.enqueued_bytes = 0
+        self.dequeued_bytes = 0
         #: High-water mark, bytes -- handy for buffer sizing reports.
         self.max_bytes = 0
 
@@ -50,6 +55,7 @@ class ByteFIFO:
             return False
         self._packets.append(packet)
         self._bytes += packet.size_bytes
+        self.enqueued_bytes += packet.size_bytes
         if self._bytes > self.max_bytes:
             self.max_bytes = self._bytes
         return True
@@ -60,7 +66,27 @@ class ByteFIFO:
             raise IndexError("dequeue from empty ByteFIFO")
         packet = self._packets.popleft()
         self._bytes -= packet.size_bytes
+        self.dequeued_bytes += packet.size_bytes
         return packet
+
+    def audit(self) -> Optional[str]:
+        """Check internal conservation; None if clean, else a message.
+
+        Two invariants must hold at any instant: the byte counter
+        matches the queued packets, and lifetime enqueued bytes equal
+        lifetime dequeued bytes plus the current occupancy.
+        """
+        actual = sum(p.size_bytes for p in self._packets)
+        if actual != self._bytes:
+            return (f"byte counter {self._bytes} != queued packet "
+                    f"bytes {actual}")
+        if self.enqueued_bytes != self.dequeued_bytes + self._bytes:
+            return (f"conservation: enqueued {self.enqueued_bytes} != "
+                    f"dequeued {self.dequeued_bytes} + occupancy "
+                    f"{self._bytes}")
+        if self._bytes < 0:
+            return f"negative occupancy {self._bytes}"
+        return None
 
     def peek(self) -> Packet:
         """Return the head packet without removing it."""

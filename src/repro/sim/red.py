@@ -24,16 +24,22 @@ class REDMarker:
         Conversion factor to byte-denominated queue occupancy.
     seed:
         Marking randomness seed, for reproducible simulations.
+    rng:
+        Optional shared ``numpy.random.Generator``.  Passing the same
+        generator to every stochastic component (markers, fault
+        injector) makes the whole simulation reproducible from one
+        seed; omitted, the marker owns a private stream from ``seed``.
     """
 
-    def __init__(self, red: REDParams, mtu_bytes: int, seed: int = 0):
+    def __init__(self, red: REDParams, mtu_bytes: int, seed: int = 0,
+                 rng: "np.random.Generator" = None):
         if mtu_bytes <= 0:
             raise ValueError(f"mtu_bytes must be positive, got {mtu_bytes}")
         self.red = red
         self.mtu_bytes = mtu_bytes
         self.kmin_bytes = red.kmin * mtu_bytes
         self.kmax_bytes = red.kmax * mtu_bytes
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def marking_probability(self, queue_bytes: float) -> float:
         """Eq. 3 evaluated on a byte-denominated queue."""

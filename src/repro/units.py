@@ -85,7 +85,8 @@ def seconds_to_us(value: float) -> float:
     return value / MICROSECOND
 
 
-def kb_to_packets(kilobytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+def kb_to_packets(kilobytes: float,
+                  mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
     """Buffer/queue size in KB -> packets.
 
     RED thresholds such as ``K_max = 200 KB`` become packet counts.
@@ -98,17 +99,20 @@ def packets_to_kb(packets: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
     return packets * mtu_bytes / KILOBYTE
 
 
-def mb_to_packets(megabytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+def mb_to_packets(megabytes: float,
+                  mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
     """Byte-counter style sizes in MB -> packets (e.g. DCQCN ``B`` = 10 MB)."""
     return megabytes * MEGABYTE / mtu_bytes
 
 
-def bytes_to_packets(nbytes: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+def bytes_to_packets(nbytes: float,
+                     mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
     """Raw byte count -> (possibly fractional) packets."""
     return nbytes / mtu_bytes
 
 
-def packets_to_bytes(packets: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+def packets_to_bytes(packets: float,
+                     mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
     """Packets -> bytes."""
     return packets * mtu_bytes
 

@@ -2,13 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.params import DCQCNParams
-from repro.core.stability.analytic import (counter_factor,
-                                           flow_jacobians,
+from repro.core.stability.analytic import (counter_factor, flow_jacobians,
                                            mark_window_factor,
                                            past_recovery_factor)
 from repro.core.stability.bode import phase_margin

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import build_parser, list_experiments, main
+from repro.__main__ import build_parser, main
 from repro.experiments.registry import EXPERIMENTS
 
 

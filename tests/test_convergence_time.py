@@ -6,7 +6,6 @@ import pytest
 from repro.core.fluid import dde
 from repro.core.fluid.dcqcn import DCQCNFluidModel
 from repro.core.fluid.history import UniformHistory
-from repro.core.params import DCQCNParams
 from repro.experiments import ext_convergence_time
 
 

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.fluid import dde
 from repro.core.fluid.base import FluidModel, FluidTrace
-from repro.core.fluid.history import UniformHistory
 
 
 class ExponentialDecay(FluidModel):
@@ -209,3 +208,84 @@ class TestFluidTrace:
         loaded = FluidTrace.load(target)
         assert loaded.tail_mean("x", 0.1) == pytest.approx(
             original.tail_mean("x", 0.1))
+
+
+class StiffDecay(FluidModel):
+    """dx/dt = -k x: explicit euler is stable only for dt < 2/k.
+
+    With k = 3000 and dt = 1e-3 the euler multiplier is -2 per step
+    (oscillating blow-up); one halving brings it to -0.5 (stable).
+    Exercises the automatic halved-step retry on a model that is
+    perfectly well-posed, just under-resolved.
+    """
+
+    def __init__(self, k: float = 3000.0):
+        self.k = k
+
+    def initial_state(self):
+        return np.array([1.0])
+
+    def derivatives(self, t, state, history):
+        return -self.k * state
+
+    def state_labels(self):
+        return ["x"]
+
+
+class TestDivergenceGuards:
+    def test_error_carries_structured_failure(self):
+        with pytest.raises(dde.IntegrationError) as excinfo:
+            dde.integrate(Diverging(), t_end=2.0, dt=1e-3,
+                          max_retries=0)
+        failure = excinfo.value.failure
+        assert isinstance(failure, dde.IntegrationFailure)
+        assert failure.method == "heun"
+        assert failure.dt == pytest.approx(1e-3)
+        assert failure.retries == 0
+        assert failure.step > 0
+        assert failure.time == pytest.approx(failure.step * 1e-3,
+                                             rel=1e-6)
+        assert "diverged" in str(excinfo.value)
+
+    def test_halved_step_retry_rescues_stiff_model(self):
+        model = StiffDecay()
+        with pytest.raises(dde.IntegrationError):
+            dde.integrate(model, t_end=0.05, dt=1e-3, method="euler",
+                          max_retries=0)
+        trace = dde.integrate(model, t_end=0.05, dt=1e-3,
+                              method="euler", max_retries=1)
+        # Rescued at dt/2, and the solution actually decays.
+        assert abs(trace.final("x")) < 1.0
+        assert np.all(np.isfinite(trace.states))
+
+    def test_retries_exhausted_reports_final_attempt(self):
+        with pytest.raises(dde.IntegrationError) as excinfo:
+            dde.integrate(Diverging(), t_end=2.0, dt=1e-3,
+                          max_retries=2)
+        failure = excinfo.value.failure
+        assert failure.retries == 2
+        assert failure.dt == pytest.approx(2.5e-4)  # halved twice
+
+    def test_divergence_limit_trips_before_overflow(self):
+        with pytest.raises(dde.IntegrationError) as excinfo:
+            dde.integrate(Diverging(), t_end=2.0, dt=1e-3,
+                          max_retries=0, divergence_limit=10.0)
+        failure = excinfo.value.failure
+        assert "divergence limit" in failure.cause
+        assert np.max(np.abs(failure.state)) > 10.0
+
+    def test_divergence_limit_none_waits_for_nonfinite(self):
+        with pytest.raises(dde.IntegrationError) as excinfo:
+            dde.integrate(Diverging(), t_end=2.0, dt=1e-3,
+                          max_retries=0, divergence_limit=None)
+        assert "finite" in excinfo.value.failure.cause
+
+    def test_max_retries_validation(self):
+        with pytest.raises(ValueError):
+            dde.integrate(ExponentialDecay(), t_end=1.0, dt=1e-3,
+                          max_retries=-1)
+
+    def test_healthy_integration_untouched_by_guards(self):
+        trace = dde.integrate(ExponentialDecay(), t_end=1.0, dt=1e-3)
+        assert trace.final("x") == pytest.approx(math.exp(-1.0),
+                                                 abs=1e-3)

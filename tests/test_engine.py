@@ -1,8 +1,8 @@
-"""Event engine: ordering, cancellation, determinism."""
+"""Event engine: ordering, cancellation, determinism, watchdogs."""
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationAborted, Simulator
 
 
 class TestScheduling:
@@ -105,6 +105,119 @@ class TestRunControl:
         sim.schedule(0.0, forever)
         with pytest.raises(RuntimeError):
             sim.run(max_events=100)
+
+    def test_cancel_among_simultaneous_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.5, lambda: log.append("a"))
+        doomed = sim.schedule(0.5, lambda: log.append("b"))
+        sim.schedule(0.5, lambda: log.append("c"))
+        doomed.cancel()
+        sim.run()
+        assert log == ["a", "c"]
+
+    def test_callback_cancels_simultaneous_sibling(self):
+        """An event may cancel another one scheduled at the same time
+        that has not fired yet -- lazy removal must honour it."""
+        sim = Simulator()
+        log = []
+        events = {}
+        sim.schedule(1.0, lambda: events["victim"].cancel())
+        events["victim"] = sim.schedule(1.0, lambda: log.append("victim"))
+        sim.run()
+        assert log == []
+        assert sim.pending_events == 0
+
+    def test_stop_then_rerun_processes_remainder(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("one"), sim.stop()))
+        sim.schedule(2.0, lambda: log.append("two"))
+        sim.schedule(3.0, lambda: log.append("three"))
+        sim.run()
+        assert log == ["one"]
+        assert sim.pending_events == 2
+        sim.run()  # a stopped simulator is immediately resumable
+        assert log == ["one", "two", "three"]
+
+    def test_stop_inside_callback_skips_same_timestamp_peer(self):
+        """stop() takes effect after the current callback; a peer at
+        the same timestamp waits for the next run() call."""
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append("first"), sim.stop()))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first"]
+        sim.run()
+        assert log == ["first", "second"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_cancel_survives_stop_and_rerun(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.stop())
+        doomed = sim.schedule(2.0, lambda: log.append("no"))
+        sim.run()
+        doomed.cancel()
+        sim.run()
+        assert log == []
+
+
+class TestWatchdogs:
+    def test_abort_carries_engine_state(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationAborted) as excinfo:
+            sim.run(max_events=100)
+        abort = excinfo.value
+        assert abort.reason == "max_events"
+        assert abort.events_processed == 100
+        assert abort.sim_time == pytest.approx(9.9)
+        assert abort.heap_depth == 1
+        assert "max_events=100" in str(abort)
+
+    def test_aborted_run_is_resumable(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), lambda i=i: log.append(i))
+        with pytest.raises(SimulationAborted):
+            sim.run(max_events=4)
+        # Clock sits at the last processed event; heap is intact.
+        assert sim.now == pytest.approx(0.4)
+        assert log == [0, 1, 2, 3]
+        assert sim.pending_events == 6
+        sim.run()
+        assert log == list(range(10))
+
+    def test_wall_clock_watchdog_fires(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.1, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationAborted) as excinfo:
+            sim.run(max_wall_seconds=0.0)
+        assert excinfo.value.reason == "wall_clock"
+        # Checked once per stride, so it fired at a stride boundary.
+        assert excinfo.value.events_processed % 1024 == 0
+        # Still resumable (the chain reschedules forever, so bound it).
+        with pytest.raises(SimulationAborted):
+            sim.run(max_events=10)
+        assert sim.events_processed >= 1034
+
+    def test_wall_clock_watchdog_quiet_when_fast(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run(max_wall_seconds=60.0)
+        assert sim.events_processed == 5
 
     def test_events_processed_counter(self):
         sim = Simulator()

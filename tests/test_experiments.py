@@ -2,19 +2,14 @@
 
 import math
 
-import numpy as np
-import pytest
-
 from repro.experiments import (fig02_dcqcn_validation,
                                fig03_dcqcn_phase_margin,
                                fig04_dcqcn_delay_impact,
                                fig05_dcqcn_sim_instability,
                                fig08_timely_validation,
-                               fig09_timely_unfairness,
-                               fig10_burst_pacing,
+                               fig09_timely_unfairness, fig10_burst_pacing,
                                fig11_patched_phase_margin,
-                               fig12_patched_timely,
-                               fig17_ingress_marking,
+                               fig12_patched_timely, fig17_ingress_marking,
                                fig20_jitter)
 from repro.experiments.registry import EXPERIMENTS
 
@@ -29,7 +24,8 @@ class TestRegistry:
 
     def test_extensions_present(self):
         extensions = {"ext_parking_lot", "ext_incast_pfc", "ext_pi_sim",
-                      "ext_burst_mitigation", "abl_cnp_timer",
+                      "ext_burst_mitigation", "ext_faults",
+                      "abl_cnp_timer",
                       "abl_ewma_gain", "abl_weight",
                       "abl_gradient_clamp"}
         assert extensions <= set(EXPERIMENTS)

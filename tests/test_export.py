@@ -1,6 +1,5 @@
 """CSV export of experiment results."""
 
-import dataclasses
 from dataclasses import dataclass
 
 import numpy as np

@@ -6,8 +6,8 @@ import math
 import pytest
 
 from repro.experiments import (ablations, ext_burst_mitigation,
-                               ext_incast_pfc, ext_parking_lot,
-                               ext_pi_switch_sim)
+                               ext_fault_resilience, ext_incast_pfc,
+                               ext_parking_lot, ext_pi_switch_sim)
 from repro.sim.parking_lot import parking_lot
 
 
@@ -140,6 +140,45 @@ class TestBurstMitigation:
         # Two flows at <= 0.25 line each: utilization ~ 0.5, not full.
         assert capped.utilization < 0.6
         assert not capped.healthy
+
+
+class TestFaultResilience:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_fault_resilience.run(cnp_loss_rates=(0.0, 0.3),
+                                        flap_frequencies_hz=(0.0, 200.0),
+                                        duration=0.01)
+
+    def test_physics_survive_every_scenario(self, rows):
+        assert all(r.invariant_violations == 0 for r in rows)
+
+    def test_fault_free_baseline_saturates(self, rows):
+        base = next(r for r in rows
+                    if r.cnp_loss == 0 and r.flap_hz == 0)
+        assert base.throughput_gbps > 0.5 * 40.0
+        assert base.cnps_lost == 0 and base.flap_drops == 0
+
+    def test_cnp_loss_degrades_gracefully(self, rows):
+        base = next(r for r in rows
+                    if r.cnp_loss == 0 and r.flap_hz == 0)
+        lossy = next(r for r in rows
+                     if r.cnp_loss == 0.3 and r.flap_hz == 0)
+        assert lossy.cnps_lost > 0
+        # Lost CNPs mean late, coarse braking: flows keep most of
+        # their throughput while the queue turns bursty.
+        assert lossy.throughput_gbps > 0.5 * base.throughput_gbps
+        assert lossy.queue_std_kb > base.queue_std_kb
+        assert lossy.rate_limiter_timeouts >= base.rate_limiter_timeouts
+
+    def test_flaps_drop_packets_but_flows_recover(self, rows):
+        flappy = next(r for r in rows
+                      if r.cnp_loss == 0 and r.flap_hz == 200.0)
+        assert flappy.flap_drops > 0
+        assert flappy.min_rate_gbps > 0
+
+    def test_report_renders(self, rows):
+        text = ext_fault_resilience.report(rows)
+        assert "CNP loss" in text and "flap" in text
 
 
 class TestAblations:

@@ -1,0 +1,327 @@
+"""Fault injection: plans, injector mechanics, and resilience."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DCQCNParams
+from repro.sim import faults
+from repro.sim.faults import (FaultPlan, FeedbackDelay, LinkFlap, PacketLoss,
+                              collect_ports)
+from repro.sim.invariants import InvariantMonitor
+from repro.sim.leaf_spine import (leaf_spine, host_name, reroute_around_spine,
+                                  restore_spine_routes)
+from repro.sim.monitors import QueueMonitor, RateMonitor
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def _dcqcn_net(params, n=2, seed=1, **flow_kwargs):
+    marker = REDMarker(params.red, params.mtu_bytes, seed=seed)
+    net = single_switch(n, link_gbps=40.0, marker=marker)
+    for i in range(n):
+        install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0, params,
+                     **flow_kwargs)
+    return net
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.ports() == set()
+
+    def test_add_and_classify(self):
+        plan = FaultPlan([
+            LinkFlap("sw->recv", start=0.01, duration=0.001),
+            PacketLoss("recv->sw", rate=0.2, kinds=("cnp",)),
+            FeedbackDelay("sw->s0", extra=1e-5),
+        ])
+        assert len(plan) == 3
+        assert plan.ports() == {"sw->recv", "recv->sw", "sw->s0"}
+
+    def test_rejects_unknown_fault_type(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["not a fault"])
+
+    @pytest.mark.parametrize("bad", [
+        lambda: LinkFlap("p", start=-1.0, duration=0.1),
+        lambda: LinkFlap("p", start=0.0, duration=0.0),
+        lambda: LinkFlap("p", start=0.0, duration=0.1, mode="melt"),
+        lambda: LinkFlap("p", start=0.0, duration=0.1, count=3),
+        lambda: LinkFlap("p", start=0.0, duration=0.2, count=2,
+                         period=0.1),
+        lambda: PacketLoss("p", rate=0.0),
+        lambda: PacketLoss("p", rate=1.5),
+        lambda: PacketLoss("p", rate=0.5, start=1.0, stop=0.5),
+        lambda: FeedbackDelay("p"),
+        lambda: FeedbackDelay("p", extra=-1e-6),
+        lambda: FeedbackDelay("p", extra=1e-6, start=1.0, stop=0.5),
+    ])
+    def test_fault_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+    def test_unknown_port_rejected_at_install(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([PacketLoss("nowhere->else", rate=0.5)])
+        with pytest.raises(KeyError):
+            faults.install(net, plan)
+
+
+class TestNoOpGuarantee:
+    def test_empty_plan_is_bit_identical(self, dcqcn_params):
+        """The acceptance bar: an unused fault layer changes nothing."""
+        def run_once(with_layer):
+            net = _dcqcn_net(dcqcn_params)
+            if with_layer:
+                injector = faults.install(net, FaultPlan(), seed=7)
+                assert injector.stats.lost_packets == 0
+            queue = QueueMonitor(net.sim, net.bottleneck_port,
+                                 interval=50e-6)
+            rates = RateMonitor(net.sim, dict(net.senders),
+                                interval=100e-6)
+            net.sim.run(until=0.01)
+            return (queue.occupancy_bytes, rates.rates,
+                    net.sim.events_processed,
+                    net.bottleneck_port.bytes_transmitted)
+
+        assert run_once(False) == run_once(True)
+
+    def test_empty_plan_installs_no_proxies(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        before = {name: port.link
+                  for name, port in collect_ports(net).items()}
+        faults.install(net, FaultPlan())
+        after = {name: port.link
+                 for name, port in collect_ports(net).items()}
+        assert before == after
+
+
+class TestPacketLoss:
+    def test_cnp_loss_still_converges(self, dcqcn_params):
+        """The Fig. 2 setup survives 20% CNP loss: positive, bounded
+        rates and zero invariant violations."""
+        net = _dcqcn_net(dcqcn_params, cnp_timeout=2e-3)
+        plan = FaultPlan([PacketLoss("recv->sw", rate=0.2,
+                                     kinds=("cnp",))])
+        injector = faults.install(net, plan, seed=11)
+        monitor = InvariantMonitor.for_network(net, interval=5e-4)
+        net.sim.run(until=0.02)
+
+        line_rate = net.link_rate_bytes
+        for sender in net.senders.values():
+            assert 0 < sender.rate <= line_rate
+        assert injector.stats.lost_by_kind.get("cnp", 0) > 0
+        # Only CNPs were at risk; data and ACKs sailed through.
+        assert set(injector.stats.lost_by_kind) == {"cnp"}
+        monitor.assert_clean()
+        # Throughput did not collapse: the bottleneck stayed busy.
+        assert net.utilization(0.02) > 0.5
+
+    def test_kind_filter_spares_other_kinds(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([PacketLoss("sw->recv", rate=1.0,
+                                     kinds=("ack",))])
+        faults.install(net, plan, seed=3)
+        net.sim.run(until=0.005)
+        # DCQCN sends no ACKs, so a total ACK loss changes nothing:
+        # data still flows and marks still produce CNPs.
+        assert net.registry[0].bytes_delivered > 0
+
+    def test_total_data_loss_blackholes(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([PacketLoss("sw->recv", rate=1.0,
+                                     kinds=("data",))])
+        injector = faults.install(net, plan, seed=3)
+        net.sim.run(until=0.002)
+        assert net.registry[0].bytes_delivered == 0
+        assert injector.stats.lost_packets > 0
+        assert injector.stats.lost_bytes > 0
+
+    def test_corruption_is_delivered_then_discarded(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([PacketLoss("sw->recv", rate=1.0,
+                                     kinds=("data",), corrupt=True)])
+        injector = faults.install(net, plan, seed=3)
+        net.sim.run(until=0.002)
+        recv = net.hosts["recv"]
+        assert injector.stats.corrupted_packets > 0
+        # Every corrupted packet that has *arrived* was discarded (a
+        # handful may still be in flight at the horizon).
+        assert 0 < recv.corrupted_discarded <= \
+            injector.stats.corrupted_packets
+        assert injector.stats.corrupted_packets \
+            - recv.corrupted_discarded < 20
+        assert net.registry[0].bytes_delivered == 0
+
+    def test_loss_window_respected(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([PacketLoss("sw->recv", rate=1.0,
+                                     kinds=("data",),
+                                     start=0.002, stop=0.004)])
+        net_run_until = 0.006
+        faults.install(net, plan, seed=3)
+        delivered_before = []
+
+        def snapshot():
+            delivered_before.append(net.registry[0].bytes_delivered)
+        net.sim.schedule_at(0.002, snapshot)   # end of clean phase
+        net.sim.schedule_at(0.004, snapshot)   # end of loss phase
+        net.sim.run(until=net_run_until)
+        # Delivery during the clean phase, stalled during the loss
+        # window, resumed after.
+        assert delivered_before[0] > 0
+        assert delivered_before[1] - delivered_before[0] <= \
+            2 * dcqcn_params.mtu_bytes  # at most in-flight stragglers
+        assert net.registry[0].bytes_delivered > delivered_before[1]
+
+    def test_seeded_reproducibility(self, dcqcn_params):
+        def run_once():
+            net = _dcqcn_net(dcqcn_params)
+            plan = FaultPlan([PacketLoss("recv->sw", rate=0.3,
+                                         kinds=("cnp",))])
+            injector = faults.install(net, plan, seed=42)
+            net.sim.run(until=0.008)
+            return (injector.stats.lost_packets,
+                    net.sim.events_processed,
+                    [s.rate for s in net.senders.values()])
+        assert run_once() == run_once()
+
+
+class TestLinkFlap:
+    def test_drop_mode_blackholes_during_downtime(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([LinkFlap("sw->recv", start=0.002,
+                                   duration=0.002, mode="drop")])
+        injector = faults.install(net, plan)
+        net.sim.run(until=0.008)
+        assert injector.stats.link_downs == 1
+        assert injector.stats.link_ups == 1
+        assert injector.stats.flap_drops > 0
+        assert injector.stats.held_packets == 0
+        # Traffic resumed after recovery.
+        assert net.registry[0].bytes_delivered > 0
+
+    def test_hold_mode_preserves_packets(self, dcqcn_params):
+        duration = 0.008
+
+        def run_once(mode):
+            net = _dcqcn_net(dcqcn_params)
+            plan = FaultPlan([LinkFlap("sw->recv", start=0.002,
+                                       duration=0.002, mode=mode)])
+            injector = faults.install(net, plan)
+            net.sim.run(until=duration)
+            return net, injector
+
+        held_net, held_inj = run_once("hold")
+        drop_net, _ = run_once("drop")
+        assert held_inj.stats.held_packets > 0
+        assert held_inj.stats.flap_drops == 0
+        # Hold releases the backlog: strictly more bytes arrive than
+        # in drop mode over the same horizon.
+        assert held_net.registry[0].bytes_delivered > \
+            drop_net.registry[0].bytes_delivered
+
+    def test_periodic_flaps(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([LinkFlap("sw->recv", start=0.001,
+                                   duration=0.0005, period=0.002,
+                                   count=3)])
+        injector = faults.install(net, plan)
+        net.sim.run(until=0.01)
+        assert injector.stats.link_downs == 3
+        assert injector.stats.link_ups == 3
+        assert injector.link_is_up("sw->recv")
+
+    def test_link_state_queryable_mid_flap(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([LinkFlap("sw->recv", start=0.001,
+                                   duration=0.002)])
+        injector = faults.install(net, plan)
+        states = []
+        net.sim.schedule_at(0.002, lambda: states.append(
+            injector.link_is_up("sw->recv")))
+        net.sim.run(until=0.005)
+        assert states == [False]
+        assert injector.link_is_up("sw->recv")
+        assert injector.link_is_up("never-wrapped")
+
+
+class TestFeedbackDelay:
+    def test_cnp_delay_lengthens_control_loop(self, dcqcn_params):
+        def run_once(extra):
+            net = _dcqcn_net(dcqcn_params)
+            if extra > 0:
+                plan = FaultPlan([FeedbackDelay("sw->s0", extra=extra),
+                                  FeedbackDelay("sw->s1", extra=extra)])
+                faults.install(net, plan)
+            net.sim.run(until=0.01)
+            delays = [s.cnp_delay_max for s in net.senders.values()
+                      if s.cnps_received]
+            return max(delays)
+
+        assert run_once(85e-6) >= run_once(0.0) + 80e-6
+
+    def test_jitter_draws_from_shared_rng(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        rng = np.random.default_rng(5)
+        plan = FaultPlan([FeedbackDelay("sw->s0", jitter=50e-6)])
+        injector = faults.install(net, plan, rng=rng)
+        net.sim.run(until=0.005)
+        assert injector.stats.delayed_packets > 0
+
+
+class TestLeafSpineReroute:
+    def test_reroute_and_restore(self):
+        net = leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=1)
+        leaf = net.switches["leaf0"]
+        remote = host_name(1, 0)
+        original = leaf.fib[remote]
+        assert original.startswith("spine")
+        other = "spine1" if original == "spine0" else "spine0"
+
+        assert reroute_around_spine(net, "leaf0", original) >= 1
+        assert leaf.fib[remote] == other
+        assert restore_spine_routes(net, "leaf0") >= 1
+        assert leaf.fib[remote] == original
+
+    def test_single_spine_has_no_detour(self):
+        net = leaf_spine(n_leaves=2, n_spines=1, hosts_per_leaf=1)
+        assert reroute_around_spine(net, "leaf0", "spine0") == 0
+
+    def test_flap_with_reroute_keeps_traffic_flowing(self):
+        params = DCQCNParams.paper_default(capacity_gbps=10.0,
+                                           num_flows=1)
+        net = leaf_spine(n_leaves=2, n_spines=2, hosts_per_leaf=1,
+                         marker_factory=lambda: REDMarker(
+                             params.red, params.mtu_bytes, seed=2))
+        src, dst = host_name(0, 0), host_name(1, 0)
+        install_flow(net, "dcqcn", src, dst, None, 0.0, params)
+        via = net.switches["leaf0"].fib[dst]
+
+        def on_down(port_name):
+            leaf_name, spine_name = port_name.split("->")
+            reroute_around_spine(net, leaf_name, spine_name)
+
+        def on_up(port_name):
+            restore_spine_routes(net, port_name.split("->")[0])
+
+        plan = FaultPlan([LinkFlap(f"leaf0->{via}", start=0.002,
+                                   duration=0.004, mode="drop",
+                                   reroute=True)])
+        injector = faults.install(net, plan, on_link_down=on_down,
+                                  on_link_up=on_up)
+        delivered_at = {}
+        net.sim.schedule_at(0.002, lambda: delivered_at.__setitem__(
+            "down", net.registry[0].bytes_delivered))
+        net.sim.run(until=0.006)
+        # The reroute happened while the link was dark, and traffic
+        # kept making progress through the surviving spine.
+        during_flap = net.registry[0].bytes_delivered \
+            - delivered_at["down"]
+        assert during_flap > 0
+        # Only in-flight packets died; new ones took the detour.
+        assert injector.stats.flap_drops <= 5
+        # Routes restored after recovery.
+        assert net.switches["leaf0"].fib[dst] == via

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import units
 from repro.core.fixedpoint.dcqcn import (approximate_p_star,
                                          fixed_point_mismatch,
                                          mismatch_is_monotone,

@@ -9,7 +9,7 @@ from repro.core.fixedpoint.timely import (TimelyFixedPoint,
                                           patched_fixed_point,
                                           patched_residual,
                                           sample_fixed_points)
-from repro.core.params import PatchedTimelyParams, TimelyParams
+from repro.core.params import PatchedTimelyParams
 
 
 class TestTheorem3:

@@ -6,9 +6,7 @@ import pytest
 from repro import units
 from repro.core.fluid import dde
 from repro.core.fluid.history import UniformHistory
-from repro.core.fluid.timely import (ModifiedTimelyFluidModel,
-                                     TimelyFluidModel)
-from repro.core.params import TimelyParams
+from repro.core.fluid.timely import ModifiedTimelyFluidModel, TimelyFluidModel
 
 
 def make_history(state, dt=1e-6):

@@ -3,10 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import units
 from repro.experiments import fct_study
 from repro.experiments.fig15_fct_cdf import quantile_rows
-from repro.experiments.fig15_fct_cdf import run as run_cdf
 
 
 #: Shared small configuration so the expensive dumbbell runs happen

@@ -1,0 +1,159 @@
+"""Invariant monitor: conservation audits, PFC pairing, deadlock."""
+
+import pytest
+
+from repro import units
+from repro.core.params import DCQCNParams
+from repro.sim import faults
+from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan, LinkFlap, PacketLoss
+from repro.sim.invariants import InvariantMonitor, InvariantViolation
+from repro.sim.link import Link, Port
+from repro.sim.node import Host
+from repro.sim.pfc import PFCController
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def _dcqcn_net(params, n=2, seed=1):
+    marker = REDMarker(params.red, params.mtu_bytes, seed=seed)
+    net = single_switch(n, link_gbps=40.0, marker=marker)
+    for i in range(n):
+        install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0, params)
+    return net
+
+
+class TestCleanRuns:
+    def test_fault_free_run_is_clean(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        monitor = InvariantMonitor.for_network(net, interval=2e-4)
+        net.sim.run(until=0.01)
+        assert monitor.checks_run > 10
+        assert monitor.clean
+        monitor.assert_clean()
+        assert "clean" in monitor.report()
+
+    def test_faulty_run_is_still_clean(self, dcqcn_params):
+        """Fault injection breaks traffic, never the physics."""
+        net = _dcqcn_net(dcqcn_params)
+        plan = FaultPlan([
+            PacketLoss("recv->sw", rate=0.5, kinds=("cnp",)),
+            LinkFlap("sw->recv", start=0.002, duration=0.001,
+                     mode="hold"),
+        ])
+        faults.install(net, plan, seed=9)
+        monitor = InvariantMonitor.for_network(net, interval=2e-4)
+        net.sim.run(until=0.01)
+        monitor.assert_clean()
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            InvariantMonitor(Simulator(), interval=0.0)
+        with pytest.raises(ValueError):
+            InvariantMonitor(Simulator(), interval=1e-3,
+                             deadlock_checks=0)
+
+
+class TestViolationDetection:
+    def test_corrupted_byte_counter_detected(self, dcqcn_params):
+        net = _dcqcn_net(dcqcn_params)
+        monitor = InvariantMonitor.for_network(net, interval=1e-3)
+
+        def sabotage():
+            net.bottleneck_port.queue._bytes += 512
+        net.sim.schedule_at(0.0015, sabotage)
+        net.sim.run(until=0.005)
+        assert not monitor.clean
+        assert any(v.check == "queue_conservation"
+                   for v in monitor.violations)
+        with pytest.raises(AssertionError):
+            monitor.assert_clean()
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("nan"),
+                                      float("inf")])
+    def test_bad_sender_rate_detected(self, rate):
+        class StuckSender:
+            pass
+
+        stuck = StuckSender()
+        stuck.rate = rate
+        sim = Simulator()
+        monitor = InvariantMonitor(sim, senders={"flow0": stuck},
+                                   interval=1e-3)
+        sim.run(until=2.5e-3)
+        assert any(v.check == "sender_rate" for v in monitor.violations)
+
+    def test_strict_mode_stops_simulation(self):
+        class StuckSender:
+            rate = 0.0
+
+        sim = Simulator()
+        monitor = InvariantMonitor(sim, senders={"flow0": StuckSender()},
+                                   interval=1e-3, strict=True)
+        sim.run(until=0.02)
+        assert not monitor.clean
+        # Stopped at the first violating audit: exactly one check ran,
+        # one violation recorded, and no further audit was scheduled.
+        assert monitor.checks_run == 1
+        assert len(monitor.violations) == 1
+        assert sim.pending_events == 0
+
+    def test_violation_rendering(self):
+        violation = InvariantViolation(0.5, "pfc_pairing", "sw",
+                                       "imbalance")
+        text = str(violation)
+        assert "pfc_pairing" in text and "sw" in text
+
+
+class TestPFCChecks:
+    def _paused_pair(self):
+        """Host -> switch with PFC permanently pausing the host."""
+        sim = Simulator()
+        params = DCQCNParams.paper_default(capacity_gbps=10.0,
+                                           num_flows=1)
+        pfc = PFCController(sim, pause_threshold_bytes=20 * 1024,
+                            resume_threshold_bytes=10 * 1024)
+        host = Host(sim, "h0")
+        sink = Host(sim, "sink")
+        rate = units.gbps_to_bytes_per_s(10.0) \
+            if hasattr(units, "gbps_to_bytes_per_s") else 10e9 / 8
+        # host -> "switch" port, pausable by PFC.
+        host_port = Port(sim, rate, Link(sim, 1e-6, sink), name="h0->sw")
+        host.port = host_port
+        pfc.register_upstream("h0", lambda pause: (
+            host_port.pause() if pause else host_port.resume()))
+        return sim, params, pfc, host
+
+    def test_pfc_deadlock_detected(self):
+        sim, params, pfc, host = self._paused_pair()
+        # Fill the accounting past the pause threshold and never drain:
+        # pauses stay outstanding while nothing makes progress.
+        pfc.on_ingress("h0", 30 * 1024)
+        assert pfc.is_paused("h0")
+        monitor = InvariantMonitor(sim, ports={"h0->sw": host.port},
+                                   pfcs={"sw": pfc}, interval=1e-3,
+                                   deadlock_checks=3)
+        sim.run(until=11e-3)
+        deadlocks = [v for v in monitor.violations
+                     if v.check == "pfc_deadlock"]
+        assert len(deadlocks) == 1  # reported once, not every audit
+        assert "h0" in deadlocks[0].detail
+
+    def test_progress_resets_deadlock_counter(self, dcqcn_params):
+        """A paused-but-draining fabric is not a deadlock."""
+        net = _dcqcn_net(dcqcn_params)
+        monitor = InvariantMonitor.for_network(net, interval=2e-4,
+                                               deadlock_checks=2)
+        net.sim.run(until=0.01)
+        assert not any(v.check == "pfc_deadlock"
+                       for v in monitor.violations)
+
+    def test_pfc_pairing_balance(self):
+        sim, params, pfc, host = self._paused_pair()
+        monitor = InvariantMonitor(sim, pfcs={"sw": pfc}, interval=1e-3)
+        pfc.on_ingress("h0", 30 * 1024)   # pause
+        pfc.on_egress("h0", 25 * 1024)    # drain below resume: resume
+        sim.run(until=5e-3)
+        assert pfc.pauses_sent == 1 and pfc.resumes_sent == 1
+        assert not any(v.check == "pfc_pairing"
+                       for v in monitor.violations)

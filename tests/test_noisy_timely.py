@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import units
-from repro.core.fluid import dde
 from repro.core.fluid.history import UniformHistory
 from repro.core.fluid.noisy_timely import NoisyTimelyFluidModel
 from repro.core.fluid.timely import TimelyFluidModel

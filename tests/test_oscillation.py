@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.oscillation import (OscillationEstimate,
-                                        dominant_oscillation,
-                                        trace_oscillation)
+from repro.analysis.oscillation import dominant_oscillation, trace_oscillation
 from repro.core.fluid import dde
 from repro.core.fluid.dcqcn import DCQCNFluidModel
 from repro.core.params import DCQCNParams

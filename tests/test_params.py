@@ -7,9 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import units
-from repro.core.params import (DCQCNParams, PIParams,
-                               PatchedTimelyParams, REDParams,
-                               TimelyParams)
+from repro.core.params import PIParams, PatchedTimelyParams, REDParams
 
 
 class TestREDParams:

@@ -7,10 +7,8 @@ from repro import units
 from repro.core.fluid import dde
 from repro.core.fluid.history import UniformHistory
 from repro.core.fluid.patched_timely import PatchedTimelyFluidModel
-from repro.core.fluid.pi import (DCQCNPIFluidModel,
-                                 PatchedTimelyPIFluidModel)
-from repro.core.params import (DCQCNParams, PIParams,
-                               PatchedTimelyParams)
+from repro.core.fluid.pi import DCQCNPIFluidModel, PatchedTimelyPIFluidModel
+from repro.core.params import PIParams, PatchedTimelyParams
 
 
 class TestWeights:

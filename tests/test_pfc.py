@@ -97,7 +97,6 @@ class TestLosslessness:
     def test_pfc_prevents_drops_at_finite_buffer(self):
         """End-to-end: a fast sender into a slow switch egress with a
         finite queue drops packets without PFC and none with it."""
-        from repro.sim.link import Port, Link
         from repro.sim.packet import Packet
         from repro.sim.switch import Switch, connect
 

@@ -1,7 +1,5 @@
 """Strict-priority control class on ports, and its experiment."""
 
-import pytest
-
 from repro.experiments import ext_feedback_priority
 from repro.sim.engine import Simulator
 from repro.sim.link import Link, Port

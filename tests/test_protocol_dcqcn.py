@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import units
 from repro.core.params import DCQCNParams
 from repro.sim.engine import Simulator
 from repro.sim.flows import Flow

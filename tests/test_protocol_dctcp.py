@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.params import DCTCPParams, REDParams
+from repro.core.params import DCTCPParams
 from repro.sim.engine import Simulator
 from repro.sim.flows import Flow
 from repro.sim.link import Link, Port

@@ -1,6 +1,5 @@
 """ByteFIFO, RED marker, and PI marker behaviour."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

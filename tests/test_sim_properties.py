@@ -6,7 +6,6 @@ delivery, non-negative queues, and deterministic replay.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -29,8 +29,9 @@ class TestJacobian:
         assert jac[0, 0] == pytest.approx(6.0, rel=1e-5)
 
     def test_rectangular_shapes(self):
-        fn = lambda x: np.array([x[0] + x[1], x[1] * x[2],
-                                 x[0] - x[2], x[0]])
+        def fn(x):
+            return np.array([x[0] + x[1], x[1] * x[2],
+                             x[0] - x[2], x[0]])
         jac = linearize.jacobian(fn, np.array([1.0, 2.0, 3.0]))
         assert jac.shape == (4, 3)
         assert jac[1] == pytest.approx([0.0, 3.0, 2.0], abs=1e-5)

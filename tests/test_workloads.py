@@ -8,9 +8,7 @@ from hypothesis import strategies as st
 from repro.core.params import DCQCNParams
 from repro.sim.red import REDMarker
 from repro.sim.topology import dumbbell
-from repro.workloads.distributions import (DATA_MINING_CDF_KB,
-                                           EmpiricalCDF,
-                                           WEB_SEARCH_CDF_KB,
+from repro.workloads.distributions import (EmpiricalCDF, WEB_SEARCH_CDF_KB,
                                            arrival_rate_for_load,
                                            data_mining_sizes_bytes,
                                            poisson_interarrivals,
