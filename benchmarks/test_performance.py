@@ -90,3 +90,50 @@ def test_fluid_integrator_throughput(benchmark):
 
     steps = benchmark(run_fluid)
     assert steps == 2001
+
+
+def test_history_lookup_throughput(benchmark):
+    """Interpolated DDE history lookups -- the fluid models' hottest
+    call (up to four per RK4 stage, every step)."""
+    from repro.core.fluid.history import UniformHistory
+
+    history = UniformHistory(0.0, 1e-6, np.zeros(31), capacity=2001)
+    for step in range(1, 2001):
+        history.append(np.full(31, float(step)))
+    times = np.linspace(2e-5, 1.9e-3, 5000) + 3.3e-7
+    rc = slice(21, 31)
+
+    def lookups():
+        total = 0.0
+        for t in times:
+            total += history(t)[0]
+            total += history.interpolate(t, rc)[0]
+            total += history.component(t, 0)
+        return total
+
+    total = benchmark(lookups)
+    assert total > 0
+
+
+def test_two_flow_dcqcn_fluid_throughput(benchmark):
+    """The Fig. 2 fluid configuration: 2-flow DCQCN integration."""
+
+    params = DCQCNParams.paper_default(capacity_gbps=40, num_flows=2)
+    model = DCQCNFluidModel(params)
+
+    def run_fluid():
+        trace = dde.integrate(model, t_end=0.005, dt=1e-6,
+                              record_stride=10)
+        return len(trace)
+
+    steps = benchmark(run_fluid)
+    assert steps == 501
+
+
+def test_stability_map_row(benchmark):
+    """Macro bench: one full ext_stability_map row (11 margin grids)."""
+    from repro.experiments.ext_stability_map import (DEFAULT_DELAYS_US,
+                                                     compute_row)
+
+    row = benchmark(compute_row, 10, DEFAULT_DELAYS_US, 40.0)
+    assert len(row.margins_deg) == len(DEFAULT_DELAYS_US)

@@ -6,9 +6,14 @@ Usage::
     python -m repro run fig04            # one figure
     python -m repro run fig04 fig20      # several
     python -m repro run all              # everything (minutes!)
+    python -m repro run fig14 --workers 4 --cache
+    python -m repro bench                # write BENCH_PR2.json
 
 Each run prints the table of numbers the corresponding paper figure
-plots, via the same drivers the benchmarks use.
+plots, via the same drivers the benchmarks use.  ``--workers`` fans
+grid experiments over processes and ``--cache`` memoizes their cells
+on disk (see :mod:`repro.perf`); both are accepted by every
+experiment and ignored by those without a sweep to accelerate.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.experiments.registry import EXPERIMENTS
 
@@ -35,6 +40,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment ids (see 'list'), or 'all'")
     run.add_argument("--csv", metavar="DIR", default=None,
                      help="also write each result as CSV into DIR")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="fan sweep cells over N processes "
+                          "(-1 = all cores; default serial)")
+    run.add_argument("--cache", action="store_true",
+                     help="memoize sweep cells in the on-disk result "
+                          "cache (REPRO_CACHE_DIR or ~/.cache/repro)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache directory (implies --cache)")
+
+    bench = sub.add_parser(
+        "bench", help="measure hot-loop throughput, write a JSON report")
+    bench.add_argument("--output", default="BENCH_PR2.json",
+                       metavar="FILE", help="report path")
+    bench.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker count for the sweep section")
+    bench.add_argument("--full", action="store_true",
+                       help="also time the (slow) FCT study sweep")
     return parser
 
 
@@ -45,7 +67,10 @@ def list_experiments() -> None:
 
 
 def run_experiments(names: List[str],
-                    csv_dir: "str | None" = None) -> int:
+                    csv_dir: "str | None" = None,
+                    workers: Optional[int] = None,
+                    use_cache: bool = False,
+                    cache_dir: "str | None" = None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -55,17 +80,25 @@ def run_experiments(names: List[str],
         print("use 'python -m repro list' to see what exists",
               file=sys.stderr)
         return 2
+    cache = None
+    if use_cache or cache_dir is not None:
+        from repro.perf import ResultCache, default_cache_dir
+        cache = ResultCache(root=cache_dir or default_cache_dir())
     for name in names:
         experiment = EXPERIMENTS[name]
         print(f"=== {name}: {experiment.description} ===")
         started = time.time()
-        result = experiment.run()
+        result = experiment.run(workers=workers, cache=cache)
         print(experiment.report(result))
         if csv_dir is not None:
             from repro.analysis.export import write_csv
             target = write_csv(result, f"{csv_dir}/{name}.csv")
             print(f"[csv written to {target}]")
         print(f"[{name} took {time.time() - started:.1f}s]\n")
+    if cache is not None:
+        stats = cache.stats
+        print(f"[cache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.invalidations} invalidated, root={cache.root}]")
     return 0
 
 
@@ -74,7 +107,14 @@ def main(argv: "List[str] | None" = None) -> int:
     if args.command == "list":
         list_experiments()
         return 0
-    return run_experiments(args.experiments, csv_dir=args.csv)
+    if args.command == "bench":
+        from repro.perf.bench import main as bench_main
+        return bench_main(path=args.output, workers=args.workers,
+                          full=args.full)
+    return run_experiments(args.experiments, csv_dir=args.csv,
+                           workers=args.workers,
+                           use_cache=args.cache,
+                           cache_dir=args.cache_dir)
 
 
 if __name__ == "__main__":

@@ -224,6 +224,13 @@ class DCQCNFluidModel(FluidModel):
             if np.any(starts < 0):
                 raise ValueError("start times must be >= 0")
             self.start_times = starts
+        # The slices and the all-flows-active flag are consulted on
+        # every derivative evaluation (four per RK4 step); build them
+        # once here instead of re-deriving them per call.
+        self._alpha_sl = slice(1, 1 + self.n)
+        self._rt_sl = slice(1 + self.n, 1 + 2 * self.n)
+        self._rc_sl = slice(1 + 2 * self.n, 1 + 3 * self.n)
+        self._always_active = not np.any(self.start_times > 0.0)
 
     # -- state vector layout -------------------------------------------------
 
@@ -234,15 +241,15 @@ class DCQCNFluidModel(FluidModel):
 
     def alpha_slice(self) -> slice:
         """Columns holding the per-flow ``alpha`` values."""
-        return slice(1, 1 + self.n)
+        return self._alpha_sl
 
     def rt_slice(self) -> slice:
         """Columns holding the per-flow target rates ``R_T``."""
-        return slice(1 + self.n, 1 + 2 * self.n)
+        return self._rt_sl
 
     def rc_slice(self) -> slice:
         """Columns holding the per-flow current rates ``R_C``."""
-        return slice(1 + 2 * self.n, 1 + 3 * self.n)
+        return self._rc_sl
 
     def initial_state(self) -> np.ndarray:
         state = np.empty(1 + 3 * self.n)
@@ -281,24 +288,31 @@ class DCQCNFluidModel(FluidModel):
     def derivatives(self, t: float, state: np.ndarray,
                     history: UniformHistory) -> np.ndarray:
         p = self.params
+        rc_sl = self._rc_sl
         queue = state[self.queue_index]
-        alpha = state[self.alpha_slice()]
-        rt = state[self.rt_slice()]
-        rc = state[self.rc_slice()]
+        alpha = state[self._alpha_sl]
+        rt = state[self._rt_sl]
+        rc = state[rc_sl]
 
         mark_p = self.marking_probability(t, history)
         # The delayed rate shares the (possibly jittered) feedback path:
         # the CNP describes packets sent one control-loop delay ago.
-        delayed = history(t - p.tau_star - self.feedback_jitter(t))
-        delayed_rc = np.maximum(delayed[self.rc_slice()], MIN_RATE)
+        # Only the R_C block of the delayed state is needed, so the
+        # interpolation is restricted to those columns.
+        delayed_rc = history.interpolate(
+            t - p.tau_star - self.feedback_jitter(t), rc_sl)
+        delayed_rc = np.maximum(delayed_rc, MIN_RATE)
 
         events = qcn_event_rates(mark_p, delayed_rc, p)
 
-        active = t >= self.start_times
-
         # Eq. 4: queue integrates the active flows' excess arrival
         # rate; it cannot drain below empty.
-        dq = float(np.sum(rc[active])) - p.capacity
+        if self._always_active:
+            active = None
+            dq = float(np.sum(rc)) - p.capacity
+        else:
+            active = t >= self.start_times
+            dq = float(np.sum(rc[active])) - p.capacity
         if queue <= 0.0 and dq < 0.0:
             dq = 0.0
 
@@ -321,9 +335,14 @@ class DCQCNFluidModel(FluidModel):
 
         out = np.empty_like(state)
         out[self.queue_index] = dq
-        out[self.alpha_slice()] = np.where(active, dalpha, 0.0)
-        out[self.rt_slice()] = np.where(active, drt, 0.0)
-        out[self.rc_slice()] = np.where(active, drc, 0.0)
+        if active is None:
+            out[self._alpha_sl] = dalpha
+            out[self._rt_sl] = drt
+            out[rc_sl] = drc
+        else:
+            out[self._alpha_sl] = np.where(active, dalpha, 0.0)
+            out[self._rt_sl] = np.where(active, drt, 0.0)
+            out[rc_sl] = np.where(active, drc, 0.0)
         return out
 
     def clamp(self, state: np.ndarray) -> np.ndarray:

@@ -217,34 +217,43 @@ def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,
                     initial: np.ndarray, labels, method: str,
                     divergence_limit: Optional[float],
                     retries: int) -> FluidTrace:
-    """One fixed-step pass; raises :class:`IntegrationError` on blow-up."""
-    state = initial.copy()
-    history = UniformHistory(t_start, dt, state)
-    n_steps = int(round((t_end - t_start) / dt))
+    """One fixed-step pass; raises :class:`IntegrationError` on blow-up.
 
-    recorded_times = [t_start]
-    recorded_states = [state.copy()]
+    The history buffer is preallocated for the whole horizon (the step
+    count is known up front), and the returned trace is a strided copy
+    of that same buffer -- stepping never re-records states it has
+    already written into the history.
+    """
+    state = initial.copy()
+    n_steps = int(round((t_end - t_start) / dt))
+    history = UniformHistory(t_start, dt, state,
+                             capacity=n_steps + 1)
+    # A single abs-max distinguishes all divergence modes: NaN
+    # propagates through max (numpy's max returns NaN if any entry
+    # is), inf exceeds any finite limit, and a finite blow-up exceeds
+    # the configured limit.  One reduction per step instead of two.
+    limit = np.inf if divergence_limit is None else divergence_limit
+    clamp = model.clamp
+    append = history.append
     t = t_start
     for step in range(1, n_steps + 1):
         state = stepper(model, t, state, dt, history)
-        state = model.clamp(state)
-        cause = None
-        if not np.all(np.isfinite(state)):
-            cause = "non-finite state (NaN or inf)"
-        elif divergence_limit is not None and \
-                np.max(np.abs(state)) > divergence_limit:
-            cause = (f"state magnitude "
-                     f"{np.max(np.abs(state)):.3g} exceeded "
-                     f"divergence limit {divergence_limit:.3g}")
-        if cause is not None:
+        state = clamp(state)
+        magnitude = float(np.max(np.abs(state)))
+        # NaN fails every comparison (so `> limit` won't catch it) and
+        # inf must trip even when the limit itself is inf.
+        if magnitude > limit or magnitude != magnitude \
+                or magnitude == np.inf:
+            if magnitude != magnitude or magnitude == np.inf:
+                cause = "non-finite state (NaN or inf)"
+            else:
+                cause = (f"state magnitude {magnitude:.3g} exceeded "
+                         f"divergence limit {limit:.3g}")
             raise IntegrationError(IntegrationFailure(
                 step=step, time=t + dt, state=state, cause=cause,
                 method=method, dt=dt, retries=retries))
-        history.append(state)
+        append(state)
         t = t_start + step * dt
-        if step % record_stride == 0:
-            recorded_times.append(t)
-            recorded_states.append(state.copy())
 
-    return FluidTrace(np.array(recorded_times),
-                      np.array(recorded_states), labels)
+    times, states = history.strided_view(record_stride)
+    return FluidTrace(times, states, labels)

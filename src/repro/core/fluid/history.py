@@ -13,11 +13,23 @@ O(1) index computation plus linear interpolation, instead of a binary
 search.  Queries earlier than the start time return the initial state
 (constant pre-history), which matches the paper's simulations where
 flows start with fixed initial rates and an empty queue.
+
+Storage is a single preallocated 2-D ring of rows.  The integrator
+knows its step count up front and passes ``capacity`` so the buffer is
+sized exactly once; an unsized history still grows geometrically.  The
+lookup paths index the buffer directly -- they run up to four times
+per RK4 step, every step, and are the hottest lines of the fluid
+experiments.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+#: Default initial buffer size (rows) when no capacity hint is given.
+_DEFAULT_CAPACITY = 1024
 
 
 class UniformHistory:
@@ -33,9 +45,18 @@ class UniformHistory:
     initial_state:
         State vector at ``t0``; also used as the constant pre-history
         for queries at ``t < t0``.
+    capacity:
+        Optional total row count to preallocate (including the initial
+        sample).  Fixed-step integrators know this exactly
+        (``n_steps + 1``); sizing the buffer once removes every
+        grow-and-copy from the stepping loop.
     """
 
-    def __init__(self, t0: float, dt: float, initial_state: np.ndarray):
+    __slots__ = ("_t0", "_dt", "_dim", "_capacity", "_data",
+                 "_count")
+
+    def __init__(self, t0: float, dt: float, initial_state: np.ndarray,
+                 capacity: Optional[int] = None):
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         self._t0 = float(t0)
@@ -44,7 +65,11 @@ class UniformHistory:
         if state.ndim != 1:
             raise ValueError("initial_state must be a 1-D vector")
         self._dim = state.shape[0]
-        self._capacity = 1024
+        if capacity is None:
+            capacity = _DEFAULT_CAPACITY
+        elif capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
         self._data = np.empty((self._capacity, self._dim), dtype=float)
         self._data[0] = state
         self._count = 1
@@ -74,14 +99,16 @@ class UniformHistory:
 
     def append(self, state: np.ndarray) -> None:
         """Record the state at the next grid point."""
-        if self._count == self._capacity:
-            # Grow geometrically; copy only when capacity is exhausted.
+        count = self._count
+        if count == self._capacity:
+            # Grow geometrically; only reached when the caller gave no
+            # (or too small a) capacity hint.
             self._capacity *= 2
             grown = np.empty((self._capacity, self._dim), dtype=float)
-            grown[:self._count] = self._data[:self._count]
+            grown[:count] = self._data[:count]
             self._data = grown
-        self._data[self._count] = state
-        self._count += 1
+        self._data[count] = state
+        self._count = count + 1
 
     def __call__(self, t: float) -> np.ndarray:
         """State at time ``t``; constant before ``t0``, clamped after the end.
@@ -91,17 +118,41 @@ class UniformHistory:
         terms that land (by at most one step) past the recorded history;
         with delays >= dt this clamp is exact to first order.
         """
+        data = self._data
         offset = (t - self._t0) / self._dt
         if offset <= 0.0:
-            return self._data[0].copy()
+            return data[0].copy()
         last = self._count - 1
         if offset >= last:
-            return self._data[last].copy()
+            return data[last].copy()
         lo = int(offset)
         frac = offset - lo
         if frac == 0.0:
-            return self._data[lo].copy()
-        return (1.0 - frac) * self._data[lo] + frac * self._data[lo + 1]
+            return data[lo].copy()
+        return (1.0 - frac) * data[lo] + frac * data[lo + 1]
+
+    def interpolate(self, t: float, columns: slice) -> np.ndarray:
+        """Interpolated lookup restricted to a column slice.
+
+        The multi-flow models only need a few components of the
+        delayed state (e.g. the ``R_C`` block); interpolating just
+        those columns skips work proportional to the untouched part of
+        the state vector.  Semantics match ``self(t)[columns]``
+        exactly, including the pre-history and end clamps.
+        """
+        data = self._data
+        offset = (t - self._t0) / self._dt
+        if offset <= 0.0:
+            return data[0, columns].copy()
+        last = self._count - 1
+        if offset >= last:
+            return data[last, columns].copy()
+        lo = int(offset)
+        frac = offset - lo
+        if frac == 0.0:
+            return data[lo, columns].copy()
+        return ((1.0 - frac) * data[lo, columns]
+                + frac * data[lo + 1, columns])
 
     def component(self, t: float, index: int) -> float:
         """Scalar lookup of one state component at time ``t``.
@@ -110,20 +161,34 @@ class UniformHistory:
         full interpolated vector; the DCQCN model calls this in its
         inner loop for the delayed queue value.
         """
+        data = self._data
         offset = (t - self._t0) / self._dt
         if offset <= 0.0:
-            return float(self._data[0, index])
+            return float(data[0, index])
         last = self._count - 1
         if offset >= last:
-            return float(self._data[last, index])
+            return float(data[last, index])
         lo = int(offset)
         frac = offset - lo
-        column = self._data[:, index]
         if frac == 0.0:
-            return float(column[lo])
-        return float((1.0 - frac) * column[lo] + frac * column[lo + 1])
+            return float(data[lo, index])
+        return float((1.0 - frac) * data[lo, index]
+                     + frac * data[lo + 1, index])
 
     def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
         """Return ``(times, states)`` copies of the full recorded history."""
         times = self._t0 + self._dt * np.arange(self._count)
         return times, self._data[:self._count].copy()
+
+    def strided_view(self, stride: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(times, states)`` of every ``stride``-th sample, as copies.
+
+        Lets the integrator hand a thinned trace to the caller without
+        having re-recorded anything during stepping: the history *is*
+        the trace.
+        """
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        indices = np.arange(0, self._count, stride)
+        times = self._t0 + self._dt * indices
+        return times, self._data[indices].copy()

@@ -111,6 +111,10 @@ class TimelyFluidModel(FluidModel):
             if np.any(starts < 0):
                 raise ValueError("start times must be >= 0")
             self.start_times = starts
+        # Built once: consulted on every derivative evaluation.
+        self._gradient_sl = slice(1, 1 + self.n)
+        self._rate_sl = slice(1 + self.n, 1 + 2 * self.n)
+        self._always_active = not np.any(self.start_times > 0.0)
 
     # -- state vector layout -------------------------------------------------
 
@@ -121,11 +125,11 @@ class TimelyFluidModel(FluidModel):
 
     def gradient_slice(self) -> slice:
         """Columns holding the per-flow RTT gradients ``g_i``."""
-        return slice(1, 1 + self.n)
+        return self._gradient_sl
 
     def rate_slice(self) -> slice:
         """Columns holding the per-flow rates ``R_i``."""
-        return slice(1 + self.n, 1 + 2 * self.n)
+        return self._rate_sl
 
     def initial_state(self) -> np.ndarray:
         state = np.empty(1 + 2 * self.n)
@@ -184,26 +188,30 @@ class TimelyFluidModel(FluidModel):
                     history: UniformHistory) -> np.ndarray:
         p = self.params
         queue = state[self.queue_index]
-        gradients = state[self.gradient_slice()]
-        rates = state[self.rate_slice()]
-        active = self.active_flows(t)
+        gradients = state[self._gradient_sl]
+        rates = state[self._rate_sl]
 
         tau_star = self.update_intervals(rates)
         tau_fb = self.feedback_delay(queue, t)
-        delayed_queue = history.component(t - tau_fb, self.queue_index)
+        component = history.component
+        delayed_queue = component(t - tau_fb, 0)
 
         # Eq. 20: queue integrates the rate excess of the *active*
         # flows, and cannot go negative.
-        dq = float(np.sum(rates[active])) - p.capacity
+        if self._always_active:
+            active = None
+            dq = float(np.sum(rates)) - p.capacity
+        else:
+            active = self.active_flows(t)
+            dq = float(np.sum(rates[active])) - p.capacity
         if queue <= 0.0 and dq < 0.0:
             dq = 0.0
 
         # Eq. 22: EWMA'd normalized difference of two successive
         # (delayed) queue observations, one update interval apart.
-        older = np.array([
-            history.component(t - tau_fb - tau_star[i], self.queue_index)
-            for i in range(self.n)
-        ])
+        base = t - tau_fb
+        older = np.array([component(base - tau_star[i], 0)
+                          for i in range(self.n)])
         normalized_diff = (delayed_queue - older) / (p.capacity * p.min_rtt)
         dg = (p.ewma_alpha / tau_star) * (normalized_diff - gradients)
 
@@ -211,8 +219,12 @@ class TimelyFluidModel(FluidModel):
 
         out = np.empty_like(state)
         out[self.queue_index] = dq
-        out[self.gradient_slice()] = np.where(active, dg, 0.0)
-        out[self.rate_slice()] = np.where(active, dr, 0.0)
+        if active is None:
+            out[self._gradient_sl] = dg
+            out[self._rate_sl] = dr
+        else:
+            out[self._gradient_sl] = np.where(active, dg, 0.0)
+            out[self._rate_sl] = np.where(active, dr, 0.0)
         return out
 
     def clamp(self, state: np.ndarray) -> np.ndarray:

@@ -31,7 +31,8 @@ from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.fluid.dcqcn import qcn_event_rates
 from repro.core.params import DCQCNParams
 from repro.core.stability.bode import PhaseMarginResult, phase_margin
-from repro.core.stability.linearize import jacobian, transfer_function
+from repro.core.stability.linearize import (jacobian, transfer_function,
+                                            transfer_function_grid)
 
 #: Output selector: the subsystem's third state is R_C.
 _OUTPUT = np.array([0.0, 0.0, 1.0])
@@ -115,12 +116,12 @@ class DCQCNLoopGain:
         omegas = np.asarray(omegas, dtype=float)
         k_red = self.params.red.slope
         n = self.params.num_flows
-        out = np.empty(omegas.shape, dtype=complex)
-        for i, omega in enumerate(omegas):
-            s = 1j * omega
-            g = self.controller(s)
-            out[i] = -(n / s) * k_red * np.exp(-s * self.params.tau_star) * g
-        return out
+        s = 1j * omegas.ravel()
+        g = transfer_function_grid(
+            s, self.m0, self.b_p, _OUTPUT,
+            a_delayed=[(self.m_delayed, self.params.tau_star)])
+        out = -(n / s) * k_red * np.exp(-s * self.params.tau_star) * g
+        return out.reshape(omegas.shape)
 
 
 def dcqcn_phase_margin(params: DCQCNParams,

@@ -67,3 +67,39 @@ def transfer_function(s: complex, a0: np.ndarray, b: np.ndarray,
         matrix -= np.asarray(a_k, dtype=complex) * np.exp(-s * tau_k)
     solution = np.linalg.solve(matrix, np.asarray(b, dtype=complex))
     return complex(np.asarray(c, dtype=complex) @ solution)
+
+
+def transfer_function_grid(s: np.ndarray, a0: np.ndarray, b: np.ndarray,
+                           c: np.ndarray,
+                           a_delayed:
+                           "list[tuple[np.ndarray, float]]" = ()
+                           ) -> np.ndarray:
+    """Vectorized :func:`transfer_function` over an array of ``s`` values.
+
+    Stacks one ``(len(s), n, n)`` system and factorizes it with a
+    single LAPACK call instead of looping scalar 3x3 solves in Python
+    -- the loop-gain evaluations behind the phase-margin sweeps call
+    this with thousands of frequency points, and the per-call numpy
+    overhead of the scalar path dominated the stability experiments.
+
+    ``b`` may be ``(n,)`` for one input vector (returns ``(len(s),)``)
+    or ``(n, k)`` for ``k`` inputs sharing the factorization (returns
+    ``(len(s), k)``), which the two-delay TIMELY loop gain uses to
+    solve both of its inputs at once.
+    """
+    s = np.asarray(s, dtype=complex).ravel()
+    a0 = np.asarray(a0, dtype=complex)
+    n = a0.shape[0]
+    matrices = np.multiply.outer(s, np.eye(n, dtype=complex)) - a0
+    for a_k, tau_k in a_delayed:
+        phase = np.exp(-s * tau_k)
+        matrices -= (np.asarray(a_k, dtype=complex)
+                     * phase[:, None, None])
+    b = np.asarray(b, dtype=complex)
+    single = b.ndim == 1
+    columns = b.reshape(n, -1)
+    stacked = np.broadcast_to(columns, (s.shape[0],) + columns.shape)
+    solutions = np.linalg.solve(matrices, stacked)
+    out = np.einsum("j,mjk->mk", np.asarray(c, dtype=complex),
+                    solutions)
+    return out[:, 0] if single else out

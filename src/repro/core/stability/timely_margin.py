@@ -29,7 +29,8 @@ import numpy as np
 from repro.core.fixedpoint.timely import patched_fixed_point
 from repro.core.params import PatchedTimelyParams
 from repro.core.stability.bode import PhaseMarginResult, phase_margin
-from repro.core.stability.linearize import jacobian, transfer_function
+from repro.core.stability.linearize import (jacobian,
+                                            transfer_function_grid)
 
 #: Output selector: the subsystem's second state is the rate R.
 _OUTPUT = np.array([0.0, 1.0])
@@ -106,16 +107,16 @@ class PatchedTimelyLoopGain:
     def __call__(self, omegas: np.ndarray) -> np.ndarray:
         omegas = np.asarray(omegas, dtype=float)
         n = self.patched.base.num_flows
-        out = np.empty(omegas.shape, dtype=complex)
-        for i, omega in enumerate(omegas):
-            s = 1j * omega
-            g1 = transfer_function(s, self.m0, self.b_q1, _OUTPUT)
-            g2 = transfer_function(s, self.m0, self.b_q2, _OUTPUT)
-            delayed = (g1 * np.exp(-s * self.tau_feedback)
-                       + g2 * np.exp(-s * (self.tau_feedback
-                                           + self.tau_update)))
-            out[i] = -(n / s) * delayed
-        return out
+        s = 1j * omegas.ravel()
+        # Both delayed-queue inputs share the (sI - M0) factorization:
+        # one stacked solve with a two-column right-hand side.
+        inputs = np.column_stack((self.b_q1, self.b_q2))
+        g = transfer_function_grid(s, self.m0, inputs, _OUTPUT)
+        delayed = (g[:, 0] * np.exp(-s * self.tau_feedback)
+                   + g[:, 1] * np.exp(-s * (self.tau_feedback
+                                            + self.tau_update)))
+        out = -(n / s) * delayed
+        return out.reshape(omegas.shape)
 
 
 def patched_timely_phase_margin(patched: PatchedTimelyParams,

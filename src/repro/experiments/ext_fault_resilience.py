@@ -27,6 +27,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import DCQCNParams
+from repro.perf import ResultCache, SweepRunner
 from repro.sim import faults
 from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitors import QueueMonitor, RateMonitor
@@ -70,13 +71,68 @@ def _fault_plan(cnp_loss: float, flap_hz: float,
     return plan
 
 
+def compute_row(cnp_loss: float, flap_hz: float, capacity_gbps: float,
+                num_flows: int, duration: float,
+                cnp_timeout: Optional[float],
+                seed: int) -> ResilienceRow:
+    """Simulate one fault scenario; self-seeded, hence picklable and
+    independent of every other grid cell."""
+    window = duration / 4.0
+    params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
+                                       num_flows=num_flows,
+                                       tau_star_us=4.0)
+    # One generator drives marking *and* fault randomness: the
+    # whole faulty simulation replays from this single seed.
+    rng = np.random.default_rng(seed)
+    marker = REDMarker(params.red, params.mtu_bytes, rng=rng)
+    net = single_switch(num_flows, link_gbps=capacity_gbps,
+                        marker=marker)
+    senders = []
+    for i in range(num_flows):
+        sender, _ = install_flow(net, "dcqcn", f"s{i}", "recv",
+                                 None, 0.0, params,
+                                 cnp_timeout=cnp_timeout)
+        senders.append(sender)
+
+    injector = faults.install(
+        net, _fault_plan(cnp_loss, flap_hz, duration), rng=rng)
+    monitor = InvariantMonitor.for_network(net,
+                                           interval=duration / 40.0)
+    queue_mon = QueueMonitor(net.sim, net.bottleneck_port,
+                             interval=50e-6)
+    rate_mon = RateMonitor(
+        net.sim, {f"s{i}": senders[i] for i in range(num_flows)},
+        interval=100e-6)
+    net.sim.run(until=duration)
+
+    final = rate_mon.final_rates()
+    rates = np.array([final[f"s{i}"] for i in range(num_flows)])
+    delivered = sum(flow.bytes_delivered
+                    for flow in net.registry.flows.values())
+    return ResilienceRow(
+        cnp_loss=cnp_loss,
+        flap_hz=flap_hz,
+        throughput_gbps=delivered * 8 / duration / 1e9,
+        fairness=float(jain_fairness(rates)),
+        queue_mean_kb=queue_mon.tail_mean_bytes(window) / 1024,
+        queue_std_kb=queue_mon.tail_std_bytes(window) / 1024,
+        min_rate_gbps=float(rates.min()) * 8 / 1e9,
+        cnps_lost=injector.stats.lost_by_kind.get("cnp", 0),
+        flap_drops=injector.stats.flap_drops,
+        rate_limiter_timeouts=sum(s.rate_limiter_timeouts
+                                  for s in senders),
+        invariant_violations=len(monitor.violations))
+
+
 def run(cnp_loss_rates: Sequence[float] = (0.0, 0.2, 0.5),
         flap_frequencies_hz: Sequence[float] = (0.0, 200.0),
         capacity_gbps: float = 40.0,
         num_flows: int = 2,
         duration: float = 0.02,
         cnp_timeout: Optional[float] = 2e-3,
-        seed: int = 3) -> List[ResilienceRow]:
+        seed: int = 3,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None) -> List[ResilienceRow]:
     """Sweep the fault grid: loss rates alone, plus flaps at zero loss
     and the worst loss rate (the full cross product adds little)."""
     grid: List[Tuple[float, float]] = [(loss, 0.0)
@@ -88,54 +144,13 @@ def run(cnp_loss_rates: Sequence[float] = (0.0, 0.2, 0.5),
             if worst > 0:
                 grid.append((worst, flap_hz))
 
-    rows = []
-    window = duration / 4.0
-    for cnp_loss, flap_hz in grid:
-        params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
-                                           num_flows=num_flows,
-                                           tau_star_us=4.0)
-        # One generator drives marking *and* fault randomness: the
-        # whole faulty simulation replays from this single seed.
-        rng = np.random.default_rng(seed)
-        marker = REDMarker(params.red, params.mtu_bytes, rng=rng)
-        net = single_switch(num_flows, link_gbps=capacity_gbps,
-                            marker=marker)
-        senders = []
-        for i in range(num_flows):
-            sender, _ = install_flow(net, "dcqcn", f"s{i}", "recv",
-                                     None, 0.0, params,
-                                     cnp_timeout=cnp_timeout)
-            senders.append(sender)
-
-        injector = faults.install(
-            net, _fault_plan(cnp_loss, flap_hz, duration), rng=rng)
-        monitor = InvariantMonitor.for_network(net,
-                                               interval=duration / 40.0)
-        queue_mon = QueueMonitor(net.sim, net.bottleneck_port,
-                                 interval=50e-6)
-        rate_mon = RateMonitor(
-            net.sim, {f"s{i}": senders[i] for i in range(num_flows)},
-            interval=100e-6)
-        net.sim.run(until=duration)
-
-        final = rate_mon.final_rates()
-        rates = np.array([final[f"s{i}"] for i in range(num_flows)])
-        delivered = sum(flow.bytes_delivered
-                        for flow in net.registry.flows.values())
-        rows.append(ResilienceRow(
-            cnp_loss=cnp_loss,
-            flap_hz=flap_hz,
-            throughput_gbps=delivered * 8 / duration / 1e9,
-            fairness=float(jain_fairness(rates)),
-            queue_mean_kb=queue_mon.tail_mean_bytes(window) / 1024,
-            queue_std_kb=queue_mon.tail_std_bytes(window) / 1024,
-            min_rate_gbps=float(rates.min()) * 8 / 1e9,
-            cnps_lost=injector.stats.lost_by_kind.get("cnp", 0),
-            flap_drops=injector.stats.flap_drops,
-            rate_limiter_timeouts=sum(s.rate_limiter_timeouts
-                                      for s in senders),
-            invariant_violations=len(monitor.violations)))
-    return rows
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="ext_fault_resilience")
+    cells = [{"cnp_loss": cnp_loss, "flap_hz": flap_hz,
+              "capacity_gbps": capacity_gbps, "num_flows": num_flows,
+              "duration": duration, "cnp_timeout": cnp_timeout,
+              "seed": seed} for cnp_loss, flap_hz in grid]
+    return runner.map(compute_row, cells)
 
 
 def report(rows: List[ResilienceRow]) -> str:

@@ -19,6 +19,7 @@ from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
 from repro.core.stability.bode import phase_margin
 from repro.core.stability.dcqcn_margin import DCQCNLoopGain
+from repro.perf import ResultCache, SweepRunner
 
 #: Default grid (log-ish in both axes).
 DEFAULT_FLOWS = (1, 2, 4, 6, 8, 10, 14, 20, 30, 50, 80)
@@ -41,23 +42,41 @@ class StabilityMapRow:
         return max(stable) if stable else None
 
 
+def compute_row(num_flows: int, delays_us: Sequence[float],
+                capacity_gbps: float) -> StabilityMapRow:
+    """One flow count's margins across the delay axis.
+
+    Module-level (picklable) so :class:`~repro.perf.SweepRunner` can
+    fan rows out to worker processes; each cell is self-contained.
+    """
+    margins = []
+    for delay in delays_us:
+        params = DCQCNParams.paper_default(
+            capacity_gbps=capacity_gbps, num_flows=int(num_flows),
+            tau_star_us=float(delay))
+        loop = DCQCNLoopGain(params, jacobian_mode="analytic")
+        margins.append(phase_margin(loop).margin_deg)
+    return StabilityMapRow(num_flows=int(num_flows),
+                           delays_us=tuple(delays_us),
+                           margins_deg=margins)
+
+
 def run(flow_counts: Sequence[int] = DEFAULT_FLOWS,
         delays_us: Sequence[float] = DEFAULT_DELAYS_US,
-        capacity_gbps: float = 40.0) -> List[StabilityMapRow]:
-    """Compute the margin grid with the analytic linearization."""
-    rows = []
-    for n in flow_counts:
-        margins = []
-        for delay in delays_us:
-            params = DCQCNParams.paper_default(
-                capacity_gbps=capacity_gbps, num_flows=int(n),
-                tau_star_us=float(delay))
-            loop = DCQCNLoopGain(params, jacobian_mode="analytic")
-            margins.append(phase_margin(loop).margin_deg)
-        rows.append(StabilityMapRow(num_flows=int(n),
-                                    delays_us=tuple(delays_us),
-                                    margins_deg=margins))
-    return rows
+        capacity_gbps: float = 40.0,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None) -> List[StabilityMapRow]:
+    """Compute the margin grid with the analytic linearization.
+
+    ``workers`` fans the per-flow-count rows over processes;
+    ``cache`` memoizes each row on disk (see :mod:`repro.perf`).
+    Results are identical to the serial, uncached computation.
+    """
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="ext_stability_map")
+    cells = [{"num_flows": int(n), "delays_us": tuple(delays_us),
+              "capacity_gbps": capacity_gbps} for n in flow_counts]
+    return runner.map(compute_row, cells)
 
 
 def boundary(rows: List[StabilityMapRow]

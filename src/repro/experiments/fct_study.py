@@ -15,7 +15,7 @@ implementation's 64 KB per-burst pacing; patched TIMELY per Section
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.analysis.fct import (FCTSummary, SMALL_FLOW_BYTES,
 from repro.analysis.reporting import format_table
 from repro.core.params import (DCQCNParams, DCTCPParams,
                                PatchedTimelyParams, TimelyParams)
+from repro.perf import ResultCache, SweepRunner
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import dumbbell
@@ -115,11 +116,25 @@ def run_protocol(protocol: str, load: float,
 
 def run_load_sweep(loads: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
                    protocols: Sequence[str] = STUDY_PROTOCOLS,
+                   workers: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
                    **kwargs) -> Dict[str, List[ProtocolRun]]:
-    """Figure 14's grid: every protocol at every load."""
-    return {protocol: [run_protocol(protocol, load, **kwargs)
-                       for load in loads]
-            for protocol in protocols}
+    """Figure 14's grid: every protocol at every load.
+
+    The (protocol, load) cells are independent simulations, each
+    deterministically seeded, so they fan out over ``workers``
+    processes (and memoize through ``cache``) with results identical
+    to the serial nested loop.
+    """
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="fct_study")
+    cells = [{"protocol": protocol, "load": load, **kwargs}
+             for protocol in protocols for load in loads]
+    results = runner.map(run_protocol, cells)
+    grouped: Dict[str, List[ProtocolRun]] = {}
+    for cell, result in zip(cells, results):
+        grouped.setdefault(cell["protocol"], []).append(result)
+    return grouped
 
 
 def report_fct_vs_load(results: Dict[str, List[ProtocolRun]]) -> str:

@@ -13,12 +13,13 @@ Three panels:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
 from repro.core.stability.dcqcn_margin import margin_vs_flows
+from repro.perf import ResultCache, SweepRunner
 
 #: Default flow-count grid (log-ish spacing like the paper's x-axis).
 DEFAULT_FLOWS = (1, 2, 4, 6, 8, 10, 14, 20, 30, 50, 80, 100)
@@ -41,44 +42,60 @@ class MarginSweep:
                 if m <= 0.0]
 
 
+def compute_sweep(label: str, params: DCQCNParams,
+                  flow_counts: Sequence[int]) -> MarginSweep:
+    """One margin-vs-N curve; module-level so sweeps can fan out."""
+    return MarginSweep(label=label, flow_counts=tuple(flow_counts),
+                       margins_deg=margin_vs_flows(params, flow_counts))
+
+
+def _run_sweeps(cells: "List[dict]", workers: Optional[int],
+                cache: Optional[ResultCache]) -> List[MarginSweep]:
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="fig03")
+    return runner.map(compute_sweep, cells)
+
+
 def panel_a(delays_us: Sequence[float] = (4, 25, 55, 85, 100),
             flow_counts: Sequence[int] = DEFAULT_FLOWS,
-            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+            capacity_gbps: float = 40.0,
+            workers: Optional[int] = None,
+            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
     """Margin vs N for several feedback delays (Fig. 3a)."""
-    sweeps = []
+    cells = []
     for delay in delays_us:
         params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
                                            tau_star_us=delay)
-        sweeps.append(MarginSweep(
-            label=f"tau*={delay:g}us",
-            flow_counts=flow_counts,
-            margins_deg=margin_vs_flows(params, flow_counts)))
-    return sweeps
+        cells.append({"label": f"tau*={delay:g}us", "params": params,
+                      "flow_counts": tuple(flow_counts)})
+    return _run_sweeps(cells, workers, cache)
 
 
 def panel_b(rate_ai_mbps: Sequence[float] = (10, 40, 150),
             flow_counts: Sequence[int] = DEFAULT_FLOWS,
             delay_us: float = 100.0,
-            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+            capacity_gbps: float = 40.0,
+            workers: Optional[int] = None,
+            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
     """Margin vs N for several R_AI values at 100 us delay (Fig. 3b)."""
-    sweeps = []
+    cells = []
     for mbps in rate_ai_mbps:
         params = DCQCNParams.paper_default(
             capacity_gbps=capacity_gbps, tau_star_us=delay_us).replace(
                 rate_ai=units.mbps_to_pps(mbps))
-        sweeps.append(MarginSweep(
-            label=f"R_AI={mbps:g}Mbps",
-            flow_counts=flow_counts,
-            margins_deg=margin_vs_flows(params, flow_counts)))
-    return sweeps
+        cells.append({"label": f"R_AI={mbps:g}Mbps", "params": params,
+                      "flow_counts": tuple(flow_counts)})
+    return _run_sweeps(cells, workers, cache)
 
 
 def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
             flow_counts: Sequence[int] = DEFAULT_FLOWS,
             delay_us: float = 100.0,
-            capacity_gbps: float = 40.0) -> List[MarginSweep]:
+            capacity_gbps: float = 40.0,
+            workers: Optional[int] = None,
+            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
     """Margin vs N for several K_max values at 100 us delay (Fig. 3c)."""
-    sweeps = []
+    cells = []
     for kmax in kmax_kb:
         base = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
                                          tau_star_us=delay_us)
@@ -86,11 +103,9 @@ def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
                              kmax=units.kb_to_packets(kmax),
                              pmax=base.red.pmax)
         params = base.replace(red=red)
-        sweeps.append(MarginSweep(
-            label=f"K_max={kmax:g}KB",
-            flow_counts=flow_counts,
-            margins_deg=margin_vs_flows(params, flow_counts)))
-    return sweeps
+        cells.append({"label": f"K_max={kmax:g}KB", "params": params,
+                      "flow_counts": tuple(flow_counts)})
+    return _run_sweeps(cells, workers, cache)
 
 
 def report(sweeps: List[MarginSweep], title: str) -> str:

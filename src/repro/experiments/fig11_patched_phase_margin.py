@@ -16,6 +16,7 @@ from repro.analysis.reporting import format_table
 from repro.core.fixedpoint.timely import patched_fixed_point
 from repro.core.params import PatchedTimelyParams
 from repro.core.stability.timely_margin import patched_timely_phase_margin
+from repro.perf import ResultCache, SweepRunner
 
 #: Default flow-count grid.
 DEFAULT_FLOWS = (2, 5, 10, 15, 20, 30, 40, 50, 60)
@@ -31,31 +32,40 @@ class PatchedMarginRow:
     feedback_delay_us: float
 
 
+def compute_row(num_flows: int,
+                capacity_gbps: float) -> PatchedMarginRow:
+    """Margin and fixed-point geometry for one flow count (picklable)."""
+    patched = PatchedTimelyParams.paper_default(
+        capacity_gbps=capacity_gbps, num_flows=num_flows)
+    base = patched.base
+    try:
+        point = patched_fixed_point(patched)
+        margin: Optional[float] = patched_timely_phase_margin(
+            patched).margin_deg
+        queue_kb = units.packets_to_kb(point.queue, base.mtu_bytes)
+        delay_us = units.seconds_to_us(
+            point.queue / base.capacity + 1.0 / base.capacity
+            + base.prop_delay)
+    except ValueError:
+        # Eq. 31 queue left the gradient band: no fixed point.
+        margin = float("nan")
+        queue_kb = float("nan")
+        delay_us = float("nan")
+    return PatchedMarginRow(
+        num_flows=num_flows, margin_deg=margin, queue_star_kb=queue_kb,
+        feedback_delay_us=delay_us)
+
+
 def run(flow_counts: Sequence[int] = DEFAULT_FLOWS,
-        capacity_gbps: float = 10.0) -> List[PatchedMarginRow]:
+        capacity_gbps: float = 10.0,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None) -> List[PatchedMarginRow]:
     """Sweep the flow count, collecting margin and loop-delay data."""
-    rows = []
-    for n in flow_counts:
-        patched = PatchedTimelyParams.paper_default(
-            capacity_gbps=capacity_gbps, num_flows=n)
-        base = patched.base
-        try:
-            point = patched_fixed_point(patched)
-            margin: Optional[float] = patched_timely_phase_margin(
-                patched).margin_deg
-            queue_kb = units.packets_to_kb(point.queue, base.mtu_bytes)
-            delay_us = units.seconds_to_us(
-                point.queue / base.capacity + 1.0 / base.capacity
-                + base.prop_delay)
-        except ValueError:
-            # Eq. 31 queue left the gradient band: no fixed point.
-            margin = float("nan")
-            queue_kb = float("nan")
-            delay_us = float("nan")
-        rows.append(PatchedMarginRow(
-            num_flows=n, margin_deg=margin, queue_star_kb=queue_kb,
-            feedback_delay_us=delay_us))
-    return rows
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="fig11")
+    cells = [{"num_flows": int(n), "capacity_gbps": capacity_gbps}
+             for n in flow_counts]
+    return runner.map(compute_row, cells)
 
 
 def crossover_flows(rows: List[PatchedMarginRow]) -> Optional[int]:

@@ -6,10 +6,17 @@ reproduction covers::
     from repro.experiments.registry import EXPERIMENTS
     result = EXPERIMENTS["fig04"].run()
     print(EXPERIMENTS["fig04"].report(result))
+
+Every registered ``run`` uniformly accepts ``workers=`` and ``cache=``
+(see :mod:`repro.perf`): experiments whose grids fan out use them,
+and the rest silently ignore them, so callers (the CLI, the bench
+harness) never need per-experiment special cases.
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict
 
@@ -44,6 +51,45 @@ from repro.experiments import (ablations,
                                fct_study)
 
 
+#: Keyword arguments every registered ``run`` accepts uniformly.
+PERF_KWARGS = ("workers", "cache")
+
+
+def _accepts_keyword(fn: Callable, name: str) -> bool:
+    """Whether calling ``fn(..., name=...)`` could succeed."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return True
+    for parameter in parameters.values():
+        if parameter.kind == parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+                parameter.POSITIONAL_OR_KEYWORD,
+                parameter.KEYWORD_ONLY):
+            return True
+    return False
+
+
+def _uniform_run(fn: Callable[..., object]) -> Callable[..., object]:
+    """Wrap ``fn`` so ``workers=``/``cache=`` are always accepted.
+
+    Experiments with parallel/cached sweeps receive them; the rest
+    (single simulations, closed-form computations) have them dropped.
+    """
+    unsupported = tuple(name for name in PERF_KWARGS
+                        if not _accepts_keyword(fn, name))
+    if not unsupported:
+        return fn
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        for name in unsupported:
+            kwargs.pop(name, None)
+        return fn(*args, **kwargs)
+    return wrapper
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One reproducible paper artefact."""
@@ -52,6 +98,9 @@ class Experiment:
     description: str
     run: Callable[..., object]
     report: Callable[[object], str]
+
+    def __post_init__(self):
+        object.__setattr__(self, "run", _uniform_run(self.run))
 
 
 def _fig03_run(**kwargs):
@@ -63,7 +112,11 @@ def _fig03_report(sweeps):
         sweeps, "Fig. 3(a) -- DCQCN phase margin vs N and delay")
 
 
-def _fig12_run(**kwargs):
+def _fig12_run(workers=None, cache=None, **kwargs):
+    # The flow sweep is a handful of short fluid integrations; it
+    # stays serial, so the uniform perf kwargs are accepted and
+    # ignored here.
+    del workers, cache
     return [fig12_patched_timely.run_asymmetric()] \
         + fig12_patched_timely.run_flow_sweep(**kwargs)
 
@@ -72,9 +125,13 @@ def _fig14_run(**kwargs):
     return fct_study.run_load_sweep(**kwargs)
 
 
-def _fig16_run(**kwargs):
-    return [fct_study.run_protocol(protocol, 0.8, **kwargs)
-            for protocol in fct_study.STUDY_PROTOCOLS]
+def _fig16_run(workers=None, cache=None, **kwargs):
+    from repro.perf import SweepRunner
+    runner = SweepRunner(workers=workers, cache=cache,
+                         experiment_id="fig16")
+    cells = [{"protocol": protocol, "load": 0.8, **kwargs}
+             for protocol in fct_study.STUDY_PROTOCOLS]
+    return runner.map(fct_study.run_protocol, cells)
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

@@ -1,0 +1,32 @@
+"""Performance layer: parallel sweeps, result caching, benchmarks.
+
+The paper's artefacts are dense parameter grids; this package makes
+them fast three ways:
+
+* :class:`~repro.perf.sweep.SweepRunner` fans independent grid cells
+  out over a process pool (``workers=``), with deterministic per-cell
+  seeding via :func:`~repro.perf.sweep.derive_seed`;
+* :class:`~repro.perf.cache.ResultCache` memoizes cell results on disk,
+  keyed by experiment id, canonical parameters, and a fingerprint of
+  the package sources;
+* :mod:`repro.perf.bench` measures the hot loops (event engine, port
+  serialization, DDE stepping, margin sweeps) and emits the JSON
+  consumed by the perf-trajectory tooling.
+"""
+
+from repro.perf.cache import (CacheStats, ResultCache, canonicalize,
+                              code_fingerprint, default_cache_dir,
+                              params_key)
+from repro.perf.sweep import SweepRunner, derive_seed, resolve_workers
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "SweepRunner",
+    "canonicalize",
+    "code_fingerprint",
+    "default_cache_dir",
+    "derive_seed",
+    "params_key",
+    "resolve_workers",
+]

@@ -1,0 +1,221 @@
+"""Throughput benchmarks for the performance layer.
+
+``python -m repro bench`` runs these and writes a JSON report (the
+checked-in ``BENCH_PR2.json``; format documented in
+``docs/PERFORMANCE.md``).  Four microbenchmarks cover the hot loops
+the perf work targets -- the event heap, port serialization, DDE
+stepping, and one stability-map row -- and a sweep section times the
+``ext_stability_map`` grid (plus, with ``full=True``, the Section 5.1
+FCT study) serially, with workers, and against a warm result cache.
+
+Unlike ``benchmarks/test_performance.py`` (pytest-benchmark, relative
+regression tracking) this module produces absolute numbers meant to be
+committed alongside the code they measure.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.perf.cache import ResultCache
+
+#: Report format version; bump when fields change meaning.
+REPORT_VERSION = 2
+
+#: Default output file, repo-root relative.
+DEFAULT_REPORT = "BENCH_PR2.json"
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall time of ``repeats`` calls, seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_event_loop(n_events: int = 200_000) -> float:
+    """Self-rescheduling no-op events per second through the heap."""
+    from repro.sim.engine import Simulator
+
+    def run() -> None:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n_events:
+                sim.schedule(1e-6, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+
+    return n_events / _best_of(run)
+
+
+def bench_port(n_packets: int = 50_000) -> float:
+    """Packets serialized through one port + link per second."""
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link, Port
+    from repro.sim.packet import Packet
+
+    class Sink:
+        name = "sink"
+
+        def receive(self, packet, ingress=None):
+            pass
+
+    def run() -> None:
+        sim = Simulator()
+        port = Port(sim, 1.25e9, Link(sim, 1e-6, Sink()))
+        for seq in range(n_packets):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+
+    return n_packets / _best_of(run)
+
+
+def bench_dde(t_end: float = 0.01) -> float:
+    """Heun steps per second on the 10-flow DCQCN fluid model."""
+    from repro.core.fluid import dde
+    from repro.core.fluid.dcqcn import DCQCNFluidModel
+    from repro.core.params import DCQCNParams
+
+    params = DCQCNParams.paper_default(num_flows=10)
+    model = DCQCNFluidModel(params)
+    steps = int(round(t_end / 1e-6))
+
+    def run() -> None:
+        dde.integrate(model, t_end=t_end, dt=1e-6)
+
+    return steps / _best_of(run)
+
+
+def bench_stability_row() -> float:
+    """Wall seconds for one default ext_stability_map row (N=10)."""
+    from repro.experiments.ext_stability_map import (DEFAULT_DELAYS_US,
+                                                     compute_row)
+
+    return _best_of(lambda: compute_row(10, DEFAULT_DELAYS_US, 40.0))
+
+
+def _timed(fn: Callable[[], object]) -> "tuple[float, object]":
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def bench_sweeps(workers: int = 4, full: bool = False,
+                 cache_dir: Optional[str] = None) -> dict:
+    """Grid experiments serial vs parallel vs warm-cached.
+
+    Each variant's results are compared against the serial run, so the
+    report doubles as a determinism check: ``identical`` must be true.
+    """
+    import tempfile
+
+    from repro.experiments import ext_stability_map
+
+    report: dict = {"workers": workers}
+
+    serial_s, serial_rows = _timed(lambda: ext_stability_map.run())
+    parallel_s, parallel_rows = _timed(
+        lambda: ext_stability_map.run(workers=workers))
+    with tempfile.TemporaryDirectory(dir=cache_dir) as tmp:
+        cache = ResultCache(root=tmp)
+        cold_s, _ = _timed(lambda: ext_stability_map.run(cache=cache))
+        warm_s, warm_rows = _timed(
+            lambda: ext_stability_map.run(cache=cache))
+    report["ext_stability_map"] = {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "cache_cold_s": cold_s,
+        "cache_warm_s": warm_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "cache_warm_speedup": serial_s / warm_s,
+        "identical": serial_rows == parallel_rows == warm_rows,
+    }
+
+    if full:
+        from repro.experiments import fct_study
+
+        def runs_equal(a, b):
+            from dataclasses import asdict
+            import numpy as np
+            for protocol in a:
+                for left, right in zip(a[protocol], b[protocol]):
+                    for key, value in asdict(left).items():
+                        other = asdict(right)[key]
+                        if isinstance(value, np.ndarray):
+                            if not np.array_equal(value, other):
+                                return False
+                        elif value != other:
+                            return False
+            return True
+
+        serial_s, serial_res = _timed(lambda: fct_study.run_load_sweep())
+        parallel_s, parallel_res = _timed(
+            lambda: fct_study.run_load_sweep(workers=workers))
+        with tempfile.TemporaryDirectory(dir=cache_dir) as tmp:
+            cache = ResultCache(root=tmp)
+            cold_s, _ = _timed(
+                lambda: fct_study.run_load_sweep(cache=cache))
+            warm_s, warm_res = _timed(
+                lambda: fct_study.run_load_sweep(cache=cache))
+        report["fct_study"] = {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "cache_cold_s": cold_s,
+            "cache_warm_s": warm_s,
+            "parallel_speedup": serial_s / parallel_s,
+            "cache_warm_speedup": serial_s / warm_s,
+            "identical": runs_equal(serial_res, parallel_res)
+            and runs_equal(serial_res, warm_res),
+        }
+    return report
+
+
+def run_benchmarks(workers: int = 4, full: bool = False,
+                   baseline: Optional[dict] = None) -> dict:
+    """Run everything and return the report dictionary."""
+    import os
+
+    report = {
+        "version": REPORT_VERSION,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "micro": {
+            "event_loop_events_per_sec": bench_event_loop(),
+            "port_packets_per_sec": bench_port(),
+            "dde_steps_per_sec": bench_dde(),
+            "stability_map_row_s": bench_stability_row(),
+        },
+        "sweeps": bench_sweeps(workers=workers, full=full),
+    }
+    if baseline:
+        report["pre_pr_baseline"] = baseline
+    return report
+
+
+def write_report(report: dict, path: str = DEFAULT_REPORT) -> str:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(path: str = DEFAULT_REPORT, workers: int = 4,
+         full: bool = False) -> int:
+    report = run_benchmarks(workers=workers, full=full)
+    target = write_report(report, path)
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    print(f"\n[report written to {target}]")
+    return 0

@@ -1,0 +1,266 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every headline artefact of the paper is a sweep over a parameter grid,
+and every cell of every sweep is a pure function of its parameters --
+so once computed, a cell's result dataclasses can be stored and reused
+across processes and sessions.  The cache keys each entry by
+
+* the experiment id (namespacing),
+* a canonicalized hash of the cell parameters (dataclasses, tuples,
+  numpy scalars and arrays all normalize to one JSON form), and
+* a *code fingerprint* -- a digest of the ``repro`` package sources --
+  stored in the entry so that editing any module invalidates every
+  result computed by the old code.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``)
+as pickle files named by the parameter hash.  A cached parallel sweep
+and a cold serial sweep return bit-identical values because the cache
+stores the exact result objects the cell functions produced.
+
+Failure handling is deliberately forgiving: a corrupt entry (truncated
+write, version skew) is deleted and recomputed, never raised, and
+every outcome is counted in :class:`CacheStats` so tests and the CLI
+can report hit rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple
+
+#: Environment variable overriding the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the computed code fingerprint
+#: (used by tests to simulate code changes without editing files).
+FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+
+#: Bump to orphan every pre-existing entry on disk when the storage
+#: format itself changes (orphaned files are simply never read).
+FORMAT_VERSION = 1
+
+_fingerprint_memo: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable form.
+
+    Dataclasses become ``{"__dataclass__": name, **fields}``, tuples
+    and sets become sorted-where-unordered lists, numpy scalars become
+    Python numbers, arrays become nested lists, and callables reduce to
+    their qualified name (cells are keyed partly by *which* function
+    computes them).  Unknown objects fall back to ``repr`` -- stable
+    for the frozen parameter dataclasses this package uses.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly and canonically.
+        return float(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__dataclass__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonicalize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value)
+                for key, value in sorted(obj.items(), key=lambda kv:
+                                         str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(item) for item in obj)
+    if hasattr(obj, "tolist"):  # numpy scalars and arrays
+        return canonicalize(obj.tolist())
+    if hasattr(obj, "item") and callable(getattr(obj, "item")):
+        return canonicalize(obj.item())
+    if callable(obj):
+        return f"{getattr(obj, '__module__', '?')}." \
+               f"{getattr(obj, '__qualname__', repr(obj))}"
+    return repr(obj)
+
+
+def params_key(experiment_id: str, params: Any) -> str:
+    """Content hash of (experiment id, canonicalized parameters)."""
+    payload = json.dumps({"experiment": experiment_id,
+                          "params": canonicalize(params)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` source file in the ``repro`` package.
+
+    Computed once per process (the source tree does not change under
+    a running experiment); override with ``$REPRO_CODE_FINGERPRINT``
+    to pin or perturb it in tests.
+    """
+    global _fingerprint_memo
+    override = os.environ.get(FINGERPRINT_ENV)
+    if override:
+        return override
+    if _fingerprint_memo is not None:
+        return _fingerprint_memo
+    import repro
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a :class:`ResultCache` has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Entries discarded because their code fingerprint was stale.
+    invalidations: int = 0
+    #: Entries discarded because they failed to load (corruption).
+    corrupt_entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "invalidations": self.invalidations,
+                "corrupt_entries": self.corrupt_entries,
+                "hit_rate": self.hit_rate}
+
+
+@dataclass
+class ResultCache:
+    """Pickle-backed store mapping (experiment, params) to results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily).  Defaults to
+        :func:`default_cache_dir`.
+    fingerprint:
+        Code fingerprint stamped into new entries and demanded of old
+        ones.  Defaults to :func:`code_fingerprint`.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    fingerprint: str = field(default_factory=code_fingerprint)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def entry_path(self, experiment_id: str, params: Any) -> Path:
+        """Where the entry for (experiment, params) lives on disk."""
+        key = params_key(experiment_id, params)
+        return self.root / experiment_id / f"{key}.pkl"
+
+    def get(self, experiment_id: str,
+            params: Any) -> Tuple[bool, Any]:
+        """Look up one entry; returns ``(hit, value)``.
+
+        A stale-fingerprint or unreadable entry is deleted (counted in
+        :attr:`stats`) and reported as a miss.
+        """
+        path = self.entry_path(experiment_id, params)
+        if not path.exists():
+            self.stats.misses += 1
+            return False, None
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            fingerprint = entry["fingerprint"]
+            version = entry["version"]
+            value = entry["value"]
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            self.stats.corrupt_entries += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return False, None
+        if version != FORMAT_VERSION or fingerprint != self.fingerprint:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            self._discard(path)
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, experiment_id: str, params: Any, value: Any) -> Path:
+        """Store one entry atomically (write-to-temp, rename)."""
+        path = self.entry_path(experiment_id, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"version": FORMAT_VERSION,
+                 "fingerprint": self.fingerprint,
+                 "experiment": experiment_id,
+                 "params": canonicalize(params),
+                 "value": value}
+        handle, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(entry, stream,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            self._discard(Path(temp_name))
+            raise
+        self.stats.puts += 1
+        return path
+
+    def get_or_run(self, experiment_id: str, params: Any,
+                   fn: Callable[[], Any]) -> Any:
+        """Return the cached value, or compute via ``fn`` and store it."""
+        hit, value = self.get(experiment_id, params)
+        if hit:
+            return value
+        value = fn()
+        self.put(experiment_id, params, value)
+        return value
+
+    def clear(self, experiment_id: Optional[str] = None) -> int:
+        """Delete entries (all, or one experiment's); returns the count."""
+        base = self.root if experiment_id is None \
+            else self.root / experiment_id
+        if not base.exists():
+            return 0
+        removed = 0
+        for path in base.rglob("*.pkl"):
+            self._discard(path)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,158 @@
+"""Parallel sweep execution over independent experiment cells.
+
+Every sweep in this package -- phase-margin grids, FCT-vs-load curves,
+fault scenarios -- evaluates one *cell function* over a list of
+keyword-argument cells with no shared state between cells.  That makes
+them embarrassingly parallel: :class:`SweepRunner` fans the cells out
+over a :class:`concurrent.futures.ProcessPoolExecutor`, preserves the
+input order of results, and optionally memoizes each cell through a
+:class:`~repro.perf.cache.ResultCache`.
+
+Determinism rules:
+
+* Cell functions must be module-level (picklable) and must derive all
+  randomness from their own arguments -- never from global state -- so
+  a cell computes the same value no matter which process runs it, and
+  ``workers=4`` is bit-identical to ``workers=1``.
+* Cells that need per-cell seeds should derive them with
+  :func:`derive_seed`, which follows numpy's ``spawn_key`` scheme: the
+  derived stream depends only on ``(base_seed, *key)``, not on how
+  many cells exist or the order they run in.
+
+Worker processes set :data:`WORKER_ENV` so nested sweeps inside a
+worker degrade to serial execution instead of oversubscribing the
+machine.  If the platform cannot spawn a pool at all (restricted
+sandboxes), the runner falls back to serial execution with a warning
+-- results are identical either way, only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+
+import numpy as np
+
+from repro.perf.cache import ResultCache
+
+#: Set in sweep worker processes; nested SweepRunners see it and run
+#: serially rather than forking pools of pools.
+WORKER_ENV = "REPRO_SWEEP_WORKER"
+
+
+def derive_seed(base_seed: int, *key: int) -> int:
+    """Derive an independent per-cell seed from a base seed and a key.
+
+    Uses ``numpy.random.SeedSequence(base_seed, spawn_key=key)`` -- the
+    same construction ``Generator.spawn`` uses -- so distinct keys give
+    statistically independent streams and the mapping depends only on
+    the values, never on evaluation order.
+    """
+    sequence = np.random.SeedSequence(
+        int(base_seed), spawn_key=tuple(int(part) for part in key))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument to an effective process count.
+
+    ``None``, 0 and 1 mean serial; negative values mean "one per CPU".
+    Inside a sweep worker process the answer is always 1.
+    """
+    if os.environ.get(WORKER_ENV):
+        return 1
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def _run_cell(payload: "Tuple[Callable[..., Any], Dict[str, Any]]"
+              ) -> Any:
+    """Top-level trampoline so (fn, kwargs) pairs cross the pickle."""
+    fn, kwargs = payload
+    os.environ[WORKER_ENV] = "1"
+    return fn(**kwargs)
+
+
+class SweepRunner:
+    """Maps a cell function over parameter cells, possibly in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Process count (see :func:`resolve_workers`).  Serial execution
+        runs the cells in-process in order; parallel execution
+        preserves result order regardless of completion order.
+    cache:
+        Optional :class:`ResultCache`.  Each cell is keyed by the cell
+        function's qualified name plus its kwargs; hits skip execution
+        entirely and only the missing cells are dispatched.
+    experiment_id:
+        Cache namespace (required when ``cache`` is given).
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 experiment_id: Optional[str] = None):
+        if cache is not None and not experiment_id:
+            raise ValueError(
+                "experiment_id is required when a cache is attached")
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.experiment_id = experiment_id
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _cell_params(self, fn: Callable[..., Any],
+                     cell: Dict[str, Any]) -> Dict[str, Any]:
+        return {"fn": fn, "cell": cell}
+
+    # -- execution ---------------------------------------------------------
+
+    def map(self, fn: Callable[..., Any],
+            cells: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Evaluate ``fn(**cell)`` for every cell, in input order."""
+        cells = list(cells)
+        results: List[Any] = [None] * len(cells)
+        pending: List[int] = []
+        if self.cache is not None:
+            for index, cell in enumerate(cells):
+                hit, value = self.cache.get(
+                    self.experiment_id, self._cell_params(fn, cell))
+                if hit:
+                    results[index] = value
+                else:
+                    pending.append(index)
+        else:
+            pending = list(range(len(cells)))
+
+        if pending:
+            computed = self._execute(fn, [cells[i] for i in pending])
+            for index, value in zip(pending, computed):
+                results[index] = value
+                if self.cache is not None:
+                    self.cache.put(self.experiment_id,
+                                   self._cell_params(fn, cells[index]),
+                                   value)
+        return results
+
+    def _execute(self, fn: Callable[..., Any],
+                 cells: List[Dict[str, Any]]) -> List[Any]:
+        if self.workers <= 1 or len(cells) <= 1:
+            return [fn(**cell) for cell in cells]
+        payloads = [(fn, cell) for cell in cells]
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.workers,
+                                                     len(cells))) as pool:
+                return list(pool.map(_run_cell, payloads))
+        except (OSError, PermissionError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); sweep falling "
+                f"back to serial execution", RuntimeWarning,
+                stacklevel=2)
+            return [fn(**cell) for cell in cells]

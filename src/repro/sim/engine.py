@@ -71,13 +71,22 @@ class SimulationAborted(RuntimeError):
 
 
 class Event:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "callback", "cancelled")
+    ``args`` are passed positionally to the callback when it fires --
+    scheduling ``schedule(d, fn, arg)`` instead of
+    ``schedule(d, lambda: fn(arg))`` spares the event loop one closure
+    allocation and one extra frame per event, which matters at millions
+    of events per second.
+    """
 
-    def __init__(self, time: float, callback: Callable[[], Any]):
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any],
+                 args: tuple = ()):
         self.time = time
         self.callback = callback
+        self.args = args
         self.cancelled = False
 
     def cancel(self) -> None:
@@ -87,6 +96,8 @@ class Event:
 
 class Simulator:
     """Event-driven simulation clock and scheduler."""
+
+    __slots__ = ("_now", "_heap", "_sequence", "_running", "_processed")
 
     def __init__(self):
         self._now = 0.0
@@ -110,19 +121,23 @@ class Simulator:
         """Heap depth: scheduled events not yet executed (incl. cancelled)."""
         return len(self._heap)
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
-        """Run ``callback`` after ``delay`` seconds of simulated time."""
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of sim time."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
+        return event
 
-    def schedule_at(self, time: float,
-                    callback: Callable[[], Any]) -> Event:
-        """Run ``callback`` at absolute simulated time ``time``."""
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now={self._now}")
-        event = Event(time, callback)
+        event = Event(time, callback, args)
         heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
 
@@ -149,37 +164,64 @@ class Simulator:
         self._running = True
         processed = 0
         heap = self._heap
+        pop = heapq.heappop
         wall_start = _time.monotonic() if max_wall_seconds is not None \
             else None
+        watchdogs = max_events is not None or wall_start is not None
         try:
-            while heap and self._running:
-                time, _seq, event = heap[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = time
-                event.callback()
-                processed += 1
-                self._processed += 1
-                if max_events is not None and processed >= max_events:
-                    raise SimulationAborted(
-                        "max_events", processed, self._now, len(heap),
-                        detail=f"exceeded max_events={max_events}")
-                if wall_start is not None and \
-                        processed % WALL_CHECK_STRIDE == 0 and \
-                        _time.monotonic() - wall_start > max_wall_seconds:
-                    raise SimulationAborted(
-                        "wall_clock", processed, self._now, len(heap),
-                        detail=f"exceeded max_wall_seconds="
-                               f"{max_wall_seconds}")
+            if not watchdogs:
+                # Watchdog-free fast path: the comparisons below run
+                # once per event, millions of times per second, so the
+                # common case earns its own tight loop.
+                while heap and self._running:
+                    item = heap[0]
+                    time = item[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                    event = item[2]
+                    if event.cancelled:
+                        continue
+                    self._now = time
+                    event.callback(*event.args)
+                    processed += 1
+            else:
+                while heap and self._running:
+                    item = heap[0]
+                    time = item[0]
+                    if until is not None and time > until:
+                        break
+                    pop(heap)
+                    event = item[2]
+                    if event.cancelled:
+                        continue
+                    self._now = time
+                    event.callback(*event.args)
+                    processed += 1
+                    if max_events is not None and \
+                            processed >= max_events:
+                        raise SimulationAborted(
+                            "max_events", processed, self._now,
+                            len(heap),
+                            detail=f"exceeded max_events={max_events}")
+                    if wall_start is not None and \
+                            processed % WALL_CHECK_STRIDE == 0 and \
+                            _time.monotonic() - wall_start \
+                            > max_wall_seconds:
+                        raise SimulationAborted(
+                            "wall_clock", processed, self._now,
+                            len(heap),
+                            detail=f"exceeded max_wall_seconds="
+                                   f"{max_wall_seconds}")
             if until is not None and self._now < until:
                 self._now = until
         finally:
             # Always leave the simulator resumable: the clock is
             # consistent (last processed event, or ``until``) and the
-            # heap holds exactly the unprocessed events.
+            # heap holds exactly the unprocessed events.  The lifetime
+            # event counter is settled here so aborted runs (watchdogs,
+            # callback exceptions) still account their work.
+            self._processed += processed
             self._running = False
 
     def stop(self) -> None:

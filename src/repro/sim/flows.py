@@ -16,6 +16,9 @@ class Flow:
     convention the paper follows in Section 5.1.
     """
 
+    __slots__ = ("flow_id", "src", "dst", "size_bytes", "start_time",
+                 "bytes_sent", "bytes_delivered", "completion_time")
+
     def __init__(self, flow_id: int, src: str, dst: str,
                  size_bytes: Optional[int], start_time: float):
         if size_bytes is not None and size_bytes <= 0:

@@ -33,6 +33,8 @@ MARKING_POINTS = ("egress", "ingress")
 class Link:
     """Unidirectional propagation-delay pipe to a downstream device."""
 
+    __slots__ = ("sim", "delay", "dst", "ingress_label")
+
     def __init__(self, sim: Simulator, delay: float,
                  dst: "object", ingress_label: Optional[str] = None):
         if delay < 0:
@@ -45,14 +47,23 @@ class Link:
         self.ingress_label = ingress_label
 
     def deliver(self, packet: Packet) -> None:
-        """Deliver ``packet`` after the propagation delay."""
-        self.sim.schedule(
-            self.delay,
-            lambda p=packet: self.dst.receive(p, ingress=self.ingress_label))
+        """Deliver ``packet`` after the propagation delay.
+
+        The receive callback is scheduled with positional args rather
+        than a per-packet closure; this path runs once per packet per
+        hop.
+        """
+        self.sim.schedule(self.delay, self.dst.receive, packet,
+                          self.ingress_label)
 
 
 class Port:
     """Egress port: FIFO + line-rate serializer + optional AQM marker."""
+
+    __slots__ = ("sim", "rate", "link", "marker", "marking_point",
+                 "queue", "priority_control", "control_queue", "name",
+                 "busy", "paused", "bytes_transmitted",
+                 "packets_transmitted", "on_transmit", "on_drop")
 
     def __init__(self, sim: Simulator, rate_bytes_per_s: float,
                  link: Link, marker: Optional[object] = None,
@@ -107,7 +118,13 @@ class Port:
         return total
 
     def send(self, packet: Packet) -> None:
-        """Enqueue for transmission, applying ingress-point marking."""
+        """Enqueue for transmission, applying ingress-point marking.
+
+        When the port is already draining (``busy``), enqueueing is all
+        that happens: the in-flight ``_finish`` event is the wakeup,
+        and scheduling another would double-serve the serializer.  Only
+        an idle port starts a transmission here, and then exactly one.
+        """
         if self.marker is not None and self.marking_point == "ingress" \
                 and not packet.is_control:
             occupancy = self.queue.size_bytes + packet.size_bytes
@@ -121,7 +138,9 @@ class Port:
                 self.on_drop(packet)
             return
         if not self.busy:
-            self._maybe_start()
+            source = self._serviceable_queue()
+            if source is not None:
+                self._transmit_from(source)
 
     def pause(self) -> None:
         """PFC PAUSE: stop serving the *data* class.
@@ -154,15 +173,18 @@ class Port:
         return None
 
     def _maybe_start(self) -> None:
-        if self._serviceable_queue() is not None:
-            self._start_transmission()
-
-    def _start_transmission(self) -> None:
         source = self._serviceable_queue()
-        if source is None:
-            raise RuntimeError(
-                f"{self.name}: transmission started with nothing "
-                "serviceable")
+        if source is not None:
+            self._transmit_from(source)
+
+    def _transmit_from(self, source: ByteFIFO) -> None:
+        """Dequeue from ``source`` and put the packet on the wire.
+
+        Callers have already selected the serviceable queue; taking it
+        as an argument keeps queue selection to one pass per wakeup
+        (the old ``_start_transmission`` re-derived it, doubling the
+        per-packet selection cost).
+        """
         packet = source.dequeue()
         if self.marker is not None and self.marking_point == "egress" \
                 and not packet.is_control:
@@ -173,7 +195,7 @@ class Port:
                 packet.ecn_marked = True
         self.busy = True
         duration = packet.size_bytes / self.rate
-        self.sim.schedule(duration, lambda p=packet: self._finish(p))
+        self.sim.schedule(duration, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.busy = False
@@ -182,4 +204,6 @@ class Port:
         if self.on_transmit is not None:
             self.on_transmit(packet)
         self.link.deliver(packet)
-        self._maybe_start()
+        source = self._serviceable_queue()
+        if source is not None:
+            self._transmit_from(source)

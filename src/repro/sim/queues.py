@@ -17,6 +17,10 @@ class ByteFIFO:
     for observability.
     """
 
+    __slots__ = ("capacity_bytes", "_packets", "_bytes",
+                 "dropped_packets", "dropped_bytes", "enqueued_bytes",
+                 "dequeued_bytes", "max_bytes")
+
     def __init__(self, capacity_bytes: Optional[int] = None):
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(
