@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig04 fig20      # several
     python -m repro run all              # everything (minutes!)
     python -m repro run fig14 --workers 4 --cache
+    python -m repro run fig04 --telemetry obs/   # metrics + run log
+    python -m repro report obs/fig04-*.jsonl     # render a run log
     python -m repro bench                # write BENCH_PR2.json
 
 Each run prints the table of numbers the corresponding paper figure
@@ -14,6 +16,9 @@ plots, via the same drivers the benchmarks use.  ``--workers`` fans
 grid experiments over processes and ``--cache`` memoizes their cells
 on disk (see :mod:`repro.perf`); both are accepted by every
 experiment and ignored by those without a sweep to accelerate.
+``--telemetry DIR`` records each run's metrics, spans, and warnings
+into DIR (see :mod:`repro.obs`); ``report`` turns the resulting JSONL
+log back into a human-readable dashboard.
 """
 
 from __future__ import annotations
@@ -48,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "cache (REPRO_CACHE_DIR or ~/.cache/repro)")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="cache directory (implies --cache)")
+    run.add_argument("--telemetry", metavar="DIR", default=None,
+                     help="record metrics, spans and a JSONL run log "
+                          "per experiment into DIR")
+
+    report = sub.add_parser(
+        "report", help="render a telemetry run log as a dashboard")
+    report.add_argument("runlog", help="path to a <run-id>.jsonl file "
+                                       "written by --telemetry")
+    report.add_argument("--validate-only", action="store_true",
+                        help="check the log against the RunLog schema "
+                             "and exit without rendering")
 
     bench = sub.add_parser(
         "bench", help="measure hot-loop throughput, write a JSON report")
@@ -66,11 +82,30 @@ def list_experiments() -> None:
         print(f"{key:<{width}}  {EXPERIMENTS[key].description}")
 
 
+def _print_cache_stats(name: str, cache, baseline: dict) -> dict:
+    """Print this experiment's share of the cache traffic.
+
+    ``baseline`` is the stats snapshot before the experiment ran; the
+    delta is what this run alone contributed.  Returns the updated
+    snapshot for the next experiment.
+    """
+    snapshot = cache.stats.as_dict()
+    delta = {key: snapshot[key] - baseline.get(key, 0)
+             for key in ("hits", "misses", "puts", "invalidations")}
+    lookups = delta["hits"] + delta["misses"]
+    rate = delta["hits"] / lookups if lookups else 0.0
+    print(f"[{name} cache: {delta['hits']} hits, "
+          f"{delta['misses']} misses, {delta['puts']} puts, "
+          f"hit rate {rate:.0%}]")
+    return snapshot
+
+
 def run_experiments(names: List[str],
                     csv_dir: "str | None" = None,
                     workers: Optional[int] = None,
                     use_cache: bool = False,
-                    cache_dir: "str | None" = None) -> int:
+                    cache_dir: "str | None" = None,
+                    telemetry_dir: "str | None" = None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -81,6 +116,7 @@ def run_experiments(names: List[str],
               file=sys.stderr)
         return 2
     cache = None
+    cache_baseline: dict = {}
     if use_cache or cache_dir is not None:
         from repro.perf import ResultCache, default_cache_dir
         cache = ResultCache(root=cache_dir or default_cache_dir())
@@ -88,12 +124,27 @@ def run_experiments(names: List[str],
         experiment = EXPERIMENTS[name]
         print(f"=== {name}: {experiment.description} ===")
         started = time.time()
-        result = experiment.run(workers=workers, cache=cache)
+        telemetry = None
+        if telemetry_dir is not None:
+            from repro.obs import Telemetry
+            telemetry = Telemetry(telemetry_dir, experiment=name)
+        result = experiment.run(workers=workers, cache=cache,
+                                telemetry=telemetry)
         print(experiment.report(result))
         if csv_dir is not None:
+            from pathlib import Path
+
             from repro.analysis.export import write_csv
+            Path(csv_dir).mkdir(parents=True, exist_ok=True)
             target = write_csv(result, f"{csv_dir}/{name}.csv")
             print(f"[csv written to {target}]")
+        if telemetry is not None:
+            print(f"[run log: {telemetry.runlog_path}]")
+            for path in telemetry.export_paths:
+                print(f"[metrics export: {path}]")
+        if cache is not None:
+            cache_baseline = _print_cache_stats(name, cache,
+                                                cache_baseline)
         print(f"[{name} took {time.time() - started:.1f}s]\n")
     if cache is not None:
         stats = cache.stats
@@ -102,11 +153,32 @@ def run_experiments(names: List[str],
     return 0
 
 
+def report_runlog(path: str, validate_only: bool = False) -> int:
+    """Validate (and by default render) a ``--telemetry`` run log."""
+    from repro.obs.report import render_report
+    from repro.obs.runlog import validate_file
+    errors = validate_file(path)
+    if errors:
+        print(f"{path}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    if validate_only:
+        print(f"{path}: valid run log")
+        return 0
+    print(render_report(path))
+    return 0
+
+
 def main(argv: "List[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         list_experiments()
         return 0
+    if args.command == "report":
+        return report_runlog(args.runlog,
+                             validate_only=args.validate_only)
     if args.command == "bench":
         from repro.perf.bench import main as bench_main
         return bench_main(path=args.output, workers=args.workers,
@@ -114,7 +186,8 @@ def main(argv: "List[str] | None" = None) -> int:
     return run_experiments(args.experiments, csv_dir=args.csv,
                            workers=args.workers,
                            use_cache=args.cache,
-                           cache_dir=args.cache_dir)
+                           cache_dir=args.cache_dir,
+                           telemetry_dir=args.telemetry)
 
 
 if __name__ == "__main__":

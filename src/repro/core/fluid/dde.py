@@ -32,6 +32,8 @@ import numpy as np
 
 from repro.core.fluid.base import FluidModel, FluidTrace
 from repro.core.fluid.history import UniformHistory
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 
 #: Default integration step, seconds.
 DEFAULT_DT = 1e-6
@@ -198,17 +200,27 @@ def integrate(model: FluidModel,
             f"initial state has shape {initial.shape}, expected "
             f"({len(labels)},) to match state_labels()")
 
+    # Telemetry publishes once per integrate() call / retry / abort
+    # -- aggregation points, never inside the stepping loop.  With
+    # telemetry off these hit the inert null registry.
+    registry = _metrics.get_registry()
+    registry.counter("fluid.dde.integrations_total").inc()
     attempt_dt = dt
-    for attempt in range(max_retries + 1):
-        try:
-            return _integrate_once(model, stepper, t_start, t_end,
-                                   attempt_dt, record_stride, initial,
-                                   labels, method, divergence_limit,
-                                   retries=attempt)
-        except IntegrationError:
-            if attempt == max_retries:
-                raise
-            attempt_dt *= 0.5
+    with _spans.span("fluid.integrate"):
+        for attempt in range(max_retries + 1):
+            try:
+                return _integrate_once(model, stepper, t_start, t_end,
+                                       attempt_dt, record_stride,
+                                       initial, labels, method,
+                                       divergence_limit,
+                                       retries=attempt)
+            except IntegrationError:
+                if attempt == max_retries:
+                    registry.counter(
+                        "fluid.dde.divergence_aborts_total").inc()
+                    raise
+                registry.counter("fluid.dde.step_retries").inc()
+                attempt_dt *= 0.5
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -249,11 +261,15 @@ def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,
             else:
                 cause = (f"state magnitude {magnitude:.3g} exceeded "
                          f"divergence limit {limit:.3g}")
+            _metrics.get_registry().counter(
+                "fluid.dde.steps_total").inc(step)
             raise IntegrationError(IntegrationFailure(
                 step=step, time=t + dt, state=state, cause=cause,
                 method=method, dt=dt, retries=retries))
         append(state)
         t = t_start + step * dt
 
+    _metrics.get_registry().counter(
+        "fluid.dde.steps_total").inc(n_steps)
     times, states = history.strided_view(record_stride)
     return FluidTrace(times, states, labels)

@@ -14,6 +14,7 @@ from typing import List, Sequence
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import install_flow, single_switch
@@ -56,6 +57,7 @@ def run(extra_delays_us: Sequence[float] = (0.0, 85.0),
         monitor = QueueMonitor(net.sim, net.bottleneck_port,
                                interval=20e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
         _, occupancy = monitor.as_arrays()
         rows.append(SimStabilityRow(
             extra_delay_us=extra_us,

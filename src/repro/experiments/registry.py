@@ -11,6 +11,16 @@ Every registered ``run`` uniformly accepts ``workers=`` and ``cache=``
 (see :mod:`repro.perf`): experiments whose grids fan out use them,
 and the rest silently ignore them, so callers (the CLI, the bench
 harness) never need per-experiment special cases.
+
+Every run also accepts ``telemetry=`` -- a
+:class:`~repro.obs.telemetry.Telemetry` bundle or a directory path.
+When given, the run executes inside ``telemetry.activate()``: the
+bundle's metrics registry becomes the process-wide active one (so the
+engine, DDE integrator, sweep runner and result cache publish into
+it), spans and warnings stream into the run's JSONL log, and the
+final metric snapshot is exported on completion.  ``telemetry=None``
+(the default) leaves the inert null registry installed and costs
+nothing.
 """
 
 from __future__ import annotations
@@ -54,6 +64,10 @@ from repro.experiments import (ablations,
 #: Keyword arguments every registered ``run`` accepts uniformly.
 PERF_KWARGS = ("workers", "cache")
 
+#: Uniform observability kwarg, handled by the registry wrapper
+#: itself (experiments never see it).
+TELEMETRY_KWARG = "telemetry"
+
 
 def _accepts_keyword(fn: Callable, name: str) -> bool:
     """Whether calling ``fn(..., name=...)`` could succeed."""
@@ -90,6 +104,31 @@ def _uniform_run(fn: Callable[..., object]) -> Callable[..., object]:
     return wrapper
 
 
+def _telemetry_run(fn: Callable[..., object],
+                   experiment_id: str) -> Callable[..., object]:
+    """Wrap ``fn`` to honour the uniform ``telemetry=`` kwarg.
+
+    ``telemetry`` may be a :class:`~repro.obs.telemetry.Telemetry`
+    bundle, a directory path (a bundle is created there), or None
+    (the default -- zero overhead, no wrapping work beyond one
+    ``pop``).  The remaining kwargs are recorded as the run's
+    parameters in the run log, keyed by the same content hash the
+    result cache uses.
+    """
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        telemetry = kwargs.pop(TELEMETRY_KWARG, None)
+        if telemetry is None:
+            return fn(*args, **kwargs)
+        from repro.obs.telemetry import Telemetry
+        bundle = Telemetry.ensure(telemetry, experiment=experiment_id)
+        params = {key: value for key, value in kwargs.items()
+                  if key not in PERF_KWARGS}
+        with bundle.activate(params=params):
+            return fn(*args, **kwargs)
+    return wrapper
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One reproducible paper artefact."""
@@ -100,7 +139,9 @@ class Experiment:
     report: Callable[[object], str]
 
     def __post_init__(self):
-        object.__setattr__(self, "run", _uniform_run(self.run))
+        object.__setattr__(
+            self, "run",
+            _telemetry_run(_uniform_run(self.run), self.experiment_id))
 
 
 def _fig03_run(**kwargs):

@@ -1,0 +1,50 @@
+"""Unified telemetry: metrics registry, run logs, span profiling.
+
+The observability layer every serving stack grows eventually, scoped
+to this reproduction's three execution engines (the packet simulator,
+the DDE fluid integrator, and the parallel sweep runner):
+
+:mod:`repro.obs.metrics`
+    A hierarchical registry of counters, gauges and streaming
+    histograms (P-squared quantile estimation -- no sample storage).
+    A process-global *active registry* defaults to a no-op
+    :class:`~repro.obs.metrics.NullRegistry`, so instrumented hot
+    paths cost nothing unless a run explicitly turns telemetry on.
+
+:mod:`repro.obs.runlog`
+    A structured JSONL event stream per experiment run -- run id,
+    parameter hash, spans, warnings, fault events, metric snapshots --
+    so any run is reconstructable after the fact, plus the schema
+    validator the CI smoke job uses.
+
+:mod:`repro.obs.spans`
+    Context-manager profiling spans (wall time, CPU time, allocation
+    deltas when tracemalloc is tracing) nested experiment ->
+    sweep-cell -> integration, aggregated into a flame-style text
+    tree.
+
+:mod:`repro.obs.telemetry`
+    The :class:`~repro.obs.telemetry.Telemetry` bundle tying the three
+    together: ``activate()`` installs the registry and span recorder,
+    streams the run log, and exports Prometheus-text and CSV metric
+    snapshots on exit.  Every experiment in
+    :mod:`repro.experiments.registry` accepts ``telemetry=``, and the
+    CLI exposes ``--telemetry DIR`` and ``python -m repro report``.
+"""
+
+from repro.obs.metrics import (MetricsRegistry, NullRegistry,
+                               NULL_REGISTRY, get_registry,
+                               sanitize, set_registry, use_registry)
+from repro.obs.runlog import RunLog, read_events, validate_file
+from repro.obs.scrape import scrape_network, scrape_port
+from repro.obs.spans import SpanRecorder, format_span_tree, span
+from repro.obs.telemetry import Telemetry, current
+
+__all__ = [
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "get_registry", "set_registry", "use_registry", "sanitize",
+    "RunLog", "read_events", "validate_file",
+    "scrape_network", "scrape_port",
+    "SpanRecorder", "format_span_tree", "span",
+    "Telemetry", "current",
+]

@@ -1,0 +1,61 @@
+"""Post-run metric scraping for packet-simulation topologies.
+
+The simulator's hot loops never publish per event; instead every
+component keeps cheap local counters (bytes transmitted, ECN marks,
+queue high-water marks, PFC pauses) and this module *scrapes* them
+into the active metrics registry after -- or at checkpoints during --
+a run.  With the default null registry installed the publish calls
+are inert, so drivers can scrape unconditionally.
+
+The heavy lifting lives on the components themselves
+(``Port.publish_metrics``, ``ByteFIFO.publish_metrics``,
+``PFCController.publish_metrics``,
+``FaultInjector.publish_metrics``); this module only walks a built
+:class:`~repro.sim.topology.Network`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry, sanitize
+
+
+def scrape_port(registry, port) -> None:
+    """Publish one port's counters (see ``Port.publish_metrics``)."""
+    port.publish_metrics(registry)
+
+
+def scrape_network(registry=None, network=None) -> int:
+    """Scrape every port, switch and PFC controller of a topology.
+
+    Parameters
+    ----------
+    registry:
+        Target registry; None uses the active one (which defaults to
+        the inert null registry, making unconditional scraping free).
+    network:
+        Any object with ``hosts`` (name -> host with ``.port``) and
+        ``switches`` (name -> switch with ``.ports`` and optional
+        ``.pfc``) mappings -- i.e.
+        :class:`~repro.sim.topology.Network` from any builder.
+
+    Returns the number of ports scraped.
+    """
+    if registry is None:
+        registry = get_registry()
+    scraped = 0
+    for host in getattr(network, "hosts", {}).values():
+        port = getattr(host, "port", None)
+        if port is not None:
+            scrape_port(registry, port)
+            scraped += 1
+    for name, switch in getattr(network, "switches", {}).items():
+        for port in switch.ports.values():
+            scrape_port(registry, port)
+            scraped += 1
+        registry.counter(
+            f"sim.switch.{sanitize(name)}.packets_forwarded_total"
+        ).inc(switch.packets_forwarded)
+        pfc = getattr(switch, "pfc", None)
+        if pfc is not None:
+            pfc.publish_metrics(registry, name=sanitize(name))
+    return scraped

@@ -1,0 +1,158 @@
+"""The Telemetry bundle: registry + run log + span recorder.
+
+One :class:`Telemetry` instance corresponds to one experiment run and
+owns three artifacts under its directory:
+
+* ``<run_id>.jsonl`` -- the structured run log (streamed live),
+* ``<run_id>.prom`` -- final metrics in Prometheus text format,
+* ``<run_id>.metrics.csv`` -- the same snapshot as CSV rows.
+
+:meth:`Telemetry.activate` is the integration point: it installs the
+bundle's registry as the process-wide active registry, installs the
+span recorder, captures Python warnings into the run log, opens the
+root span, and -- however the block exits -- drains spans and the
+final metrics snapshot into the run log, stamps ``run_end``, and
+writes the exporters.  The experiment registry wraps every run with
+it when ``telemetry=`` is given, so
+
+    python -m repro run fig04 --telemetry obs/
+
+needs no per-experiment wiring.
+
+While a Telemetry is active, :func:`current` returns it; rare-event
+emitters (the fault injector's link transitions) use that to append
+run-log events without any plumbed-through handle, and are inert
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+import warnings as _warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs import spans as _spans
+from repro.obs.export import write_exports
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.runlog import RunLog
+from repro.obs.spans import SpanRecorder
+
+_current: Optional["Telemetry"] = None
+
+
+def current() -> Optional["Telemetry"]:
+    """The active Telemetry, or None when telemetry is off."""
+    return _current
+
+
+class Telemetry:
+    """Per-run telemetry: metrics registry, run log, span recorder.
+
+    Parameters
+    ----------
+    directory:
+        Where the run's artifacts are written (created if missing).
+    experiment:
+        Experiment id, used in the run id and the run log.
+    run_id:
+        Override the generated ``<experiment>-<timestamp>-<pid>`` id.
+    trace_allocations:
+        Start ``tracemalloc`` for the duration of :meth:`activate`
+        so spans record allocation deltas.  Costs 2-4x on allocation
+        -heavy code; off by default.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 experiment: str = "run",
+                 run_id: Optional[str] = None,
+                 trace_allocations: bool = False):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.experiment = experiment
+        if run_id is None:
+            stamp = time.strftime("%Y%m%dT%H%M%S")
+            run_id = f"{experiment}-{stamp}-{os.getpid()}"
+        self.run_id = run_id
+        self.trace_allocations = trace_allocations
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.run_log = RunLog(self.directory / f"{run_id}.jsonl",
+                              run_id)
+        self.export_paths: "list[Path]" = []
+
+    @classmethod
+    def ensure(cls, value: "Union[Telemetry, str, Path]",
+               experiment: str) -> "Telemetry":
+        """Coerce a ``telemetry=`` argument: instance or directory."""
+        if isinstance(value, Telemetry):
+            return value
+        return cls(value, experiment=experiment)
+
+    @property
+    def runlog_path(self) -> Path:
+        return self.run_log.path
+
+    @contextmanager
+    def activate(self, params: Any = None,
+                 seed: Optional[int] = None) -> Iterator["Telemetry"]:
+        """Run a block with this bundle installed process-wide."""
+        global _current
+        from repro.perf.cache import canonicalize, params_key
+
+        self.run_log.start(
+            experiment=self.experiment,
+            params_hash=params_key(self.experiment, params or {}),
+            params=canonicalize(params) if params is not None
+            else None,
+            seed=seed)
+
+        started_tracing = False
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracing = True
+
+        previous_telemetry = _current
+        _current = self
+        previous_recorder = _spans.set_recorder(self.spans)
+        previous_show = _warnings.showwarning
+
+        def capture(message, category, filename, lineno, file=None,
+                    line=None):
+            try:
+                self.run_log.warning(str(message),
+                                     category=category.__name__)
+            except ValueError:
+                pass  # log already finished/closed
+            previous_show(message, category, filename, lineno,
+                          file, line)
+
+        _warnings.showwarning = capture
+        status, error = "ok", None
+        try:
+            with use_registry(self.registry):
+                with self.spans.span(f"experiment:{self.experiment}"):
+                    yield self
+        except BaseException as exc:
+            status, error = "error", repr(exc)
+            raise
+        finally:
+            _warnings.showwarning = previous_show
+            _spans.set_recorder(previous_recorder)
+            _current = previous_telemetry
+            if started_tracing:
+                tracemalloc.stop()
+            self._finalize(status, error)
+
+    def _finalize(self, status: str, error: Optional[str]) -> None:
+        for record in self.spans.records:
+            self.run_log.span(record)
+        snapshot = self.registry.snapshot()
+        self.run_log.metrics(snapshot)
+        self.run_log.finish(status=status, error=error)
+        self.run_log.close()
+        self.export_paths = write_exports(
+            snapshot, self.directory / self.run_id)

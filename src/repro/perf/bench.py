@@ -106,6 +106,36 @@ def bench_stability_row() -> float:
     return _best_of(lambda: compute_row(10, DEFAULT_DELAYS_US, 40.0))
 
 
+def bench_telemetry_overhead(n_events: int = 100_000) -> dict:
+    """Event-loop throughput with telemetry off vs on.
+
+    The zero-overhead guard for :mod:`repro.obs`: instrumentation is
+    compiled in unconditionally, so the telemetry-off path must cost
+    nothing beyond the inert null-registry attribute lookups at run
+    boundaries.  ``overhead_off`` is the ratio of the default (null
+    registry) throughput to a pre-instrumentation-equivalent baseline
+    -- but with no such baseline available at runtime, we instead
+    compare telemetry *on* (live registry + span recorder) against
+    *off* and report both rates; CI asserts the off/on ratio stays
+    near 1.0 because publishing happens only at aggregation points.
+    """
+    import tempfile
+
+    from repro.obs import Telemetry
+
+    off_rate = bench_event_loop(n_events)
+    with tempfile.TemporaryDirectory() as tmp:
+        telemetry = Telemetry(tmp, experiment="bench")
+        with telemetry.activate():
+            on_rate = bench_event_loop(n_events)
+    return {
+        "events_per_sec_off": off_rate,
+        "events_per_sec_on": on_rate,
+        "off_over_on_ratio": off_rate / on_rate if on_rate else
+        float("inf"),
+    }
+
+
 def _timed(fn: Callable[[], object]) -> "tuple[float, object]":
     started = time.perf_counter()
     result = fn()
@@ -198,6 +228,7 @@ def run_benchmarks(workers: int = 4, full: bool = False,
             "dde_steps_per_sec": bench_dde(),
             "stability_map_row_s": bench_stability_row(),
         },
+        "telemetry": bench_telemetry_overhead(),
         "sweeps": bench_sweeps(workers=workers, full=full),
     }
     if baseline:

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 #: Environment variable overriding the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -189,9 +191,14 @@ class ResultCache:
         A stale-fingerprint or unreadable entry is deleted (counted in
         :attr:`stats`) and reported as a miss.
         """
+        # Registry counters mirror ``stats`` so cache behaviour shows
+        # up in run logs; lookups are disk-bound, so the (no-op by
+        # default) registry calls are noise here.
+        registry = _metrics.get_registry()
         path = self.entry_path(experiment_id, params)
         if not path.exists():
             self.stats.misses += 1
+            registry.counter("perf.cache.misses_total").inc()
             return False, None
         try:
             with open(path, "rb") as handle:
@@ -204,14 +211,19 @@ class ResultCache:
         except Exception:
             self.stats.corrupt_entries += 1
             self.stats.misses += 1
+            registry.counter("perf.cache.corrupt_entries_total").inc()
+            registry.counter("perf.cache.misses_total").inc()
             self._discard(path)
             return False, None
         if version != FORMAT_VERSION or fingerprint != self.fingerprint:
             self.stats.invalidations += 1
             self.stats.misses += 1
+            registry.counter("perf.cache.invalidations_total").inc()
+            registry.counter("perf.cache.misses_total").inc()
             self._discard(path)
             return False, None
         self.stats.hits += 1
+        registry.counter("perf.cache.hits_total").inc()
         return True, value
 
     def put(self, experiment_id: str, params: Any, value: Any) -> Path:
@@ -234,6 +246,8 @@ class ResultCache:
             self._discard(Path(temp_name))
             raise
         self.stats.puts += 1
+        _metrics.get_registry().counter(
+            "perf.cache.puts_total").inc()
         return path
 
     def get_or_run(self, experiment_id: str, params: Any,

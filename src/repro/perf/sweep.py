@@ -29,6 +29,7 @@ sandboxes), the runner falls back to serial execution with a warning
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
@@ -36,6 +37,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 from repro.perf.cache import ResultCache
 
 #: Set in sweep worker processes; nested SweepRunners see it and run
@@ -79,6 +82,21 @@ def _run_cell(payload: "Tuple[Callable[..., Any], Dict[str, Any]]"
     return fn(**kwargs)
 
 
+def _run_cell_timed(payload: "Tuple[Callable[..., Any], Dict[str, Any]]"
+                    ) -> "Tuple[float, Any]":
+    """Like :func:`_run_cell`, returning ``(wall_seconds, value)``.
+
+    The elapsed time crosses the pickle boundary alongside the value
+    so the parent can feed the ``perf.sweep.cell_seconds`` histogram
+    and compute worker utilization without touching the result.
+    """
+    fn, kwargs = payload
+    os.environ[WORKER_ENV] = "1"
+    started = time.perf_counter()
+    value = fn(**kwargs)
+    return time.perf_counter() - started, value
+
+
 class SweepRunner:
     """Maps a cell function over parameter cells, possibly in parallel.
 
@@ -118,41 +136,78 @@ class SweepRunner:
             cells: Sequence[Dict[str, Any]]) -> List[Any]:
         """Evaluate ``fn(**cell)`` for every cell, in input order."""
         cells = list(cells)
-        results: List[Any] = [None] * len(cells)
-        pending: List[int] = []
-        if self.cache is not None:
-            for index, cell in enumerate(cells):
-                hit, value = self.cache.get(
-                    self.experiment_id, self._cell_params(fn, cell))
-                if hit:
-                    results[index] = value
-                else:
-                    pending.append(index)
-        else:
-            pending = list(range(len(cells)))
+        label = self.experiment_id or getattr(fn, "__name__", "sweep")
+        with _spans.span(f"sweep:{label}"):
+            results: List[Any] = [None] * len(cells)
+            pending: List[int] = []
+            if self.cache is not None:
+                for index, cell in enumerate(cells):
+                    hit, value = self.cache.get(
+                        self.experiment_id,
+                        self._cell_params(fn, cell))
+                    if hit:
+                        results[index] = value
+                    else:
+                        pending.append(index)
+            else:
+                pending = list(range(len(cells)))
 
-        if pending:
-            computed = self._execute(fn, [cells[i] for i in pending])
-            for index, value in zip(pending, computed):
-                results[index] = value
-                if self.cache is not None:
-                    self.cache.put(self.experiment_id,
-                                   self._cell_params(fn, cells[index]),
-                                   value)
-        return results
+            registry = _metrics.get_registry()
+            registry.counter("perf.sweep.cells_total").inc(len(cells))
+            registry.counter("perf.sweep.cached_cells_total").inc(
+                len(cells) - len(pending))
+            if pending:
+                computed = self._execute(fn,
+                                         [cells[i] for i in pending])
+                for index, value in zip(pending, computed):
+                    results[index] = value
+                    if self.cache is not None:
+                        self.cache.put(
+                            self.experiment_id,
+                            self._cell_params(fn, cells[index]),
+                            value)
+            return results
 
     def _execute(self, fn: Callable[..., Any],
                  cells: List[Dict[str, Any]]) -> List[Any]:
         if self.workers <= 1 or len(cells) <= 1:
-            return [fn(**cell) for cell in cells]
+            return self._execute_serial(fn, cells)
         payloads = [(fn, cell) for cell in cells]
+        pool_workers = min(self.workers, len(cells))
         try:
-            with ProcessPoolExecutor(max_workers=min(self.workers,
-                                                     len(cells))) as pool:
-                return list(pool.map(_run_cell, payloads))
+            wall_start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                timed = list(pool.map(_run_cell_timed, payloads))
+            wall = time.perf_counter() - wall_start
         except (OSError, PermissionError) as error:
             warnings.warn(
                 f"process pool unavailable ({error}); sweep falling "
                 f"back to serial execution", RuntimeWarning,
                 stacklevel=2)
-            return [fn(**cell) for cell in cells]
+            return self._execute_serial(fn, cells)
+        registry = _metrics.get_registry()
+        histogram = registry.histogram("perf.sweep.cell_seconds")
+        busy = 0.0
+        for elapsed, _ in timed:
+            histogram.observe(elapsed)
+            busy += elapsed
+        registry.gauge("perf.sweep.workers").set(pool_workers)
+        if wall > 0:
+            # Fraction of the pool's wall-clock capacity spent inside
+            # cell functions; the rest is pickle + dispatch + idle
+            # tail (stragglers holding the pool open).
+            registry.gauge("perf.sweep.worker_utilization").set(
+                busy / (wall * pool_workers))
+        return [value for _, value in timed]
+
+    def _execute_serial(self, fn: Callable[..., Any],
+                        cells: List[Dict[str, Any]]) -> List[Any]:
+        registry = _metrics.get_registry()
+        histogram = registry.histogram("perf.sweep.cell_seconds")
+        results = []
+        for index, cell in enumerate(cells):
+            with _spans.span(f"cell[{index}]"):
+                started = time.perf_counter()
+                results.append(fn(**cell))
+                histogram.observe(time.perf_counter() - started)
+        return results

@@ -25,6 +25,8 @@ import itertools
 import time as _time
 from typing import Any, Callable, Optional
 
+from repro.obs import metrics as _metrics
+
 #: How many events to process between wall-clock watchdog checks.
 #: ``time.monotonic()`` is cheap but not free; the event loop runs
 #: millions of events per second, so polling every event would cost
@@ -200,6 +202,7 @@ class Simulator:
                     processed += 1
                     if max_events is not None and \
                             processed >= max_events:
+                        self._abort_metrics("max_events")
                         raise SimulationAborted(
                             "max_events", processed, self._now,
                             len(heap),
@@ -208,6 +211,7 @@ class Simulator:
                             processed % WALL_CHECK_STRIDE == 0 and \
                             _time.monotonic() - wall_start \
                             > max_wall_seconds:
+                        self._abort_metrics("wall_clock")
                         raise SimulationAborted(
                             "wall_clock", processed, self._now,
                             len(heap),
@@ -223,6 +227,20 @@ class Simulator:
             # callback exceptions) still account their work.
             self._processed += processed
             self._running = False
+            # Telemetry publishes per *run* call, never per event --
+            # with telemetry off this is four no-op calls on the
+            # process-wide null registry (see repro.obs.metrics), so
+            # the hot loop above is byte-for-byte unaffected.
+            registry = _metrics.get_registry()
+            registry.counter("sim.engine.runs_total").inc()
+            registry.counter("sim.engine.events_total").inc(processed)
+            registry.gauge("sim.engine.pending_events").set(len(heap))
+            registry.gauge("sim.engine.sim_time_s").set(self._now)
+
+    def _abort_metrics(self, reason: str) -> None:
+        """Count a watchdog abort (rare path, outside the fast loop)."""
+        _metrics.get_registry().counter(
+            f"sim.engine.aborts_{reason}_total").inc()
 
     def stop(self) -> None:
         """Abort :meth:`run` after the current callback returns."""

@@ -224,6 +224,31 @@ class FaultStats:
                 f"held={self.held_packets} "
                 f"flaps={self.link_downs}")
 
+    def publish_metrics(self, registry,
+                        prefix: str = "sim.faults") -> None:
+        """Scrape injector totals into a metrics registry."""
+        from repro.obs.metrics import sanitize
+        registry.counter(f"{prefix}.lost_packets_total").inc(
+            self.lost_packets)
+        registry.counter(f"{prefix}.lost_bytes_total").inc(
+            self.lost_bytes)
+        for kind, count in sorted(self.lost_by_kind.items()):
+            registry.counter(
+                f"{prefix}.lost_packets_total.{sanitize(kind)}"
+            ).inc(count)
+        registry.counter(f"{prefix}.corrupted_packets_total").inc(
+            self.corrupted_packets)
+        registry.counter(f"{prefix}.delayed_packets_total").inc(
+            self.delayed_packets)
+        registry.counter(f"{prefix}.flap_drops_total").inc(
+            self.flap_drops)
+        registry.counter(f"{prefix}.held_packets_total").inc(
+            self.held_packets)
+        registry.counter(f"{prefix}.link_downs_total").inc(
+            self.link_downs)
+        registry.counter(f"{prefix}.link_ups_total").inc(
+            self.link_ups)
+
 
 class FaultyLink:
     """Link proxy applying the active fault rules on each delivery."""
@@ -365,6 +390,26 @@ class FaultInjector:
         link = self._links.get(port_name)
         return True if link is None else link.up
 
+    def publish_metrics(self, registry,
+                        prefix: str = "sim.faults") -> None:
+        """Scrape what the injector did (see :class:`FaultStats`)."""
+        self.stats.publish_metrics(registry, prefix=prefix)
+        registry.gauge(f"{prefix}.links_down").set(
+            sum(1 for link in self._links.values() if not link.up))
+
+    def _log_transition(self, event: str, port_name: str) -> None:
+        """Append a fault event to the active run log, if any.
+
+        Flap transitions are rare (a handful per run), so consulting
+        the ambient telemetry here costs nothing measurable and saves
+        every experiment from plumbing a log handle through.
+        """
+        from repro.obs import telemetry as _telemetry
+        active = _telemetry.current()
+        if active is not None:
+            active.run_log.fault(event, port=port_name,
+                                 sim_time_s=self.sim.now)
+
     def _schedule_flap(self, flap: LinkFlap) -> None:
         link = self._links[flap.port]
         for i in range(flap.count):
@@ -376,11 +421,13 @@ class FaultInjector:
 
     def _down(self, link: FaultyLink, flap: LinkFlap) -> None:
         link.take_down(hold=flap.mode == "hold")
+        self._log_transition("link_down", link.port_name)
         if flap.reroute and self.on_link_down is not None:
             self.on_link_down(link.port_name)
 
     def _up(self, link: FaultyLink, flap: LinkFlap) -> None:
         link.bring_up()
+        self._log_transition("link_up", link.port_name)
         if flap.reroute and self.on_link_up is not None:
             self.on_link_up(link.port_name)
 

@@ -63,7 +63,8 @@ class Port:
     __slots__ = ("sim", "rate", "link", "marker", "marking_point",
                  "queue", "priority_control", "control_queue", "name",
                  "busy", "paused", "bytes_transmitted",
-                 "packets_transmitted", "on_transmit", "on_drop")
+                 "packets_transmitted", "ecn_marks", "on_transmit",
+                 "on_drop")
 
     def __init__(self, sim: Simulator, rate_bytes_per_s: float,
                  link: Link, marker: Optional[object] = None,
@@ -94,6 +95,8 @@ class Port:
         self.paused = False
         self.bytes_transmitted = 0
         self.packets_transmitted = 0
+        #: Packets this port stamped CE (either marking point).
+        self.ecn_marks = 0
         #: Hook called when a packet finishes serialization (monitors,
         #: PFC accounting).  Signature: ``fn(packet)``.
         self.on_transmit: Optional[Callable[[Packet], None]] = None
@@ -130,6 +133,7 @@ class Port:
             occupancy = self.queue.size_bytes + packet.size_bytes
             if self.marker.should_mark(occupancy):
                 packet.ecn_marked = True
+                self.ecn_marks += 1
         target = self.control_queue if (self.control_queue is not None
                                         and packet.is_control) \
             else self.queue
@@ -193,9 +197,39 @@ class Port:
             occupancy = self.queue.size_bytes + packet.size_bytes
             if self.marker.should_mark(occupancy):
                 packet.ecn_marked = True
+                self.ecn_marks += 1
         self.busy = True
         duration = packet.size_bytes / self.rate
         self.sim.schedule(duration, self._finish, packet)
+
+    def publish_metrics(self, registry) -> None:
+        """Scrape this port's lifetime counters into a registry.
+
+        Called at aggregation points (after a run, via
+        :func:`repro.obs.scrape.scrape_network`), never per packet,
+        under ``sim.port.<name>.*`` with the port name sanitized to
+        the metric alphabet.  AQM marker trial counts are included
+        when a marker is attached.
+        """
+        from repro.obs.metrics import sanitize
+        prefix = f"sim.port.{sanitize(self.name)}"
+        registry.counter(f"{prefix}.bytes_total").inc(
+            self.bytes_transmitted)
+        registry.counter(f"{prefix}.packets_total").inc(
+            self.packets_transmitted)
+        registry.counter(f"{prefix}.ecn_marked_total").inc(
+            self.ecn_marks)
+        registry.gauge(f"{prefix}.paused").set(float(self.paused))
+        self.queue.publish_metrics(registry, f"{prefix}.queue")
+        if self.control_queue is not None:
+            self.control_queue.publish_metrics(
+                registry, f"{prefix}.control_queue")
+        marker = self.marker
+        if marker is not None and hasattr(marker, "mark_trials"):
+            registry.counter(f"{prefix}.aqm_trials_total").inc(
+                marker.mark_trials)
+            registry.counter(f"{prefix}.aqm_marks_total").inc(
+                marker.marks)
 
     def _finish(self, packet: Packet) -> None:
         self.busy = False

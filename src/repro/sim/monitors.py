@@ -56,21 +56,31 @@ class QueueMonitor:
 
 
 class RateMonitor:
-    """Samples sender rates (the protocol's R_C) on a fixed interval."""
+    """Samples sender rates (the protocol's R_C) on a fixed interval.
+
+    ``stop=`` bounds the sampling (same convention as
+    :class:`QueueMonitor`): past that time the monitor stops
+    rescheduling itself, so a monitor on a long run doesn't keep the
+    event heap populated -- or the watchdog event budget draining --
+    after the window of interest.
+    """
 
     def __init__(self, sim: Simulator, senders: Dict[str, object],
-                 interval: float):
+                 interval: float, stop: Optional[float] = None):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.sim = sim
         self.senders = dict(senders)
         self.interval = interval
+        self.stop_time = stop
         self.times: List[float] = []
         self.rates: Dict[str, List[float]] = {
             label: [] for label in self.senders}
         sim.schedule(0.0, self._sample)
 
     def _sample(self) -> None:
+        if self.stop_time is not None and self.sim.now > self.stop_time:
+            return
         self.times.append(self.sim.now)
         for label, sender in self.senders.items():
             self.rates[label].append(sender.rate)
@@ -113,6 +123,28 @@ class ThroughputMeter:
             self._window_start += self.window
             self._window_bytes = 0
         self._window_bytes += packet.size_bytes
+
+    def flush(self) -> None:
+        """Emit the final, possibly partial window.
+
+        :meth:`record` only closes a window when a *later* packet
+        arrives, so without this the bytes delivered since the last
+        window boundary -- up to one full window of traffic at the
+        very end of a run -- would never appear in
+        :meth:`as_arrays`.  The partial window is normalized by the
+        elapsed fraction (its true duration), not the full window, so
+        its rate is comparable to the complete ones.  Calling flush
+        with nothing accumulated is a no-op; recording after a flush
+        starts a fresh window.
+        """
+        elapsed = self.sim.now - self._window_start
+        if self._window_bytes == 0 or elapsed <= 0:
+            return
+        self.times.append(self.sim.now)
+        self.throughput_bytes_per_s.append(
+            self._window_bytes / elapsed)
+        self._window_start = self.sim.now
+        self._window_bytes = 0
 
     def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
         """``(window_end_times, bytes_per_second)`` arrays."""

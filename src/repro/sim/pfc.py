@@ -117,6 +117,26 @@ class PFCController:
             self.resumes_sent += 1
             self._notify(label, False)
 
+    def publish_metrics(self, registry, name: str = "pfc") -> None:
+        """Scrape PAUSE/RESUME totals and per-upstream buffering.
+
+        Publishes under ``sim.pfc.<name>.*`` -- pause time studies
+        (Figs. 16) hinge on ``pauses_sent_total`` and which upstream
+        the pauses pile onto.
+        """
+        from repro.obs.metrics import sanitize
+        prefix = f"sim.pfc.{sanitize(name)}"
+        registry.counter(f"{prefix}.pauses_sent_total").inc(
+            self.pauses_sent)
+        registry.counter(f"{prefix}.resumes_sent_total").inc(
+            self.resumes_sent)
+        registry.gauge(f"{prefix}.paused_upstreams").set(
+            len(self.paused_upstreams()))
+        for label in self.upstream_labels():
+            registry.gauge(
+                f"{prefix}.buffered_bytes.{sanitize(label)}"
+            ).set(self._buffered[label])
+
     def _notify(self, label: str, pause: bool) -> None:
         callback = self._pause_callbacks[label]
         delay = self._reverse_delays[label]

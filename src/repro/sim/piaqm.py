@@ -38,6 +38,12 @@ class PIMarker:
         # ``rng`` shares one simulation-wide stream across components;
         # otherwise the marker owns a private stream seeded by ``seed``.
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        #: Lifetime marking-decision counters, scraped by the
+        #: telemetry layer (same convention as ``REDMarker``).
+        self.mark_trials = 0
+        self.marks = 0
+        #: Controller updates executed (one per ``update_interval``).
+        self.updates = 0
 
     def update(self, queue_bytes: float, now: float) -> None:
         """Advance the controller one sampling interval."""
@@ -47,6 +53,7 @@ class PIMarker:
             + self.pi.k2 * self.update_interval * error
         self.p = float(np.clip(self.p, self.pi.p_min, self.pi.p_max))
         self._previous_queue = queue_bytes
+        self.updates += 1
 
     def marking_probability(self, queue_bytes: float) -> float:
         """The controller state; independent of the instantaneous queue."""
@@ -54,8 +61,13 @@ class PIMarker:
 
     def should_mark(self, queue_bytes: float) -> bool:
         """Bernoulli trial at the controller's current probability."""
+        self.mark_trials += 1
         if self.p <= 0.0:
             return False
         if self.p >= 1.0:
+            self.marks += 1
             return True
-        return bool(self._rng.random() < self.p)
+        marked = bool(self._rng.random() < self.p)
+        if marked:
+            self.marks += 1
+        return marked

@@ -92,6 +92,25 @@ class ByteFIFO:
             return f"negative occupancy {self._bytes}"
         return None
 
+    def publish_metrics(self, registry, prefix: str) -> None:
+        """Scrape the queue's lifetime counters under ``prefix``.
+
+        An aggregation-point publish (see :mod:`repro.obs.scrape`):
+        the enqueue/dequeue hot path keeps plain attribute counters
+        and this translates them into registry metrics on demand.
+        """
+        registry.counter(f"{prefix}.enqueued_bytes_total").inc(
+            self.enqueued_bytes)
+        registry.counter(f"{prefix}.dequeued_bytes_total").inc(
+            self.dequeued_bytes)
+        registry.counter(f"{prefix}.dropped_packets_total").inc(
+            self.dropped_packets)
+        registry.counter(f"{prefix}.dropped_bytes_total").inc(
+            self.dropped_bytes)
+        registry.gauge(f"{prefix}.depth_bytes").set(self._bytes)
+        registry.gauge(f"{prefix}.high_water_bytes").set(
+            self.max_bytes)
+
     def peek(self) -> Packet:
         """Return the head packet without removing it."""
         if not self._packets:

@@ -40,6 +40,12 @@ class REDMarker:
         self.kmin_bytes = red.kmin * mtu_bytes
         self.kmax_bytes = red.kmax * mtu_bytes
         self._rng = rng if rng is not None else np.random.default_rng(seed)
+        #: Lifetime marking-decision counters -- plain ints on the
+        #: per-packet path (cheaper than the Bernoulli draw itself),
+        #: scraped into ``sim.port.<name>.aqm_*`` by the telemetry
+        #: layer after the run.
+        self.mark_trials = 0
+        self.marks = 0
 
     def marking_probability(self, queue_bytes: float) -> float:
         """Eq. 3 evaluated on a byte-denominated queue."""
@@ -47,12 +53,17 @@ class REDMarker:
 
     def should_mark(self, queue_bytes: float) -> bool:
         """Bernoulli trial at the Eq. 3 probability."""
+        self.mark_trials += 1
         p = self.marking_probability(queue_bytes)
         if p <= 0.0:
             return False
         if p >= 1.0:
+            self.marks += 1
             return True
-        return bool(self._rng.random() < p)
+        marked = bool(self._rng.random() < p)
+        if marked:
+            self.marks += 1
+        return marked
 
     def update(self, queue_bytes: float, now: float) -> None:
         """RED is memoryless; periodic updates are a no-op.

@@ -87,7 +87,13 @@ class PacketTracer:
         self.flow_ids = set(flow_ids) if flow_ids is not None else None
         self.max_events = max_events
         self.events: List[TraceEvent] = []
+        #: Events past the ``max_events`` cap -- data lost.
         self.dropped_events = 0
+        #: Events the kind/flow filters rejected -- deliberately
+        #: excluded, not lost.  Counted separately from
+        #: :attr:`dropped_events` so "the trace is truncated" and
+        #: "the filters are working" are distinguishable.
+        self.filtered_events = 0
 
     def attach(self, port: Port) -> None:
         """Hook a port, chaining any existing ``on_transmit``."""
@@ -102,9 +108,11 @@ class PacketTracer:
 
     def _record(self, port: Port, packet: Packet) -> None:
         if self.kinds is not None and packet.kind not in self.kinds:
+            self.filtered_events += 1
             return
         if self.flow_ids is not None and \
                 packet.flow_id not in self.flow_ids:
+            self.filtered_events += 1
             return
         if len(self.events) >= self.max_events:
             self.dropped_events += 1
@@ -120,10 +128,19 @@ class PacketTracer:
             sent_time=packet.sent_time))
 
     def marked_fraction(self) -> float:
-        """Fraction of recorded data packets carrying a CE mark."""
+        """Fraction of recorded data packets carrying a CE mark.
+
+        Returns ``float("nan")`` when no data packets were recorded:
+        "no data" is an expected state (a filter excluded ``data``,
+        or the run produced none), and NaN propagates harmlessly
+        through downstream statistics, whereas raising forced every
+        caller computing mark rates over a sweep to wrap this in
+        try/except.  Check with ``math.isnan`` when the distinction
+        matters.
+        """
         data = [e for e in self.events if e.kind == "data"]
         if not data:
-            raise ValueError("no data packets recorded")
+            return float("nan")
         return sum(e.ecn_marked for e in data) / len(data)
 
     def interarrival_times(self) -> "list[float]":

@@ -60,3 +60,78 @@ class TestMain:
              "b": Experiment("b", "second", record("b"), str)})
         assert main(["run", "all"]) == 0
         assert calls == ["a", "b"]
+
+    def test_csv_creates_missing_directory(self, tmp_path, capsys,
+                                           monkeypatch):
+        import dataclasses
+
+        from repro.experiments.registry import Experiment
+
+        @dataclasses.dataclass
+        class Row:
+            x: int
+
+        fake = Experiment("fake", "a fake experiment",
+                          lambda: [Row(x=1)], str)
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        target = tmp_path / "deep" / "nested"
+        assert main(["run", "fake", "--csv", str(target)]) == 0
+        assert (target / "fake.csv").exists()
+
+    def test_telemetry_flag_writes_artifacts(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.experiments.registry import Experiment
+        fake = Experiment("fake", "a fake experiment",
+                          lambda: [1, 2], str)
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        obs_dir = tmp_path / "obs"
+        assert main(["run", "fake", "--telemetry",
+                     str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run log:" in out
+        logs = list(obs_dir.glob("fake-*.jsonl"))
+        assert len(logs) == 1
+        from repro.obs import validate_file
+        assert validate_file(logs[0]) == []
+        assert list(obs_dir.glob("fake-*.prom"))
+        assert list(obs_dir.glob("fake-*.metrics.csv"))
+
+    def test_cache_stats_printed_per_experiment(self, tmp_path,
+                                                capsys, monkeypatch):
+        from repro.experiments.registry import Experiment
+        fake = Experiment("fake", "a fake experiment",
+                          lambda: [1], str)
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        assert main(["run", "fake", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "fake cache:" in out
+        assert "hit rate" in out
+
+
+class TestReportCommand:
+    def _write_log(self, directory):
+        from repro.obs import Telemetry
+        telemetry = Telemetry(directory, experiment="demo",
+                              run_id="demo-1")
+        with telemetry.activate(params={"n": 1}):
+            pass
+        return telemetry.runlog_path
+
+    def test_report_renders_dashboard(self, tmp_path, capsys):
+        path = self._write_log(tmp_path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo-1" in out
+        assert "status" in out
+
+    def test_validate_only(self, tmp_path, capsys):
+        path = self._write_log(tmp_path)
+        assert main(["report", str(path), "--validate-only"]) == 0
+        assert "valid run log" in capsys.readouterr().out
+
+    def test_invalid_log_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a run log"}\n')
+        assert main(["report", str(bad)]) == 1
+        assert "schema violation" in capsys.readouterr().err

@@ -95,6 +95,28 @@ class TestRateMonitor:
         with pytest.raises(ValueError):
             RateMonitor(Simulator(), {}, interval=-1.0)
 
+    def test_stop_time_bounds_sampling(self):
+        sim = Simulator()
+        sender = FixedRateSender(100.0)
+        monitor = RateMonitor(sim, {"s0": sender}, interval=0.1,
+                              stop=0.5)
+        sim.run(until=2.0)
+        times, rates = monitor.series("s0")
+        # Samples at 0.0 .. 0.5, plus at most one straggler that
+        # fired just past the cutoff and recorded nothing.
+        assert times[-1] <= 0.6
+        assert times.size == rates.size
+
+    def test_stopped_monitor_drains_from_heap(self):
+        # After the cutoff the monitor stops rescheduling, so a long
+        # run's event count is bounded by the stop time, not the
+        # horizon.
+        sim = Simulator()
+        monitor = RateMonitor(sim, {"s0": FixedRateSender(1.0)},
+                              interval=0.1, stop=0.5)
+        sim.run(until=100.0)
+        assert len(monitor.times) <= 7
+
 
 class TestThroughputMeter:
     def test_windows_accumulate_bytes(self):
@@ -125,3 +147,44 @@ class TestThroughputMeter:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             ThroughputMeter(Simulator(), window=0.0)
+
+    def test_flush_emits_final_partial_window(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, window=1.0)
+        sim.schedule(0.5, lambda: meter.record(
+            Packet(0, 1000, "a", "b", kind="data")))
+        sim.schedule(1.25, lambda: meter.record(
+            Packet(0, 500, "a", "b", kind="data")))
+        sim.run()
+        meter.flush()
+        times, rates = meter.as_arrays()
+        # Closed window [0,1) -> 1000 B/s, then the partial quarter
+        # window holding 500 B normalized by its true 0.25s span.
+        assert list(times) == pytest.approx([1.0, 1.25])
+        assert list(rates) == pytest.approx([1000.0, 2000.0])
+
+    def test_flush_with_nothing_pending_is_noop(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, window=1.0)
+        sim.schedule(1.5, lambda: meter.record(
+            Packet(0, 100, "a", "b", kind="data")))
+        sim.run()
+        # Roll the open window closed, then flush twice: the second
+        # flush has nothing accumulated and must add no samples.
+        meter.flush()
+        count = len(meter.times)
+        meter.flush()
+        assert len(meter.times) == count
+
+    def test_window_rollover_spans_gaps(self):
+        sim = Simulator()
+        meter = ThroughputMeter(sim, window=0.5)
+        sim.schedule(0.1, lambda: meter.record(
+            Packet(0, 250, "a", "b", kind="data")))
+        sim.schedule(2.1, lambda: meter.record(
+            Packet(0, 250, "a", "b", kind="data")))
+        sim.run()
+        _, rates = meter.as_arrays()
+        # Windows [0,.5) [.5,1) [1,1.5) [1.5,2): first holds 250 B,
+        # the idle middle ones are explicit zeros, not missing rows.
+        assert list(rates) == pytest.approx([500.0, 0.0, 0.0, 0.0])

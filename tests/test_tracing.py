@@ -1,5 +1,7 @@
 """Packet tracer: filtering, chaining, and non-intrusiveness."""
 
+import math
+
 import pytest
 
 from repro.core.params import DCQCNParams
@@ -84,9 +86,54 @@ class TestRecording:
     def test_validation(self):
         with pytest.raises(ValueError):
             PacketTracer(Simulator(), max_events=0)
+
+    def test_marked_fraction_nan_when_no_data(self):
+        # "No data packets" is an expected state, not an error: the
+        # fraction is NaN so sweep statistics degrade gracefully.
         tracer = PacketTracer(Simulator())
-        with pytest.raises(ValueError):
-            tracer.marked_fraction()
+        assert math.isnan(tracer.marked_fraction())
+
+    def test_marked_fraction_nan_when_filters_exclude_data(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim, kinds=["cnp"])
+        tracer.attach(port)
+        port.send(Packet(0, 1024, "s", "sink", kind="data"))
+        sim.run()
+        assert math.isnan(tracer.marked_fraction())
+
+    def test_filtered_counted_separately_from_dropped(self):
+        sim = Simulator()
+        port = build_port(sim)
+        tracer = PacketTracer(sim, kinds=["data"], flow_ids=[0],
+                              max_events=2)
+        tracer.attach(port)
+        # 2 recorded, then 2 beyond the cap; 1 wrong kind, 1 wrong
+        # flow -- filters and the cap must not share a counter.
+        for seq in range(4):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        port.send(Packet(0, 64, "s", "sink", kind="cnp"))
+        port.send(Packet(9, 1024, "s", "sink", kind="data"))
+        sim.run()
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 2
+        assert tracer.filtered_events == 2
+
+    def test_chains_preexisting_on_transmit_before_recording(self):
+        # The pre-existing hook (e.g. PFC accounting) must run first
+        # and still fire for packets the tracer then filters out.
+        sim = Simulator()
+        port = build_port(sim)
+        order = []
+        port.on_transmit = lambda packet: order.append("pfc")
+        tracer = PacketTracer(sim, kinds=["cnp"])
+        tracer.attach(port)
+        port.send(Packet(0, 1024, "s", "sink", kind="data"))
+        sim.run()
+        assert order == ["pfc"]
+        assert tracer.events == []
+        assert tracer.filtered_events == 1
 
 
 class TestOnRealScenario:
