@@ -9,16 +9,22 @@ Usage::
     python -m repro run fig14 --workers 4 --cache
     python -m repro run fig04 --telemetry obs/   # metrics + run log
     python -m repro report obs/fig04-*.jsonl     # render a run log
-    python -m repro bench                # write BENCH_PR2.json
+    python -m repro report obs/                  # render every log in DIR
+    python -m repro watch obs/                   # live dashboard of a run
+    python -m repro compare obs_a/ obs_b/        # cross-run regression diff
+    python -m repro bench                # write BENCH_PR4.json
 
 Each run prints the table of numbers the corresponding paper figure
 plots, via the same drivers the benchmarks use.  ``--workers`` fans
 grid experiments over processes and ``--cache`` memoizes their cells
 on disk (see :mod:`repro.perf`); both are accepted by every
 experiment and ignored by those without a sweep to accelerate.
-``--telemetry DIR`` records each run's metrics, spans, and warnings
-into DIR (see :mod:`repro.obs`); ``report`` turns the resulting JSONL
-log back into a human-readable dashboard.
+``--telemetry DIR`` records each run's metrics, spans, warnings and
+health findings into DIR (see :mod:`repro.obs`); ``report`` turns the
+resulting JSONL logs back into human-readable dashboards, ``watch``
+tails one live from another terminal, and ``compare`` diffs two
+telemetry directories (or two bench reports) with noise-aware
+regression thresholds.
 """
 
 from __future__ import annotations
@@ -54,20 +60,58 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="cache directory (implies --cache)")
     run.add_argument("--telemetry", metavar="DIR", default=None,
-                     help="record metrics, spans and a JSONL run log "
-                          "per experiment into DIR")
+                     help="record metrics, spans, health findings and "
+                          "a JSONL run log per experiment into DIR")
+    run.add_argument("--telemetry-fsync", action="store_true",
+                     help="fsync every run-log event (promptest "
+                          "'repro watch' tail; costs a syscall per "
+                          "event)")
 
     report = sub.add_parser(
-        "report", help="render a telemetry run log as a dashboard")
-    report.add_argument("runlog", help="path to a <run-id>.jsonl file "
-                                       "written by --telemetry")
+        "report", help="render telemetry run logs as dashboards")
+    report.add_argument("runlog",
+                        help="a <run-id>.jsonl file written by "
+                             "--telemetry, or a directory of them "
+                             "(every *.jsonl inside is rendered)")
     report.add_argument("--validate-only", action="store_true",
-                        help="check the log against the RunLog schema "
-                             "and exit without rendering")
+                        help="check the log(s) against the RunLog "
+                             "schema and exit without rendering")
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard tailing a run log as it is "
+                      "written")
+    watch.add_argument("target",
+                       help="a run-log .jsonl path, or a telemetry "
+                            "directory (newest log inside is "
+                            "followed)")
+    watch.add_argument("--experiment", default=None, metavar="ID",
+                       help="with a directory target, follow the "
+                            "newest log of this experiment")
+    watch.add_argument("--interval", type=float, default=0.5,
+                       metavar="S", help="poll/redraw period "
+                                         "(default 0.5s)")
+    watch.add_argument("--once", action="store_true",
+                       help="render the current state once and exit")
+
+    compare = sub.add_parser(
+        "compare", help="diff two runs: bench reports or telemetry "
+                        "dirs, with noise-aware thresholds")
+    compare.add_argument("before", help="baseline BENCH_*.json or "
+                                        "telemetry directory")
+    compare.add_argument("after", help="candidate BENCH_*.json or "
+                                       "telemetry directory")
+    compare.add_argument("--rtol", type=float, default=None,
+                         metavar="R",
+                         help="force one relative tolerance for every "
+                              "metric (default: per-metric, wide for "
+                              "timing noise)")
+    compare.add_argument("--fail-on-regression", action="store_true",
+                         help="exit 1 on regressions or new health "
+                              "findings (the CI gate)")
 
     bench = sub.add_parser(
         "bench", help="measure hot-loop throughput, write a JSON report")
-    bench.add_argument("--output", default="BENCH_PR2.json",
+    bench.add_argument("--output", default="BENCH_PR4.json",
                        metavar="FILE", help="report path")
     bench.add_argument("--workers", type=int, default=4, metavar="N",
                        help="worker count for the sweep section")
@@ -105,7 +149,8 @@ def run_experiments(names: List[str],
                     workers: Optional[int] = None,
                     use_cache: bool = False,
                     cache_dir: "str | None" = None,
-                    telemetry_dir: "str | None" = None) -> int:
+                    telemetry_dir: "str | None" = None,
+                    telemetry_fsync: bool = False) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -127,7 +172,8 @@ def run_experiments(names: List[str],
         telemetry = None
         if telemetry_dir is not None:
             from repro.obs import Telemetry
-            telemetry = Telemetry(telemetry_dir, experiment=name)
+            telemetry = Telemetry(telemetry_dir, experiment=name,
+                                  fsync=telemetry_fsync)
         result = experiment.run(workers=workers, cache=cache,
                                 telemetry=telemetry)
         print(experiment.report(result))
@@ -140,6 +186,8 @@ def run_experiments(names: List[str],
             print(f"[csv written to {target}]")
         if telemetry is not None:
             print(f"[run log: {telemetry.runlog_path}]")
+            if telemetry.verdict is not None:
+                print(f"[health verdict: {telemetry.verdict}]")
             for path in telemetry.export_paths:
                 print(f"[metrics export: {path}]")
         if cache is not None:
@@ -154,21 +202,44 @@ def run_experiments(names: List[str],
 
 
 def report_runlog(path: str, validate_only: bool = False) -> int:
-    """Validate (and by default render) a ``--telemetry`` run log."""
+    """Validate (and by default render) ``--telemetry`` run logs.
+
+    ``path`` may be one ``.jsonl`` file or a telemetry directory, in
+    which case every ``*.jsonl`` inside is validated/rendered; the
+    exit code is non-zero if *any* log fails validation.
+    """
+    from pathlib import Path
+
     from repro.obs.report import render_report
     from repro.obs.runlog import validate_file
-    errors = validate_file(path)
-    if errors:
-        print(f"{path}: {len(errors)} schema violation(s)",
-              file=sys.stderr)
-        for error in errors:
-            print(f"  {error}", file=sys.stderr)
-        return 1
-    if validate_only:
-        print(f"{path}: valid run log")
-        return 0
-    print(render_report(path))
-    return 0
+
+    target = Path(path)
+    if target.is_dir():
+        logs = sorted(target.glob("*.jsonl"))
+        if not logs:
+            print(f"{path}: no run logs (*.jsonl) found",
+                  file=sys.stderr)
+            return 2
+    else:
+        logs = [target]
+
+    failures = 0
+    for index, log in enumerate(logs):
+        errors = validate_file(log)
+        if errors:
+            failures += 1
+            print(f"{log}: {len(errors)} schema violation(s)",
+                  file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+            continue
+        if validate_only:
+            print(f"{log}: valid run log")
+            continue
+        if len(logs) > 1 and index:
+            print()
+        print(render_report(log))
+    return 1 if failures else 0
 
 
 def main(argv: "List[str] | None" = None) -> int:
@@ -179,6 +250,23 @@ def main(argv: "List[str] | None" = None) -> int:
     if args.command == "report":
         return report_runlog(args.runlog,
                              validate_only=args.validate_only)
+    if args.command == "watch":
+        from repro.obs.live import watch
+        try:
+            return watch(args.target, experiment=args.experiment,
+                         interval=args.interval, once=args.once)
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+    if args.command == "compare":
+        from repro.obs.diff import compare, render_report
+        try:
+            report = compare(args.before, args.after, rtol=args.rtol)
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(render_report(report))
+        return report.exit_code(args.fail_on_regression)
     if args.command == "bench":
         from repro.perf.bench import main as bench_main
         return bench_main(path=args.output, workers=args.workers,
@@ -187,7 +275,8 @@ def main(argv: "List[str] | None" = None) -> int:
                            workers=args.workers,
                            use_cache=args.cache,
                            cache_dir=args.cache_dir,
-                           telemetry_dir=args.telemetry)
+                           telemetry_dir=args.telemetry,
+                           telemetry_fsync=args.telemetry_fsync)
 
 
 if __name__ == "__main__":

@@ -133,6 +133,9 @@ def integrate(model: FluidModel,
               max_retries: int = 1,
               divergence_limit: Optional[float] =
               DEFAULT_DIVERGENCE_LIMIT,
+              observer: Optional[Callable[[float, np.ndarray],
+                                          None]] = None,
+              observer_stride: Optional[int] = None,
               ) -> FluidTrace:
     """Integrate ``model`` from ``t_start`` to ``t_end``.
 
@@ -169,6 +172,21 @@ def integrate(model: FluidModel,
         Any state component exceeding this magnitude counts as
         divergence even while finite (catches blow-ups hundreds of
         steps before float overflow).  None checks finiteness only.
+    observer:
+        In-run snapshot hook: ``observer(t, state)`` is called with
+        the accepted (clamped) state every ``observer_stride`` steps
+        -- the fluid-model twin of the packet simulator's
+        ``Simulator.sample_every``.  Health detectors stream from it
+        while the integration runs, so a live ``watch`` sees
+        pathologies as they develop instead of after the trace
+        returns.  ``state`` is the integrator's working array; treat
+        it as read-only and copy if retained.  None (the default)
+        skips the hook entirely.  On a halved-step retry the observer
+        is re-fed from ``t_start`` -- resettable consumers should
+        clear their buffers in that case (``t`` going backwards is
+        the signal).
+    observer_stride:
+        Steps between observer calls; defaults to ``record_stride``.
 
     Returns
     -------
@@ -184,6 +202,11 @@ def integrate(model: FluidModel,
         raise ValueError(f"record_stride must be >= 1, got {record_stride}")
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if observer_stride is None:
+        observer_stride = record_stride
+    if observer_stride < 1:
+        raise ValueError(
+            f"observer_stride must be >= 1, got {observer_stride}")
     try:
         stepper = _STEPPERS[method]
     except KeyError:
@@ -213,7 +236,9 @@ def integrate(model: FluidModel,
                                        attempt_dt, record_stride,
                                        initial, labels, method,
                                        divergence_limit,
-                                       retries=attempt)
+                                       retries=attempt,
+                                       observer=observer,
+                                       observer_stride=observer_stride)
             except IntegrationError:
                 if attempt == max_retries:
                     registry.counter(
@@ -228,7 +253,10 @@ def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,
                     t_end: float, dt: float, record_stride: int,
                     initial: np.ndarray, labels, method: str,
                     divergence_limit: Optional[float],
-                    retries: int) -> FluidTrace:
+                    retries: int,
+                    observer: Optional[Callable[[float, np.ndarray],
+                                                None]] = None,
+                    observer_stride: int = 1) -> FluidTrace:
     """One fixed-step pass; raises :class:`IntegrationError` on blow-up.
 
     The history buffer is preallocated for the whole horizon (the step
@@ -268,6 +296,8 @@ def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,
                 method=method, dt=dt, retries=retries))
         append(state)
         t = t_start + step * dt
+        if observer is not None and step % observer_stride == 0:
+            observer(t, state)
 
     _metrics.get_registry().counter(
         "fluid.dde.steps_total").inc(n_steps)

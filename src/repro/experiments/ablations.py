@@ -35,6 +35,7 @@ from repro.core.params import (DCQCNParams, PatchedTimelyParams,
 from repro.core.stability.dcqcn_margin import dcqcn_phase_margin
 from repro.core.convergence.discrete import (DiscreteDCQCN,
                                              contraction_rate)
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.topology import install_flow, single_switch
 import dataclasses
@@ -159,6 +160,7 @@ def gradient_clamp(clamps: Sequence[object] = (None, 0.25),
             net.sim, {f"s{i}": net.senders[i] for i in range(2)},
             interval=500e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
         total = sum(rate_mon.final_rates().values()) * 8 / 1e9
         rows.append(AblationRow(
             setting="unclamped" if clamp is None else f"clamp={clamp}",

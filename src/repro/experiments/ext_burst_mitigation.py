@@ -22,6 +22,7 @@ from typing import List, Sequence
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import TimelyParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.topology import install_flow, single_switch
 
@@ -65,6 +66,7 @@ def run(fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25),
             {f"s{i}": net.senders[i] for i in range(n_flows)},
             interval=500e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
         finals = list(rate_mon.final_rates().values())
         rows.append(BurstMitigationRow(
             fraction=fraction,

@@ -28,6 +28,7 @@ from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import DCQCNParams
 from repro.perf import ResultCache, SweepRunner
+from repro.obs.scrape import scrape_network
 from repro.sim import faults
 from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitors import QueueMonitor, RateMonitor
@@ -104,6 +105,7 @@ def compute_row(cnp_loss: float, flap_hz: float, capacity_gbps: float,
         net.sim, {f"s{i}": senders[i] for i in range(num_flows)},
         interval=100e-6)
     net.sim.run(until=duration)
+    scrape_network(network=net)
 
     final = rate_mon.final_rates()
     rates = np.array([final[f"s{i}"] for i in range(num_flows)])

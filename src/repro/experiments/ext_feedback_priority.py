@@ -22,6 +22,7 @@ from typing import List
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import install_flow, single_switch
@@ -62,6 +63,7 @@ def run(capacity_gbps: float = 10.0,
         monitor = QueueMonitor(net.sim, net.bottleneck_port,
                                interval=50e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         cnps = sum(s.cnps_received for s in forward_senders)
         delay_sum = sum(s.cnp_delay_sum for s in forward_senders)

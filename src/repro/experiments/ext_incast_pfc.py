@@ -29,6 +29,8 @@ from typing import List, Optional, Sequence
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams, TimelyParams
+from repro.obs import health as _health
+from repro.obs.scrape import scrape_network
 from repro.sim.engine import Simulator
 from repro.sim.flows import FlowRegistry
 from repro.sim.node import Host
@@ -137,7 +139,15 @@ def run(configs: Sequence[str] = CONFIGS,
                 install_flow(net, "dcqcn", f"s{i}", "recv",
                              int(transfer_kb * 1024), 0.0, params,
                              on_complete=done.append)
+        # Pause-storm / deadlock-precursor surveillance while the
+        # incast burns down; no-op with telemetry off.
+        health = _health.attach_packet_health(
+            net, [_health.PauseStormDetector(window=duration / 5.0)],
+            interval=duration / 500.0, context=config)
         net.sim.run(until=duration)
+        scrape_network(network=net)
+        if health is not None:
+            health.finalize()
 
         pauses = 0
         if net.switches["sw"].pfc is not None:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
+from repro.obs.scrape import scrape_network
 from repro.sim.leaf_spine import cross_rack_pairs, leaf_spine
 from repro.sim.red import REDMarker
 from repro.sim.topology import install_flow
@@ -65,6 +66,7 @@ def run(spine_counts: Sequence[int] = (1, 2),
                          int(transfer_kb * 1024), 0.0, params,
                          on_complete=done.append)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         fcts = np.array([f.fct for f in done]) * 1e3
         uplink_bytes = []

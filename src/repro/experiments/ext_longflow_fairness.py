@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.experiments.fct_study import protocol_setup
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import RateMonitor
 from repro.sim.topology import dumbbell, install_flow
 from repro.workloads.generator import DynamicWorkload, WorkloadConfig
@@ -61,6 +62,7 @@ def run(protocols: Sequence[str] = ("dcqcn", "timely",
         monitor = RateMonitor(net.sim, long_senders,
                               interval=500e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         times = np.asarray(monitor.times)
         mask = times >= warmup

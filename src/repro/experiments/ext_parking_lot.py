@@ -17,6 +17,7 @@ from typing import List, Sequence
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams, PatchedTimelyParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import RateMonitor
 from repro.sim.parking_lot import parking_lot
 from repro.sim.red import REDMarker
@@ -77,6 +78,7 @@ def _run_one(protocol: str, n_segments: int, link_gbps: float,
         {flow_id: sender for flow_id, sender in net.senders.items()},
         interval=200e-6)
     net.sim.run(until=duration)
+    scrape_network(network=net)
 
     finals = monitor.final_rates()
     cross = finals[0] * 8 / 1e9

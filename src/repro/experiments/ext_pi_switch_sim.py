@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import DCQCNParams, PIParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.piaqm import PIMarker
 from repro.sim.topology import install_flow, single_switch
@@ -64,6 +65,7 @@ def run(flow_counts: Sequence[int] = (2, 10),
             net.sim, {f"s{i}": net.senders[i] for i in range(n)},
             interval=500e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
         window = duration / 3.0
         tail_rates = []
         for i in range(n):

@@ -20,6 +20,7 @@ from repro.core.fluid.dcqcn import DCQCNFluidModel
 from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.params import DCQCNParams
 from repro.analysis.reporting import format_table
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import install_flow, single_switch
@@ -75,6 +76,7 @@ def run(flow_counts=(2, 10), capacity_gbps: float = 40.0,
             net.sim, {f"s{i}": net.senders[i] for i in range(n)},
             interval=100e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         sim_rates = rate_mon.final_rates()
         sim_rate_bytes = np.mean([sim_rates[f"s{i}"] for i in range(n)])

@@ -13,9 +13,11 @@ from typing import List, Sequence
 
 from repro import units
 from repro.analysis.reporting import format_table
+from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.fluid import dde
 from repro.core.fluid.dcqcn import DCQCNFluidModel
 from repro.core.params import DCQCNParams
+from repro.obs import health as _health
 
 
 @dataclass(frozen=True)
@@ -51,14 +53,32 @@ def run(delays_us: Sequence[float] = (4.0, 85.0),
     """
     rows = []
     window = duration / 3.0
+    health_on = _health.current_session() is not None
     for delay in delays_us:
         for n in flow_counts:
             params = DCQCNParams.paper_default(
                 capacity_gbps=capacity_gbps, num_flows=n,
                 tau_star_us=delay)
+            observer = None
+            monitor = None
+            if health_on:
+                # Stream the queue (state[0], packets) into the
+                # oscillation detector against the Thm. 1 fixed
+                # point; zero-cost otherwise (no monitor, observer
+                # stays None and the integrator skips the hook).
+                monitor = _health.HealthMonitor(
+                    [_health.QueueOscillationDetector(
+                        window=window,
+                        q_star=solve_fixed_point(
+                            params, extend_red=True).queue,
+                        check_interval=window / 2.0)],
+                    context=f"delay={delay}us,N={n}")
+                observer = monitor.observe_state(queue_index=0)
             trace = dde.integrate(
                 DCQCNFluidModel(params, extend_red=True), duration,
-                dt=dt, record_stride=10)
+                dt=dt, record_stride=10, observer=observer)
+            if monitor is not None:
+                monitor.finalize()
             rate_std = trace.tail_std("rc[0]", window)
             rows.append(StabilityRow(
                 delay_us=delay,

@@ -13,7 +13,9 @@ from typing import List, Sequence
 
 from repro import units
 from repro.analysis.reporting import format_table
+from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.params import DCQCNParams
+from repro.obs import health as _health
 from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
@@ -45,6 +47,10 @@ def run(extra_delays_us: Sequence[float] = (0.0, 85.0),
     """Packet-level runs with and without the extra feedback delay."""
     rows = []
     window = duration / 2.0
+    # The oscillation detector refuses to judge until its trailing
+    # window clears the start-up transient (2x its own width), so it
+    # gets a quarter of the run; the row statistics keep the half.
+    health_window = duration / 4.0
     for extra_us in extra_delays_us:
         params = DCQCNParams.paper_default(capacity_gbps=capacity_gbps,
                                            num_flows=num_flows)
@@ -56,8 +62,27 @@ def run(extra_delays_us: Sequence[float] = (0.0, 85.0),
             install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0, params)
         monitor = QueueMonitor(net.sim, net.bottleneck_port,
                                interval=20e-6)
+        # Health sampling rides the same 20 us cadence; q* is the
+        # Thm. 1 queue converted to bytes.  No-op while telemetry is
+        # off (attach returns None without installing a sampler).
+        health = _health.attach_packet_health(
+            net,
+            [_health.QueueOscillationDetector(
+                window=health_window,
+                q_star=solve_fixed_point(params).queue
+                * params.mtu_bytes,
+                # Packet-level RED keeps a coarse sawtooth even when
+                # stable (tail CoV ~0.2 vs ~1.5 unstable), so the
+                # packet run judges with a wider band than the fluid
+                # default.
+                cov_threshold=0.5,
+                check_interval=health_window / 2.0)],
+            interval=20e-6,
+            context=f"extra_delay={extra_us}us,N={num_flows}")
         net.sim.run(until=duration)
         scrape_network(network=net)
+        if health is not None:
+            health.finalize()
         _, occupancy = monitor.as_arrays()
         rows.append(SimStabilityRow(
             extra_delay_us=extra_us,

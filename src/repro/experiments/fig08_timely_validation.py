@@ -20,6 +20,7 @@ from repro.analysis.reporting import format_table
 from repro.core.fluid import dde
 from repro.core.fluid.timely import TimelyFluidModel
 from repro.core.params import TimelyParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.topology import install_flow, single_switch
 
@@ -72,6 +73,7 @@ def run(flow_counts=(2, 10), capacity_gbps: float = 10.0,
             net.sim, {f"s{i}": net.senders[i] for i in range(n)},
             interval=100e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         tail_rates = []
         for i in range(n):

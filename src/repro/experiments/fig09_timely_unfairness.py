@@ -18,6 +18,7 @@ from repro.core.convergence.metrics import jain_fairness, max_min_ratio
 from repro.core.fluid import dde
 from repro.core.fluid.timely import TimelyFluidModel
 from repro.core.params import TimelyParams
+from repro.obs import health as _health
 
 
 @dataclass(frozen=True)
@@ -63,7 +64,21 @@ def run(scenarios: Sequence[Scenario] = PAPER_SCENARIOS,
                  for g in scenario.initial_rates_gbps]
         model = TimelyFluidModel(params, initial_rates=rates,
                                  start_times=scenario.start_times)
-        trace = dde.integrate(model, duration, dt=dt, record_stride=10)
+        observer = None
+        monitor = None
+        if _health.current_session() is not None:
+            # Stream per-flow rates (state[1+n:], the TIMELY layout
+            # [q, g[i], r[i]]) into the unfairness detector; inert
+            # while telemetry is off.
+            monitor = _health.HealthMonitor(
+                [_health.UnfairnessDriftDetector(window=window)],
+                context=scenario.label)
+            observer = monitor.observe_state(
+                rate_slice=slice(1 + n, 1 + 2 * n))
+        trace = dde.integrate(model, duration, dt=dt,
+                              record_stride=10, observer=observer)
+        if monitor is not None:
+            monitor.finalize()
         final = [trace.tail_mean(f"r[{i}]", window) for i in range(n)]
         rows.append(UnfairnessRow(
             label=scenario.label,

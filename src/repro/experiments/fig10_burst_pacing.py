@@ -21,6 +21,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import TimelyParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor, RateMonitor
 from repro.sim.topology import install_flow, single_switch
 
@@ -58,6 +59,7 @@ def run(segment_kbs: Sequence[float] = (16.0, 64.0),
             net.sim, {f"s{i}": net.senders[i] for i in range(2)},
             interval=200e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
 
         def total_at(when: float) -> float:
             total = 0.0

@@ -18,6 +18,26 @@ from repro.core.convergence.metrics import jain_fairness
 from repro.core.fluid import dde
 from repro.core.fluid.patched_timely import PatchedTimelyFluidModel
 from repro.core.params import PatchedTimelyParams
+from repro.obs import health as _health
+
+
+def _unfairness_watch(label: str, n: int, window: float):
+    """(observer, monitor) streaming rates into the drift detector.
+
+    The patched model shares TIMELY's ``[q, g[i], r[i]]`` state
+    layout.  Fig. 12 is the *negative control*: the patch pins the
+    unique fixed point at the fair share, so the detector must stay
+    clean here while firing on Fig. 9 -- even in panel (c), where
+    large N oscillates the queue but the rates stay symmetric.
+    Returns ``(None, None)`` while telemetry is off.
+    """
+    if _health.current_session() is None:
+        return None, None
+    monitor = _health.HealthMonitor(
+        [_health.UnfairnessDriftDetector(window=window)],
+        context=label)
+    return monitor.observe_state(
+        rate_slice=slice(1 + n, 1 + 2 * n)), monitor
 
 
 @dataclass(frozen=True)
@@ -53,8 +73,13 @@ def run_asymmetric(capacity_gbps: float = 10.0,
         patched,
         initial_rates=[units.gbps_to_pps(7.0, mtu),
                        units.gbps_to_pps(3.0, mtu)])
-    trace = dde.integrate(model, duration, dt=dt, record_stride=10)
     window = duration / 4.0
+    observer, monitor = _unfairness_watch("(a) 7Gbps vs 3Gbps start",
+                                          2, window)
+    trace = dde.integrate(model, duration, dt=dt, record_stride=10,
+                          observer=observer)
+    if monitor is not None:
+        monitor.finalize()
     finals = [trace.tail_mean(f"r[{i}]", window) for i in range(2)]
     return PatchedRunRow(
         label="(a) 7Gbps vs 3Gbps start",
@@ -79,7 +104,11 @@ def run_flow_sweep(flow_counts: Sequence[int] = (10, 40, 64),
             capacity_gbps=capacity_gbps, num_flows=n)
         mtu = patched.base.mtu_bytes
         model = PatchedTimelyFluidModel(patched)
-        trace = dde.integrate(model, duration, dt=dt, record_stride=20)
+        observer, monitor = _unfairness_watch(f"N={n}", n, window)
+        trace = dde.integrate(model, duration, dt=dt,
+                              record_stride=20, observer=observer)
+        if monitor is not None:
+            monitor.finalize()
         finals = [trace.tail_mean(f"r[{i}]", window) for i in range(n)]
         rows.append(PatchedRunRow(
             label=f"N={n}",

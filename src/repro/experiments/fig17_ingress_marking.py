@@ -19,6 +19,7 @@ from typing import List, Sequence
 from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
+from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import install_flow, single_switch
@@ -61,6 +62,7 @@ def run(marking_points: Sequence[str] = ("egress", "ingress"),
         monitor = QueueMonitor(net.sim, net.bottleneck_port,
                                interval=20e-6)
         net.sim.run(until=duration)
+        scrape_network(network=net)
         _, occupancy = monitor.as_arrays()
         rows.append(MarkingPointRow(
             marking_point=point,

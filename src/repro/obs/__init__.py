@@ -25,13 +25,37 @@ the DDE fluid integrator, and the parallel sweep runner):
 
 :mod:`repro.obs.telemetry`
     The :class:`~repro.obs.telemetry.Telemetry` bundle tying the three
-    together: ``activate()`` installs the registry and span recorder,
-    streams the run log, and exports Prometheus-text and CSV metric
-    snapshots on exit.  Every experiment in
+    together: ``activate()`` installs the registry, span recorder and
+    health session, streams the run log, and exports Prometheus-text
+    and CSV metric snapshots on exit.  Every experiment in
     :mod:`repro.experiments.registry` accepts ``telemetry=``, and the
     CLI exposes ``--telemetry DIR`` and ``python -m repro report``.
+
+:mod:`repro.obs.health`
+    The live health layer: streaming pathology detectors (queue limit
+    cycles vs. the Thm. 1 fixed point, TIMELY unfairness drift, PFC
+    pause storms / deadlock precursors, stalled convergence) fed by
+    periodic in-run snapshots, emitting ``health`` events into the
+    run log and a final per-run verdict.
+
+:mod:`repro.obs.live`
+    ``python -m repro watch``: tail a live run log (tolerant of the
+    truncated final line an in-flight writer leaves) into a
+    refreshing TTY dashboard.
+
+:mod:`repro.obs.diff`
+    ``python -m repro compare``: cross-run regression diffing over
+    telemetry directories or bench reports, with noise-aware
+    thresholds and new/resolved health findings -- the CI gate.
 """
 
+from repro.obs.health import (Detector, HealthFinding, HealthMonitor,
+                              HealthSession, PauseStormDetector,
+                              QueueOscillationDetector,
+                              StalledConvergenceDetector,
+                              UnfairnessDriftDetector,
+                              attach_packet_health, current_session,
+                              set_session, use_session, verdict_for)
 from repro.obs.metrics import (MetricsRegistry, NullRegistry,
                                NULL_REGISTRY, get_registry,
                                sanitize, set_registry, use_registry)
@@ -47,4 +71,9 @@ __all__ = [
     "scrape_network", "scrape_port",
     "SpanRecorder", "format_span_tree", "span",
     "Telemetry", "current",
+    "Detector", "HealthFinding", "HealthMonitor", "HealthSession",
+    "QueueOscillationDetector", "UnfairnessDriftDetector",
+    "PauseStormDetector", "StalledConvergenceDetector",
+    "attach_packet_health", "current_session", "set_session",
+    "use_session", "verdict_for",
 ]

@@ -1,0 +1,352 @@
+"""Cross-run regression diffing: ``python -m repro compare A B``.
+
+Compares two *sources* -- each either a ``BENCH_*.json`` performance
+report or a telemetry directory of run logs -- and reports, with
+noise-aware thresholds:
+
+* **regressions** -- metrics that moved in the bad direction by more
+  than the tolerance,
+* **improvements** -- moved in the good direction by more than it,
+* **new / resolved health findings** -- pathologies present in one
+  side only, plus per-experiment verdict transitions,
+* **added / removed metrics** -- coverage changes.
+
+Direction and tolerance come from name heuristics
+(:func:`metric_direction`, :func:`metric_rtol`): throughput-style
+names are higher-is-better, latency/error-style names are
+lower-is-better, and wall-clock timings get a wide tolerance because
+they are the noisiest thing a shared CI runner measures.  Everything
+is overridable via :func:`compare`'s arguments.
+
+The CI bench step runs ``repro compare BENCH_BASELINE.json
+BENCH_PR4.json --fail-on-regression`` as its gate; the same command
+works on two ``--telemetry`` directories to diff experiment runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.runlog import read_events
+
+#: Default relative tolerance for steady metrics.
+DEFAULT_RTOL = 0.02
+
+#: Relative tolerance for wall-clock style metrics (noisy on shared
+#: runners; a 25% swing in a timing micro-bench is routine).
+NOISY_RTOL = 0.25
+
+#: Name fragments marking a metric as higher-is-better.
+_HIGHER_BETTER = ("per_sec", "per_second", "speedup", "throughput",
+                  "hit_rate", "hits", "utilization", "goodput",
+                  "jain")
+
+#: Name fragments marking a metric as lower-is-better.
+_LOWER_BETTER = ("wall_s", "cpu_s", "_seconds", "seconds_total",
+                 "latency", "rtt", "misses", "drops", "drop_rate",
+                 "aborts", "retries", "pauses", "divergence",
+                 "findings", "occupancy", "pending", "_s")
+
+#: Name fragments marking a metric as timing-noisy (wide tolerance).
+_NOISY = ("wall_s", "cpu_s", "_seconds", "per_sec", "per_second",
+          "speedup", "_s", "latency", "row_s")
+
+
+def metric_direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 neutral.
+
+    Longest-fragment match wins, so ``cache_warm_speedup`` (higher)
+    beats the ``_s`` suffix buried in it.
+    """
+    best_len, best_dir = 0, 0
+    lowered = name.lower()
+    for fragment in _HIGHER_BETTER:
+        if fragment in lowered and len(fragment) > best_len:
+            best_len, best_dir = len(fragment), 1
+    for fragment in _LOWER_BETTER:
+        if lowered.endswith(fragment) or f"{fragment}." in lowered \
+                or f"{fragment}_" in lowered:
+            if len(fragment) > best_len:
+                best_len, best_dir = len(fragment), -1
+    return best_dir
+
+
+def metric_rtol(name: str, default: float = DEFAULT_RTOL) -> float:
+    """Noise-aware relative tolerance for ``name``."""
+    lowered = name.lower()
+    for fragment in _NOISY:
+        if lowered.endswith(fragment) or fragment in lowered:
+            return NOISY_RTOL
+    return default
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between the two sides."""
+
+    name: str
+    before: float
+    after: float
+    direction: int  #: +1 higher-better / -1 lower-better / 0 neutral
+    rtol: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after != 0 else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+    @property
+    def classification(self) -> str:
+        """``regression`` / ``improvement`` / ``unchanged`` /
+        ``changed`` (neutral direction, beyond tolerance)."""
+        rel = self.rel_change
+        if abs(rel) <= self.rtol:
+            return "unchanged"
+        if self.direction == 0:
+            return "changed"
+        good = rel > 0 if self.direction > 0 else rel < 0
+        return "improvement" if good else "regression"
+
+    def describe(self) -> str:
+        arrow = "+" if self.rel_change >= 0 else ""
+        return (f"{self.name}: {self.before:.6g} -> {self.after:.6g} "
+                f"({arrow}{self.rel_change:.1%}, tol "
+                f"{self.rtol:.0%})")
+
+
+@dataclass
+class RegressionReport:
+    """Everything ``repro compare`` found."""
+
+    before: str
+    after: str
+    regressions: List[MetricDelta] = field(default_factory=list)
+    improvements: List[MetricDelta] = field(default_factory=list)
+    changed: List[MetricDelta] = field(default_factory=list)
+    unchanged: int = 0
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    new_findings: List[str] = field(default_factory=list)
+    resolved_findings: List[str] = field(default_factory=list)
+    verdict_changes: List[str] = field(default_factory=list)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions or self.new_findings)
+
+    def exit_code(self, fail_on_regression: bool) -> int:
+        return 1 if fail_on_regression and self.has_regressions else 0
+
+
+# -- source loading -----------------------------------------------------------
+
+
+def _flatten(prefix: str, value, out: Dict[str, float]) -> None:
+    """Collect numeric leaves of nested dicts as dotted names."""
+    if isinstance(value, bool):  # bool is an int subclass: skip
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key, child in value.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key),
+                     child, out)
+
+
+def _load_bench(path: Path) -> Tuple[Dict[str, float],
+                                     Dict[str, set],
+                                     Dict[str, str]]:
+    with open(path, encoding="utf-8") as stream:
+        report = json.load(stream)
+    metrics: Dict[str, float] = {}
+    # Environment descriptors are identity, not performance; diffing
+    # them as metrics would flag "python 3.11 -> 3.12" as a change.
+    for key in ("platform", "python", "cpu_count", "version",
+                "pre_pr_baseline"):
+        report.pop(key, None)
+    _flatten("", report, metrics)
+    return metrics, {}, {}
+
+
+def _snapshot_metrics(snapshot: Dict[str, dict]) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for name, entry in snapshot.items():
+        kind = entry.get("type")
+        if kind in ("counter", "gauge"):
+            value = entry.get("value")
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                metrics[name] = float(value)
+        elif kind == "histogram":
+            for stat in ("count", "mean"):
+                value = entry.get(stat)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    metrics[f"{name}.{stat}"] = float(value)
+    return metrics
+
+
+def _load_telemetry_dir(directory: Path) -> Tuple[Dict[str, float],
+                                                  Dict[str, set],
+                                                  Dict[str, str]]:
+    """Latest run per experiment -> (metrics, findings, verdicts).
+
+    Metric names are prefixed ``<experiment>.`` so two experiments'
+    identically-named gauges don't collide; findings are
+    ``(experiment, detector, kind)`` keys.
+    """
+    latest: Dict[str, Path] = {}
+    for path in sorted(directory.glob("*.jsonl"),
+                       key=lambda p: p.stat().st_mtime):
+        try:
+            events = read_events(path)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not events or events[0].get("type") != "run_start":
+            continue
+        experiment = events[0].get("experiment", path.stem)
+        latest[experiment] = path  # mtime-sorted: last wins
+    metrics: Dict[str, float] = {}
+    findings: Dict[str, set] = {}
+    verdicts: Dict[str, str] = {}
+    for experiment, path in latest.items():
+        events = read_events(path)
+        keys = set()
+        for event in events:
+            event_type = event.get("type")
+            if event_type == "metrics":
+                for name, value in _snapshot_metrics(
+                        event.get("snapshot", {})).items():
+                    metrics[f"{experiment}.{name}"] = value
+            elif event_type == "health":
+                if event.get("detector") == "health.verdict":
+                    verdicts[experiment] = event.get("verdict",
+                                                     "unknown")
+                else:
+                    keys.add((event.get("detector"),
+                              event.get("kind", "-")))
+            elif event_type == "run_end":
+                wall = event.get("wall_s")
+                if isinstance(wall, (int, float)):
+                    metrics[f"{experiment}.run.wall_s"] = float(wall)
+        findings[experiment] = keys
+    return metrics, findings, verdicts
+
+
+def load_source(source: Union[str, Path]) -> Tuple[Dict[str, float],
+                                                   Dict[str, set],
+                                                   Dict[str, str]]:
+    """Load a compare side: bench JSON or telemetry directory.
+
+    Returns ``(metrics, findings_per_experiment,
+    verdict_per_experiment)``; the finding/verdict maps are empty for
+    bench reports.
+    """
+    path = Path(source)
+    if path.is_dir():
+        return _load_telemetry_dir(path)
+    if path.is_file():
+        return _load_bench(path)
+    raise FileNotFoundError(f"no such bench report or telemetry "
+                            f"directory: {source}")
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def compare(before: Union[str, Path], after: Union[str, Path],
+            rtol: Optional[float] = None,
+            default_rtol: float = DEFAULT_RTOL) -> RegressionReport:
+    """Diff two sources into a :class:`RegressionReport`.
+
+    ``rtol`` forces one tolerance for every metric; the default lets
+    :func:`metric_rtol` pick per metric (wide for timing noise, tight
+    for counts).
+    """
+    metrics_a, findings_a, verdicts_a = load_source(before)
+    metrics_b, findings_b, verdicts_b = load_source(after)
+    report = RegressionReport(before=str(before), after=str(after))
+
+    report.added = sorted(set(metrics_b) - set(metrics_a))
+    report.removed = sorted(set(metrics_a) - set(metrics_b))
+    for name in sorted(set(metrics_a) & set(metrics_b)):
+        delta = MetricDelta(
+            name=name, before=metrics_a[name], after=metrics_b[name],
+            direction=metric_direction(name),
+            rtol=rtol if rtol is not None
+            else metric_rtol(name, default_rtol))
+        bucket = delta.classification
+        if bucket == "regression":
+            report.regressions.append(delta)
+        elif bucket == "improvement":
+            report.improvements.append(delta)
+        elif bucket == "changed":
+            report.changed.append(delta)
+        else:
+            report.unchanged += 1
+
+    for experiment in sorted(set(findings_a) | set(findings_b)):
+        before_keys = findings_a.get(experiment, set())
+        after_keys = findings_b.get(experiment, set())
+        for detector, kind in sorted(after_keys - before_keys):
+            report.new_findings.append(
+                f"{experiment}: {detector}/{kind}")
+        for detector, kind in sorted(before_keys - after_keys):
+            report.resolved_findings.append(
+                f"{experiment}: {detector}/{kind}")
+    for experiment in sorted(set(verdicts_a) & set(verdicts_b)):
+        old, new = verdicts_a[experiment], verdicts_b[experiment]
+        if old != new:
+            report.verdict_changes.append(
+                f"{experiment}: {old} -> {new}")
+    return report
+
+
+def render_report(report: RegressionReport) -> str:
+    """Human-readable compare output."""
+    lines = [f"== repro compare ==",
+             f"before: {report.before}",
+             f"after:  {report.after}", ""]
+    if report.regressions:
+        lines.append(f"REGRESSIONS ({len(report.regressions)}):")
+        lines += [f"  - {d.describe()}" for d in report.regressions]
+        lines.append("")
+    if report.new_findings:
+        lines.append(f"NEW HEALTH FINDINGS "
+                     f"({len(report.new_findings)}):")
+        lines += [f"  - {text}" for text in report.new_findings]
+        lines.append("")
+    if report.verdict_changes:
+        lines.append("VERDICT CHANGES:")
+        lines += [f"  - {text}" for text in report.verdict_changes]
+        lines.append("")
+    if report.improvements:
+        lines.append(f"improvements ({len(report.improvements)}):")
+        lines += [f"  + {d.describe()}" for d in report.improvements]
+        lines.append("")
+    if report.resolved_findings:
+        lines.append(f"resolved health findings "
+                     f"({len(report.resolved_findings)}):")
+        lines += [f"  + {text}" for text in report.resolved_findings]
+        lines.append("")
+    if report.changed:
+        lines.append(f"changed (no good/bad direction, "
+                     f"{len(report.changed)}):")
+        lines += [f"  ~ {d.describe()}" for d in report.changed]
+        lines.append("")
+    if report.added:
+        lines.append(f"added metrics: {len(report.added)}")
+    if report.removed:
+        lines.append(f"removed metrics ({len(report.removed)}):")
+        lines += [f"  {name}" for name in report.removed]
+    lines.append(f"unchanged within tolerance: {report.unchanged}")
+    lines.append("")
+    if report.has_regressions:
+        lines.append("RESULT: regressions detected")
+    else:
+        lines.append("RESULT: no regressions")
+    return "\n".join(lines)

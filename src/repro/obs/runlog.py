@@ -30,6 +30,11 @@ Event types:
     ``warning`` events while telemetry is active).
 ``fault``
     A fault-injector transition (``event`` plus e.g. ``port``).
+``health``
+    A pathology-detector finding (``detector``, ``severity``,
+    ``message``; see :mod:`repro.obs.health`).  The final ``health``
+    event of a run is the per-run verdict
+    (``detector="health.verdict"`` with a ``verdict`` field).
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -40,16 +45,18 @@ The full schema is documented in ``docs/OBSERVABILITY.md``;
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 #: Bump when the event envelope or required fields change.
-RUNLOG_VERSION = 1
+#: 2 added the ``health`` event type (PR 4).
+RUNLOG_VERSION = 2
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
-                         "warning", "note", "fault"})
+                         "warning", "note", "fault", "health"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -60,6 +67,7 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "warning": frozenset({"message"}),
     "note": frozenset({"message"}),
     "fault": frozenset({"event"}),
+    "health": frozenset({"detector", "severity", "message"}),
 }
 
 #: Envelope fields every event must carry.
@@ -72,11 +80,20 @@ class RunLog:
     Events are flushed line-by-line so the log survives crashes.  The
     writer enforces the same invariants the validator checks: known
     event types, monotonic ``seq``, one ``run_start`` first.
+
+    ``fsync=True`` additionally forces every event through to the OS
+    (``os.fsync`` after each flush) so a live tail -- ``python -m
+    repro watch`` on another terminal, or a reader on a shared
+    filesystem -- sees events promptly and a hard crash loses at most
+    the line being written.  It costs one syscall per event; leave it
+    off for throughput-sensitive batch runs.
     """
 
-    def __init__(self, path: Union[str, Path], run_id: str):
+    def __init__(self, path: Union[str, Path], run_id: str,
+                 fsync: bool = False):
         self.path = Path(path)
         self.run_id = run_id
+        self.fsync = fsync
         self._seq = 0
         self._started = time.time()
         self._stream: Optional[IO[str]] = open(self.path, "w",
@@ -104,6 +121,8 @@ class RunLog:
         self._stream.write(json.dumps(event, sort_keys=True,
                                       default=_jsonable) + "\n")
         self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
         self._seq += 1
         return event
 
@@ -135,6 +154,13 @@ class RunLog:
     def fault(self, event: str, **fields: Any) -> dict:
         """Record a fault-injector transition (link flap, etc.)."""
         return self.emit("fault", event=event, **fields)
+
+    def health(self, detector: str, severity: str, message: str,
+               **fields: Any) -> dict:
+        """Record a pathology-detector finding (or the final verdict)."""
+        return self.emit("health", detector=detector,
+                         severity=severity, message=str(message),
+                         **fields)
 
     def span(self, record) -> dict:
         """Record a finished :class:`~repro.obs.spans.SpanRecord`."""
@@ -190,14 +216,35 @@ def _jsonable(obj: Any) -> Any:
 # -- reading and validation ---------------------------------------------------
 
 
-def read_events(path: Union[str, Path]) -> List[dict]:
-    """Parse every event line of a run log (no validation)."""
+def read_events(path: Union[str, Path],
+                strict: bool = False) -> List[dict]:
+    """Parse every event line of a run log (no validation).
+
+    A crashed writer -- or one still running, read mid-line by a live
+    tail -- leaves a truncated final line.  By default that partial
+    tail is silently dropped (the events before it are intact and the
+    validator still flags the missing ``run_end``); ``strict=True``
+    restores the old raise-on-any-partial-JSON behaviour.  A malformed
+    line *followed by* further lines is corruption, not truncation,
+    and always raises.
+    """
     events = []
-    with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    last_content = -1
+    for index, line in enumerate(lines):
+        if line.strip():
+            last_content = index
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or index != last_content:
+                raise
+            # Truncated final line: the writer died (or is still
+            # writing) mid-event; everything before it stands.
     return events
 
 

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
+from repro.obs import health as _health
 from repro.obs import spans as _spans
 from repro.obs.export import write_exports
 from repro.obs.metrics import MetricsRegistry, use_registry
@@ -64,12 +65,17 @@ class Telemetry:
         Start ``tracemalloc`` for the duration of :meth:`activate`
         so spans record allocation deltas.  Costs 2-4x on allocation
         -heavy code; off by default.
+    fsync:
+        Force every run-log event through to the OS (see
+        :class:`~repro.obs.runlog.RunLog`).  Turn on for live
+        ``repro watch`` tails; off by default.
     """
 
     def __init__(self, directory: Union[str, Path],
                  experiment: str = "run",
                  run_id: Optional[str] = None,
-                 trace_allocations: bool = False):
+                 trace_allocations: bool = False,
+                 fsync: bool = False):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.experiment = experiment
@@ -81,8 +87,11 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.spans = SpanRecorder()
         self.run_log = RunLog(self.directory / f"{run_id}.jsonl",
-                              run_id)
+                              run_id, fsync=fsync)
+        self.health = _health.HealthSession(run_log=self.run_log,
+                                            registry=self.registry)
         self.export_paths: "list[Path]" = []
+        self.verdict: Optional[str] = None
 
     @classmethod
     def ensure(cls, value: "Union[Telemetry, str, Path]",
@@ -118,6 +127,7 @@ class Telemetry:
         previous_telemetry = _current
         _current = self
         previous_recorder = _spans.set_recorder(self.spans)
+        previous_session = _health.set_session(self.health)
         previous_show = _warnings.showwarning
 
         def capture(message, category, filename, lineno, file=None,
@@ -142,6 +152,7 @@ class Telemetry:
         finally:
             _warnings.showwarning = previous_show
             _spans.set_recorder(previous_recorder)
+            _health.set_session(previous_session)
             _current = previous_telemetry
             if started_tracing:
                 tracemalloc.stop()
@@ -150,6 +161,9 @@ class Telemetry:
     def _finalize(self, status: str, error: Optional[str]) -> None:
         for record in self.spans.records:
             self.run_log.span(record)
+        # Verdict before the final snapshot so the finding counters
+        # it bumps are included in the metrics the exporters see.
+        self.verdict = self.health.emit_verdict()
         snapshot = self.registry.snapshot()
         self.run_log.metrics(snapshot)
         self.run_log.finish(status=status, error=error)

@@ -1,8 +1,9 @@
 """Throughput benchmarks for the performance layer.
 
 ``python -m repro bench`` runs these and writes a JSON report (the
-checked-in ``BENCH_PR2.json``; format documented in
-``docs/PERFORMANCE.md``).  Four microbenchmarks cover the hot loops
+checked-in ``BENCH_PR4.json``; format documented in
+``docs/PERFORMANCE.md``; diff two reports with ``python -m repro
+compare``).  Four microbenchmarks cover the hot loops
 the perf work targets -- the event heap, port serialization, DDE
 stepping, and one stability-map row -- and a sweep section times the
 ``ext_stability_map`` grid (plus, with ``full=True``, the Section 5.1
@@ -24,10 +25,11 @@ from typing import Callable, Optional
 from repro.perf.cache import ResultCache
 
 #: Report format version; bump when fields change meaning.
-REPORT_VERSION = 2
+#: 3 added the health-sampling telemetry measurement (PR 4).
+REPORT_VERSION = 3
 
 #: Default output file, repo-root relative.
-DEFAULT_REPORT = "BENCH_PR2.json"
+DEFAULT_REPORT = "BENCH_PR4.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
@@ -40,8 +42,16 @@ def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
     return best
 
 
-def bench_event_loop(n_events: int = 200_000) -> float:
-    """Self-rescheduling no-op events per second through the heap."""
+def bench_event_loop(n_events: int = 200_000,
+                     attach_health: bool = False) -> float:
+    """Self-rescheduling no-op events per second through the heap.
+
+    ``attach_health=True`` additionally installs a periodic sampler
+    (every 20 sim-microseconds, i.e. one sample per 20 events)
+    feeding a live :class:`~repro.obs.health.QueueOscillationDetector`
+    -- the worst realistic health-sampling duty cycle, used by the
+    telemetry overhead guard.
+    """
     from repro.sim.engine import Simulator
 
     def run() -> None:
@@ -53,6 +63,19 @@ def bench_event_loop(n_events: int = 200_000) -> float:
             if count[0] < n_events:
                 sim.schedule(1e-6, tick)
 
+        if attach_health:
+            from repro.obs.health import (HealthMonitor,
+                                          QueueOscillationDetector)
+            monitor = HealthMonitor(
+                [QueueOscillationDetector(window=1e-3,
+                                          check_interval=1e-3)],
+                session=None)
+            # stop= bounds the sampler: without it the sampler keeps
+            # the heap populated forever once the tick chain ends and
+            # an until-less run() never returns.
+            sim.sample_every(2e-5, lambda now:
+                             monitor.sample(now, queue=count[0]),
+                             stop=n_events * 1e-6)
         sim.schedule(0.0, tick)
         sim.run()
 
@@ -128,11 +151,18 @@ def bench_telemetry_overhead(n_events: int = 100_000) -> dict:
         telemetry = Telemetry(tmp, experiment="bench")
         with telemetry.activate():
             on_rate = bench_event_loop(n_events)
+        health_telemetry = Telemetry(tmp, experiment="bench-health")
+        with health_telemetry.activate():
+            health_rate = bench_event_loop(n_events,
+                                           attach_health=True)
     return {
         "events_per_sec_off": off_rate,
         "events_per_sec_on": on_rate,
+        "events_per_sec_on_health": health_rate,
         "off_over_on_ratio": off_rate / on_rate if on_rate else
         float("inf"),
+        "off_over_health_ratio": off_rate / health_rate
+        if health_rate else float("inf"),
     }
 
 

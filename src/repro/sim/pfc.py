@@ -53,8 +53,11 @@ class PFCController:
         self._paused: Dict[str, bool] = {}
         self._pause_callbacks: Dict[str, Callable[[bool], None]] = {}
         self._reverse_delays: Dict[str, float] = {}
+        self._pause_started: Dict[str, float] = {}
         self.pauses_sent = 0
         self.resumes_sent = 0
+        self.pause_seconds_total = 0.0
+        self.longest_pause_s = 0.0
 
     def register_upstream(self, label: str,
                           pause_callback: Callable[[bool], None],
@@ -100,6 +103,7 @@ class PFCController:
                 self._buffered[label] >= self.pause_threshold:
             self._paused[label] = True
             self.pauses_sent += 1
+            self._pause_started[label] = self.sim.now
             self._notify(label, True)
 
     def on_egress(self, label: str, nbytes: int) -> None:
@@ -115,7 +119,25 @@ class PFCController:
                 self._buffered[label] <= self.resume_threshold:
             self._paused[label] = False
             self.resumes_sent += 1
+            duration = self.sim.now - self._pause_started.pop(label)
+            self.pause_seconds_total += duration
+            if duration > self.longest_pause_s:
+                self.longest_pause_s = duration
             self._notify(label, False)
+
+    def longest_active_pause(self, now: float) -> float:
+        """Duration of the oldest still-asserted PAUSE, seconds.
+
+        The PFC-deadlock precursor signal: a healthy fabric retires
+        every PAUSE within a queue-drain time, so a pause that stays
+        asserted for many drain times means the downstream buffer is
+        not draining -- the condition pause storms and (with a cyclic
+        buffer dependency) PFC deadlocks grow out of.  Zero when
+        nothing is paused.
+        """
+        if not self._pause_started:
+            return 0.0
+        return now - min(self._pause_started.values())
 
     def publish_metrics(self, registry, name: str = "pfc") -> None:
         """Scrape PAUSE/RESUME totals and per-upstream buffering.
@@ -132,6 +154,10 @@ class PFCController:
             self.resumes_sent)
         registry.gauge(f"{prefix}.paused_upstreams").set(
             len(self.paused_upstreams()))
+        registry.gauge(f"{prefix}.pause_seconds_total").set(
+            self.pause_seconds_total)
+        registry.gauge(f"{prefix}.longest_pause_s").set(
+            self.longest_pause_s)
         for label in self.upstream_labels():
             registry.gauge(
                 f"{prefix}.buffered_bytes.{sanitize(label)}"

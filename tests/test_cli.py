@@ -135,3 +135,82 @@ class TestReportCommand:
         bad.write_text('{"not": "a run log"}\n')
         assert main(["report", str(bad)]) == 1
         assert "schema violation" in capsys.readouterr().err
+
+    def test_report_accepts_directory(self, tmp_path, capsys):
+        from repro.obs import Telemetry
+        for run_id in ("demo-1", "demo-2"):
+            telemetry = Telemetry(tmp_path, experiment="demo",
+                                  run_id=run_id)
+            with telemetry.activate():
+                pass
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo-1" in out and "demo-2" in out
+
+    def test_report_directory_fails_on_any_invalid_log(
+            self, tmp_path, capsys):
+        self._write_log(tmp_path)
+        (tmp_path / "bad.jsonl").write_text('{"not": "a run log"}\n')
+        assert main(["report", str(tmp_path),
+                     "--validate-only"]) == 1
+        captured = capsys.readouterr()
+        assert "schema violation" in captured.err
+        assert "valid run log" in captured.out  # the good one
+
+    def test_report_empty_directory_is_an_error(self, tmp_path,
+                                                capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "no run logs" in capsys.readouterr().err
+
+
+class TestWatchCommand:
+    def test_watch_once_renders_dashboard(self, tmp_path, capsys):
+        from repro.obs import Telemetry
+        telemetry = Telemetry(tmp_path, experiment="demo",
+                              run_id="demo-1")
+        with telemetry.activate():
+            pass
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro watch :: demo" in out
+        assert "final verdict: clean" in out
+
+    def test_watch_missing_target_fails(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "absent_dir")]) == 2
+        assert "no such" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def _bench(self, path, rate):
+        import json
+        path.write_text(json.dumps(
+            {"micro": {"event_loop_events_per_sec": rate}}))
+
+    def test_compare_clean_exits_zero(self, tmp_path, capsys):
+        self._bench(tmp_path / "a.json", 1000.0)
+        self._bench(tmp_path / "b.json", 1010.0)
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json"),
+                     "--fail-on-regression"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_gate_fails_on_regression(self, tmp_path,
+                                              capsys):
+        self._bench(tmp_path / "a.json", 1000.0)
+        self._bench(tmp_path / "b.json", 100.0)
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json"),
+                     "--fail-on-regression"]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_compare_without_gate_reports_but_passes(self, tmp_path,
+                                                     capsys):
+        self._bench(tmp_path / "a.json", 1000.0)
+        self._bench(tmp_path / "b.json", 100.0)
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 0
+
+    def test_compare_missing_source_fails(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "nope"),
+                     str(tmp_path / "also_nope")]) == 2
+        assert "no such" in capsys.readouterr().err

@@ -251,6 +251,52 @@ class TestRunLog:
     def test_validator_rejects_empty(self):
         assert validate_events([]) != []
 
+    def test_health_event_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, "run-1") as log:
+            log.start("fig05", params_hash="h")
+            log.health("queue_oscillation", "critical",
+                       "limit cycle", kind="limit_cycle",
+                       sim_time_s=0.02)
+        events = read_events(path)
+        assert validate_events(events) == []
+        health = events[1]
+        assert health["type"] == "health"
+        assert health["detector"] == "queue_oscillation"
+        assert health["severity"] == "critical"
+
+    def test_truncated_final_line_dropped_by_default(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, "run-1") as log:
+            log.start("x", params_hash="h")
+            log.note("complete")
+            log.finish()
+        # simulate a writer killed mid-line
+        with open(path, "a") as stream:
+            stream.write('{"run_id": "run-1", "seq": 3, "ty')
+        events = read_events(path)
+        assert [e["type"] for e in events] == \
+            ["run_start", "note", "run_end"]
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path, strict=True)
+
+    def test_malformed_midfile_line_always_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n{"ok": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_fsync_mode_writes_identical_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLog(path, "run-1", fsync=True) as log:
+            log.start("x", params_hash="h")
+            log.note("durable")
+            log.finish()
+        events = read_events(path)
+        assert validate_events(events) == []
+        assert [e["type"] for e in events] == \
+            ["run_start", "note", "run_end"]
+
 
 class TestExporters:
     def snapshot(self):
