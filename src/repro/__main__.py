@@ -7,12 +7,14 @@ Usage::
     python -m repro run fig04 fig20      # several
     python -m repro run all              # everything (minutes!)
     python -m repro run fig14 --workers 4 --cache
+    python -m repro run fig14 --resume --cell-timeout 300
     python -m repro run fig04 --telemetry obs/   # metrics + run log
     python -m repro report obs/fig04-*.jsonl     # render a run log
     python -m repro report obs/                  # render every log in DIR
     python -m repro watch obs/                   # live dashboard of a run
     python -m repro compare obs_a/ obs_b/        # cross-run regression diff
-    python -m repro bench                # write BENCH_PR4.json
+    python -m repro replay CAPSULE.json          # re-run a failed cell
+    python -m repro bench                # write BENCH_PR5.json
 
 Each run prints the table of numbers the corresponding paper figure
 plots, via the same drivers the benchmarks use.  ``--workers`` fans
@@ -25,6 +27,15 @@ resulting JSONL logs back into human-readable dashboards, ``watch``
 tails one live from another terminal, and ``compare`` diffs two
 telemetry directories (or two bench reports) with noise-aware
 regression thresholds.
+
+``--resume`` journals every completed sweep cell so a crashed or
+interrupted run picks up where it stopped, bit-identical to an
+uninterrupted one; ``--cell-timeout``/``--cell-retries`` bound how
+long a single cell may hang and how often it is retried before being
+quarantined.  A quarantined cell leaves a crash capsule that
+``replay`` re-executes serially (optionally under ``--telemetry``)
+to reproduce the original failure for debugging (see
+:mod:`repro.perf.resilience`).
 """
 
 from __future__ import annotations
@@ -66,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fsync every run-log event (promptest "
                           "'repro watch' tail; costs a syscall per "
                           "event)")
+    run.add_argument("--resume", action="store_true",
+                     help="journal completed sweep cells (beside the "
+                          "result cache) and skip cells already "
+                          "journaled by an earlier, interrupted run")
+    run.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="S",
+                     help="per-cell wall-clock budget in seconds; a "
+                          "hung cell's worker is killed and the cell "
+                          "retried (parallel sweeps only)")
+    run.add_argument("--cell-retries", type=int, default=None,
+                     metavar="N",
+                     help="retries before a failing cell is "
+                          "quarantined as a CellFailure with a crash "
+                          "capsule (default 1 when resilience is on)")
 
     report = sub.add_parser(
         "report", help="render telemetry run logs as dashboards")
@@ -109,9 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 on regressions or new health "
                               "findings (the CI gate)")
 
+    replay = sub.add_parser(
+        "replay", help="re-execute a crash capsule's cell serially "
+                       "to reproduce its failure")
+    replay.add_argument("capsule",
+                        help="a *.capsule.json file written when a "
+                             "sweep cell exhausted its retries")
+    replay.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="run the replay under full telemetry/"
+                             "health, recording into DIR")
+
     bench = sub.add_parser(
         "bench", help="measure hot-loop throughput, write a JSON report")
-    bench.add_argument("--output", default="BENCH_PR4.json",
+    bench.add_argument("--output", default="BENCH_PR5.json",
                        metavar="FILE", help="report path")
     bench.add_argument("--workers", type=int, default=4, metavar="N",
                        help="worker count for the sweep section")
@@ -144,13 +179,53 @@ def _print_cache_stats(name: str, cache, baseline: dict) -> dict:
     return snapshot
 
 
+def _build_resilience(resume: bool,
+                      cell_timeout: "float | None",
+                      cell_retries: "int | None",
+                      cache_dir: "str | None"):
+    """Translate the resilience CLI flags into a policy (or None).
+
+    The journal lives beside the result cache so ``--cache-dir`` (or
+    ``REPRO_CACHE_DIR``) relocates both together.
+    """
+    if not resume and cell_timeout is None and cell_retries is None:
+        return None
+    from pathlib import Path
+
+    from repro.perf import ResiliencePolicy, default_journal_dir
+    journal_dir = None
+    if resume:
+        journal_dir = (Path(cache_dir) / "journals" if cache_dir
+                       else default_journal_dir())
+    return ResiliencePolicy(
+        cell_timeout=cell_timeout,
+        max_retries=1 if cell_retries is None else cell_retries,
+        journal_dir=journal_dir)
+
+
+def _print_failures(name: str, failures) -> None:
+    """Summarize quarantined cells and where their capsules went."""
+    print(f"[{name}: {len(failures)} cell(s) quarantined after "
+          f"exhausting retries]")
+    for failure in failures:
+        print(f"  cell[{failure.index}] {failure.kind}: "
+              f"{failure.error_type}: {failure.error_message} "
+              f"({failure.attempts} attempt(s))")
+        if failure.capsule_path is not None:
+            print(f"    replay: python -m repro replay "
+                  f"{failure.capsule_path}")
+
+
 def run_experiments(names: List[str],
                     csv_dir: "str | None" = None,
                     workers: Optional[int] = None,
                     use_cache: bool = False,
                     cache_dir: "str | None" = None,
                     telemetry_dir: "str | None" = None,
-                    telemetry_fsync: bool = False) -> int:
+                    telemetry_fsync: bool = False,
+                    resume: bool = False,
+                    cell_timeout: Optional[float] = None,
+                    cell_retries: Optional[int] = None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -165,6 +240,9 @@ def run_experiments(names: List[str],
     if use_cache or cache_dir is not None:
         from repro.perf import ResultCache, default_cache_dir
         cache = ResultCache(root=cache_dir or default_cache_dir())
+    resilience = _build_resilience(resume, cell_timeout, cell_retries,
+                                   cache_dir)
+    quarantined = 0
     for name in names:
         experiment = EXPERIMENTS[name]
         print(f"=== {name}: {experiment.description} ===")
@@ -175,8 +253,19 @@ def run_experiments(names: List[str],
             telemetry = Telemetry(telemetry_dir, experiment=name,
                                   fsync=telemetry_fsync)
         result = experiment.run(workers=workers, cache=cache,
-                                telemetry=telemetry)
-        print(experiment.report(result))
+                                telemetry=telemetry,
+                                resilience=resilience)
+        failures = []
+        if resilience is not None:
+            from repro.perf import collect_failures
+            failures = collect_failures(result)
+        if failures:
+            # Report functions assume complete grids; a CellFailure
+            # placeholder would crash them, so summarize instead.
+            quarantined += len(failures)
+            _print_failures(name, failures)
+        else:
+            print(experiment.report(result))
         if csv_dir is not None:
             from pathlib import Path
 
@@ -198,6 +287,46 @@ def run_experiments(names: List[str],
         stats = cache.stats
         print(f"[cache: {stats.hits} hits, {stats.misses} misses, "
               f"{stats.invalidations} invalidated, root={cache.root}]")
+    return 1 if quarantined else 0
+
+
+def replay_crash_capsule(path: str,
+                         telemetry_dir: "str | None" = None) -> int:
+    """Re-run a crash capsule's cell serially and report the outcome.
+
+    Exit 0 if the cell now succeeds, 1 if it fails again (the usual,
+    useful case -- the traceback is printed for debugging), 2 if the
+    capsule itself cannot be loaded.
+    """
+    from repro.perf import replay_capsule
+
+    try:
+        outcome = replay_capsule(path, telemetry=telemetry_dir)
+    except (OSError, ValueError) as error:
+        print(f"cannot replay {path}: {error}", file=sys.stderr)
+        return 2
+    capsule = outcome.capsule
+    print(f"=== replay {capsule.experiment_id} cell "
+          f"{capsule.cell_key[:12]} ===")
+    print(f"fn:       {capsule.fn}")
+    print(f"params:   {capsule.params}")
+    print(f"original: {capsule.kind} -- {capsule.error_type}: "
+          f"{capsule.error_message} (after {capsule.attempts} "
+          f"attempt(s))")
+    if outcome.reproduced:
+        print(f"replay:   failed again in {outcome.elapsed_s:.2f}s -- "
+              f"{outcome.error_type}: {outcome.error_message}")
+        match = ("matches the original failure"
+                 if outcome.matches_original
+                 else "DIFFERS from the original failure")
+        print(f"          ({match})")
+        if outcome.traceback:
+            print()
+            print(outcome.traceback.rstrip())
+        return 1
+    print(f"replay:   succeeded in {outcome.elapsed_s:.2f}s "
+          f"(failure did not reproduce)")
+    print(f"value:    {outcome.value!r}")
     return 0
 
 
@@ -267,6 +396,9 @@ def main(argv: "List[str] | None" = None) -> int:
             return 2
         print(render_report(report))
         return report.exit_code(args.fail_on_regression)
+    if args.command == "replay":
+        return replay_crash_capsule(args.capsule,
+                                    telemetry_dir=args.telemetry)
     if args.command == "bench":
         from repro.perf.bench import main as bench_main
         return bench_main(path=args.output, workers=args.workers,
@@ -276,7 +408,10 @@ def main(argv: "List[str] | None" = None) -> int:
                            use_cache=args.cache,
                            cache_dir=args.cache_dir,
                            telemetry_dir=args.telemetry,
-                           telemetry_fsync=args.telemetry_fsync)
+                           telemetry_fsync=args.telemetry_fsync,
+                           resume=args.resume,
+                           cell_timeout=args.cell_timeout,
+                           cell_retries=args.cell_retries)
 
 
 if __name__ == "__main__":

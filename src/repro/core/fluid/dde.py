@@ -239,14 +239,38 @@ def integrate(model: FluidModel,
                                        retries=attempt,
                                        observer=observer,
                                        observer_stride=observer_stride)
-            except IntegrationError:
+            except IntegrationError as error:
                 if attempt == max_retries:
                     registry.counter(
                         "fluid.dde.divergence_aborts_total").inc()
                     raise
                 registry.counter("fluid.dde.step_retries").inc()
+                # The run log (when telemetry is active) records
+                # *where* the attempt diverged, not just that one
+                # did -- crash capsules embed these events so a
+                # replayed cell shows which t the fluid integration
+                # struggled at.
+                _emit_retry_event(error.failure, attempt_dt)
                 attempt_dt *= 0.5
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _emit_retry_event(failure: IntegrationFailure,
+                      attempt_dt: float) -> None:
+    """Append a ``retry`` event for a halved-step re-attempt."""
+    from repro.obs import telemetry as _telemetry
+
+    bundle = _telemetry.current()
+    if bundle is None:
+        return
+    try:
+        bundle.run_log.retry(
+            component="fluid.dde",
+            t=failure.time, step=failure.step, dt=attempt_dt,
+            next_dt=attempt_dt * 0.5, method=failure.method,
+            cause=failure.cause, attempt=failure.retries + 1)
+    except ValueError:
+        pass  # run log already finished/closed
 
 
 def _integrate_once(model: FluidModel, stepper: Callable, t_start: float,

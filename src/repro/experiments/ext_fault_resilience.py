@@ -27,7 +27,7 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.core.convergence.metrics import jain_fairness
 from repro.core.params import DCQCNParams
-from repro.perf import ResultCache, SweepRunner
+from repro.perf import ResiliencePolicy, ResultCache, SweepRunner
 from repro.obs.scrape import scrape_network
 from repro.sim import faults
 from repro.sim.invariants import InvariantMonitor
@@ -134,7 +134,9 @@ def run(cnp_loss_rates: Sequence[float] = (0.0, 0.2, 0.5),
         cnp_timeout: Optional[float] = 2e-3,
         seed: int = 3,
         workers: Optional[int] = None,
-        cache: Optional[ResultCache] = None) -> List[ResilienceRow]:
+        cache: Optional[ResultCache] = None,
+        resilience: Optional[ResiliencePolicy] = None
+        ) -> List[ResilienceRow]:
     """Sweep the fault grid: loss rates alone, plus flaps at zero loss
     and the worst loss rate (the full cross product adds little)."""
     grid: List[Tuple[float, float]] = [(loss, 0.0)
@@ -147,7 +149,8 @@ def run(cnp_loss_rates: Sequence[float] = (0.0, 0.2, 0.5),
                 grid.append((worst, flap_hz))
 
     runner = SweepRunner(workers=workers, cache=cache,
-                         experiment_id="ext_fault_resilience")
+                         experiment_id="ext_fault_resilience",
+                         resilience=resilience)
     cells = [{"cnp_loss": cnp_loss, "flap_hz": flap_hz,
               "capacity_gbps": capacity_gbps, "num_flows": num_flows,
               "duration": duration, "cnp_timeout": cnp_timeout,

@@ -19,7 +19,7 @@ from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
 from repro.core.stability.bode import phase_margin
 from repro.core.stability.dcqcn_margin import DCQCNLoopGain
-from repro.perf import ResultCache, SweepRunner
+from repro.perf import ResiliencePolicy, ResultCache, SweepRunner
 
 #: Default grid (log-ish in both axes).
 DEFAULT_FLOWS = (1, 2, 4, 6, 8, 10, 14, 20, 30, 50, 80)
@@ -65,15 +65,20 @@ def run(flow_counts: Sequence[int] = DEFAULT_FLOWS,
         delays_us: Sequence[float] = DEFAULT_DELAYS_US,
         capacity_gbps: float = 40.0,
         workers: Optional[int] = None,
-        cache: Optional[ResultCache] = None) -> List[StabilityMapRow]:
+        cache: Optional[ResultCache] = None,
+        resilience: Optional[ResiliencePolicy] = None
+        ) -> List[StabilityMapRow]:
     """Compute the margin grid with the analytic linearization.
 
     ``workers`` fans the per-flow-count rows over processes;
-    ``cache`` memoizes each row on disk (see :mod:`repro.perf`).
-    Results are identical to the serial, uncached computation.
+    ``cache`` memoizes each row on disk; ``resilience`` adds
+    timeouts, retries, quarantine and crash-surviving resume
+    (see :mod:`repro.perf`).  Results are identical to the serial,
+    uncached, uninterrupted computation.
     """
     runner = SweepRunner(workers=workers, cache=cache,
-                         experiment_id="ext_stability_map")
+                         experiment_id="ext_stability_map",
+                         resilience=resilience)
     cells = [{"num_flows": int(n), "delays_us": tuple(delays_us),
               "capacity_gbps": capacity_gbps} for n in flow_counts]
     return runner.map(compute_row, cells)

@@ -24,7 +24,7 @@ from repro.analysis.fct import (FCTSummary, SMALL_FLOW_BYTES,
 from repro.analysis.reporting import format_table
 from repro.core.params import (DCQCNParams, DCTCPParams,
                                PatchedTimelyParams, TimelyParams)
-from repro.perf import ResultCache, SweepRunner
+from repro.perf import ResiliencePolicy, ResultCache, SweepRunner
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
 from repro.sim.topology import dumbbell
@@ -118,16 +118,22 @@ def run_load_sweep(loads: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
                    protocols: Sequence[str] = STUDY_PROTOCOLS,
                    workers: Optional[int] = None,
                    cache: Optional[ResultCache] = None,
+                   resilience: Optional[ResiliencePolicy] = None,
                    **kwargs) -> Dict[str, List[ProtocolRun]]:
     """Figure 14's grid: every protocol at every load.
 
     The (protocol, load) cells are independent simulations, each
     deterministically seeded, so they fan out over ``workers``
     processes (and memoize through ``cache``) with results identical
-    to the serial nested loop.
+    to the serial nested loop.  ``resilience`` adds per-cell
+    timeouts/retries, quarantine, and the crash-surviving journal
+    behind ``repro run --resume`` -- this is the longest sweep in the
+    reproduction, and an interrupted run resumes without recomputing
+    finished (protocol, load) cells.
     """
     runner = SweepRunner(workers=workers, cache=cache,
-                         experiment_id="fct_study")
+                         experiment_id="fct_study",
+                         resilience=resilience)
     cells = [{"protocol": protocol, "load": load, **kwargs}
              for protocol in protocols for load in loads]
     results = runner.map(run_protocol, cells)

@@ -19,7 +19,7 @@ from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams
 from repro.core.stability.dcqcn_margin import margin_vs_flows
-from repro.perf import ResultCache, SweepRunner
+from repro.perf import ResiliencePolicy, ResultCache, SweepRunner
 
 #: Default flow-count grid (log-ish spacing like the paper's x-axis).
 DEFAULT_FLOWS = (1, 2, 4, 6, 8, 10, 14, 20, 30, 50, 80, 100)
@@ -50,9 +50,12 @@ def compute_sweep(label: str, params: DCQCNParams,
 
 
 def _run_sweeps(cells: "List[dict]", workers: Optional[int],
-                cache: Optional[ResultCache]) -> List[MarginSweep]:
+                cache: Optional[ResultCache],
+                resilience: Optional[ResiliencePolicy] = None
+                ) -> List[MarginSweep]:
     runner = SweepRunner(workers=workers, cache=cache,
-                         experiment_id="fig03")
+                         experiment_id="fig03",
+                         resilience=resilience)
     return runner.map(compute_sweep, cells)
 
 
@@ -60,7 +63,9 @@ def panel_a(delays_us: Sequence[float] = (4, 25, 55, 85, 100),
             flow_counts: Sequence[int] = DEFAULT_FLOWS,
             capacity_gbps: float = 40.0,
             workers: Optional[int] = None,
-            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
+            cache: Optional[ResultCache] = None,
+            resilience: Optional[ResiliencePolicy] = None
+            ) -> List[MarginSweep]:
     """Margin vs N for several feedback delays (Fig. 3a)."""
     cells = []
     for delay in delays_us:
@@ -68,7 +73,7 @@ def panel_a(delays_us: Sequence[float] = (4, 25, 55, 85, 100),
                                            tau_star_us=delay)
         cells.append({"label": f"tau*={delay:g}us", "params": params,
                       "flow_counts": tuple(flow_counts)})
-    return _run_sweeps(cells, workers, cache)
+    return _run_sweeps(cells, workers, cache, resilience)
 
 
 def panel_b(rate_ai_mbps: Sequence[float] = (10, 40, 150),
@@ -76,7 +81,9 @@ def panel_b(rate_ai_mbps: Sequence[float] = (10, 40, 150),
             delay_us: float = 100.0,
             capacity_gbps: float = 40.0,
             workers: Optional[int] = None,
-            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
+            cache: Optional[ResultCache] = None,
+            resilience: Optional[ResiliencePolicy] = None
+            ) -> List[MarginSweep]:
     """Margin vs N for several R_AI values at 100 us delay (Fig. 3b)."""
     cells = []
     for mbps in rate_ai_mbps:
@@ -85,7 +92,7 @@ def panel_b(rate_ai_mbps: Sequence[float] = (10, 40, 150),
                 rate_ai=units.mbps_to_pps(mbps))
         cells.append({"label": f"R_AI={mbps:g}Mbps", "params": params,
                       "flow_counts": tuple(flow_counts)})
-    return _run_sweeps(cells, workers, cache)
+    return _run_sweeps(cells, workers, cache, resilience)
 
 
 def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
@@ -93,7 +100,9 @@ def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
             delay_us: float = 100.0,
             capacity_gbps: float = 40.0,
             workers: Optional[int] = None,
-            cache: Optional[ResultCache] = None) -> List[MarginSweep]:
+            cache: Optional[ResultCache] = None,
+            resilience: Optional[ResiliencePolicy] = None
+            ) -> List[MarginSweep]:
     """Margin vs N for several K_max values at 100 us delay (Fig. 3c)."""
     cells = []
     for kmax in kmax_kb:
@@ -105,7 +114,7 @@ def panel_c(kmax_kb: Sequence[float] = (200, 400, 1000),
         params = base.replace(red=red)
         cells.append({"label": f"K_max={kmax:g}KB", "params": params,
                       "flow_counts": tuple(flow_counts)})
-    return _run_sweeps(cells, workers, cache)
+    return _run_sweeps(cells, workers, cache, resilience)
 
 
 def report(sweeps: List[MarginSweep], title: str) -> str:

@@ -16,7 +16,7 @@ from repro.analysis.reporting import format_table
 from repro.core.fixedpoint.timely import patched_fixed_point
 from repro.core.params import PatchedTimelyParams
 from repro.core.stability.timely_margin import patched_timely_phase_margin
-from repro.perf import ResultCache, SweepRunner
+from repro.perf import ResiliencePolicy, ResultCache, SweepRunner
 
 #: Default flow-count grid.
 DEFAULT_FLOWS = (2, 5, 10, 15, 20, 30, 40, 50, 60)
@@ -59,10 +59,13 @@ def compute_row(num_flows: int,
 def run(flow_counts: Sequence[int] = DEFAULT_FLOWS,
         capacity_gbps: float = 10.0,
         workers: Optional[int] = None,
-        cache: Optional[ResultCache] = None) -> List[PatchedMarginRow]:
+        cache: Optional[ResultCache] = None,
+        resilience: Optional[ResiliencePolicy] = None
+        ) -> List[PatchedMarginRow]:
     """Sweep the flow count, collecting margin and loop-delay data."""
     runner = SweepRunner(workers=workers, cache=cache,
-                         experiment_id="fig11")
+                         experiment_id="fig11",
+                         resilience=resilience)
     cells = [{"num_flows": int(n), "capacity_gbps": capacity_gbps}
              for n in flow_counts]
     return runner.map(compute_row, cells)

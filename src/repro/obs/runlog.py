@@ -35,6 +35,16 @@ Event types:
     ``message``; see :mod:`repro.obs.health`).  The final ``health``
     event of a run is the per-run verdict
     (``detector="health.verdict"`` with a ``verdict`` field).
+``sweep``
+    A sweep-runner resilience transition (``event`` one of ``resume``,
+    ``cell_retry``, ``cell_timeout``, ``cell_quarantined``,
+    ``pool_respawn``, ``pool_degraded``, ``interrupted``; see
+    :mod:`repro.perf.sweep`), with event-specific context such as the
+    cell index and error type.
+``retry``
+    A component retried an operation after a recoverable failure
+    (``component``, e.g. ``fluid.dde`` on a halved-step integration
+    retry, plus context like the failing ``t`` and the step sizes).
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -52,11 +62,13 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 #: Bump when the event envelope or required fields change.
 #: 2 added the ``health`` event type (PR 4).
-RUNLOG_VERSION = 2
+#: 3 added the ``sweep`` and ``retry`` event types (PR 5).
+RUNLOG_VERSION = 3
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
-                         "warning", "note", "fault", "health"})
+                         "warning", "note", "fault", "health",
+                         "sweep", "retry"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -68,6 +80,8 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "note": frozenset({"message"}),
     "fault": frozenset({"event"}),
     "health": frozenset({"detector", "severity", "message"}),
+    "sweep": frozenset({"event"}),
+    "retry": frozenset({"component"}),
 }
 
 #: Envelope fields every event must carry.
@@ -154,6 +168,15 @@ class RunLog:
     def fault(self, event: str, **fields: Any) -> dict:
         """Record a fault-injector transition (link flap, etc.)."""
         return self.emit("fault", event=event, **fields)
+
+    def sweep(self, event: str, **fields: Any) -> dict:
+        """Record a sweep-runner resilience transition (retry,
+        timeout, quarantine, pool respawn/degrade, resume)."""
+        return self.emit("sweep", event=event, **fields)
+
+    def retry(self, component: str, **fields: Any) -> dict:
+        """Record a recoverable-failure retry inside a component."""
+        return self.emit("retry", component=component, **fields)
 
     def health(self, detector: str, severity: str, message: str,
                **fields: Any) -> dict:

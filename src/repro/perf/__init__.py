@@ -11,22 +11,46 @@ them fast three ways:
   the package sources;
 * :mod:`repro.perf.bench` measures the hot loops (event engine, port
   serialization, DDE stepping, margin sweeps) and emits the JSON
-  consumed by the perf-trajectory tooling.
+  consumed by the perf-trajectory tooling;
+* :mod:`repro.perf.resilience` makes long sweeps survivable:
+  :class:`~repro.perf.resilience.ResiliencePolicy` adds per-cell
+  timeouts, bounded retries with backoff and poison-cell quarantine
+  (:class:`~repro.perf.resilience.CellFailure`), the
+  :class:`~repro.perf.resilience.SweepJournal` gives crash-surviving
+  ``--resume``, and :class:`~repro.perf.resilience.CrashCapsule` +
+  ``repro replay`` reproduce terminal cell failures deterministically.
 """
 
 from repro.perf.cache import (CacheStats, ResultCache, canonicalize,
                               code_fingerprint, default_cache_dir,
                               params_key)
+from repro.perf.resilience import (CellFailure, CrashCapsule,
+                                   ReplayResult, ResiliencePolicy,
+                                   SweepJournal, collect_failures,
+                                   default_capsule_dir,
+                                   default_journal_dir, is_failure,
+                                   journal_for, replay_capsule)
 from repro.perf.sweep import SweepRunner, derive_seed, resolve_workers
 
 __all__ = [
     "CacheStats",
+    "CellFailure",
+    "CrashCapsule",
+    "ReplayResult",
+    "ResiliencePolicy",
     "ResultCache",
+    "SweepJournal",
     "SweepRunner",
     "canonicalize",
     "code_fingerprint",
+    "collect_failures",
     "default_cache_dir",
+    "default_capsule_dir",
+    "default_journal_dir",
     "derive_seed",
+    "is_failure",
+    "journal_for",
     "params_key",
+    "replay_capsule",
     "resolve_workers",
 ]

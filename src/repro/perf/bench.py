@@ -1,13 +1,16 @@
 """Throughput benchmarks for the performance layer.
 
 ``python -m repro bench`` runs these and writes a JSON report (the
-checked-in ``BENCH_PR4.json``; format documented in
+checked-in ``BENCH_PR5.json``; format documented in
 ``docs/PERFORMANCE.md``; diff two reports with ``python -m repro
 compare``).  Four microbenchmarks cover the hot loops
 the perf work targets -- the event heap, port serialization, DDE
 stepping, and one stability-map row -- and a sweep section times the
 ``ext_stability_map`` grid (plus, with ``full=True``, the Section 5.1
 FCT study) serially, with workers, and against a warm result cache.
+A resilience section measures what the journal + retry machinery
+costs an all-success sweep (it should be nearly free) and proves a
+journaled resume is bit-identical to the plain run.
 
 Unlike ``benchmarks/test_performance.py`` (pytest-benchmark, relative
 regression tracking) this module produces absolute numbers meant to be
@@ -26,10 +29,11 @@ from repro.perf.cache import ResultCache
 
 #: Report format version; bump when fields change meaning.
 #: 3 added the health-sampling telemetry measurement (PR 4).
-REPORT_VERSION = 3
+#: 4 added the resilience (journal overhead + resume) section (PR 5).
+REPORT_VERSION = 4
 
 #: Default output file, repo-root relative.
-DEFAULT_REPORT = "BENCH_PR4.json"
+DEFAULT_REPORT = "BENCH_PR5.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
@@ -242,6 +246,48 @@ def bench_sweeps(workers: int = 4, full: bool = False,
     return report
 
 
+def bench_resilience(workers: int = 4) -> dict:
+    """Cost of the resilience machinery on an all-success sweep.
+
+    Runs ``ext_stability_map`` plain, then with a full
+    :class:`~repro.perf.resilience.ResiliencePolicy` (journal +
+    timeout + retry budget), then resumes from the written journal.
+    ``journal_overhead`` is the with/without time ratio (near 1.0:
+    journaling is one fsynced JSONL line per cell); ``identical``
+    asserts the journaled and resumed grids match the plain run
+    bit-for-bit.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments import ext_stability_map
+    from repro.perf.resilience import ResiliencePolicy
+
+    plain_s, plain_rows = _timed(
+        lambda: ext_stability_map.run(workers=workers))
+    with tempfile.TemporaryDirectory() as tmp:
+        policy = ResiliencePolicy(cell_timeout=600.0, max_retries=1,
+                                  journal_dir=Path(tmp) / "journals",
+                                  capsule_dir=Path(tmp) / "capsules")
+        journaled_s, journaled_rows = _timed(
+            lambda: ext_stability_map.run(workers=workers,
+                                          resilience=policy))
+        resumed_s, resumed_rows = _timed(
+            lambda: ext_stability_map.run(workers=workers,
+                                          resilience=policy))
+    return {
+        "workers": workers,
+        "plain_s": plain_s,
+        "journaled_s": journaled_s,
+        "resumed_s": resumed_s,
+        "journal_overhead": journaled_s / plain_s if plain_s
+        else float("inf"),
+        "resume_speedup": plain_s / resumed_s if resumed_s
+        else float("inf"),
+        "identical": plain_rows == journaled_rows == resumed_rows,
+    }
+
+
 def run_benchmarks(workers: int = 4, full: bool = False,
                    baseline: Optional[dict] = None) -> dict:
     """Run everything and return the report dictionary."""
@@ -260,6 +306,7 @@ def run_benchmarks(workers: int = 4, full: bool = False,
         },
         "telemetry": bench_telemetry_overhead(),
         "sweeps": bench_sweeps(workers=workers, full=full),
+        "resilience": bench_resilience(workers=workers),
     }
     if baseline:
         report["pre_pr_baseline"] = baseline

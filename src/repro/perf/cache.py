@@ -31,6 +31,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Tuple
@@ -139,6 +140,8 @@ class CacheStats:
     invalidations: int = 0
     #: Entries discarded because they failed to load (corruption).
     corrupt_entries: int = 0
+    #: Orphaned ``*.tmp`` files reaped (a writer killed mid-``put``).
+    stale_tmp_reaped: int = 0
 
     @property
     def lookups(self) -> int:
@@ -155,6 +158,7 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "puts": self.puts, "invalidations": self.invalidations,
                 "corrupt_entries": self.corrupt_entries,
+                "stale_tmp_reaped": self.stale_tmp_reaped,
                 "hit_rate": self.hit_rate}
 
 
@@ -241,6 +245,12 @@ class ResultCache:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump(entry, stream,
                             protocol=pickle.HIGHEST_PROTOCOL)
+                # Force the bytes to the device *before* the rename
+                # becomes visible: without this, a machine crash can
+                # publish a name pointing at unwritten data -- the one
+                # torn-entry case tmp+replace alone does not cover.
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(temp_name, path)
         except BaseException:
             self._discard(Path(temp_name))
@@ -259,6 +269,33 @@ class ResultCache:
         value = fn()
         self.put(experiment_id, params, value)
         return value
+
+    def reap_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Delete orphaned ``*.tmp`` files left by killed writers.
+
+        A worker SIGKILLed mid-:meth:`put` can never tear a published
+        entry (the rename is atomic), but it does leak its temp file.
+        Only files older than ``max_age_s`` are touched so a
+        concurrent, still-writing process is never raced; the count
+        lands in :attr:`stats` and the registry.
+        """
+        if not self.root.exists():
+            return 0
+        now = time.time()
+        reaped = 0
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime < max_age_s:
+                    continue
+                path.unlink()
+                reaped += 1
+            except OSError:
+                continue  # vanished or unreadable: someone else's
+        if reaped:
+            self.stats.stale_tmp_reaped += reaped
+            _metrics.get_registry().counter(
+                "perf.cache.stale_tmp_reaped_total").inc(reaped)
+        return reaped
 
     def clear(self, experiment_id: Optional[str] = None) -> int:
         """Delete entries (all, or one experiment's); returns the count."""

@@ -19,6 +19,23 @@ Determinism rules:
   derived stream depends only on ``(base_seed, *key)``, not on how
   many cells exist or the order they run in.
 
+Failure handling (see :mod:`repro.perf.resilience`):
+
+* Pool supervision is always on: a worker that dies (OOM kill,
+  SIGKILL, hard crash) breaks the executor; the runner respawns it,
+  re-dispatches the cells that were in flight, and -- after repeated
+  breakage -- degrades the worker count down to serial execution
+  instead of aborting the sweep.
+* Ctrl-C cancels queued cells (``cancel_futures``), terminates the
+  worker processes, flushes the journal, and re-raises -- no orphaned
+  workers, and the journal holds every cell that finished.
+* Attaching a :class:`~repro.perf.resilience.ResiliencePolicy` adds
+  per-cell wall-clock timeouts, bounded retries with exponential
+  backoff, quarantine (a terminally failing cell yields a
+  :class:`~repro.perf.resilience.CellFailure` placeholder plus a
+  crash capsule instead of killing the sweep), and the crash-surviving
+  completed-cell journal behind ``repro run --resume``.
+
 Worker processes set :data:`WORKER_ENV` so nested sweeps inside a
 worker degrade to serial execution instead of oversubscribing the
 machine.  If the platform cannot spawn a pool at all (restricted
@@ -30,8 +47,11 @@ from __future__ import annotations
 
 import os
 import time
+import traceback as _traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait as
+                                _futures_wait)
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
@@ -39,11 +59,25 @@ import numpy as np
 
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
-from repro.perf.cache import ResultCache
+from repro.perf.cache import ResultCache, params_key
+from repro.perf.resilience import (CellFailure, CrashCapsule,
+                                   ResiliencePolicy, SweepJournal,
+                                   capsule_path_for, journal_for)
 
 #: Set in sweep worker processes; nested SweepRunners see it and run
 #: serially rather than forking pools of pools.
 WORKER_ENV = "REPRO_SWEEP_WORKER"
+
+#: Pool breakages tolerated per worker-count step when no policy is
+#: attached (supervision is on even for plain runners).
+DEFAULT_POOL_RESPAWNS = 3
+
+#: Poll period bounds for the supervision loop, seconds.  The loop
+#: sleeps inside ``concurrent.futures.wait`` between these bounds so
+#: deadlines and backoff expiries are noticed promptly without
+#: spinning.
+_MIN_POLL_S = 0.02
+_MAX_POLL_S = 0.25
 
 
 def derive_seed(base_seed: int, *key: int) -> int:
@@ -97,6 +131,54 @@ def _run_cell_timed(payload: "Tuple[Callable[..., Any], Dict[str, Any]]"
     return time.perf_counter() - started, value
 
 
+def _sweep_event(event: str, **fields: Any) -> None:
+    """Append a ``sweep`` event to the active run log, if any."""
+    from repro.obs import telemetry as _telemetry
+    bundle = _telemetry.current()
+    if bundle is None:
+        return
+    try:
+        bundle.run_log.sweep(event, **fields)
+    except ValueError:
+        pass  # run log already finished/closed
+
+
+def _telemetry_tail(limit: int = 15) -> List[dict]:
+    """Recent run-log events, for embedding into crash capsules."""
+    from repro.obs import telemetry as _telemetry
+    bundle = _telemetry.current()
+    if bundle is None:
+        return []
+    try:
+        from repro.obs.runlog import read_events
+        return read_events(bundle.runlog_path)[-limit:]
+    except Exception:
+        return []
+
+
+class _Pending:
+    """Book-keeping for one not-yet-finished cell."""
+
+    __slots__ = ("index", "cell", "key", "failures", "lost",
+                 "not_before", "last_error", "last_traceback",
+                 "last_kind")
+
+    def __init__(self, index: int, cell: Dict[str, Any],
+                 key: Optional[str]):
+        self.index = index
+        self.cell = cell
+        self.key = key
+        #: Exception/timeout failures (count against max_retries).
+        self.failures = 0
+        #: Worker-lost failures (separate, more forgiving budget --
+        #: a pool breakage kills innocent bystander cells too).
+        self.lost = 0
+        self.not_before = 0.0  # monotonic time gate for backoff
+        self.last_error: Optional[BaseException] = None
+        self.last_traceback = ""
+        self.last_kind = "exception"
+
+
 class SweepRunner:
     """Maps a cell function over parameter cells, possibly in parallel.
 
@@ -111,103 +193,545 @@ class SweepRunner:
         function's qualified name plus its kwargs; hits skip execution
         entirely and only the missing cells are dispatched.
     experiment_id:
-        Cache namespace (required when ``cache`` is given).
+        Cache/journal namespace (required when ``cache`` is given or
+        the policy enables journaling).
+    resilience:
+        Optional :class:`~repro.perf.resilience.ResiliencePolicy`.
+        When attached, failing cells are retried with backoff and
+        quarantined as :class:`~repro.perf.resilience.CellFailure`
+        placeholders instead of aborting the sweep, hung cells are
+        timed out, and completed cells are journaled for
+        crash-surviving resume.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 experiment_id: Optional[str] = None):
+                 experiment_id: Optional[str] = None,
+                 resilience: Optional[ResiliencePolicy] = None):
         if cache is not None and not experiment_id:
             raise ValueError(
                 "experiment_id is required when a cache is attached")
+        if resilience is not None \
+                and resilience.journal_dir is not None \
+                and not experiment_id:
+            raise ValueError("experiment_id is required when the "
+                             "resilience policy journals completed "
+                             "cells")
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.experiment_id = experiment_id
+        self.resilience = resilience
+        self._journal: Optional[SweepJournal] = None
 
-    # -- cache plumbing ----------------------------------------------------
+    # -- cache / journal plumbing ------------------------------------------
 
     def _cell_params(self, fn: Callable[..., Any],
                      cell: Dict[str, Any]) -> Dict[str, Any]:
         return {"fn": fn, "cell": cell}
 
+    @property
+    def journal(self) -> Optional[SweepJournal]:
+        """The completed-cell journal, opened lazily from the policy."""
+        if self._journal is None and self.resilience is not None \
+                and self.resilience.journal_dir is not None:
+            fingerprint = self.cache.fingerprint \
+                if self.cache is not None else None
+            self._journal = journal_for(self.experiment_id,
+                                        self.resilience.journal_dir,
+                                        fingerprint=fingerprint)
+        return self._journal
+
+    def _cell_key(self, fn: Callable[..., Any],
+                  cell: Dict[str, Any]) -> str:
+        """One content hash shared by the cache, journal and capsules."""
+        namespace = self.experiment_id or getattr(fn, "__name__",
+                                                  "sweep")
+        return params_key(namespace, self._cell_params(fn, cell))
+
     # -- execution ---------------------------------------------------------
 
     def map(self, fn: Callable[..., Any],
             cells: Sequence[Dict[str, Any]]) -> List[Any]:
-        """Evaluate ``fn(**cell)`` for every cell, in input order."""
+        """Evaluate ``fn(**cell)`` for every cell, in input order.
+
+        With a resilience policy attached, slots whose cell failed all
+        retries hold :class:`~repro.perf.resilience.CellFailure`
+        placeholders; filter with
+        :func:`repro.perf.resilience.is_failure` when a sweep is
+        allowed to be partial.
+        """
         cells = list(cells)
         label = self.experiment_id or getattr(fn, "__name__", "sweep")
+        journal = self.journal
+        registry = _metrics.get_registry()
         with _spans.span(f"sweep:{label}"):
             results: List[Any] = [None] * len(cells)
-            pending: List[int] = []
-            if self.cache is not None:
-                for index, cell in enumerate(cells):
+            need_keys = self.cache is not None or journal is not None \
+                or self.resilience is not None
+            pending: List[_Pending] = []
+            cached = resumed = 0
+            for index, cell in enumerate(cells):
+                key = self._cell_key(fn, cell) if need_keys else None
+                if self.cache is not None:
                     hit, value = self.cache.get(
                         self.experiment_id,
                         self._cell_params(fn, cell))
                     if hit:
                         results[index] = value
-                    else:
-                        pending.append(index)
-            else:
-                pending = list(range(len(cells)))
+                        cached += 1
+                        continue
+                if journal is not None:
+                    hit, value = journal.lookup(key)
+                    if hit:
+                        results[index] = value
+                        resumed += 1
+                        # Promote journaled results into the cache so
+                        # both stores converge.
+                        if self.cache is not None:
+                            self.cache.put(
+                                self.experiment_id,
+                                self._cell_params(fn, cell), value)
+                        continue
+                pending.append(_Pending(index, cell, key))
 
-            registry = _metrics.get_registry()
             registry.counter("perf.sweep.cells_total").inc(len(cells))
             registry.counter("perf.sweep.cached_cells_total").inc(
-                len(cells) - len(pending))
+                cached)
+            if resumed:
+                registry.counter(
+                    "perf.sweep.resumed_cells_total").inc(resumed)
+                _sweep_event("resume", experiment=label,
+                             resumed_cells=resumed,
+                             pending_cells=len(pending))
+
             if pending:
-                computed = self._execute(fn,
-                                         [cells[i] for i in pending])
-                for index, value in zip(pending, computed):
-                    results[index] = value
+                def finish(entry: _Pending, value: Any,
+                           attempts: int, elapsed: float,
+                           failure: Optional[CellFailure] = None
+                           ) -> None:
+                    results[entry.index] = value if failure is None \
+                        else failure
+                    if failure is not None:
+                        if journal is not None:
+                            journal.record_failure(failure, entry.key)
+                        return
+                    if journal is not None:
+                        journal.record_cell(label, entry.key, value,
+                                            attempts, elapsed)
                     if self.cache is not None:
                         self.cache.put(
                             self.experiment_id,
-                            self._cell_params(fn, cells[index]),
-                            value)
+                            self._cell_params(fn, entry.cell), value)
+
+                try:
+                    self._execute(fn, pending, finish)
+                except KeyboardInterrupt:
+                    registry.counter(
+                        "perf.sweep.interrupts_total").inc()
+                    _sweep_event("interrupted", experiment=label,
+                                 completed_cells=sum(
+                                     1 for r in results
+                                     if r is not None))
+                    if journal is not None:
+                        journal.flush()
+                    raise
+            if journal is not None:
+                journal.flush()
             return results
 
+    # -- shared failure handling -------------------------------------------
+
+    def _quarantine(self, fn: Callable[..., Any], entry: _Pending,
+                    finish: Callable[..., None]) -> None:
+        """Turn a terminally failed cell into its placeholder slot."""
+        from repro.perf.cache import canonicalize, code_fingerprint
+
+        policy = self.resilience
+        label = self.experiment_id or getattr(fn, "__name__", "sweep")
+        if policy is None:
+            # No policy, no quarantine: a plain runner keeps its
+            # raise-on-failure contract.  Exceptions re-raise at the
+            # call site; the only way here is a repeatedly lost
+            # worker, which has no original exception to surface.
+            raise RuntimeError(
+                f"sweep cell {label}[{entry.index}] lost its worker "
+                f"process {entry.lost} time(s) (OOM kill? hard "
+                f"crash?); attach a ResiliencePolicy to quarantine "
+                f"poison cells instead of aborting")
+        error = entry.last_error
+        failure = CellFailure(
+            experiment_id=label,
+            index=entry.index,
+            params=canonicalize(entry.cell),
+            kind=entry.last_kind,
+            error_type=type(error).__name__ if error is not None
+            else "WorkerLost",
+            error_message=str(error) if error is not None
+            else "worker process died",
+            attempts=entry.failures + entry.lost,
+            traceback=entry.last_traceback)
+        capsule_path = None
+        if policy is not None and policy.write_capsules:
+            fingerprint = self.cache.fingerprint if self.cache \
+                else code_fingerprint()
+            capsule = CrashCapsule.from_failure(
+                fn, entry.cell, failure, entry.key or "",
+                fingerprint, telemetry_tail=_telemetry_tail())
+            target = capsule_path_for(policy.resolved_capsule_dir(),
+                                      label, entry.key or "nokey")
+            try:
+                capsule_path = str(capsule.write(target))
+            except OSError as exc:  # unwritable capsule dir: degrade
+                warnings.warn(f"could not write crash capsule to "
+                              f"{target} ({exc})", RuntimeWarning,
+                              stacklevel=2)
+        if capsule_path is not None:
+            import dataclasses
+            failure = dataclasses.replace(failure,
+                                          capsule_path=capsule_path)
+        registry = _metrics.get_registry()
+        registry.counter("perf.sweep.quarantined_total").inc()
+        _sweep_event("cell_quarantined", experiment=label,
+                     index=entry.index, kind=failure.kind,
+                     error_type=failure.error_type,
+                     error_message=failure.error_message,
+                     attempts=failure.attempts,
+                     capsule=capsule_path)
+        finish(entry, None, failure.attempts, 0.0, failure=failure)
+
+    def _record_failure(self, entry: _Pending, exc: BaseException,
+                        kind: str, traceback_text: str = "") -> None:
+        entry.failures += 1
+        entry.last_error = exc
+        entry.last_kind = kind
+        entry.last_traceback = traceback_text or "".join(
+            _traceback.format_exception_only(type(exc), exc))
+
+    def _exhausted(self, entry: _Pending) -> bool:
+        policy = self.resilience
+        max_retries = policy.max_retries if policy is not None else 0
+        respawns = policy.max_pool_respawns if policy is not None \
+            else DEFAULT_POOL_RESPAWNS
+        return entry.failures > max_retries \
+            or entry.lost > respawns + max_retries
+
+    # -- serial execution --------------------------------------------------
+
     def _execute(self, fn: Callable[..., Any],
-                 cells: List[Dict[str, Any]]) -> List[Any]:
-        if self.workers <= 1 or len(cells) <= 1:
-            return self._execute_serial(fn, cells)
-        payloads = [(fn, cell) for cell in cells]
-        pool_workers = min(self.workers, len(cells))
-        try:
-            wall_start = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-                timed = list(pool.map(_run_cell_timed, payloads))
-            wall = time.perf_counter() - wall_start
-        except (OSError, PermissionError) as error:
-            warnings.warn(
-                f"process pool unavailable ({error}); sweep falling "
-                f"back to serial execution", RuntimeWarning,
-                stacklevel=2)
-            return self._execute_serial(fn, cells)
+                 pending: List[_Pending],
+                 finish: Callable[..., None]) -> None:
+        if self.workers <= 1 or len(pending) <= 1:
+            self._execute_serial(fn, pending, finish)
+        else:
+            self._execute_pool(fn, pending, finish)
+
+    def _execute_serial(self, fn: Callable[..., Any],
+                        pending: List[_Pending],
+                        finish: Callable[..., None]) -> None:
+        """In-process execution, with retries when a policy allows.
+
+        A running cell cannot be preempted from within its own
+        process, so ``cell_timeout`` is not enforced here -- serial
+        mode trades hang protection for zero dispatch overhead.
+        """
+        policy = self.resilience
+        label = self.experiment_id or getattr(fn, "__name__", "sweep")
         registry = _metrics.get_registry()
         histogram = registry.histogram("perf.sweep.cell_seconds")
+        for entry in pending:
+            with _spans.span(f"cell[{entry.index}]"):
+                while True:
+                    started = time.perf_counter()
+                    try:
+                        value = fn(**entry.cell)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as exc:
+                        if policy is None:
+                            raise
+                        self._record_failure(
+                            entry, exc, "exception",
+                            _traceback.format_exc())
+                        if self._exhausted(entry):
+                            self._quarantine(fn, entry, finish)
+                            break
+                        registry.counter(
+                            "perf.sweep.retries_total").inc()
+                        _sweep_event("cell_retry", experiment=label,
+                                     index=entry.index,
+                                     attempt=entry.failures,
+                                     error_type=type(exc).__name__)
+                        policy.sleep(policy.backoff(entry.failures))
+                    else:
+                        elapsed = time.perf_counter() - started
+                        histogram.observe(elapsed)
+                        finish(entry, value,
+                               entry.failures + entry.lost + 1,
+                               elapsed)
+                        break
+
+    # -- supervised pool execution -----------------------------------------
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down *now*: cancel queued work, kill workers.
+
+        Used on timeout, breakage and Ctrl-C; hung or dead workers
+        never outlive the sweep.  The executor object is abandoned
+        afterwards.
+        """
+        processes = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+            except Exception:
+                pass
+
+    def _execute_pool(self, fn: Callable[..., Any],
+                      pending: List[_Pending],
+                      finish: Callable[..., None]) -> None:
+        """Supervised fan-out: timeouts, retries, respawn, degrade."""
+        policy = self.resilience
+        label = self.experiment_id or getattr(fn, "__name__", "sweep")
+        registry = _metrics.get_registry()
+        histogram = registry.histogram("perf.sweep.cell_seconds")
+        timeout = policy.cell_timeout if policy is not None else None
+        max_respawns = policy.max_pool_respawns if policy is not None \
+            else DEFAULT_POOL_RESPAWNS
+
+        waiting: List[_Pending] = list(pending)
+        inflight: Dict[Any, _Pending] = {}
+        submitted_at: Dict[Any, float] = {}
+        width = min(self.workers, len(pending))
+        breakages = 0  # at the current worker width
+        executor: Optional[ProcessPoolExecutor] = None
+        wall_start = time.perf_counter()
         busy = 0.0
-        for elapsed, _ in timed:
-            histogram.observe(elapsed)
-            busy += elapsed
-        registry.gauge("perf.sweep.workers").set(pool_workers)
+        clean_exit = False
+        registry.gauge("perf.sweep.workers").set(width)
+
+        def requeue(entry: _Pending, delay: float = 0.0) -> None:
+            entry.not_before = time.monotonic() + delay
+            waiting.append(entry)
+
+        def lose_inflight(kind: str) -> None:
+            """The pool died under its in-flight cells; re-dispatch.
+
+            ``kind`` is "worker-lost" for breakage (any in-flight cell
+            may be the killer, so each gets a lost-strike) or
+            "collateral" for a deliberate timeout kill (the timed-out
+            cell already took its strike; bystanders re-dispatch
+            free).
+            """
+            for future, entry in list(inflight.items()):
+                if kind == "worker-lost":
+                    entry.lost += 1
+                    entry.last_kind = "worker-lost"
+                    entry.last_error = None
+                    entry.last_traceback = ""
+                    registry.counter(
+                        "perf.sweep.worker_lost_total").inc()
+                    if self._exhausted(entry):
+                        self._quarantine(fn, entry, finish)
+                        continue
+                requeue(entry)
+            inflight.clear()
+            submitted_at.clear()
+
+        try:
+            while waiting or inflight:
+                if width <= 1:
+                    # Degraded all the way down: drain what's left
+                    # serially (retry/quarantine still apply).
+                    if executor is not None:
+                        self._kill_executor(executor)
+                        executor = None
+                    remaining = sorted(waiting + list(inflight.values()),
+                                       key=lambda entry: entry.index)
+                    waiting, inflight = [], {}
+                    self._execute_serial(fn, remaining, finish)
+                    clean_exit = True
+                    return
+                if executor is None:
+                    try:
+                        executor = ProcessPoolExecutor(
+                            max_workers=width)
+                    except (OSError, PermissionError) as error:
+                        warnings.warn(
+                            f"process pool unavailable ({error}); "
+                            f"sweep falling back to serial execution",
+                            RuntimeWarning, stacklevel=2)
+                        width = 1
+                        continue
+
+                now = time.monotonic()
+                # Submit ready cells up to pool capacity.
+                broken = False
+                index = 0
+                while index < len(waiting) and len(inflight) < width:
+                    entry = waiting[index]
+                    if entry.not_before > now:
+                        index += 1
+                        continue
+                    waiting.pop(index)
+                    try:
+                        future = executor.submit(
+                            _run_cell_timed, (fn, entry.cell))
+                    except BrokenExecutor:
+                        waiting.append(entry)
+                        broken = True
+                        break
+                    except RuntimeError:
+                        # shutdown race: treat as breakage
+                        waiting.append(entry)
+                        broken = True
+                        break
+                    inflight[future] = entry
+                    submitted_at[future] = time.monotonic()
+
+                if not broken and not inflight:
+                    # Everyone is backing off; sleep until the first
+                    # becomes ready.
+                    gate = min(entry.not_before for entry in waiting)
+                    delay = max(gate - time.monotonic(), 0.0)
+                    if policy is not None:
+                        policy.sleep(delay)
+                    else:  # pragma: no cover - backoff implies policy
+                        time.sleep(delay)
+                    continue
+
+                if not broken:
+                    # How long may wait() block without missing a
+                    # deadline or a backoff expiry?
+                    poll = _MAX_POLL_S
+                    now = time.monotonic()
+                    if timeout is not None:
+                        for future, entry in inflight.items():
+                            deadline = submitted_at[future] + timeout
+                            poll = min(poll, deadline - now)
+                    for entry in waiting:
+                        if entry.not_before > now:
+                            poll = min(poll, entry.not_before - now)
+                    done, _ = _futures_wait(
+                        list(inflight), timeout=max(poll, _MIN_POLL_S),
+                        return_when=FIRST_COMPLETED)
+
+                    for future in done:
+                        entry = inflight.pop(future)
+                        submitted_at.pop(future, None)
+                        try:
+                            elapsed, value = future.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        except BrokenExecutor:
+                            # Put the cell back with the others; the
+                            # breakage path below strikes every
+                            # in-flight cell uniformly.
+                            inflight[future] = entry
+                            broken = True
+                            break
+                        except BaseException as exc:
+                            if policy is None:
+                                raise
+                            self._record_failure(
+                                entry, exc, "exception")
+                            if self._exhausted(entry):
+                                self._quarantine(fn, entry, finish)
+                            else:
+                                registry.counter(
+                                    "perf.sweep.retries_total").inc()
+                                _sweep_event(
+                                    "cell_retry", experiment=label,
+                                    index=entry.index,
+                                    attempt=entry.failures,
+                                    error_type=type(exc).__name__)
+                                requeue(entry, policy.backoff(
+                                    entry.failures))
+                        else:
+                            busy += elapsed
+                            histogram.observe(elapsed)
+                            finish(entry, value,
+                                   entry.failures + entry.lost + 1,
+                                   elapsed)
+
+                if broken:
+                    breakages += 1
+                    registry.counter(
+                        "perf.sweep.pool_respawns_total").inc()
+                    self._kill_executor(executor)
+                    executor = None
+                    lose_inflight("worker-lost")
+                    if breakages > max_respawns:
+                        width = max(1, width // 2)
+                        breakages = 0
+                        registry.gauge(
+                            "perf.sweep.degraded_workers").set(width)
+                        _sweep_event("pool_degraded",
+                                     experiment=label, workers=width)
+                    _sweep_event("pool_respawn", experiment=label,
+                                 workers=width, breakages=breakages)
+                    continue
+
+                # Per-cell wall-clock timeouts: a hung worker cannot
+                # be interrupted, so the whole pool is killed and the
+                # innocent in-flight cells are re-dispatched free.
+                if timeout is not None and inflight:
+                    now = time.monotonic()
+                    expired = [
+                        (future, entry)
+                        for future, entry in inflight.items()
+                        if now - submitted_at[future] > timeout
+                        and not future.done()]
+                    if expired:
+                        for future, entry in expired:
+                            inflight.pop(future)
+                            submitted_at.pop(future, None)
+                            exc = TimeoutError(
+                                f"cell exceeded {timeout:g}s "
+                                f"wall-clock budget")
+                            self._record_failure(entry, exc, "timeout")
+                            registry.counter(
+                                "perf.sweep.timeouts_total").inc()
+                            _sweep_event(
+                                "cell_timeout", experiment=label,
+                                index=entry.index,
+                                attempt=entry.failures,
+                                timeout_s=timeout)
+                            if self._exhausted(entry):
+                                self._quarantine(fn, entry, finish)
+                            else:
+                                requeue(entry)
+                        registry.counter(
+                            "perf.sweep.pool_respawns_total").inc()
+                        self._kill_executor(executor)
+                        executor = None
+                        lose_inflight("collateral")
+            clean_exit = True
+        finally:
+            if executor is not None:
+                if clean_exit:
+                    executor.shutdown(wait=True)
+                else:
+                    self._kill_executor(executor)
+
+        wall = time.perf_counter() - wall_start
+        registry.gauge("perf.sweep.workers").set(width)
         if wall > 0:
             # Fraction of the pool's wall-clock capacity spent inside
             # cell functions; the rest is pickle + dispatch + idle
             # tail (stragglers holding the pool open).
             registry.gauge("perf.sweep.worker_utilization").set(
-                busy / (wall * pool_workers))
-        return [value for _, value in timed]
-
-    def _execute_serial(self, fn: Callable[..., Any],
-                        cells: List[Dict[str, Any]]) -> List[Any]:
-        registry = _metrics.get_registry()
-        histogram = registry.histogram("perf.sweep.cell_seconds")
-        results = []
-        for index, cell in enumerate(cells):
-            with _spans.span(f"cell[{index}]"):
-                started = time.perf_counter()
-                results.append(fn(**cell))
-                histogram.observe(time.perf_counter() - started)
-        return results
+                busy / (wall * width))

@@ -213,6 +213,55 @@ class TestRunLog:
         assert events[0]["seed"] == 7
         assert validate_file(path) == []
 
+    def test_sweep_and_retry_events_validate(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(path, "run-1")
+        log.start("fig14", params_hash="abc")
+        log.sweep("cell_retry", index=3, attempt=2)
+        log.retry(component="fluid.dde", t=0.004, step=4, dt=1e-3)
+        log.finish(status="ok")
+        log.close()
+        events = read_events(path)
+        assert [e["type"] for e in events] == \
+            ["run_start", "sweep", "retry", "run_end"]
+        assert events[1]["event"] == "cell_retry"
+        assert events[2]["component"] == "fluid.dde"
+        assert validate_file(path) == []
+
+    def test_dde_halved_step_retry_emits_retry_event(self, tmp_path):
+        # A stiff model under explicit euler diverges at dt and is
+        # rescued at dt/2; with telemetry active the integrator must
+        # leave a breadcrumb saying where and why it retried.
+        from repro.core.fluid import dde
+        from repro.core.fluid.base import FluidModel
+
+        class Stiff(FluidModel):
+            def initial_state(self):
+                return np.array([1.0])
+
+            def derivatives(self, t, state, history):
+                return -3000.0 * state
+
+            def state_labels(self):
+                return ["x"]
+
+        telemetry = Telemetry(tmp_path, experiment="stiff")
+        with telemetry.activate():
+            dde.integrate(Stiff(), t_end=0.05, dt=1e-3,
+                          method="euler", max_retries=1)
+        events = read_events(telemetry.runlog_path)
+        retries = [e for e in events if e["type"] == "retry"]
+        assert len(retries) == 1
+        event = retries[0]
+        assert event["component"] == "fluid.dde"
+        assert event["dt"] == pytest.approx(1e-3)
+        assert event["next_dt"] == pytest.approx(5e-4)
+        assert event["step"] > 0
+        assert event["t"] == pytest.approx(event["step"] * 1e-3,
+                                           rel=1e-6)
+        assert event["cause"]  # why the attempt died, human-readable
+        assert validate_file(telemetry.runlog_path) == []
+
     def test_first_event_must_be_run_start(self, tmp_path):
         log = RunLog(tmp_path / "run.jsonl", "run-1")
         with pytest.raises(ValueError):
