@@ -14,7 +14,9 @@ Usage::
     python -m repro watch obs/                   # live dashboard of a run
     python -m repro compare obs_a/ obs_b/        # cross-run regression diff
     python -m repro replay CAPSULE.json          # re-run a failed cell
-    python -m repro bench                # write BENCH_PR5.json
+    python -m repro bench                # write BENCH_PR6.json
+    python -m repro worker /shared/queue         # drain a sweep queue
+    python -m repro run fig14 --backend queue --queue-dir /shared/queue
 
 Each run prints the table of numbers the corresponding paper figure
 plots, via the same drivers the benchmarks use.  ``--workers`` fans
@@ -36,6 +38,14 @@ quarantined.  A quarantined cell leaves a crash capsule that
 ``replay`` re-executes serially (optionally under ``--telemetry``)
 to reproduce the original failure for debugging (see
 :mod:`repro.perf.resilience`).
+
+``--backend queue --queue-dir DIR`` dispatches sweep cells through a
+shared-filesystem job queue drained by any number of ``python -m
+repro worker DIR`` processes -- on this host or others mounting the
+same directory (see :mod:`repro.perf.backend`).  Workers heartbeat
+their leases; dead workers' cells are re-leased automatically, and a
+coordinator that sees no live worker degrades back to local
+execution instead of hanging.
 """
 
 from __future__ import annotations
@@ -91,6 +101,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retries before a failing cell is "
                           "quarantined as a CellFailure with a crash "
                           "capsule (default 1 when resilience is on)")
+    run.add_argument("--backend", default="auto",
+                     choices=["auto", "inprocess", "pool", "queue"],
+                     help="where sweep cells execute: auto (serial/"
+                          "pool by --workers), inprocess, pool, or "
+                          "queue (distributed via --queue-dir; "
+                          "default auto)")
+    run.add_argument("--queue-dir", default=None, metavar="DIR",
+                     help="shared queue directory for --backend "
+                          "queue; start workers with 'python -m "
+                          "repro worker DIR'")
+    run.add_argument("--lease-ttl", type=float, default=None,
+                     metavar="S",
+                     help="seconds without a heartbeat before a "
+                          "queue lease is re-assigned (default 10)")
+    run.add_argument("--worker-grace", type=float, default=None,
+                     metavar="S",
+                     help="seconds the queue coordinator waits for "
+                          "any live worker before degrading to "
+                          "local execution (default 20)")
 
     report = sub.add_parser(
         "report", help="render telemetry run logs as dashboards")
@@ -146,12 +175,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="measure hot-loop throughput, write a JSON report")
-    bench.add_argument("--output", default="BENCH_PR5.json",
+    bench.add_argument("--output", default="BENCH_PR6.json",
                        metavar="FILE", help="report path")
     bench.add_argument("--workers", type=int, default=4, metavar="N",
                        help="worker count for the sweep section")
     bench.add_argument("--full", action="store_true",
                        help="also time the (slow) FCT study sweep")
+
+    worker = sub.add_parser(
+        "worker", help="serve a shared sweep-queue directory: claim "
+                       "cells, heartbeat leases, park results")
+    worker.add_argument("queue_dir",
+                        help="the queue directory coordinators "
+                             "dispatch into (--queue-dir on 'run')")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="registration name (default host-pid)")
+    worker.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="S",
+                        help="lease/heartbeat TTL; must match the "
+                             "coordinator's (default 10)")
+    worker.add_argument("--poll", type=float, default=0.2,
+                        metavar="S",
+                        help="sleep between empty queue scans "
+                             "(default 0.2s)")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        metavar="S",
+                        help="exit after this long with nothing to "
+                             "do (default: serve forever)")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        metavar="N",
+                        help="exit after processing N cells "
+                             "(default: unbounded)")
+    worker.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record this worker's cell events and "
+                             "metrics into DIR")
     return parser
 
 
@@ -216,6 +273,21 @@ def _print_failures(name: str, failures) -> None:
                   f"{failure.capsule_path}")
 
 
+def _build_backend(backend_spec: "str | None",
+                   queue_dir: "str | None",
+                   lease_ttl: "float | None",
+                   worker_grace: "float | None"):
+    """Translate the backend CLI flags into a backend (or None)."""
+    from repro.perf import backend as _backend
+    kwargs: dict = {}
+    if lease_ttl is not None:
+        kwargs["lease_ttl"] = lease_ttl
+    if worker_grace is not None:
+        kwargs["worker_grace"] = worker_grace
+    return _backend.resolve_backend(backend_spec, queue_dir=queue_dir,
+                                    **kwargs)
+
+
 def run_experiments(names: List[str],
                     csv_dir: "str | None" = None,
                     workers: Optional[int] = None,
@@ -225,7 +297,11 @@ def run_experiments(names: List[str],
                     telemetry_fsync: bool = False,
                     resume: bool = False,
                     cell_timeout: Optional[float] = None,
-                    cell_retries: Optional[int] = None) -> int:
+                    cell_retries: Optional[int] = None,
+                    backend: "str | None" = None,
+                    queue_dir: "str | None" = None,
+                    lease_ttl: Optional[float] = None,
+                    worker_grace: Optional[float] = None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -235,6 +311,12 @@ def run_experiments(names: List[str],
         print("use 'python -m repro list' to see what exists",
               file=sys.stderr)
         return 2
+    try:
+        backend_obj = _build_backend(backend, queue_dir, lease_ttl,
+                                     worker_grace)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     cache = None
     cache_baseline: dict = {}
     if use_cache or cache_dir is not None:
@@ -243,6 +325,7 @@ def run_experiments(names: List[str],
     resilience = _build_resilience(resume, cell_timeout, cell_retries,
                                    cache_dir)
     quarantined = 0
+    from repro.perf import use_backend
     for name in names:
         experiment = EXPERIMENTS[name]
         print(f"=== {name}: {experiment.description} ===")
@@ -252,9 +335,13 @@ def run_experiments(names: List[str],
             from repro.obs import Telemetry
             telemetry = Telemetry(telemetry_dir, experiment=name,
                                   fsync=telemetry_fsync)
-        result = experiment.run(workers=workers, cache=cache,
-                                telemetry=telemetry,
-                                resilience=resilience)
+        # The ambient default reaches every SweepRunner the
+        # experiment builds internally, so sweeps run distributed
+        # without each experiment growing a backend parameter.
+        with use_backend(backend_obj):
+            result = experiment.run(workers=workers, cache=cache,
+                                    telemetry=telemetry,
+                                    resilience=resilience)
         failures = []
         if resilience is not None:
             from repro.perf import collect_failures
@@ -327,6 +414,51 @@ def replay_crash_capsule(path: str,
     print(f"replay:   succeeded in {outcome.elapsed_s:.2f}s "
           f"(failure did not reproduce)")
     print(f"value:    {outcome.value!r}")
+    return 0
+
+
+def run_worker(queue_dir: str,
+               worker_id: "str | None" = None,
+               lease_ttl: "float | None" = None,
+               poll: float = 0.2,
+               max_idle: "float | None" = None,
+               max_cells: "int | None" = None,
+               telemetry_dir: "str | None" = None) -> int:
+    """Serve a queue directory until stopped (the ``worker`` command).
+
+    Exit 0 on clean shutdown (SIGTERM, ``--max-idle``,
+    ``--max-cells``); the in-flight lease, if any, is released back
+    to the queue either way.
+    """
+    from repro.perf.backend import DEFAULT_LEASE_TTL
+    from repro.perf.worker import QueueWorker
+
+    worker = QueueWorker(
+        queue_dir, worker_id=worker_id,
+        lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None
+        else lease_ttl,
+        poll_interval=poll)
+    print(f"[worker {worker.worker_id} serving {queue_dir} "
+          f"(lease ttl {worker.lease_ttl:g}s)]")
+
+    def serve() -> int:
+        try:
+            return worker.run(max_cells=max_cells, max_idle=max_idle)
+        except KeyboardInterrupt:
+            return worker.completed
+
+    if telemetry_dir is not None:
+        from repro.obs import Telemetry
+        telemetry = Telemetry(telemetry_dir,
+                              experiment=f"worker-{worker.worker_id}")
+        with telemetry.activate():
+            completed = serve()
+        print(f"[run log: {telemetry.runlog_path}]")
+    else:
+        completed = serve()
+    print(f"[worker {worker.worker_id} done: {completed} cell(s) "
+          f"completed, {worker.failed} failed, {worker.stolen} "
+          f"stolen lease(s) recovered]")
     return 0
 
 
@@ -403,6 +535,14 @@ def main(argv: "List[str] | None" = None) -> int:
         from repro.perf.bench import main as bench_main
         return bench_main(path=args.output, workers=args.workers,
                           full=args.full)
+    if args.command == "worker":
+        return run_worker(args.queue_dir,
+                          worker_id=args.worker_id,
+                          lease_ttl=args.lease_ttl,
+                          poll=args.poll,
+                          max_idle=args.max_idle,
+                          max_cells=args.max_cells,
+                          telemetry_dir=args.telemetry)
     return run_experiments(args.experiments, csv_dir=args.csv,
                            workers=args.workers,
                            use_cache=args.cache,
@@ -411,7 +551,11 @@ def main(argv: "List[str] | None" = None) -> int:
                            telemetry_fsync=args.telemetry_fsync,
                            resume=args.resume,
                            cell_timeout=args.cell_timeout,
-                           cell_retries=args.cell_retries)
+                           cell_retries=args.cell_retries,
+                           backend=args.backend,
+                           queue_dir=args.queue_dir,
+                           lease_ttl=args.lease_ttl,
+                           worker_grace=args.worker_grace)
 
 
 if __name__ == "__main__":

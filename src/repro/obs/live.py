@@ -106,6 +106,12 @@ class WatchState:
         self.warnings: List[dict] = []
         self.status: Optional[str] = None
         self.wall_s: Optional[float] = None
+        #: Distributed-queue worker health, folded from ``worker``
+        #: events: worker id -> {status, completed, failed, last_ts}.
+        self.workers: Dict[str, dict] = {}
+        self.cells_stolen = 0
+        self.cells_quarantined = 0
+        self.backend_fallback: Optional[dict] = None
 
     @property
     def finished(self) -> bool:
@@ -133,9 +139,55 @@ class WatchState:
             self.faults.append(event)
         elif event_type == "warning":
             self.warnings.append(event)
+        elif event_type == "worker":
+            self._apply_worker(event)
         elif event_type == "run_end":
             self.status = event.get("status")
             self.wall_s = event.get("wall_s")
+
+    def _worker_slot(self, event: dict) -> Optional[dict]:
+        worker_id = event.get("worker")
+        if not worker_id:
+            return None
+        return self.workers.setdefault(
+            worker_id, {"status": "live", "completed": 0,
+                        "failed": 0, "last_ts": None})
+
+    def _apply_worker(self, event: dict) -> None:
+        """Fold one distributed-queue ``worker`` event."""
+        kind = event.get("event")
+        slot = self._worker_slot(event)
+        if slot is not None:
+            slot["last_ts"] = event.get("ts")
+        if kind in ("worker_started", "worker_seen"):
+            if slot is not None:
+                slot["status"] = "live"
+        elif kind == "worker_lost":
+            if slot is not None:
+                slot["status"] = "lost"
+        elif kind == "worker_stopped":
+            if slot is not None:
+                slot["status"] = "stopped"
+        elif kind == "cell_completed":
+            if slot is not None:
+                slot["status"] = "live"
+                slot["completed"] += 1
+        elif kind == "cell_failed":
+            if slot is not None:
+                slot["status"] = "live"
+                slot["failed"] += 1
+        elif kind == "cell_stolen":
+            self.cells_stolen += 1
+            # The previous holder demonstrably stopped heartbeating
+            # -- even one a late-attaching watcher never saw alive.
+            previous = event.get("previous_holder")
+            if previous:
+                self._worker_slot({"worker": previous})["status"] = \
+                    "lost"
+        elif kind == "cell_quarantined":
+            self.cells_quarantined += 1
+        elif kind == "backend_fallback":
+            self.backend_fallback = event
 
     def apply_all(self, events: List[dict]) -> None:
         for event in events:
@@ -207,6 +259,31 @@ def render_dashboard(state: WatchState, now: Optional[float] = None,
             lines.append(f"  [{badge}] {event.get('detector')}/"
                          f"{event.get('kind', '-')}{stamp}: "
                          f"{event.get('message', '')}")
+        lines.append("")
+
+    if state.workers or state.cells_stolen \
+            or state.backend_fallback is not None:
+        live = sum(1 for slot in state.workers.values()
+                   if slot["status"] == "live")
+        summary = f"workers: {live}/{len(state.workers)} live"
+        if state.cells_stolen:
+            summary += f", {state.cells_stolen} cell(s) re-leased"
+        if state.cells_quarantined:
+            summary += (f", {state.cells_quarantined} "
+                        f"quarantined in-queue")
+        lines.append(summary)
+        for worker_id in sorted(state.workers):
+            slot = state.workers[worker_id]
+            badge = {"live": "+", "lost": "x",
+                     "stopped": "-"}.get(slot["status"], "?")
+            lines.append(f"  [{badge}] {worker_id:<28} "
+                         f"{slot['status']:<8} "
+                         f"done={slot['completed']} "
+                         f"failed={slot['failed']}")
+        if state.backend_fallback is not None:
+            reason = state.backend_fallback.get("cells")
+            lines.append(f"  [!] coordinator fell back to local "
+                         f"execution ({reason} cell(s))")
         lines.append("")
 
     if state.metrics:

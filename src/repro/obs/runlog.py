@@ -45,6 +45,14 @@ Event types:
     A component retried an operation after a recoverable failure
     (``component``, e.g. ``fluid.dde`` on a halved-step integration
     retry, plus context like the failing ``t`` and the step sizes).
+``worker``
+    A distributed-queue lifecycle transition (``event`` one of
+    ``worker_started``, ``worker_stopped``, ``worker_seen``,
+    ``worker_lost``, ``cell_claimed``, ``cell_completed``,
+    ``cell_failed``, ``cell_requeued``, ``cell_released``,
+    ``cell_stolen``, ``cell_quarantined``, ``backend_fallback``; see
+    :mod:`repro.perf.backend` and :mod:`repro.perf.worker`), with
+    context such as the worker id, cell key and lease age.
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -63,12 +71,13 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 #: Bump when the event envelope or required fields change.
 #: 2 added the ``health`` event type (PR 4).
 #: 3 added the ``sweep`` and ``retry`` event types (PR 5).
-RUNLOG_VERSION = 3
+#: 4 added the ``worker`` event type (PR 6, distributed queue).
+RUNLOG_VERSION = 4
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
                          "warning", "note", "fault", "health",
-                         "sweep", "retry"})
+                         "sweep", "retry", "worker"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -82,6 +91,7 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "health": frozenset({"detector", "severity", "message"}),
     "sweep": frozenset({"event"}),
     "retry": frozenset({"component"}),
+    "worker": frozenset({"event"}),
 }
 
 #: Envelope fields every event must carry.
@@ -177,6 +187,10 @@ class RunLog:
     def retry(self, component: str, **fields: Any) -> dict:
         """Record a recoverable-failure retry inside a component."""
         return self.emit("retry", component=component, **fields)
+
+    def worker(self, event: str, **fields: Any) -> dict:
+        """Record a distributed-queue worker/lease transition."""
+        return self.emit("worker", event=event, **fields)
 
     def health(self, detector: str, severity: str, message: str,
                **fields: Any) -> dict:

@@ -18,9 +18,20 @@ them fast three ways:
   (:class:`~repro.perf.resilience.CellFailure`), the
   :class:`~repro.perf.resilience.SweepJournal` gives crash-surviving
   ``--resume``, and :class:`~repro.perf.resilience.CrashCapsule` +
-  ``repro replay`` reproduce terminal cell failures deterministically.
+  ``repro replay`` reproduce terminal cell failures deterministically;
+* :mod:`repro.perf.backend` abstracts *where* sweep cells execute --
+  in-process, the supervised local pool, or a lease-based shared-
+  filesystem job queue drained by ``python -m repro worker``
+  processes on any number of hosts (:mod:`repro.perf.worker`), with
+  graceful degradation back to local execution when no worker is
+  alive.
 """
 
+from repro.perf.backend import (BACKEND_CHOICES, InProcessBackend,
+                                PoolBackend, QueueBackend,
+                                SweepBackend, default_backend,
+                                resolve_backend, set_default_backend,
+                                use_backend)
 from repro.perf.cache import (CacheStats, ResultCache, canonicalize,
                               code_fingerprint, default_cache_dir,
                               params_key)
@@ -29,28 +40,44 @@ from repro.perf.resilience import (CellFailure, CrashCapsule,
                                    SweepJournal, collect_failures,
                                    default_capsule_dir,
                                    default_journal_dir, is_failure,
-                                   journal_for, replay_capsule)
-from repro.perf.sweep import SweepRunner, derive_seed, resolve_workers
+                                   journal_for, process_shard,
+                                   replay_capsule)
+from repro.perf.sweep import (SweepRunner, derive_seed,
+                              effective_cpu_count, resolve_workers)
+from repro.perf.worker import QueueWorker, spawn_worker
 
 __all__ = [
+    "BACKEND_CHOICES",
     "CacheStats",
     "CellFailure",
     "CrashCapsule",
+    "InProcessBackend",
+    "PoolBackend",
+    "QueueBackend",
+    "QueueWorker",
     "ReplayResult",
     "ResiliencePolicy",
     "ResultCache",
+    "SweepBackend",
     "SweepJournal",
     "SweepRunner",
     "canonicalize",
     "code_fingerprint",
     "collect_failures",
+    "default_backend",
     "default_cache_dir",
     "default_capsule_dir",
     "default_journal_dir",
     "derive_seed",
+    "effective_cpu_count",
     "is_failure",
     "journal_for",
     "params_key",
+    "process_shard",
     "replay_capsule",
+    "resolve_backend",
     "resolve_workers",
+    "set_default_backend",
+    "spawn_worker",
+    "use_backend",
 ]

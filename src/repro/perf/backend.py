@@ -1,0 +1,686 @@
+"""Sweep-execution backends: in-process, pool, and multi-host queue.
+
+:class:`~repro.perf.sweep.SweepRunner` decides *what* to run -- cache
+lookups, journaling, retry budgets, result ordering -- and delegates
+*where* cells execute to a :class:`SweepBackend`:
+
+:class:`InProcessBackend`
+    Serial execution in the calling process.  Zero dispatch overhead,
+    no hang protection; the baseline every other backend must be
+    bit-identical to.
+
+:class:`PoolBackend`
+    Today's supervised ``ProcessPoolExecutor`` fan-out (respawn on
+    breakage, width-halving degradation, per-cell timeouts).
+
+:class:`QueueBackend`
+    A shared-filesystem job queue coordinating any number of worker
+    processes -- on this host or others mounting the same directory
+    (see :mod:`repro.perf.worker` and ``python -m repro worker``).
+
+The queue protocol is robustness-first.  Every transition is an
+atomic rename on one directory tree::
+
+    queue_dir/
+      tasks/<key>.json     ready cells (coordinator enqueues,
+                           workers claim by renaming into claims/)
+      claims/<key>.json    leased cells; the file's mtime is the
+                           lease heartbeat, renewed by the worker
+      results/<key>.json   completed or terminally-failed cells
+      workers/<id>.json    worker registrations; mtime = liveness
+
+* **Claiming** is ``os.rename(tasks/K, claims/K)`` -- exactly one
+  worker wins, losers get ``FileNotFoundError`` and move on.
+* **Leases** expire by *mtime age*, not by timestamps written inside
+  the file, so a worker with a skewed wall clock cannot fabricate a
+  fresh lease (the filesystem stamps the mtime) and cannot have its
+  live lease stolen for the same reason.  Heartbeat renewal rewrites
+  the claim atomically (tmp + fsync + rename), bumping the mtime.
+* **Expired leases** are stolen by whoever notices first (coordinator
+  or an idle worker): the cell is re-queued with its cross-worker
+  ``steals`` count incremented.  At-least-once execution is safe
+  because cells are deterministic and content-addressed -- a stolen
+  cell recomputed by two workers produces byte-identical results.
+* **Poison cells** whose ``steals`` exceed the travelling budget are
+  terminally failed *in the queue* (a ``worker-lost`` result), so a
+  worker-killing cell quarantines globally instead of ping-ponging
+  between hosts forever.
+* **Graceful degradation**: a coordinator that sees no live worker
+  for ``worker_grace`` seconds withdraws its cells from the queue and
+  falls back to the pool backend (which itself degrades to a serial
+  drain), preserving the no-policy raise-on-failure contract.
+
+Backend selection is ambient as well as explicit: the CLI's
+``--backend``/``--queue-dir`` flags install a process default via
+:func:`use_backend`, which every :class:`SweepRunner` without an
+explicit ``backend=`` consults -- so existing sweep-backed
+experiments run distributed unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Tuple, Union)
+
+from repro.obs import metrics as _metrics
+from repro.perf.resilience import (decode_value, encode_value)
+
+#: Queue task/result storage format; bump when fields change meaning.
+TASK_VERSION = 1
+
+#: Default seconds without a heartbeat before a lease (or a worker
+#: registration) is considered dead.
+DEFAULT_LEASE_TTL = 10.0
+
+#: Default coordinator poll period, seconds.
+DEFAULT_POLL_S = 0.1
+
+#: Default seconds the coordinator waits for any live worker before
+#: degrading to local (pool, then serial) execution.
+DEFAULT_WORKER_GRACE = 20.0
+
+#: Backend names accepted by :func:`resolve_backend` and the CLI.
+BACKEND_CHOICES = ("auto", "inprocess", "pool", "queue")
+
+
+# -- small filesystem helpers -------------------------------------------------
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` atomically: tmp + fsync + rename.
+
+    The fsync-before-rename matters on the shared filesystems the
+    queue targets: without it a crash can publish a name pointing at
+    unwritten bytes.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, sort_keys=True, default=str)
+        stream.write("\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[dict]:
+    """Best-effort JSON read: ``None`` on missing/torn/garbage files.
+
+    Every queue file is written atomically, so a torn read means the
+    file vanished (claimed/stolen) between the directory scan and the
+    open, or a foreign writer misbehaved -- in either case the right
+    move for a robust peer is to skip it this poll.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            return json.load(stream)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _mtime_age(path: Path, now: Optional[float] = None
+               ) -> Optional[float]:
+    """Seconds since ``path`` was last written; ``None`` if gone."""
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        return None
+    return (now if now is not None else time.time()) - mtime
+
+
+class QueueLayout:
+    """Path arithmetic for one queue directory (shared-FS safe)."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.tasks = self.root / "tasks"
+        self.claims = self.root / "claims"
+        self.results = self.root / "results"
+        self.workers = self.root / "workers"
+
+    def ensure(self) -> "QueueLayout":
+        for directory in (self.tasks, self.claims, self.results,
+                          self.workers):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    def task_path(self, key: str) -> Path:
+        return self.tasks / f"{key}.json"
+
+    def claim_path(self, key: str) -> Path:
+        return self.claims / f"{key}.json"
+
+    def result_path(self, key: str) -> Path:
+        return self.results / f"{key}.json"
+
+    def worker_path(self, worker_id: str) -> Path:
+        return self.workers / f"{worker_id}.json"
+
+    def task_keys(self) -> List[str]:
+        """Keys currently waiting in ``tasks/`` (sorted, stable)."""
+        try:
+            names = sorted(os.listdir(self.tasks))
+        except OSError:
+            return []
+        return [name[:-5] for name in names
+                if name.endswith(".json")]
+
+    def claim_keys(self) -> List[str]:
+        try:
+            names = sorted(os.listdir(self.claims))
+        except OSError:
+            return []
+        return [name[:-5] for name in names
+                if name.endswith(".json")]
+
+    def live_workers(self, ttl: float,
+                     now: Optional[float] = None
+                     ) -> Dict[str, float]:
+        """worker id -> heartbeat age, for registrations younger
+        than ``ttl`` (liveness is mtime-based: clock-skew immune)."""
+        live: Dict[str, float] = {}
+        try:
+            names = os.listdir(self.workers)
+        except OSError:
+            return live
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            age = _mtime_age(self.workers / name, now)
+            if age is not None and age < ttl:
+                live[name[:-5]] = age
+        return live
+
+
+# -- task / result payloads ---------------------------------------------------
+
+
+def make_task(experiment: str, index: int, key: str, fn_spec: str,
+              kwargs: Dict[str, Any], fingerprint: str,
+              max_attempts: int, max_steals: int) -> dict:
+    """The JSON payload one queued cell travels as."""
+    return {"version": TASK_VERSION, "experiment": experiment,
+            "index": index, "key": key, "fn": fn_spec,
+            "kwargs": encode_value(kwargs),
+            "fingerprint": fingerprint,
+            "attempts": 0, "steals": 0,
+            "max_attempts": int(max_attempts),
+            "max_steals": int(max_steals),
+            "enqueued_ts": time.time()}
+
+
+def make_result(task: dict, value: Any, elapsed: float,
+                worker_id: str) -> dict:
+    return {"version": TASK_VERSION, "ok": True,
+            "key": task["key"], "experiment": task["experiment"],
+            "fingerprint": task["fingerprint"],
+            "value": encode_value(value),
+            "elapsed_s": float(elapsed),
+            "attempts": task.get("attempts", 0),
+            "steals": task.get("steals", 0),
+            "worker": worker_id, "ts": time.time()}
+
+
+def make_failure_result(task: dict, kind: str, error_type: str,
+                        error_message: str, traceback_text: str,
+                        worker_id: str,
+                        error: Optional[BaseException] = None) -> dict:
+    payload = {"version": TASK_VERSION, "ok": False,
+               "key": task["key"], "experiment": task["experiment"],
+               "fingerprint": task["fingerprint"],
+               "kind": kind, "error_type": error_type,
+               "error_message": error_message,
+               "traceback": traceback_text,
+               "attempts": task.get("attempts", 0),
+               "steals": task.get("steals", 0),
+               "worker": worker_id, "ts": time.time()}
+    if error is not None:
+        # Best-effort exception transport so a no-policy coordinator
+        # can re-raise the original type, as the pool backend does.
+        try:
+            payload["error_pickle"] = encode_value(error)
+        except Exception:
+            pass
+    return payload
+
+
+def steal_expired_leases(layout: QueueLayout, lease_ttl: float,
+                         stealer: str = "?") -> Tuple[int, int]:
+    """Re-queue (or terminally fail) every expired lease.
+
+    Shared by the coordinator and idle workers, so a dead worker's
+    cells recover no matter who survives.  Returns ``(stolen,
+    quarantined)`` counts.  A cell whose cross-worker ``steals``
+    budget is exhausted is failed in the queue as ``worker-lost``
+    instead of re-queued -- that is the global poison quarantine.
+    """
+    registry = _metrics.get_registry()
+    stolen = quarantined = 0
+    for key in layout.claim_keys():
+        claim = layout.claim_path(key)
+        age = _mtime_age(claim)
+        if age is None or age < lease_ttl:
+            continue
+        task = _read_json(claim)
+        if task is None:
+            continue  # torn or vanished under us; next poll
+        task = dict(task)
+        holder = task.pop("worker", None)
+        task.pop("claimed_ts", None)
+        task.pop("beats", None)
+        task["steals"] = int(task.get("steals", 0)) + 1
+        registry.counter("perf.queue.lease_expired_total").inc()
+        if task["steals"] > int(task.get("max_steals", 0)):
+            failure = make_failure_result(
+                task, kind="worker-lost", error_type="WorkerLost",
+                error_message=(f"lease expired {task['steals']} "
+                               f"time(s); last holder "
+                               f"{holder or 'unknown'} presumed "
+                               f"dead"),
+                traceback_text="", worker_id=stealer)
+            _atomic_write_json(layout.result_path(key), failure)
+            quarantined += 1
+            _worker_event("cell_quarantined", key=key,
+                          worker=stealer, steals=task["steals"])
+        else:
+            _atomic_write_json(layout.task_path(key), task)
+            stolen += 1
+            registry.counter("perf.queue.cells_stolen_total").inc()
+            _worker_event("cell_stolen", key=key, worker=stealer,
+                          previous_holder=holder,
+                          steals=task["steals"], lease_age_s=age)
+        try:
+            os.unlink(claim)
+        except OSError:
+            pass  # a concurrent stealer beat us to it
+    return stolen, quarantined
+
+
+def _worker_event(event: str, **fields: Any) -> None:
+    """Append a ``worker`` event to the active run log, if any."""
+    from repro.obs import telemetry as _telemetry
+    bundle = _telemetry.current()
+    if bundle is None:
+        return
+    try:
+        bundle.run_log.worker(event, **fields)
+    except ValueError:
+        pass  # run log already finished/closed
+
+
+# -- the backend abstraction --------------------------------------------------
+
+
+class SweepBackend:
+    """Where sweep cells execute; the runner supplies everything else.
+
+    ``execute`` receives the owning
+    :class:`~repro.perf.sweep.SweepRunner` (for its policy, cache
+    fingerprint and serial/pool machinery), the cell function, the
+    list of :class:`~repro.perf.sweep._Pending` entries, and the
+    ``finish`` callback that slots results/failures and feeds the
+    journal + cache.  Implementations must call ``finish`` exactly
+    once per entry (or raise).
+    """
+
+    name = "abstract"
+
+    #: Whether entries must carry content-address keys (the queue
+    #: backend files cells by key; local backends don't need them).
+    requires_keys = False
+
+    def execute(self, runner, fn: Callable[..., Any],
+                pending: List[Any],
+                finish: Callable[..., None]) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class InProcessBackend(SweepBackend):
+    """Serial in-process execution (the bit-identity baseline)."""
+
+    name = "inprocess"
+
+    def execute(self, runner, fn, pending, finish) -> None:
+        runner._execute_serial(fn, pending, finish)
+
+
+class PoolBackend(SweepBackend):
+    """Supervised local process-pool execution.
+
+    Wraps the runner's ``_execute_pool`` -- BrokenProcessPool
+    respawn, width-halving degradation, per-cell timeouts -- with the
+    same degenerate-case guard the auto path uses: one worker or one
+    cell runs serially rather than paying pool spin-up for nothing.
+    """
+
+    name = "pool"
+
+    def execute(self, runner, fn, pending, finish) -> None:
+        if runner.workers <= 1 or len(pending) <= 1:
+            runner._execute_serial(fn, pending, finish)
+        else:
+            runner._execute_pool(fn, pending, finish)
+
+
+class QueueBackend(SweepBackend):
+    """Multi-host execution through a shared-filesystem job queue.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared directory (see the module docstring for layout).
+        Every coordinator and worker pointed at the same directory
+        cooperates on the same queue.
+    lease_ttl:
+        Seconds without a heartbeat before a lease or worker
+        registration is presumed dead.  Must comfortably exceed the
+        workers' heartbeat interval (workers default to ``ttl / 4``).
+    poll_interval:
+        Coordinator poll period, seconds.
+    worker_grace:
+        Seconds the coordinator tolerates *zero live workers* before
+        withdrawing its cells and degrading to local execution.
+        ``None`` disables degradation (wait forever -- strict
+        distributed mode).
+    """
+
+    name = "queue"
+    requires_keys = True
+
+    def __init__(self, queue_dir: Union[str, Path],
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 poll_interval: float = DEFAULT_POLL_S,
+                 worker_grace: Optional[float] = DEFAULT_WORKER_GRACE):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, "
+                             f"got {lease_ttl}")
+        self.layout = QueueLayout(queue_dir)
+        self.lease_ttl = float(lease_ttl)
+        self.poll_interval = float(poll_interval)
+        self.worker_grace = worker_grace
+
+    def __repr__(self) -> str:
+        return (f"QueueBackend({str(self.layout.root)!r}, "
+                f"lease_ttl={self.lease_ttl})")
+
+    # -- coordinator ------------------------------------------------------
+
+    def execute(self, runner, fn, pending, finish) -> None:
+        from repro.perf.cache import code_fingerprint
+        from repro.perf.resilience import _qualified_name
+        from repro.perf.sweep import DEFAULT_POOL_RESPAWNS, _sweep_event
+
+        policy = runner.resilience
+        label = runner.experiment_id or getattr(fn, "__name__",
+                                                "sweep")
+        registry = _metrics.get_registry()
+        histogram = registry.histogram("perf.sweep.cell_seconds")
+        layout = self.layout.ensure()
+        fingerprint = runner.cache.fingerprint if runner.cache \
+            else code_fingerprint()
+        max_retries = policy.max_retries if policy is not None else 0
+        max_steals = max_retries + (policy.max_pool_respawns
+                                    if policy is not None
+                                    else DEFAULT_POOL_RESPAWNS)
+        sleep = policy.sleep if policy is not None else time.sleep
+        fn_spec = _qualified_name(fn)
+
+        outstanding: Dict[str, Any] = {}
+        enqueued = 0
+        for entry in pending:
+            if entry.key is None:  # pragma: no cover - map() keys all
+                raise ValueError("queue backend requires keyed cells")
+            # A valid parked result (an earlier coordinator crashed
+            # after a worker finished the cell) completes instantly.
+            if self._consume_result(runner, fn, entry, finish,
+                                    fingerprint, histogram):
+                continue
+            task = make_task(label, entry.index, entry.key, fn_spec,
+                             entry.cell, fingerprint,
+                             max_attempts=max_retries + 1,
+                             max_steals=max_steals)
+            _atomic_write_json(layout.task_path(entry.key), task)
+            outstanding[entry.key] = entry
+            enqueued += 1
+
+        _sweep_event("queue_dispatch", experiment=label,
+                     queue_dir=str(layout.root), cells=enqueued)
+        known_workers: Dict[str, float] = {}
+        grace_started = time.monotonic()
+        try:
+            while outstanding:
+                progressed = False
+                for key in list(outstanding):
+                    entry = outstanding[key]
+                    if self._consume_result(runner, fn, entry,
+                                            finish, fingerprint,
+                                            histogram):
+                        del outstanding[key]
+                        progressed = True
+                steal_expired_leases(layout, self.lease_ttl,
+                                     stealer="coordinator")
+                live = layout.live_workers(self.lease_ttl)
+                self._track_workers(known_workers, live)
+                registry.gauge("perf.queue.workers_live").set(
+                    len(live))
+                registry.gauge("perf.queue.depth").set(
+                    len(layout.task_keys()))
+                if live or progressed:
+                    grace_started = time.monotonic()
+                elif self.worker_grace is not None and \
+                        time.monotonic() - grace_started \
+                        > self.worker_grace:
+                    self._fall_back(runner, fn, outstanding, finish)
+                    return
+                if outstanding:
+                    sleep(self.poll_interval)
+        except BaseException:
+            # Interrupt or coordinator-side failure: leave no orphan
+            # tasks for unrelated sweeps to trip over.
+            self._withdraw(outstanding)
+            raise
+
+    # -- coordinator helpers ----------------------------------------------
+
+    def _consume_result(self, runner, fn, entry, finish,
+                        fingerprint: str, histogram) -> bool:
+        """Fold one parked result into the sweep, if present/valid."""
+        path = self.layout.result_path(entry.key)
+        result = _read_json(path)
+        if result is None:
+            return False
+        if result.get("version") != TASK_VERSION \
+                or result.get("key") != entry.key \
+                or result.get("fingerprint") != fingerprint:
+            # Stale code or foreign junk: discard, recompute.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False
+        if result.get("ok"):
+            try:
+                value = decode_value(result["value"])
+            except Exception:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                return False
+            elapsed = float(result.get("elapsed_s", 0.0))
+            attempts = int(result.get("attempts", 0)) \
+                + int(result.get("steals", 0)) + 1
+            histogram.observe(elapsed)
+            _worker_event("cell_completed", key=entry.key,
+                          index=entry.index,
+                          worker=result.get("worker"),
+                          elapsed_s=elapsed, attempts=attempts)
+            finish(entry, value, attempts, elapsed)
+        else:
+            self._handle_failure(runner, fn, entry, finish, result)
+        self._cleanup_key(entry.key)
+        return True
+
+    def _handle_failure(self, runner, fn, entry, finish,
+                        result: dict) -> None:
+        """A terminal queue failure: re-raise or quarantine."""
+        error: Optional[BaseException] = None
+        payload = result.get("error_pickle")
+        if payload is not None:
+            try:
+                decoded = decode_value(payload)
+                if isinstance(decoded, BaseException):
+                    error = decoded
+            except Exception:
+                error = None
+        entry.failures = int(result.get("attempts", 0))
+        entry.lost = int(result.get("steals", 0))
+        entry.last_kind = result.get("kind", "exception")
+        entry.last_error = error
+        entry.last_traceback = result.get("traceback", "") or \
+            f"{result.get('error_type')}: " \
+            f"{result.get('error_message')}"
+        if runner.resilience is None:
+            self._cleanup_key(entry.key)
+            if error is not None and entry.last_kind == "exception":
+                raise error
+            raise RuntimeError(
+                f"sweep cell {result.get('experiment')}"
+                f"[{entry.index}] failed terminally in the queue "
+                f"({entry.last_kind}: {result.get('error_type')}: "
+                f"{result.get('error_message')}); attach a "
+                f"ResiliencePolicy to quarantine poison cells "
+                f"instead of aborting")
+        if error is None and entry.last_kind == "exception":
+            # Keep the original type name visible in the CellFailure
+            # even when the exception itself would not unpickle.
+            entry.last_error = RuntimeError(
+                f"{result.get('error_type')}: "
+                f"{result.get('error_message')}")
+        runner._quarantine(fn, entry, finish)
+
+    def _track_workers(self, known: Dict[str, float],
+                       live: Dict[str, float]) -> None:
+        for worker_id in live:
+            if worker_id not in known:
+                _worker_event("worker_seen", worker=worker_id)
+        for worker_id in list(known):
+            if worker_id not in live:
+                _worker_event("worker_lost", worker=worker_id,
+                              last_heartbeat_age_s=known[worker_id])
+                del known[worker_id]
+        known.update(live)
+
+    def _fall_back(self, runner, fn, outstanding: Dict[str, Any],
+                   finish) -> None:
+        """No live workers within the grace period: run locally."""
+        from repro.perf.sweep import _sweep_event
+        registry = _metrics.get_registry()
+        registry.counter("perf.queue.fallbacks_total").inc()
+        self._withdraw(outstanding)
+        remaining = sorted(outstanding.values(),
+                           key=lambda entry: entry.index)
+        _sweep_event("backend_fallback", experiment=(
+            runner.experiment_id or getattr(fn, "__name__", "sweep")),
+            cells=len(remaining),
+            reason=f"no live workers for {self.worker_grace:g}s")
+        _worker_event("backend_fallback", cells=len(remaining))
+        warnings.warn(
+            f"queue backend saw no live workers in "
+            f"{self.worker_grace:g}s; degrading {len(remaining)} "
+            f"cell(s) to local execution", RuntimeWarning,
+            stacklevel=2)
+        if runner.workers > 1 and len(remaining) > 1:
+            runner._execute_pool(fn, remaining, finish)
+        else:
+            runner._execute_serial(fn, remaining, finish)
+
+    def _withdraw(self, outstanding: Dict[str, Any]) -> None:
+        """Best-effort removal of this sweep's queue files."""
+        for key in outstanding:
+            for path in (self.layout.task_path(key),
+                         self.layout.claim_path(key)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    def _cleanup_key(self, key: str) -> None:
+        for path in (self.layout.result_path(key),
+                     self.layout.task_path(key),
+                     self.layout.claim_path(key)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+# -- selection ----------------------------------------------------------------
+
+_default_backend: Optional[SweepBackend] = None
+
+
+def default_backend() -> Optional[SweepBackend]:
+    """The ambient backend installed by :func:`use_backend` (or None)."""
+    return _default_backend
+
+
+def set_default_backend(backend: Optional[SweepBackend]
+                        ) -> Optional[SweepBackend]:
+    """Install the ambient backend; returns the previous one."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: Optional[SweepBackend]
+                ) -> Iterator[Optional[SweepBackend]]:
+    """Run a block with ``backend`` as the ambient default.
+
+    ``None`` is a no-op context (the auto serial/pool heuristic),
+    so callers can wrap unconditionally.
+    """
+    previous = set_default_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend(spec: Optional[str],
+                    queue_dir: Optional[Union[str, Path]] = None,
+                    lease_ttl: float = DEFAULT_LEASE_TTL,
+                    worker_grace: Optional[float] =
+                    DEFAULT_WORKER_GRACE
+                    ) -> Optional[SweepBackend]:
+    """Map a CLI ``--backend`` spec onto a backend instance.
+
+    ``auto``/None returns None -- the runner's built-in serial/pool
+    heuristic, unchanged from previous releases.
+    """
+    if spec is None or spec == "auto":
+        return None
+    if spec == "inprocess":
+        return InProcessBackend()
+    if spec == "pool":
+        return PoolBackend()
+    if spec == "queue":
+        if queue_dir is None:
+            raise ValueError("--backend queue requires --queue-dir "
+                             "(the shared queue directory workers "
+                             "were started against)")
+        return QueueBackend(queue_dir, lease_ttl=lease_ttl,
+                            worker_grace=worker_grace)
+    raise ValueError(f"unknown backend {spec!r}; "
+                     f"choose from {', '.join(BACKEND_CHOICES)}")

@@ -1,7 +1,7 @@
 """Throughput benchmarks for the performance layer.
 
 ``python -m repro bench`` runs these and writes a JSON report (the
-checked-in ``BENCH_PR5.json``; format documented in
+checked-in ``BENCH_PR6.json``; format documented in
 ``docs/PERFORMANCE.md``; diff two reports with ``python -m repro
 compare``).  Four microbenchmarks cover the hot loops
 the perf work targets -- the event heap, port serialization, DDE
@@ -10,7 +10,10 @@ stepping, and one stability-map row -- and a sweep section times the
 FCT study) serially, with workers, and against a warm result cache.
 A resilience section measures what the journal + retry machinery
 costs an all-success sweep (it should be nearly free) and proves a
-journaled resume is bit-identical to the plain run.
+journaled resume is bit-identical to the plain run.  A backends
+section compares the same grid through the in-process, pool and
+distributed-queue execution backends (two local ``repro worker``
+subprocesses) and records the queue protocol's per-cell overhead.
 
 Unlike ``benchmarks/test_performance.py`` (pytest-benchmark, relative
 regression tracking) this module produces absolute numbers meant to be
@@ -30,10 +33,12 @@ from repro.perf.cache import ResultCache
 #: Report format version; bump when fields change meaning.
 #: 3 added the health-sampling telemetry measurement (PR 4).
 #: 4 added the resilience (journal overhead + resume) section (PR 5).
-REPORT_VERSION = 4
+#: 5 added the backend comparison (inprocess/pool/queue) section and
+#:   the effective (affinity-aware) CPU count (PR 6).
+REPORT_VERSION = 5
 
 #: Default output file, repo-root relative.
-DEFAULT_REPORT = "BENCH_PR5.json"
+DEFAULT_REPORT = "BENCH_PR6.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
@@ -288,16 +293,72 @@ def bench_resilience(workers: int = 4) -> dict:
     }
 
 
+def bench_backends(workers: int = 2) -> dict:
+    """Backend comparison on the ``ext_stability_map`` grid.
+
+    Times the same sweep through :class:`~repro.perf.backend
+    .InProcessBackend`, :class:`~repro.perf.backend.PoolBackend`
+    (``workers`` local processes) and :class:`~repro.perf.backend
+    .QueueBackend` with ``workers`` local ``repro worker``
+    subprocesses draining a tmpdir queue.  ``*_overhead_per_cell_s``
+    is the extra wall time each backend pays per cell over the
+    in-process baseline -- the queue's file-per-transition protocol
+    is the one with real overhead, and this records how much.
+    ``identical`` doubles as the cross-backend determinism check.
+    """
+    import tempfile
+
+    from repro.experiments import ext_stability_map
+    from repro.perf.backend import (InProcessBackend, PoolBackend,
+                                    QueueBackend)
+    from repro.perf.worker import spawn_worker
+
+    cells = len(ext_stability_map.DEFAULT_FLOWS)
+    inprocess_s, inprocess_rows = _timed(
+        lambda: ext_stability_map.run(backend=InProcessBackend()))
+    pool_s, pool_rows = _timed(
+        lambda: ext_stability_map.run(workers=workers,
+                                      backend=PoolBackend()))
+    with tempfile.TemporaryDirectory() as tmp:
+        procs = [spawn_worker(tmp, lease_ttl=5.0, max_idle=20.0)
+                 for _ in range(workers)]
+        backend = QueueBackend(tmp, lease_ttl=5.0, worker_grace=60.0)
+        queue_s, queue_rows = _timed(
+            lambda: ext_stability_map.run(backend=backend))
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            proc.wait(timeout=30)
+    return {
+        "workers": workers,
+        "cells": cells,
+        "inprocess_s": inprocess_s,
+        "pool_s": pool_s,
+        "queue_s": queue_s,
+        "inprocess_cells_per_sec": cells / inprocess_s,
+        "pool_cells_per_sec": cells / pool_s,
+        "queue_cells_per_sec": cells / queue_s,
+        "pool_overhead_per_cell_s": (pool_s - inprocess_s) / cells,
+        "queue_overhead_per_cell_s": (queue_s - inprocess_s) / cells,
+        "identical": inprocess_rows == pool_rows == queue_rows,
+    }
+
+
 def run_benchmarks(workers: int = 4, full: bool = False,
                    baseline: Optional[dict] = None) -> dict:
     """Run everything and return the report dictionary."""
     import os
+
+    from repro.perf.sweep import effective_cpu_count, resolve_workers
 
     report = {
         "version": REPORT_VERSION,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpu_count(),
+        "workers_requested": workers,
+        "workers_effective": resolve_workers(workers),
         "micro": {
             "event_loop_events_per_sec": bench_event_loop(),
             "port_packets_per_sec": bench_port(),
@@ -307,6 +368,7 @@ def run_benchmarks(workers: int = 4, full: bool = False,
         "telemetry": bench_telemetry_overhead(),
         "sweeps": bench_sweeps(workers=workers, full=full),
         "resilience": bench_resilience(workers=workers),
+        "backends": bench_backends(workers=min(workers, 2)),
     }
     if baseline:
         report["pre_pr_baseline"] = baseline

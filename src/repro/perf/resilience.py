@@ -232,26 +232,56 @@ class SweepJournal:
     loading skips entries whose fingerprint does not match (editing
     any source file orphans the journal, exactly like the result
     cache).
+
+    Concurrent-writer safety (distributed sweeps): two processes
+    appending to one JSONL file can interleave torn records, so each
+    writer may claim a private *shard* -- ``shard="host-123"`` writes
+    to ``<stem>-host-123<suffix>`` -- while **reads always merge** the
+    base file plus every sibling shard.  One process per shard means
+    every individual file keeps the single-writer append-only
+    invariant, and any reader (a resuming coordinator, a worker
+    warming up) sees the union.
     """
 
     def __init__(self, path: Union[str, Path],
-                 fingerprint: Optional[str] = None):
+                 fingerprint: Optional[str] = None,
+                 shard: Optional[str] = None):
         self.path = Path(path)
+        self.shard = shard
+        #: Where this instance appends; reads merge all shards.
+        self.write_path = self.path if shard is None \
+            else self.path.with_name(
+                f"{self.path.stem}-{shard}{self.path.suffix}")
         self.fingerprint = fingerprint or code_fingerprint()
         self._stream = None
-        #: key -> encoded value, loaded from a pre-existing file.
+        #: key -> encoded value, loaded from pre-existing files.
         self.completed: Dict[str, str] = {}
         #: keys recorded as terminally failed in a previous run.
         self.failed: Dict[str, dict] = {}
         self._stale_entries = 0
         self._torn_lines = 0
-        if self.path.exists():
-            self._load()
+        self._load()
 
     # -- reading ---------------------------------------------------------
 
+    def _shard_paths(self) -> "List[Path]":
+        """The base journal plus every sibling shard, base first."""
+        paths = [self.path]
+        try:
+            siblings = sorted(self.path.parent.glob(
+                f"{self.path.stem}-*{self.path.suffix}"))
+        except OSError:
+            siblings = []
+        paths.extend(siblings)
+        return paths
+
     def _load(self) -> None:
-        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for path in self._shard_paths():
+            if path.exists():
+                self._load_file(path)
+
+    def _load_file(self, path: Path) -> None:
+        lines = path.read_text(encoding="utf-8").splitlines()
         last_content = -1
         for index, line in enumerate(lines):
             if line.strip():
@@ -302,8 +332,9 @@ class SweepJournal:
 
     def _write(self, entry: dict) -> None:
         if self._stream is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._stream = open(self.path, "a", encoding="utf-8")
+            self.write_path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.write_path, "a",
+                                encoding="utf-8")
         self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
         self._stream.flush()
         os.fsync(self._stream.fileno())
@@ -352,13 +383,27 @@ class SweepJournal:
         self.close()
 
 
+def process_shard() -> str:
+    """A journal shard name unique to this process: ``<host>-<pid>``."""
+    import re
+    import socket
+    host = re.sub(r"[^A-Za-z0-9_.]+", "_", socket.gethostname())
+    return f"{host}-{os.getpid()}"
+
+
 def journal_for(experiment_id: str,
                 journal_dir: Union[str, Path],
-                fingerprint: Optional[str] = None) -> SweepJournal:
-    """Open (creating lazily) the journal for one experiment id."""
+                fingerprint: Optional[str] = None,
+                shard: Optional[str] = None) -> SweepJournal:
+    """Open (creating lazily) the journal for one experiment id.
+
+    ``shard`` directs this process's appends to a private sibling
+    file (see :class:`SweepJournal`); pass :func:`process_shard` when
+    multiple processes may journal the same experiment concurrently.
+    """
     directory = Path(journal_dir)
     return SweepJournal(directory / f"{experiment_id}.journal.jsonl",
-                        fingerprint=fingerprint)
+                        fingerprint=fingerprint, shard=shard)
 
 
 # -- crash capsules -----------------------------------------------------------

@@ -93,18 +93,43 @@ def derive_seed(base_seed: int, *key: int) -> int:
     return int(sequence.generate_state(1, dtype=np.uint64)[0])
 
 
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process, not the machine total.
+
+    ``os.cpu_count()`` reports every core in the box, which oversells
+    a cgroup-limited CI runner or a taskset-pinned job (BENCH_PR5
+    recorded ``cpu_count: 1`` for exactly this reason).  Prefer
+    ``os.process_cpu_count()`` (3.13+), then the scheduler affinity
+    mask, then fall back to the raw count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        count = counter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            affinity = os.sched_getaffinity(0)
+        except OSError:  # pragma: no cover - platform quirk
+            affinity = None
+        if affinity:
+            return len(affinity)
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` argument to an effective process count.
 
-    ``None``, 0 and 1 mean serial; negative values mean "one per CPU".
-    Inside a sweep worker process the answer is always 1.
+    ``None``, 0 and 1 mean serial; negative values mean "one per
+    *available* CPU" (see :func:`effective_cpu_count`).  Inside a
+    sweep worker process the answer is always 1.
     """
     if os.environ.get(WORKER_ENV):
         return 1
     if workers is None or workers == 0:
         return 1
     if workers < 0:
-        return os.cpu_count() or 1
+        return effective_cpu_count()
     return int(workers)
 
 
@@ -202,12 +227,20 @@ class SweepRunner:
         placeholders instead of aborting the sweep, hung cells are
         timed out, and completed cells are journaled for
         crash-surviving resume.
+    backend:
+        Optional :class:`~repro.perf.backend.SweepBackend` overriding
+        how pending cells execute (in-process, supervised pool, or
+        the distributed queue).  ``None`` consults the ambient
+        default set by :func:`~repro.perf.backend.use_backend`; when
+        that is also unset, the runner keeps its historical
+        serial-or-pool choice based on ``workers``.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  experiment_id: Optional[str] = None,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 backend: Optional["Any"] = None):
         if cache is not None and not experiment_id:
             raise ValueError(
                 "experiment_id is required when a cache is attached")
@@ -221,7 +254,15 @@ class SweepRunner:
         self.cache = cache
         self.experiment_id = experiment_id
         self.resilience = resilience
+        self.backend = backend
         self._journal: Optional[SweepJournal] = None
+
+    def _effective_backend(self) -> Optional["Any"]:
+        """Explicit backend, else the ambient default (may be None)."""
+        if self.backend is not None:
+            return self.backend
+        from repro.perf import backend as _backend
+        return _backend.default_backend()
 
     # -- cache / journal plumbing ------------------------------------------
 
@@ -231,14 +272,22 @@ class SweepRunner:
 
     @property
     def journal(self) -> Optional[SweepJournal]:
-        """The completed-cell journal, opened lazily from the policy."""
+        """The completed-cell journal, opened lazily from the policy.
+
+        Appends go to this process's private shard (reads merge all
+        shards), so concurrent journal writers -- two resuming runs,
+        distributed queue workers sharing a cache dir -- can never
+        interleave torn records in one file.
+        """
         if self._journal is None and self.resilience is not None \
                 and self.resilience.journal_dir is not None:
+            from repro.perf.resilience import process_shard
             fingerprint = self.cache.fingerprint \
                 if self.cache is not None else None
             self._journal = journal_for(self.experiment_id,
                                         self.resilience.journal_dir,
-                                        fingerprint=fingerprint)
+                                        fingerprint=fingerprint,
+                                        shard=process_shard())
         return self._journal
 
     def _cell_key(self, fn: Callable[..., Any],
@@ -264,10 +313,12 @@ class SweepRunner:
         label = self.experiment_id or getattr(fn, "__name__", "sweep")
         journal = self.journal
         registry = _metrics.get_registry()
+        backend = self._effective_backend()
         with _spans.span(f"sweep:{label}"):
             results: List[Any] = [None] * len(cells)
             need_keys = self.cache is not None or journal is not None \
-                or self.resilience is not None
+                or self.resilience is not None \
+                or bool(getattr(backend, "requires_keys", False))
             pending: List[_Pending] = []
             cached = resumed = 0
             for index, cell in enumerate(cells):
@@ -324,7 +375,10 @@ class SweepRunner:
                             self._cell_params(fn, entry.cell), value)
 
                 try:
-                    self._execute(fn, pending, finish)
+                    if backend is not None:
+                        backend.execute(self, fn, pending, finish)
+                    else:
+                        self._execute(fn, pending, finish)
                 except KeyboardInterrupt:
                     registry.counter(
                         "perf.sweep.interrupts_total").inc()

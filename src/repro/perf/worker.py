@@ -1,0 +1,403 @@
+"""The long-running sweep worker behind ``python -m repro worker``.
+
+A :class:`QueueWorker` points at the same queue directory a
+:class:`~repro.perf.backend.QueueBackend` coordinator dispatches
+into, and loops: claim a cell (atomic rename out of ``tasks/``),
+execute it, park the result in ``results/``, release the lease.
+Any number of workers -- across processes and hosts sharing the
+directory -- drain the same queue.
+
+Robustness contract:
+
+* A **heartbeat thread** renews the worker's registration and its
+  active lease every ``lease_ttl / 4`` seconds (atomic rewrite +
+  fsync, so the file's mtime -- the liveness signal -- only advances
+  when the bytes are durable).  A SIGKILLed worker stops renewing;
+  its lease expires and a peer (or the coordinator) steals the cell.
+* **SIGTERM is clean**: the in-flight cell's lease is released back
+  to ``tasks/`` un-penalized, the registration is removed, and the
+  process exits 0 -- drain a host with plain ``kill``.
+* A cell that **raises** is re-queued with its ``attempts`` count
+  incremented until the budget the coordinator stamped into the task
+  is exhausted, then terminally failed into ``results/`` with the
+  pickled exception for the coordinator to re-raise or quarantine.
+* A task carrying a **foreign code fingerprint** is left alone
+  (executing it would break bit-identity); the coordinator's grace
+  fallback recomputes such cells locally.
+* When ``tasks/`` is empty the worker scavenges ``claims/`` for
+  expired leases (dead peers) before going back to sleep.
+
+The worker sets :data:`~repro.perf.sweep.WORKER_ENV` so nested
+sweeps inside a cell run serially instead of forking pools of pools.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+import traceback as _traceback
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.obs import metrics as _metrics
+from repro.perf.backend import (DEFAULT_LEASE_TTL, QueueLayout,
+                                _atomic_write_json, _read_json,
+                                _worker_event, make_failure_result,
+                                make_result, steal_expired_leases)
+from repro.perf.cache import code_fingerprint
+from repro.perf.resilience import (_resolve_callable, decode_value)
+from repro.perf.sweep import WORKER_ENV
+
+
+class GracefulExit(Exception):
+    """Raised in the worker main thread by the SIGTERM handler."""
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>`` -- unique per live process, human-readable."""
+    from repro.obs.metrics import sanitize
+    return f"{sanitize(socket.gethostname())}-{os.getpid()}"
+
+
+class QueueWorker:
+    """One claim-execute-release loop over a shared queue directory.
+
+    Parameters
+    ----------
+    queue_dir:
+        The directory a :class:`~repro.perf.backend.QueueBackend`
+        coordinator dispatches into.
+    worker_id:
+        Registration name; defaults to ``<host>-<pid>``.
+    lease_ttl:
+        Must match (or exceed) the coordinator's: leases older than
+        this are considered abandoned by everyone.
+    heartbeat_interval:
+        Lease/registration renewal period; defaults to
+        ``lease_ttl / 4`` so a healthy worker never looks dead.
+    poll_interval:
+        Sleep between empty scans of ``tasks/``.
+    """
+
+    def __init__(self, queue_dir: Union[str, Path],
+                 worker_id: Optional[str] = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 heartbeat_interval: Optional[float] = None,
+                 poll_interval: float = 0.2):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, "
+                             f"got {lease_ttl}")
+        self.layout = QueueLayout(queue_dir)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl = float(lease_ttl)
+        self.heartbeat_interval = (heartbeat_interval
+                                   if heartbeat_interval is not None
+                                   else self.lease_ttl / 4.0)
+        self.poll_interval = float(poll_interval)
+        self.completed = 0
+        self.failed = 0
+        self.stolen = 0
+        self._beats = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        #: (claim path, task dict) of the in-flight cell, heartbeat
+        #: -renewed while set.  Guarded by ``_lock`` so completion
+        #: and renewal can never resurrect a released lease.
+        self._active: Optional[tuple] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        #: Keys skipped for foreign fingerprints (warn once each).
+        self._skipped_fingerprints: set = set()
+
+    # -- registration and heartbeats --------------------------------------
+
+    def _registration(self) -> dict:
+        return {"worker": self.worker_id, "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "python": sys.version.split()[0],
+                "beats": self._beats, "ts": time.time()}
+
+    def register(self) -> None:
+        self.layout.ensure()
+        _atomic_write_json(
+            self.layout.worker_path(self.worker_id),
+            self._registration())
+
+    def deregister(self) -> None:
+        try:
+            os.unlink(self.layout.worker_path(self.worker_id))
+        except OSError:
+            pass
+
+    def heartbeat(self) -> None:
+        """Renew the registration and the active lease (one beat)."""
+        self._beats += 1
+        _atomic_write_json(
+            self.layout.worker_path(self.worker_id),
+            self._registration())
+        with self._lock:
+            if self._active is not None:
+                claim_path, task = self._active
+                leased = dict(task)
+                leased["worker"] = self.worker_id
+                leased["beats"] = self._beats
+                _atomic_write_json(claim_path, leased)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self.heartbeat()
+            except OSError:  # pragma: no cover - transient shared-FS
+                pass
+
+    def _start_heartbeats(self) -> None:
+        if self._heartbeat_thread is None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"repro-heartbeat-{self.worker_id}",
+                daemon=True)
+            self._heartbeat_thread.start()
+
+    # -- claim / execute / release ----------------------------------------
+
+    def _claim(self) -> Optional[tuple]:
+        """Atomically claim one ready task; None if none claimable."""
+        fingerprint = code_fingerprint()
+        for key in self.layout.task_keys():
+            task_path = self.layout.task_path(key)
+            task = _read_json(task_path)
+            if task is None:
+                continue  # claimed/withdrawn between scan and read
+            if task.get("fingerprint") != fingerprint:
+                if key not in self._skipped_fingerprints:
+                    self._skipped_fingerprints.add(key)
+                    _metrics.get_registry().counter(
+                        "perf.worker.fingerprint_skips_total").inc()
+                continue
+            claim_path = self.layout.claim_path(key)
+            try:
+                os.rename(task_path, claim_path)
+            except OSError:
+                continue  # another worker won the race
+            leased = dict(task)
+            leased["worker"] = self.worker_id
+            leased["claimed_ts"] = time.time()
+            _atomic_write_json(claim_path, leased)
+            return claim_path, task
+        return None
+
+    def _release(self, claim_path: Path, task: dict) -> None:
+        """Put a claimed-but-unfinished cell back, un-penalized."""
+        with self._lock:
+            self._active = None
+        _atomic_write_json(self.layout.task_path(task["key"]), task)
+        try:
+            os.unlink(claim_path)
+        except OSError:
+            pass
+        _worker_event("cell_released", key=task["key"],
+                      worker=self.worker_id)
+
+    def _finish(self, claim_path: Path, result: dict) -> None:
+        """Park a result and drop the lease (in that order: a crash
+        between the two leaves a result *and* a stale lease, which a
+        stealer turns into a duplicate recompute at worst)."""
+        with self._lock:
+            self._active = None
+        _atomic_write_json(
+            self.layout.result_path(result["key"]), result)
+        try:
+            os.unlink(claim_path)
+        except OSError:
+            pass
+
+    def step(self) -> bool:
+        """Claim and run one cell; False when nothing was claimable."""
+        claimed = self._claim()
+        if claimed is None:
+            return False
+        claim_path, task = claimed
+        with self._lock:
+            self._active = (claim_path, task)
+        registry = _metrics.get_registry()
+        _worker_event("cell_claimed", key=task["key"],
+                      index=task.get("index"), worker=self.worker_id,
+                      experiment=task.get("experiment"))
+        started = time.perf_counter()
+        try:
+            fn = _resolve_callable(task["fn"])
+            kwargs = decode_value(task["kwargs"])
+            value = fn(**kwargs)
+        except (GracefulExit, KeyboardInterrupt, SystemExit):
+            self._release(claim_path, task)
+            raise
+        except BaseException as exc:
+            elapsed = time.perf_counter() - started
+            self._handle_cell_error(claim_path, task, exc, elapsed)
+            return True
+        elapsed = time.perf_counter() - started
+        self._finish(claim_path,
+                     make_result(task, value, elapsed,
+                                 self.worker_id))
+        self.completed += 1
+        registry.counter("perf.worker.cells_total").inc()
+        registry.histogram("perf.worker.cell_seconds").observe(
+            elapsed)
+        _worker_event("cell_completed", key=task["key"],
+                      index=task.get("index"), worker=self.worker_id,
+                      elapsed_s=elapsed)
+        return True
+
+    def _handle_cell_error(self, claim_path: Path, task: dict,
+                           exc: BaseException,
+                           elapsed: float) -> None:
+        registry = _metrics.get_registry()
+        registry.counter("perf.worker.cell_failures_total").inc()
+        task = dict(task)
+        task["attempts"] = int(task.get("attempts", 0)) + 1
+        terminal = task["attempts"] >= int(task.get("max_attempts",
+                                                    1))
+        if terminal:
+            failure = make_failure_result(
+                task, kind="exception",
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                traceback_text=_traceback.format_exc(),
+                worker_id=self.worker_id, error=exc)
+            self._finish(claim_path, failure)
+            self.failed += 1
+            _worker_event("cell_failed", key=task["key"],
+                          index=task.get("index"),
+                          worker=self.worker_id, terminal=True,
+                          attempts=task["attempts"],
+                          error_type=type(exc).__name__,
+                          elapsed_s=elapsed)
+        else:
+            # Re-queue for any worker (including this one) to retry.
+            with self._lock:
+                self._active = None
+            _atomic_write_json(self.layout.task_path(task["key"]),
+                               task)
+            try:
+                os.unlink(claim_path)
+            except OSError:
+                pass
+            registry.counter("perf.worker.cell_retries_total").inc()
+            _worker_event("cell_requeued", key=task["key"],
+                          index=task.get("index"),
+                          worker=self.worker_id,
+                          attempts=task["attempts"],
+                          error_type=type(exc).__name__)
+
+    # -- the service loop --------------------------------------------------
+
+    def _install_sigterm(self) -> Optional[Any]:
+        def handler(signum, frame):
+            raise GracefulExit()
+        try:
+            return signal.signal(signal.SIGTERM, handler)
+        except ValueError:  # not the main thread (tests)
+            return None
+
+    def run(self, max_cells: Optional[int] = None,
+            max_idle: Optional[float] = None) -> int:
+        """Serve until SIGTERM, ``max_cells`` done, or idle too long.
+
+        Returns the number of cells completed (successes).  ``None``
+        bounds mean "forever" -- the production posture; tests and
+        drain scripts pass ``max_idle``/``max_cells``.
+        """
+        os.environ[WORKER_ENV] = "1"
+        self.register()
+        self._start_heartbeats()
+        _worker_event("worker_started", worker=self.worker_id,
+                      queue_dir=str(self.layout.root))
+        previous_handler = self._install_sigterm()
+        idle_since = time.monotonic()
+        try:
+            while True:
+                if max_cells is not None and \
+                        self.completed + self.failed >= max_cells:
+                    break
+                try:
+                    busy = self.step()
+                except GracefulExit:
+                    break
+                if busy:
+                    idle_since = time.monotonic()
+                    continue
+                stolen, _ = steal_expired_leases(
+                    self.layout, self.lease_ttl,
+                    stealer=self.worker_id)
+                self.stolen += stolen
+                if stolen:
+                    idle_since = time.monotonic()
+                    continue
+                if max_idle is not None and \
+                        time.monotonic() - idle_since > max_idle:
+                    break
+                if self._stop.wait(self.poll_interval):
+                    break
+        except GracefulExit:
+            pass
+        finally:
+            self._stop.set()
+            if previous_handler is not None:
+                try:
+                    signal.signal(signal.SIGTERM, previous_handler)
+                except ValueError:
+                    pass
+            if self._heartbeat_thread is not None:
+                self._heartbeat_thread.join(timeout=2.0)
+                self._heartbeat_thread = None
+            # A lease still held here (GracefulExit mid-bookkeeping)
+            # goes back to the queue un-penalized.
+            with self._lock:
+                active, self._active = self._active, None
+            if active is not None:
+                claim_path, task = active
+                _atomic_write_json(
+                    self.layout.task_path(task["key"]), task)
+                try:
+                    os.unlink(claim_path)
+                except OSError:
+                    pass
+            self.deregister()
+            _worker_event("worker_stopped", worker=self.worker_id,
+                          completed=self.completed,
+                          failed=self.failed, stolen=self.stolen)
+        return self.completed
+
+
+def spawn_worker(queue_dir: Union[str, Path],
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_idle: Optional[float] = None,
+                 worker_id: Optional[str] = None,
+                 extra_args: Optional[list] = None):
+    """Start ``python -m repro worker`` as a subprocess (bench/tests).
+
+    Ensures the child can import :mod:`repro` even when the parent
+    runs from a source checkout (prepends the package root to
+    ``PYTHONPATH``).  Returns the :class:`subprocess.Popen`.
+    """
+    import subprocess
+
+    import repro
+    src_root = str(Path(repro.__file__).parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_root if not existing \
+        else os.pathsep.join([src_root, existing])
+    argv = [sys.executable, "-m", "repro", "worker", str(queue_dir),
+            "--lease-ttl", str(lease_ttl)]
+    if max_idle is not None:
+        argv += ["--max-idle", str(max_idle)]
+    if worker_id is not None:
+        argv += ["--worker-id", worker_id]
+    argv += list(extra_args or [])
+    return subprocess.Popen(argv, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)

@@ -1,0 +1,644 @@
+"""Chaos tests for the distributed sweep backend.
+
+Every failure mode the queue protocol claims to survive is induced
+on purpose: workers SIGKILLed mid-lease (the cell is re-leased and
+completed by a peer), stale leases from clock-skewed workers (mtime,
+not embedded timestamps, decides staleness), poison cells that
+exhaust their cross-worker steal budget (quarantined globally,
+in-queue), and coordinators with no live workers (graceful fallback
+to local execution instead of a hang).  The meta-contract throughout:
+whatever chaos happens, the surviving results are bit-identical to a
+serial run.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.perf import (InProcessBackend, PoolBackend, QueueBackend,
+                        QueueWorker, ResiliencePolicy, SweepJournal,
+                        SweepRunner, is_failure, journal_for,
+                        resolve_backend, spawn_worker, use_backend)
+from repro.perf.backend import (TASK_VERSION, QueueLayout,
+                                _atomic_write_json, _read_json,
+                                default_backend, make_task,
+                                steal_expired_leases)
+from repro.perf.cache import code_fingerprint
+from repro.perf.resilience import _qualified_name, encode_value
+from repro.perf.sweep import WORKER_ENV
+
+# -- module-level cells (resolvable by name across processes) -----------------
+
+
+def square(x):
+    return x * x
+
+
+def seeded_draw(seed):
+    """Pure function of the seed: transport nondeterminism shows up
+    as inequality."""
+    rng = np.random.default_rng(seed)
+    return rng.random(8)
+
+
+def poison_cell(x):
+    if x == 3:
+        raise ValueError(f"poison {x}")
+    return x * 10
+
+
+def kill_once_cell(x, flag_dir):
+    """x == 2 SIGKILLs its worker process -- once.
+
+    The first worker to claim the cell dies mid-lease (heartbeats
+    stop, the lease expires); the flag file makes every later attempt
+    succeed, so a peer completes the stolen cell.  Only fires inside
+    a sweep worker process -- the pytest process is not expendable.
+    """
+    flag = Path(flag_dir) / f"killed-{x}"
+    if x == 2 and os.environ.get(WORKER_ENV) and not flag.exists():
+        flag.touch()
+        import signal
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x + 1000
+
+
+@pytest.fixture(autouse=True)
+def _restore_worker_env():
+    """In-thread QueueWorkers set WORKER_ENV in this process; keep
+    that from leaking into later tests."""
+    saved = os.environ.get(WORKER_ENV)
+    yield
+    if saved is None:
+        os.environ.pop(WORKER_ENV, None)
+    else:
+        os.environ[WORKER_ENV] = saved
+
+
+def run_worker_thread(queue_dir, worker_id="peer", max_idle=8.0,
+                      lease_ttl=10.0, poll=0.02):
+    """A QueueWorker serving from a daemon thread (fast, in-process)."""
+    worker = QueueWorker(queue_dir, worker_id=worker_id,
+                         lease_ttl=lease_ttl, poll_interval=poll)
+    thread = threading.Thread(
+        target=lambda: worker.run(max_idle=max_idle), daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def stop_worker(worker, thread, timeout=15.0):
+    """Ask an in-thread worker to exit now and wait for it."""
+    worker._stop.set()
+    thread.join(timeout=timeout)
+    assert not thread.is_alive()
+
+
+def age_file(path, seconds):
+    """Backdate a file's mtime so its lease/registration looks stale."""
+    stat = os.stat(path)
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+# -- queue layout and file protocol -------------------------------------------
+
+
+class TestQueueLayout:
+    def test_ensure_and_paths(self, tmp_path):
+        layout = QueueLayout(tmp_path / "q").ensure()
+        for directory in (layout.tasks, layout.claims, layout.results,
+                          layout.workers):
+            assert directory.is_dir()
+        assert layout.task_path("abc").name == "abc.json"
+        assert layout.task_keys() == []
+
+    def test_task_keys_sorted(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        for key in ("bb", "aa", "cc"):
+            _atomic_write_json(layout.task_path(key), {"key": key})
+        assert layout.task_keys() == ["aa", "bb", "cc"]
+
+    def test_live_workers_by_mtime(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        _atomic_write_json(layout.worker_path("fresh"), {"w": 1})
+        _atomic_write_json(layout.worker_path("dead"), {"w": 2})
+        age_file(layout.worker_path("dead"), 3600)
+        live = layout.live_workers(ttl=60.0)
+        assert "fresh" in live and "dead" not in live
+
+    def test_read_json_tolerates_garbage(self, tmp_path):
+        target = tmp_path / "torn.json"
+        target.write_text('{"half": ')
+        assert _read_json(target) is None
+        assert _read_json(tmp_path / "missing.json") is None
+
+    def test_claim_is_atomic_rename(self, tmp_path):
+        # Exactly one renamer wins; the loser gets FileNotFoundError.
+        layout = QueueLayout(tmp_path).ensure()
+        _atomic_write_json(layout.task_path("k"), {"key": "k"})
+        os.rename(layout.task_path("k"), layout.claim_path("k"))
+        with pytest.raises(FileNotFoundError):
+            os.rename(layout.task_path("k"),
+                      tmp_path / "claims" / "k2.json")
+
+
+# -- lease expiry and stealing ------------------------------------------------
+
+
+def make_claim(layout, key, steals=0, max_steals=3, **extra):
+    task = make_task("exp", 0, key, _qualified_name(square),
+                     {"x": 1}, code_fingerprint(), max_attempts=1,
+                     max_steals=max_steals)
+    task["steals"] = steals
+    task.update(extra)
+    _atomic_write_json(layout.claim_path(key), task)
+    return task
+
+
+class TestLeaseStealing:
+    def test_fresh_lease_not_stolen(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        make_claim(layout, "k")
+        assert steal_expired_leases(layout, lease_ttl=60.0) == (0, 0)
+        assert layout.claim_path("k").exists()
+        assert not layout.task_path("k").exists()
+
+    def test_expired_lease_requeued_with_steal_count(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        make_claim(layout, "k", worker="dead-worker")
+        age_file(layout.claim_path("k"), 3600)
+        assert steal_expired_leases(layout, lease_ttl=60.0) == (1, 0)
+        assert not layout.claim_path("k").exists()
+        task = _read_json(layout.task_path("k"))
+        assert task["steals"] == 1
+        # Lease bookkeeping is stripped before re-queue.
+        assert "worker" not in task and "beats" not in task
+
+    def test_clock_skewed_worker_cannot_fake_freshness(self, tmp_path):
+        # A worker whose wall clock is hours off writes whatever
+        # timestamps it likes *inside* the claim -- staleness is
+        # decided by the file mtime, which the filesystem stamps.
+        layout = QueueLayout(tmp_path).ensure()
+        make_claim(layout, "skewed", claimed_ts=time.time() + 7200)
+        assert steal_expired_leases(layout, lease_ttl=60.0) == (0, 0)
+        assert layout.claim_path("skewed").exists()
+        # And symmetrically: an mtime-stale lease is stolen no matter
+        # how fresh its embedded timestamps claim to be.
+        make_claim(layout, "stale", claimed_ts=time.time() + 7200)
+        age_file(layout.claim_path("stale"), 3600)
+        assert steal_expired_leases(layout, lease_ttl=60.0) == (1, 0)
+
+    def test_steal_budget_exhaustion_quarantines_in_queue(
+            self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        make_claim(layout, "poison", steals=3, max_steals=3)
+        age_file(layout.claim_path("poison"), 3600)
+        stolen, quarantined = steal_expired_leases(layout, 60.0)
+        assert (stolen, quarantined) == (0, 1)
+        result = _read_json(layout.result_path("poison"))
+        assert result["ok"] is False
+        assert result["kind"] == "worker-lost"
+        assert result["steals"] == 4
+        assert not layout.task_path("poison").exists()
+
+
+# -- the worker loop ----------------------------------------------------------
+
+
+class TestQueueWorker:
+    def enqueue(self, layout, key, fn, kwargs, max_attempts=1,
+                fingerprint=None):
+        task = make_task("exp", 0, key, _qualified_name(fn), kwargs,
+                         fingerprint or code_fingerprint(),
+                         max_attempts=max_attempts, max_steals=3)
+        _atomic_write_json(layout.task_path(key), task)
+        return task
+
+    def test_step_executes_and_parks_result(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "k1", square, {"x": 7})
+        worker = QueueWorker(tmp_path, worker_id="w")
+        assert worker.step() is True
+        result = _read_json(layout.result_path("k1"))
+        assert result["ok"] is True
+        assert result["worker"] == "w"
+        from repro.perf.resilience import decode_value
+        assert decode_value(result["value"]) == 49
+        # The lease is gone and nothing is left to claim.
+        assert not layout.claim_path("k1").exists()
+        assert worker.step() is False
+
+    def test_failing_cell_requeued_then_terminal(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "k3", poison_cell, {"x": 3},
+                     max_attempts=2)
+        worker = QueueWorker(tmp_path, worker_id="w")
+        assert worker.step() is True  # attempt 1: re-queued
+        task = _read_json(layout.task_path("k3"))
+        assert task["attempts"] == 1
+        assert worker.step() is True  # attempt 2: terminal
+        result = _read_json(layout.result_path("k3"))
+        assert result["ok"] is False
+        assert result["error_type"] == "ValueError"
+        assert "poison 3" in result["error_message"]
+        assert "error_pickle" in result
+
+    def test_foreign_fingerprint_left_alone(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "kf", square, {"x": 1},
+                     fingerprint="someone-elses-code")
+        worker = QueueWorker(tmp_path, worker_id="w")
+        assert worker.step() is False
+        assert layout.task_path("kf").exists()
+
+    def test_run_registers_heartbeats_and_deregisters(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        worker = QueueWorker(tmp_path, worker_id="hb",
+                             heartbeat_interval=0.05,
+                             poll_interval=0.02)
+        thread = threading.Thread(
+            target=lambda: worker.run(max_idle=0.5), daemon=True)
+        thread.start()
+        deadline = time.time() + 5.0
+        seen = False
+        while time.time() < deadline and not seen:
+            seen = "hb" in layout.live_workers(ttl=10.0)
+            time.sleep(0.02)
+        assert seen, "worker never registered"
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert "hb" not in layout.live_workers(ttl=10.0)
+        assert worker._beats >= 1
+
+    def test_idle_worker_steals_expired_peer_lease(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        make_claim(layout, "orphan", worker="dead-peer")
+        age_file(layout.claim_path("orphan"), 3600)
+        worker = QueueWorker(tmp_path, worker_id="scavenger",
+                             lease_ttl=60.0, poll_interval=0.02)
+        worker.run(max_idle=1.0)
+        assert worker.stolen == 1
+        # The stolen cell went back to tasks/ and was then claimed
+        # and completed by this same worker.
+        result = _read_json(layout.result_path("orphan"))
+        assert result is not None and result["ok"] is True
+
+
+# -- the coordinator ----------------------------------------------------------
+
+
+class TestQueueBackend:
+    def serial_rows(self):
+        runner = SweepRunner(experiment_id="qtest")
+        return runner.map(seeded_draw, [{"seed": s}
+                                        for s in (11, 22, 33)])
+
+    def queue_rows(self, tmp_path, policy=None, **backend_kwargs):
+        backend_kwargs.setdefault("worker_grace", 30.0)
+        backend_kwargs.setdefault("poll_interval", 0.02)
+        backend = QueueBackend(tmp_path / "q", **backend_kwargs)
+        worker, thread = run_worker_thread(tmp_path / "q")
+        runner = SweepRunner(experiment_id="qtest",
+                             resilience=policy, backend=backend)
+        try:
+            return runner.map(seeded_draw, [{"seed": s}
+                                            for s in (11, 22, 33)])
+        finally:
+            stop_worker(worker, thread)
+
+    def test_bit_identical_to_serial(self, tmp_path):
+        serial = self.serial_rows()
+        queued = self.queue_rows(tmp_path)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(serial, queued))
+
+    def test_queue_is_drained_after_sweep(self, tmp_path):
+        self.queue_rows(tmp_path)
+        layout = QueueLayout(tmp_path / "q")
+        assert layout.task_keys() == []
+        assert layout.claim_keys() == []
+        assert list(layout.results.glob("*.json")) == []
+
+    def test_no_policy_reraises_original_exception(self, tmp_path):
+        backend = QueueBackend(tmp_path / "q", worker_grace=30.0,
+                               poll_interval=0.02)
+        worker, thread = run_worker_thread(tmp_path / "q")
+        runner = SweepRunner(experiment_id="qpoison", backend=backend)
+        try:
+            with pytest.raises(ValueError, match="poison 3"):
+                runner.map(poison_cell, [{"x": x} for x in (1, 3)])
+        finally:
+            stop_worker(worker, thread)
+
+    def test_policy_quarantines_as_cell_failure(self, tmp_path):
+        policy = ResiliencePolicy(max_retries=1, write_capsules=False,
+                                  backoff_base=0.0)
+        results = self.queue_poison(tmp_path, policy)
+        assert results[0] == 10 and results[2] == 40
+        failure = results[1]
+        assert is_failure(failure)
+        assert failure.kind == "exception"
+        assert failure.error_type == "ValueError"
+        # One initial attempt + one retry, counted across workers.
+        assert failure.attempts >= 2
+
+    def queue_poison(self, tmp_path, policy):
+        backend = QueueBackend(tmp_path / "q", worker_grace=30.0,
+                               poll_interval=0.02)
+        worker, thread = run_worker_thread(tmp_path / "q")
+        runner = SweepRunner(experiment_id="qpoison",
+                             resilience=policy, backend=backend)
+        try:
+            return runner.map(poison_cell,
+                              [{"x": x} for x in (1, 3, 4)])
+        finally:
+            stop_worker(worker, thread)
+
+    def test_fallback_when_no_worker_ever_claims(self, tmp_path,
+                                                 recwarn):
+        backend = QueueBackend(tmp_path / "q", worker_grace=0.2,
+                               poll_interval=0.02)
+        runner = SweepRunner(experiment_id="qfall", backend=backend)
+        results = runner.map(square, [{"x": x} for x in (2, 3)])
+        assert results == [4, 9]
+        assert any("no live workers" in str(w.message)
+                   for w in recwarn.list)
+        # The withdrawn tasks are not left behind for later sweeps.
+        assert QueueLayout(tmp_path / "q").task_keys() == []
+
+    def test_stale_parked_result_discarded(self, tmp_path):
+        # A result parked under an older code fingerprint must be
+        # recomputed, not trusted.
+        queue = tmp_path / "q"
+        layout = QueueLayout(queue).ensure()
+        runner = SweepRunner(experiment_id="qstale")
+        key = runner._cell_key(square, {"x": 5})
+        _atomic_write_json(layout.result_path(key), {
+            "version": TASK_VERSION, "ok": True, "key": key,
+            "experiment": "qstale", "fingerprint": "stale-code",
+            "value": encode_value(999), "elapsed_s": 0.0,
+            "attempts": 0, "steals": 0, "worker": "old", "ts": 0.0})
+        backend = QueueBackend(queue, worker_grace=30.0,
+                               poll_interval=0.02)
+        worker, thread = run_worker_thread(queue)
+        runner = SweepRunner(experiment_id="qstale", backend=backend)
+        try:
+            assert runner.map(square, [{"x": 5}]) == [25]
+        finally:
+            stop_worker(worker, thread)
+
+    def test_ambient_default_backend(self, tmp_path):
+        assert default_backend() is None
+        backend = InProcessBackend()
+        with use_backend(backend):
+            assert default_backend() is backend
+            runner = SweepRunner(experiment_id="ambient")
+            assert runner._effective_backend() is backend
+        assert default_backend() is None
+
+    def test_resolve_backend_specs(self, tmp_path):
+        assert resolve_backend(None) is None
+        assert resolve_backend("auto") is None
+        assert isinstance(resolve_backend("inprocess"),
+                          InProcessBackend)
+        assert isinstance(resolve_backend("pool"), PoolBackend)
+        queue = resolve_backend("queue", queue_dir=tmp_path)
+        assert isinstance(queue, QueueBackend)
+        with pytest.raises(ValueError, match="--queue-dir"):
+            resolve_backend("queue")
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("carrier-pigeon")
+
+
+# -- cross-process chaos ------------------------------------------------------
+
+
+def _tests_on_pythonpath(monkeypatch):
+    """Let spawned workers import this test module by name."""
+    tests_dir = str(Path(__file__).parent)
+    existing = os.environ.get("PYTHONPATH")
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        tests_dir if not existing
+        else os.pathsep.join([tests_dir, existing]))
+
+
+class TestSubprocessChaos:
+    def test_sigkilled_worker_cell_completed_by_peer(
+            self, tmp_path, monkeypatch):
+        """The tentpole guarantee: SIGKILL mid-lease loses nothing.
+
+        Two real worker processes drain the queue; the first to claim
+        x == 2 SIGKILLs itself mid-cell.  Its lease stops
+        heartbeating, expires after lease_ttl, and the peer steals
+        and completes the cell.  The sweep's results are identical to
+        serial and record at least one steal.
+        """
+        _tests_on_pythonpath(monkeypatch)
+        queue = tmp_path / "q"
+        flags = tmp_path / "flags"
+        flags.mkdir()
+        cells = [{"x": x, "flag_dir": str(flags)} for x in (1, 2, 3)]
+        serial = [x + 1000 for x in (1, 2, 3)]
+
+        procs = [spawn_worker(queue, lease_ttl=1.0, max_idle=20.0,
+                              worker_id=f"chaos-{i}")
+                 for i in range(2)]
+        backend = QueueBackend(queue, lease_ttl=1.0,
+                               worker_grace=60.0, poll_interval=0.05)
+        runner = SweepRunner(experiment_id="chaos", backend=backend)
+        try:
+            results = runner.map(kill_once_cell, cells)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=30)
+        assert results == serial
+        assert (flags / "killed-2").exists(), \
+            "the chaos cell never fired -- the test proved nothing"
+
+    def test_worker_cli_exits_on_max_idle(self, tmp_path):
+        from repro.__main__ import main
+        queue = tmp_path / "q"
+        QueueLayout(queue).ensure()
+        assert main(["worker", str(queue), "--max-idle", "0.3",
+                     "--worker-id", "cli-test"]) == 0
+
+
+# -- journal shards -----------------------------------------------------------
+
+
+class TestJournalShards:
+    def test_shard_write_path(self, tmp_path):
+        base = tmp_path / "exp.journal.jsonl"
+        journal = SweepJournal(base, fingerprint="fp", shard="h-1")
+        journal.record_cell("exp", "k1", 41, 1, 0.0)
+        journal.close()
+        assert not base.exists()
+        assert (tmp_path / "exp.journal-h-1.jsonl").exists()
+
+    def test_reads_merge_all_shards(self, tmp_path):
+        base = tmp_path / "exp.journal.jsonl"
+        for shard, key, value in (("a", "k1", 1), ("b", "k2", 2)):
+            journal = SweepJournal(base, fingerprint="fp",
+                                   shard=shard)
+            journal.record_cell("exp", key, value, 1, 0.0)
+            journal.close()
+        # An unsharded reader -- and any third shard -- sees the union.
+        merged = SweepJournal(base, fingerprint="fp")
+        assert merged.lookup("k1") == (True, 1)
+        assert merged.lookup("k2") == (True, 2)
+        third = SweepJournal(base, fingerprint="fp", shard="c")
+        assert third.lookup("k1") == (True, 1)
+
+    def test_journal_for_shard(self, tmp_path):
+        journal = journal_for("exp", tmp_path, fingerprint="fp",
+                              shard="w1")
+        journal.record_cell("exp", "k", "v", 1, 0.0)
+        journal.close()
+        assert (tmp_path / "exp.journal-w1.jsonl").exists()
+
+    def test_torn_shard_tail_tolerated(self, tmp_path):
+        base = tmp_path / "exp.journal.jsonl"
+        journal = SweepJournal(base, fingerprint="fp", shard="a")
+        journal.record_cell("exp", "k1", 7, 1, 0.0)
+        journal.close()
+        shard_path = tmp_path / "exp.journal-a.jsonl"
+        with open(shard_path, "a", encoding="utf-8") as stream:
+            stream.write('{"version": 1, "type": "cell_do')
+        merged = SweepJournal(base, fingerprint="fp")
+        assert merged.lookup("k1") == (True, 7)
+        assert merged.torn_lines == 1
+
+    def test_resumed_sweep_merges_other_shards(self, tmp_path):
+        """A resumed run (fresh pid => fresh shard) must see cells
+        journaled by any earlier process."""
+        policy = ResiliencePolicy(journal_dir=tmp_path,
+                                  write_capsules=False)
+        runner = SweepRunner(experiment_id="shardres",
+                             resilience=policy)
+        first = runner.map(square, [{"x": x} for x in (1, 2, 3)])
+        runner.journal.close()
+        # Simulate another process by renaming the shard.
+        shard = next(tmp_path.glob("shardres.journal-*.jsonl"))
+        shard.rename(tmp_path / "shardres.journal-otherhost-1.jsonl")
+        resumed_runner = SweepRunner(experiment_id="shardres",
+                                     resilience=policy)
+        resumed = resumed_runner.map(
+            square, [{"x": x} for x in (1, 2, 3)])
+        assert resumed == first
+        assert resumed_runner.journal.completed  # served from merge
+
+
+# -- telemetry surfaces -------------------------------------------------------
+
+
+class TestWorkerEvents:
+    def test_runlog_worker_event(self, tmp_path):
+        from repro.obs.runlog import (RUNLOG_VERSION, RunLog,
+                                      read_events, validate_events)
+        assert RUNLOG_VERSION == 4
+        path = tmp_path / "log.jsonl"
+        with RunLog(path, run_id="r1") as log:
+            log.start("exp", params_hash="abc")
+            log.worker("cell_claimed", worker="w0", key="k")
+            with pytest.raises(ValueError, match="missing fields"):
+                log.emit("worker", worker="w0")  # no event field
+            log.finish()
+        events = read_events(path)
+        assert validate_events(events) == []
+        assert events[1]["type"] == "worker"
+        assert events[1]["event"] == "cell_claimed"
+
+    def test_watch_state_folds_worker_health(self):
+        from repro.obs.live import WatchState, render_dashboard
+        state = WatchState()
+        state.apply({"type": "run_start", "run_id": "r",
+                     "experiment": "exp", "ts": 1.0})
+        state.apply({"type": "worker", "event": "worker_seen",
+                     "worker": "host-1", "ts": 2.0})
+        state.apply({"type": "worker", "event": "cell_completed",
+                     "worker": "host-1", "ts": 3.0})
+        state.apply({"type": "worker", "event": "cell_stolen",
+                     "worker": "coordinator",
+                     "previous_holder": "host-2", "ts": 4.0})
+        assert state.workers["host-1"]["completed"] == 1
+        assert state.workers["host-2"]["status"] == "lost"
+        assert state.cells_stolen == 1
+        board = render_dashboard(state, now=5.0)
+        assert "workers:" in board
+        assert "host-1" in board
+        assert "1 cell(s) re-leased" in board
+
+    def test_queue_sweep_emits_worker_events(self, tmp_path):
+        from repro.obs import Telemetry
+        from repro.obs.runlog import read_events
+        queue = tmp_path / "q"
+        backend = QueueBackend(queue, worker_grace=30.0,
+                               poll_interval=0.02)
+        worker, thread = run_worker_thread(queue)
+        telemetry = Telemetry(tmp_path / "obs", experiment="qtel")
+        runner = SweepRunner(experiment_id="qtel", backend=backend)
+        try:
+            with telemetry.activate():
+                runner.map(square, [{"x": 4}])
+        finally:
+            stop_worker(worker, thread)
+        events = read_events(telemetry.runlog_path)
+        kinds = {e.get("event") for e in events
+                 if e["type"] == "worker"}
+        assert "cell_completed" in kinds
+
+
+# -- CLI integration ----------------------------------------------------------
+
+
+class TestBackendCLI:
+    def test_queue_without_queue_dir_exits_2(self, capsys):
+        from repro.__main__ import main
+        assert main(["run", "ext_stability_map",
+                     "--backend", "queue"]) == 2
+        assert "--queue-dir" in capsys.readouterr().err
+
+    def test_run_installs_ambient_backend(self, capsys, monkeypatch):
+        # --backend reaches SweepRunners the experiment builds
+        # internally, without the experiment taking a parameter.
+        from repro.__main__ import main
+        from repro.experiments.registry import EXPERIMENTS, Experiment
+        seen = {}
+
+        def fake_run():
+            seen["backend"] = default_backend()
+            runner = SweepRunner(experiment_id="fake")
+            return runner.map(square, [{"x": 2}])
+
+        fake = Experiment("fake", "a fake experiment", fake_run,
+                          lambda rows: f"rows={rows}")
+        monkeypatch.setitem(EXPERIMENTS, "fake", fake)
+        assert main(["run", "fake", "--backend", "inprocess"]) == 0
+        assert isinstance(seen["backend"], InProcessBackend)
+        assert "rows=[4]" in capsys.readouterr().out
+        # And the default is restored once the CLI returns.
+        assert default_backend() is None
+
+    def test_parser_accepts_backend_flags(self):
+        from repro.__main__ import build_parser
+        args = build_parser().parse_args(
+            ["run", "fig14", "--backend", "queue",
+             "--queue-dir", "/shared/q", "--lease-ttl", "5",
+             "--worker-grace", "12"])
+        assert args.backend == "queue"
+        assert args.queue_dir == "/shared/q"
+        assert args.lease_ttl == 5.0
+        assert args.worker_grace == 12.0
+        args = build_parser().parse_args(
+            ["worker", "/shared/q", "--max-idle", "3",
+             "--max-cells", "7"])
+        assert args.queue_dir == "/shared/q"
+        assert args.max_idle == 3.0
+        assert args.max_cells == 7

@@ -60,7 +60,20 @@ class TestResolveWorkers:
         assert resolve_workers(4) == 4
 
     def test_negative_means_all_cores(self):
-        assert resolve_workers(-1) == (os.cpu_count() or 1)
+        from repro.perf.sweep import effective_cpu_count
+        assert resolve_workers(-1) == effective_cpu_count()
+
+    def test_effective_count_respects_affinity(self):
+        # The effective count must never exceed the raw count, and on
+        # affinity-capable platforms must match what the scheduler
+        # actually grants this process (a cgroup-limited CI runner
+        # reports fewer CPUs than the machine has).
+        from repro.perf.sweep import effective_cpu_count
+        count = effective_cpu_count()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert count <= max(len(os.sched_getaffinity(0)),
+                                os.cpu_count() or 1)
 
     def test_nested_worker_forced_serial(self, monkeypatch):
         monkeypatch.setenv(WORKER_ENV, "1")
