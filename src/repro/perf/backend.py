@@ -26,8 +26,15 @@ atomic rename on one directory tree::
                            workers claim by renaming into claims/)
       claims/<key>.json    leased cells; the file's mtime is the
                            lease heartbeat, renewed by the worker
-      results/<key>.json   completed or terminally-failed cells
-      workers/<id>.json    worker registrations; mtime = liveness
+      results/<key>-<fp>.json
+                           completed or terminally-failed cells,
+                           namespaced by code fingerprint so
+                           coordinators on different checkouts
+                           sharing one queue cannot destroy each
+                           other's output
+      workers/<id>.json    worker registrations; mtime = liveness,
+                           payload carries the worker's code
+                           fingerprint
 
 * **Claiming** is ``os.rename(tasks/K, claims/K)`` -- exactly one
   worker wins, losers get ``FileNotFoundError`` and move on.
@@ -45,10 +52,14 @@ atomic rename on one directory tree::
   terminally failed *in the queue* (a ``worker-lost`` result), so a
   worker-killing cell quarantines globally instead of ping-ponging
   between hosts forever.
-* **Graceful degradation**: a coordinator that sees no live worker
-  for ``worker_grace`` seconds withdraws its cells from the queue and
-  falls back to the pool backend (which itself degrades to a serial
-  drain), preserving the no-policy raise-on-failure contract.
+* **Graceful degradation**: a coordinator that sees no *compatible*
+  live worker -- one whose registration advertises the same code
+  fingerprint as the tasks it enqueued -- for ``worker_grace``
+  seconds withdraws its cells from the queue and falls back to the
+  pool backend (which itself degrades to a serial drain), preserving
+  the no-policy raise-on-failure contract.  A heartbeating fleet on
+  a different checkout does not count: those workers skip foreign
+  tasks, so waiting on them would hang forever.
 
 Backend selection is ambient as well as explicit: the CLI's
 ``--backend``/``--queue-dir`` flags install a process default via
@@ -156,8 +167,12 @@ class QueueLayout:
     def claim_path(self, key: str) -> Path:
         return self.claims / f"{key}.json"
 
-    def result_path(self, key: str) -> Path:
-        return self.results / f"{key}.json"
+    def result_path(self, key: str, fingerprint: str) -> Path:
+        """Results are namespaced by code fingerprint: two
+        coordinators on different checkouts sharing this queue park
+        and consume results under different names, so neither can
+        delete (or overwrite) the other's completed work."""
+        return self.results / f"{key}-{fingerprint[:12]}.json"
 
     def worker_path(self, worker_id: str) -> Path:
         return self.workers / f"{worker_id}.json"
@@ -180,10 +195,17 @@ class QueueLayout:
                 if name.endswith(".json")]
 
     def live_workers(self, ttl: float,
-                     now: Optional[float] = None
+                     now: Optional[float] = None,
+                     fingerprint: Optional[str] = None
                      ) -> Dict[str, float]:
         """worker id -> heartbeat age, for registrations younger
-        than ``ttl`` (liveness is mtime-based: clock-skew immune)."""
+        than ``ttl`` (liveness is mtime-based: clock-skew immune).
+
+        With ``fingerprint`` set, only workers whose registration
+        advertises that code fingerprint count -- a live fleet on a
+        different checkout skips this coordinator's tasks, so for
+        grace/fallback purposes it is as good as dead.
+        """
         live: Dict[str, float] = {}
         try:
             names = os.listdir(self.workers)
@@ -193,8 +215,14 @@ class QueueLayout:
             if not name.endswith(".json"):
                 continue
             age = _mtime_age(self.workers / name, now)
-            if age is not None and age < ttl:
-                live[name[:-5]] = age
+            if age is None or age >= ttl:
+                continue
+            if fingerprint is not None:
+                payload = _read_json(self.workers / name)
+                if payload is None or \
+                        payload.get("fingerprint") != fingerprint:
+                    continue
+            live[name[:-5]] = age
         return live
 
 
@@ -284,7 +312,10 @@ def steal_expired_leases(layout: QueueLayout, lease_ttl: float,
                                f"{holder or 'unknown'} presumed "
                                f"dead"),
                 traceback_text="", worker_id=stealer)
-            _atomic_write_json(layout.result_path(key), failure)
+            _atomic_write_json(
+                layout.result_path(key,
+                                   task.get("fingerprint") or ""),
+                failure)
             quarantined += 1
             _worker_event("cell_quarantined", key=key,
                           worker=stealer, steals=task["steals"])
@@ -387,10 +418,11 @@ class QueueBackend(SweepBackend):
     poll_interval:
         Coordinator poll period, seconds.
     worker_grace:
-        Seconds the coordinator tolerates *zero live workers* before
-        withdrawing its cells and degrading to local execution.
-        ``None`` disables degradation (wait forever -- strict
-        distributed mode).
+        Seconds the coordinator tolerates *zero compatible live
+        workers* (live registrations advertising the same code
+        fingerprint as its tasks) before withdrawing its cells and
+        degrading to local execution.  ``None`` disables degradation
+        (wait forever -- strict distributed mode).
     """
 
     name = "queue"
@@ -474,7 +506,13 @@ class QueueBackend(SweepBackend):
                     len(live))
                 registry.gauge("perf.queue.depth").set(
                     len(layout.task_keys()))
-                if live or progressed:
+                # Only workers that can actually execute our tasks
+                # (same code fingerprint) hold off the grace timer;
+                # a heartbeating fleet on a foreign checkout skips
+                # our cells, so waiting on it would hang forever.
+                compatible = layout.live_workers(
+                    self.lease_ttl, fingerprint=fingerprint)
+                if compatible or progressed:
                     grace_started = time.monotonic()
                 elif self.worker_grace is not None and \
                         time.monotonic() - grace_started \
@@ -494,14 +532,17 @@ class QueueBackend(SweepBackend):
     def _consume_result(self, runner, fn, entry, finish,
                         fingerprint: str, histogram) -> bool:
         """Fold one parked result into the sweep, if present/valid."""
-        path = self.layout.result_path(entry.key)
+        path = self.layout.result_path(entry.key, fingerprint)
         result = _read_json(path)
         if result is None:
             return False
         if result.get("version") != TASK_VERSION \
                 or result.get("key") != entry.key \
                 or result.get("fingerprint") != fingerprint:
-            # Stale code or foreign junk: discard, recompute.
+            # Junk in our own fingerprint namespace (results are
+            # filed as <key>-<fingerprint>, so another coordinator's
+            # valid output can never appear here): discard and
+            # recompute.
             try:
                 os.unlink(path)
             except OSError:
@@ -526,12 +567,13 @@ class QueueBackend(SweepBackend):
                           elapsed_s=elapsed, attempts=attempts)
             finish(entry, value, attempts, elapsed)
         else:
-            self._handle_failure(runner, fn, entry, finish, result)
-        self._cleanup_key(entry.key)
+            self._handle_failure(runner, fn, entry, finish, result,
+                                 fingerprint)
+        self._cleanup_key(entry.key, fingerprint)
         return True
 
     def _handle_failure(self, runner, fn, entry, finish,
-                        result: dict) -> None:
+                        result: dict, fingerprint: str) -> None:
         """A terminal queue failure: re-raise or quarantine."""
         error: Optional[BaseException] = None
         payload = result.get("error_pickle")
@@ -550,7 +592,7 @@ class QueueBackend(SweepBackend):
             f"{result.get('error_type')}: " \
             f"{result.get('error_message')}"
         if runner.resilience is None:
-            self._cleanup_key(entry.key)
+            self._cleanup_key(entry.key, fingerprint)
             if error is not None and entry.last_kind == "exception":
                 raise error
             raise RuntimeError(
@@ -592,13 +634,14 @@ class QueueBackend(SweepBackend):
         _sweep_event("backend_fallback", experiment=(
             runner.experiment_id or getattr(fn, "__name__", "sweep")),
             cells=len(remaining),
-            reason=f"no live workers for {self.worker_grace:g}s")
+            reason=(f"no live workers with a compatible code "
+                    f"fingerprint for {self.worker_grace:g}s"))
         _worker_event("backend_fallback", cells=len(remaining))
         warnings.warn(
-            f"queue backend saw no live workers in "
-            f"{self.worker_grace:g}s; degrading {len(remaining)} "
-            f"cell(s) to local execution", RuntimeWarning,
-            stacklevel=2)
+            f"queue backend saw no live workers with a compatible "
+            f"code fingerprint in {self.worker_grace:g}s; degrading "
+            f"{len(remaining)} cell(s) to local execution",
+            RuntimeWarning, stacklevel=2)
         if runner.workers > 1 and len(remaining) > 1:
             runner._execute_pool(fn, remaining, finish)
         else:
@@ -614,8 +657,8 @@ class QueueBackend(SweepBackend):
                 except OSError:
                     pass
 
-    def _cleanup_key(self, key: str) -> None:
-        for path in (self.layout.result_path(key),
+    def _cleanup_key(self, key: str, fingerprint: str) -> None:
+        for path in (self.layout.result_path(key, fingerprint),
                      self.layout.task_path(key),
                      self.layout.claim_path(key)):
             try:

@@ -240,7 +240,9 @@ class SweepJournal:
     base file plus every sibling shard.  One process per shard means
     every individual file keeps the single-writer append-only
     invariant, and any reader (a resuming coordinator, a worker
-    warming up) sees the union.
+    warming up) sees the union.  So shards do not accumulate one
+    file per process forever, :meth:`compact` folds them back into
+    the base file once a sweep completes.
     """
 
     def __init__(self, path: Union[str, Path],
@@ -280,7 +282,16 @@ class SweepJournal:
             if path.exists():
                 self._load_file(path)
 
-    def _load_file(self, path: Path) -> None:
+    def _parse_entries(self, path: Path) -> "List[dict]":
+        """One file's valid current-fingerprint entries, in order.
+
+        Applies the load tolerances -- a torn *final* line is
+        skipped (the writer died mid-event), stale versions and
+        foreign fingerprints are counted and dropped -- and raises
+        on mid-file corruption, which an append-only writer cannot
+        produce.
+        """
+        entries: List[dict] = []
         lines = path.read_text(encoding="utf-8").splitlines()
         last_content = -1
         for index, line in enumerate(lines):
@@ -297,12 +308,15 @@ class SweepJournal:
                     raise
                 self._torn_lines += 1
                 continue  # torn final line: the writer died mid-event
-            if entry.get("version") != JOURNAL_VERSION:
+            if entry.get("version") != JOURNAL_VERSION \
+                    or entry.get("fingerprint") != self.fingerprint:
                 self._stale_entries += 1
                 continue
-            if entry.get("fingerprint") != self.fingerprint:
-                self._stale_entries += 1
-                continue
+            entries.append(entry)
+        return entries
+
+    def _load_file(self, path: Path) -> None:
+        for entry in self._parse_entries(path):
             kind = entry.get("type")
             if kind == "cell_done":
                 self.completed[entry["key"]] = entry["value"]
@@ -370,6 +384,70 @@ class SweepJournal:
         if self._stream is not None:
             self._stream.flush()
             os.fsync(self._stream.fileno())
+
+    def compact(self) -> int:
+        """Fold every shard into the base file and delete the shards.
+
+        Without compaction a long-lived experiment accumulates one
+        ``<stem>-<host>-<pid>`` shard per process that ever journaled
+        it, slowing every subsequent open.  Called on successful
+        sweep completion, this rewrites the base journal with the
+        merged view (atomic tmp + fsync + rename), unlinks the
+        absorbed shard files, and returns how many were absorbed.
+
+        Entries under a stale version or foreign fingerprint are
+        dropped -- they are skipped at load anyway (editing any
+        source file orphans the journal, exactly like the cache), so
+        compaction doubles as garbage collection.  Concurrency: a
+        shard unlinked under a still-live writer silently drops that
+        writer's *later* appends, which costs a recompute on the
+        next resume, never correctness -- acceptable for the
+        end-of-sweep call sites this is meant for.
+        """
+        self.close()
+        paths = [path for path in self._shard_paths()
+                 if path.exists()]
+        shards = [path for path in paths if path != self.path]
+        if not shards:
+            return 0
+        done: Dict[str, dict] = {}
+        failed: Dict[str, dict] = {}
+        order: List[str] = []
+        for path in paths:
+            for entry in self._parse_entries(path):
+                key = entry.get("key")
+                kind = entry.get("type")
+                if key is None or kind not in ("cell_done",
+                                               "cell_failed"):
+                    continue
+                if key not in done and key not in failed:
+                    order.append(key)
+                if kind == "cell_done":
+                    done[key] = entry
+                    # Mirror load semantics: success supersedes an
+                    # earlier failure of the same cell.
+                    failed.pop(key, None)
+                else:
+                    failed[key] = entry
+        tmp = self.path.with_name(self.path.name
+                                  + f".tmp-{os.getpid()}")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as stream:
+            for key in order:
+                for entry in (done.get(key), failed.get(key)):
+                    if entry is not None:
+                        stream.write(json.dumps(entry,
+                                                sort_keys=True)
+                                     + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.path)
+        for path in shards:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return len(shards)
 
     def close(self) -> None:
         if self._stream is not None:

@@ -390,7 +390,13 @@ class SweepRunner:
                         journal.flush()
                     raise
             if journal is not None:
-                journal.flush()
+                # Successful completion: fold per-process shards
+                # back into the base journal so long-lived
+                # experiments don't accumulate one file per run.
+                try:
+                    journal.compact()
+                except Exception:
+                    journal.flush()  # unreadable sibling shard etc.
             return results
 
     # -- shared failure handling -------------------------------------------

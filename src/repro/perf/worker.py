@@ -22,8 +22,11 @@ Robustness contract:
   is exhausted, then terminally failed into ``results/`` with the
   pickled exception for the coordinator to re-raise or quarantine.
 * A task carrying a **foreign code fingerprint** is left alone
-  (executing it would break bit-identity); the coordinator's grace
-  fallback recomputes such cells locally.
+  (executing it would break bit-identity).  The registration
+  advertises this worker's own fingerprint, so a coordinator on a
+  different checkout does not count it as live-for-its-purposes and
+  its grace fallback recomputes such cells locally instead of
+  waiting on a fleet that will never touch them.
 * When ``tasks/`` is empty the worker scavenges ``claims/`` for
   expired leases (dead peers) before going back to sleep.
 
@@ -93,6 +96,11 @@ class QueueWorker:
                              f"got {lease_ttl}")
         self.layout = QueueLayout(queue_dir)
         self.worker_id = worker_id or default_worker_id()
+        #: The code this worker would execute cells under; claims
+        #: are restricted to tasks stamped with the same fingerprint
+        #: and the registration advertises it (coordinators only
+        #: count fingerprint-compatible workers as live).
+        self.fingerprint = code_fingerprint()
         self.lease_ttl = float(lease_ttl)
         self.heartbeat_interval = (heartbeat_interval
                                    if heartbeat_interval is not None
@@ -118,6 +126,7 @@ class QueueWorker:
         return {"worker": self.worker_id, "pid": os.getpid(),
                 "host": socket.gethostname(),
                 "python": sys.version.split()[0],
+                "fingerprint": self.fingerprint,
                 "beats": self._beats, "ts": time.time()}
 
     def register(self) -> None:
@@ -165,13 +174,12 @@ class QueueWorker:
 
     def _claim(self) -> Optional[tuple]:
         """Atomically claim one ready task; None if none claimable."""
-        fingerprint = code_fingerprint()
         for key in self.layout.task_keys():
             task_path = self.layout.task_path(key)
             task = _read_json(task_path)
             if task is None:
                 continue  # claimed/withdrawn between scan and read
-            if task.get("fingerprint") != fingerprint:
+            if task.get("fingerprint") != self.fingerprint:
                 if key not in self._skipped_fingerprints:
                     self._skipped_fingerprints.add(key)
                     _metrics.get_registry().counter(
@@ -179,6 +187,11 @@ class QueueWorker:
                 continue
             claim_path = self.layout.claim_path(key)
             try:
+                # rename preserves the source mtime, and lease age
+                # *is* mtime age -- a task that sat queued longer
+                # than lease_ttl would be born expired and instantly
+                # stolen out from under us.  Freshen it first.
+                os.utime(task_path)
                 os.rename(task_path, claim_path)
             except OSError:
                 continue  # another worker won the race
@@ -189,17 +202,30 @@ class QueueWorker:
             return claim_path, task
         return None
 
+    def _requeue(self, claim_path: Path, task: dict) -> bool:
+        """Move a held lease back to ``tasks/`` -- atomically, and
+        only if the claim still exists.
+
+        A vanished claim means the cell was withdrawn by its
+        coordinator (Ctrl-C) or stolen by a peer after our lease
+        expired; re-queueing our stale copy would resurrect an
+        orphan task no coordinator is waiting on, or overwrite the
+        stolen task's incremented ``steals`` bookkeeping.  In either
+        case the right move is to drop it.
+        """
+        try:
+            os.rename(claim_path, self.layout.task_path(task["key"]))
+        except OSError:
+            return False
+        return True
+
     def _release(self, claim_path: Path, task: dict) -> None:
         """Put a claimed-but-unfinished cell back, un-penalized."""
         with self._lock:
             self._active = None
-        _atomic_write_json(self.layout.task_path(task["key"]), task)
-        try:
-            os.unlink(claim_path)
-        except OSError:
-            pass
-        _worker_event("cell_released", key=task["key"],
-                      worker=self.worker_id)
+        if self._requeue(claim_path, task):
+            _worker_event("cell_released", key=task["key"],
+                          worker=self.worker_id)
 
     def _finish(self, claim_path: Path, result: dict) -> None:
         """Park a result and drop the lease (in that order: a crash
@@ -208,7 +234,8 @@ class QueueWorker:
         with self._lock:
             self._active = None
         _atomic_write_json(
-            self.layout.result_path(result["key"]), result)
+            self.layout.result_path(result["key"],
+                                    result["fingerprint"]), result)
         try:
             os.unlink(claim_path)
         except OSError:
@@ -279,12 +306,13 @@ class QueueWorker:
             # Re-queue for any worker (including this one) to retry.
             with self._lock:
                 self._active = None
+            if not self._requeue(claim_path, task):
+                return  # withdrawn or stolen: not ours to retry
+            # The rename carried the stale lease payload; stamp the
+            # incremented attempt count over it.  A peer claiming in
+            # this window at worst duplicates one idempotent attempt.
             _atomic_write_json(self.layout.task_path(task["key"]),
                                task)
-            try:
-                os.unlink(claim_path)
-            except OSError:
-                pass
             registry.counter("perf.worker.cell_retries_total").inc()
             _worker_event("cell_requeued", key=task["key"],
                           index=task.get("index"),
@@ -354,17 +382,14 @@ class QueueWorker:
                 self._heartbeat_thread.join(timeout=2.0)
                 self._heartbeat_thread = None
             # A lease still held here (GracefulExit mid-bookkeeping)
-            # goes back to the queue un-penalized.
+            # goes back to the queue un-penalized -- unless the
+            # claim is already gone (withdrawn/stolen), in which
+            # case re-creating it would orphan a task.
             with self._lock:
                 active, self._active = self._active, None
             if active is not None:
                 claim_path, task = active
-                _atomic_write_json(
-                    self.layout.task_path(task["key"]), task)
-                try:
-                    os.unlink(claim_path)
-                except OSError:
-                    pass
+                self._requeue(claim_path, task)
             self.deregister()
             _worker_event("worker_stopped", worker=self.worker_id,
                           completed=self.completed,

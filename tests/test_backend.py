@@ -130,6 +130,21 @@ class TestQueueLayout:
         live = layout.live_workers(ttl=60.0)
         assert "fresh" in live and "dead" not in live
 
+    def test_live_workers_fingerprint_filter(self, tmp_path):
+        # A heartbeating worker on a different checkout is live, but
+        # not live-for-our-purposes: it will never claim our tasks.
+        layout = QueueLayout(tmp_path).ensure()
+        _atomic_write_json(layout.worker_path("ours"),
+                           {"fingerprint": "fp-a"})
+        _atomic_write_json(layout.worker_path("theirs"),
+                           {"fingerprint": "fp-b"})
+        _atomic_write_json(layout.worker_path("legacy"), {"w": 3})
+        assert set(layout.live_workers(ttl=60.0)) == \
+            {"ours", "theirs", "legacy"}
+        assert set(layout.live_workers(ttl=60.0,
+                                       fingerprint="fp-a")) == \
+            {"ours"}
+
     def test_read_json_tolerates_garbage(self, tmp_path):
         target = tmp_path / "torn.json"
         target.write_text('{"half": ')
@@ -199,7 +214,8 @@ class TestLeaseStealing:
         age_file(layout.claim_path("poison"), 3600)
         stolen, quarantined = steal_expired_leases(layout, 60.0)
         assert (stolen, quarantined) == (0, 1)
-        result = _read_json(layout.result_path("poison"))
+        result = _read_json(layout.result_path("poison",
+                                               code_fingerprint()))
         assert result["ok"] is False
         assert result["kind"] == "worker-lost"
         assert result["steals"] == 4
@@ -223,7 +239,8 @@ class TestQueueWorker:
         self.enqueue(layout, "k1", square, {"x": 7})
         worker = QueueWorker(tmp_path, worker_id="w")
         assert worker.step() is True
-        result = _read_json(layout.result_path("k1"))
+        result = _read_json(layout.result_path("k1",
+                                               code_fingerprint()))
         assert result["ok"] is True
         assert result["worker"] == "w"
         from repro.perf.resilience import decode_value
@@ -241,7 +258,8 @@ class TestQueueWorker:
         task = _read_json(layout.task_path("k3"))
         assert task["attempts"] == 1
         assert worker.step() is True  # attempt 2: terminal
-        result = _read_json(layout.result_path("k3"))
+        result = _read_json(layout.result_path("k3",
+                                               code_fingerprint()))
         assert result["ok"] is False
         assert result["error_type"] == "ValueError"
         assert "poison 3" in result["error_message"]
@@ -254,6 +272,61 @@ class TestQueueWorker:
         worker = QueueWorker(tmp_path, worker_id="w")
         assert worker.step() is False
         assert layout.task_path("kf").exists()
+
+    def test_registration_advertises_fingerprint(self, tmp_path):
+        # Coordinators only count fingerprint-compatible workers
+        # when deciding whether anyone can serve their tasks.
+        layout = QueueLayout(tmp_path).ensure()
+        worker = QueueWorker(tmp_path, worker_id="w")
+        worker.register()
+        payload = _read_json(layout.worker_path("w"))
+        assert payload["fingerprint"] == code_fingerprint()
+        assert "w" in layout.live_workers(
+            ttl=60.0, fingerprint=code_fingerprint())
+        assert "w" not in layout.live_workers(
+            ttl=60.0, fingerprint="someone-elses-code")
+
+    def test_claim_of_stale_task_gets_fresh_lease(self, tmp_path,
+                                                  monkeypatch):
+        # rename preserves mtime, and lease age is mtime age: a task
+        # that sat queued longer than lease_ttl must not become a
+        # claim that is already expired (a stealer would re-queue it
+        # while we execute, double-counting steals).  The leased
+        # rewrite normally refreshes the mtime too -- no-op it to
+        # prove the claim is fresh from the rename itself.
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "old", square, {"x": 2})
+        age_file(layout.task_path("old"), 3600)
+        monkeypatch.setattr("repro.perf.worker._atomic_write_json",
+                            lambda *args, **kwargs: None)
+        worker = QueueWorker(tmp_path, worker_id="w")
+        assert worker._claim() is not None
+        assert steal_expired_leases(layout, lease_ttl=60.0) == (0, 0)
+        assert layout.claim_path("old").exists()
+
+    def test_release_skips_withdrawn_claim(self, tmp_path):
+        # The coordinator withdrew the sweep (Ctrl-C) while we held
+        # the lease: releasing must not resurrect an orphan task no
+        # coordinator will ever consume.
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "kw", square, {"x": 2})
+        worker = QueueWorker(tmp_path, worker_id="w")
+        claim_path, task = worker._claim()
+        os.unlink(claim_path)  # the withdrawal
+        worker._release(claim_path, task)
+        assert not layout.task_path("kw").exists()
+        assert not layout.claim_path("kw").exists()
+
+    def test_release_requeues_held_claim(self, tmp_path):
+        layout = QueueLayout(tmp_path).ensure()
+        self.enqueue(layout, "kr", square, {"x": 2})
+        worker = QueueWorker(tmp_path, worker_id="w")
+        claim_path, task = worker._claim()
+        worker._release(claim_path, task)
+        assert layout.task_path("kr").exists()
+        assert not layout.claim_path("kr").exists()
+        # The released cell is claimable again.
+        assert worker.step() is True
 
     def test_run_registers_heartbeats_and_deregisters(self, tmp_path):
         layout = QueueLayout(tmp_path).ensure()
@@ -284,7 +357,8 @@ class TestQueueWorker:
         assert worker.stolen == 1
         # The stolen cell went back to tasks/ and was then claimed
         # and completed by this same worker.
-        result = _read_json(layout.result_path("orphan"))
+        result = _read_json(layout.result_path("orphan",
+                                               code_fingerprint()))
         assert result is not None and result["ok"] is True
 
 
@@ -371,13 +445,15 @@ class TestQueueBackend:
         assert QueueLayout(tmp_path / "q").task_keys() == []
 
     def test_stale_parked_result_discarded(self, tmp_path):
-        # A result parked under an older code fingerprint must be
-        # recomputed, not trusted.
+        # Junk parked in our own fingerprint namespace (here: the
+        # payload's embedded fingerprint doesn't match the filename's)
+        # must be recomputed, not trusted.
         queue = tmp_path / "q"
         layout = QueueLayout(queue).ensure()
         runner = SweepRunner(experiment_id="qstale")
         key = runner._cell_key(square, {"x": 5})
-        _atomic_write_json(layout.result_path(key), {
+        _atomic_write_json(layout.result_path(key,
+                                              code_fingerprint()), {
             "version": TASK_VERSION, "ok": True, "key": key,
             "experiment": "qstale", "fingerprint": "stale-code",
             "value": encode_value(999), "elapsed_s": 0.0,
@@ -390,6 +466,51 @@ class TestQueueBackend:
             assert runner.map(square, [{"x": 5}]) == [25]
         finally:
             stop_worker(worker, thread)
+
+    def test_foreign_coordinator_result_left_alone(self, tmp_path):
+        # Two coordinators on different code versions sharing one
+        # queue: ours must not destroy (or consume) the other's
+        # parked result for the same cell key -- results are
+        # namespaced by fingerprint.
+        queue = tmp_path / "q"
+        layout = QueueLayout(queue).ensure()
+        runner = SweepRunner(experiment_id="qshare")
+        key = runner._cell_key(square, {"x": 5})
+        foreign = layout.result_path(key, "foreign-code")
+        _atomic_write_json(foreign, {
+            "version": TASK_VERSION, "ok": True, "key": key,
+            "experiment": "qshare", "fingerprint": "foreign-code",
+            "value": encode_value(999), "elapsed_s": 0.0,
+            "attempts": 0, "steals": 0, "worker": "other", "ts": 0.0})
+        backend = QueueBackend(queue, worker_grace=30.0,
+                               poll_interval=0.02)
+        worker, thread = run_worker_thread(queue)
+        runner = SweepRunner(experiment_id="qshare", backend=backend)
+        try:
+            assert runner.map(square, [{"x": 5}]) == [25]
+        finally:
+            stop_worker(worker, thread)
+        # The foreign coordinator can still consume its own result.
+        assert _read_json(foreign)["fingerprint"] == "foreign-code"
+
+    def test_fallback_despite_incompatible_live_workers(
+            self, tmp_path, recwarn):
+        # The version-skew scenario: a heartbeating fleet on another
+        # checkout must not hold off the grace fallback forever --
+        # those workers skip our tasks, so they don't count as live
+        # for our purposes.
+        layout = QueueLayout(tmp_path / "q").ensure()
+        _atomic_write_json(layout.worker_path("skewed"),
+                           {"worker": "skewed",
+                            "fingerprint": "someone-elses-code"})
+        backend = QueueBackend(tmp_path / "q", worker_grace=0.2,
+                               poll_interval=0.02)
+        runner = SweepRunner(experiment_id="qforeign",
+                             backend=backend)
+        assert runner.map(square, [{"x": 6}]) == [36]
+        assert any("no live workers" in str(w.message)
+                   for w in recwarn.list)
+        assert layout.task_keys() == []
 
     def test_ambient_default_backend(self, tmp_path):
         assert default_backend() is None
@@ -524,15 +645,71 @@ class TestJournalShards:
                              resilience=policy)
         first = runner.map(square, [{"x": x} for x in (1, 2, 3)])
         runner.journal.close()
-        # Simulate another process by renaming the shard.
-        shard = next(tmp_path.glob("shardres.journal-*.jsonl"))
-        shard.rename(tmp_path / "shardres.journal-otherhost-1.jsonl")
+        # Simulate another process: move the (compacted) journal
+        # into a foreign shard, as a peer's appends would appear.
+        base = tmp_path / "shardres.journal.jsonl"
+        base.rename(tmp_path / "shardres.journal-otherhost-1.jsonl")
         resumed_runner = SweepRunner(experiment_id="shardres",
                                      resilience=policy)
         resumed = resumed_runner.map(
             square, [{"x": x} for x in (1, 2, 3)])
         assert resumed == first
         assert resumed_runner.journal.completed  # served from merge
+
+    def test_sweep_completion_compacts_shards(self, tmp_path):
+        """A finished sweep folds its per-process shard into the
+        base journal; long-lived experiments don't accumulate one
+        shard file per run ever executed."""
+        policy = ResiliencePolicy(journal_dir=tmp_path,
+                                  write_capsules=False)
+        runner = SweepRunner(experiment_id="cmpact",
+                             resilience=policy)
+        runner.map(square, [{"x": x} for x in (1, 2)])
+        assert (tmp_path / "cmpact.journal.jsonl").exists()
+        assert list(tmp_path.glob("cmpact.journal-*.jsonl")) == []
+        # The compacted journal still resumes every cell.
+        resumed = SweepRunner(experiment_id="cmpact",
+                              resilience=policy)
+        assert resumed.map(square, [{"x": x} for x in (1, 2)]) \
+            == [1, 4]
+
+    def test_compact_merges_and_unlinks_shards(self, tmp_path):
+        base = tmp_path / "exp.journal.jsonl"
+        for shard, key, value in (("a", "k1", 1), ("b", "k2", 2)):
+            journal = SweepJournal(base, fingerprint="fp",
+                                   shard=shard)
+            journal.record_cell("exp", key, value, 1, 0.0)
+            journal.close()
+        journal = SweepJournal(base, fingerprint="fp", shard="c")
+        journal.record_cell("exp", "k3", 3, 1, 0.0)
+        assert journal.compact() == 3
+        assert base.exists()
+        assert list(tmp_path.glob("exp.journal-*.jsonl")) == []
+        merged = SweepJournal(base, fingerprint="fp")
+        for key, value in (("k1", 1), ("k2", 2), ("k3", 3)):
+            assert merged.lookup(key) == (True, value)
+
+    def test_compact_drops_foreign_fingerprints(self, tmp_path):
+        # Orphaned entries (stale code) are garbage-collected by
+        # compaction, exactly like cache invalidation.
+        base = tmp_path / "exp.journal.jsonl"
+        old = SweepJournal(base, fingerprint="old", shard="a")
+        old.record_cell("exp", "k-old", 1, 1, 0.0)
+        old.close()
+        new = SweepJournal(base, fingerprint="new", shard="b")
+        new.record_cell("exp", "k-new", 2, 1, 0.0)
+        new.compact()
+        reloaded = SweepJournal(base, fingerprint="new")
+        assert reloaded.lookup("k-new") == (True, 2)
+        assert reloaded.stale_entries == 0
+
+    def test_compact_without_shards_is_noop(self, tmp_path):
+        base = tmp_path / "exp.journal.jsonl"
+        journal = SweepJournal(base, fingerprint="fp")
+        journal.record_cell("exp", "k", 1, 1, 0.0)
+        assert journal.compact() == 0
+        assert SweepJournal(base,
+                            fingerprint="fp").lookup("k") == (True, 1)
 
 
 # -- telemetry surfaces -------------------------------------------------------
