@@ -14,7 +14,8 @@ Usage::
     python -m repro watch obs/                   # live dashboard of a run
     python -m repro compare obs_a/ obs_b/        # cross-run regression diff
     python -m repro replay CAPSULE.json          # re-run a failed cell
-    python -m repro bench                # write BENCH_PR6.json
+    python -m repro bench                # write BENCH_PR7.json
+    python -m repro run fig05 --engine calendar  # pick event backend
     python -m repro worker /shared/queue         # drain a sweep queue
     python -m repro run fig14 --backend queue --queue-dir /shared/queue
 
@@ -80,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "cache (REPRO_CACHE_DIR or ~/.cache/repro)")
     run.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="cache directory (implies --cache)")
+    run.add_argument("--engine", default=None,
+                     choices=["heap", "calendar", "hybrid"],
+                     help="packet-engine backend: heap (oracle), "
+                          "calendar (bit-identical event queue), or "
+                          "hybrid (fluid elephants + packet mice; "
+                          "statistical, not bit-exact); experiments "
+                          "without a packet engine ignore it")
     run.add_argument("--telemetry", metavar="DIR", default=None,
                      help="record metrics, spans, health findings and "
                           "a JSONL run log per experiment into DIR")
@@ -175,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="measure hot-loop throughput, write a JSON report")
-    bench.add_argument("--output", default="BENCH_PR6.json",
+    bench.add_argument("--output", default="BENCH_PR7.json",
                        metavar="FILE", help="report path")
     bench.add_argument("--workers", type=int, default=4, metavar="N",
                        help="worker count for the sweep section")
@@ -301,7 +309,8 @@ def run_experiments(names: List[str],
                     backend: "str | None" = None,
                     queue_dir: "str | None" = None,
                     lease_ttl: Optional[float] = None,
-                    worker_grace: Optional[float] = None) -> int:
+                    worker_grace: Optional[float] = None,
+                    engine: "str | None" = None) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -338,10 +347,11 @@ def run_experiments(names: List[str],
         # The ambient default reaches every SweepRunner the
         # experiment builds internally, so sweeps run distributed
         # without each experiment growing a backend parameter.
+        extra = {"engine": engine} if engine is not None else {}
         with use_backend(backend_obj):
             result = experiment.run(workers=workers, cache=cache,
                                     telemetry=telemetry,
-                                    resilience=resilience)
+                                    resilience=resilience, **extra)
         failures = []
         if resilience is not None:
             from repro.perf import collect_failures
@@ -555,7 +565,8 @@ def main(argv: "List[str] | None" = None) -> int:
                            backend=args.backend,
                            queue_dir=args.queue_dir,
                            lease_ttl=args.lease_ttl,
-                           worker_grace=args.worker_grace)
+                           worker_grace=args.worker_grace,
+                           engine=args.engine)
 
 
 if __name__ == "__main__":

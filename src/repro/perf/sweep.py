@@ -8,6 +8,13 @@ over a :class:`concurrent.futures.ProcessPoolExecutor`, preserves the
 input order of results, and optionally memoizes each cell through a
 :class:`~repro.perf.cache.ResultCache`.
 
+Dispatch is probe-based: the first cell always runs in-process and is
+timed.  Grids too small to repay the pool's spawn cost
+(:data:`POOL_SPAWN_COST_S` per worker) finish serially -- identical
+results, no pool tax; cheap-but-numerous cells are submitted in
+chunks of several cells per future to amortize pickle and dispatch
+overhead (:func:`_run_chunk`).
+
 Determinism rules:
 
 * Cell functions must be module-level (picklable) and must derive all
@@ -71,6 +78,25 @@ WORKER_ENV = "REPRO_SWEEP_WORKER"
 #: Pool breakages tolerated per worker-count step when no policy is
 #: attached (supervision is on even for plain runners).
 DEFAULT_POOL_RESPAWNS = 3
+
+#: Estimated cost to spawn and warm one pool worker process, seconds
+#: (fork/spawn + interpreter + ``import repro``).  The probe-based
+#: dispatcher compares the measured per-cell cost against this to
+#: decide whether a pool can possibly pay for itself: BENCH_PR6
+#: recorded ``parallel_speedup: 0.76`` on the default
+#: ``ext_stability_map`` grid (11 cells x ~28 ms on an
+#: affinity-limited single CPU) precisely because the old runner
+#: spawned four workers it could never amortize.
+POOL_SPAWN_COST_S = 0.35
+
+#: Probe time below which cells count as "cheap" and parallel
+#: dispatch switches to chunked submission (several cells per pickle)
+#: to amortize the per-future IPC overhead.
+CHEAP_CELL_S = 0.05
+
+#: Upper bound on cells per chunk, keeping re-dispatch units small
+#: enough that a lost worker doesn't strike dozens of cells at once.
+MAX_CHUNK = 64
 
 #: Poll period bounds for the supervision loop, seconds.  The loop
 #: sleeps inside ``concurrent.futures.wait`` between these bounds so
@@ -154,6 +180,42 @@ def _run_cell_timed(payload: "Tuple[Callable[..., Any], Dict[str, Any]]"
     started = time.perf_counter()
     value = fn(**kwargs)
     return time.perf_counter() - started, value
+
+
+def _run_chunk(payload:
+               "Tuple[Callable[..., Any], List[Dict[str, Any]]]"
+               ) -> "List[Tuple[str, Any, Any]]":
+    """Evaluate several cells in one worker round trip.
+
+    Returns one outcome per cell, in order: ``("ok", wall_seconds,
+    value)`` on success, ``("err", exception, traceback_text)`` on
+    failure -- per-cell, so one bad cell in a chunk never taints its
+    siblings.  Exceptions that refuse to pickle are replaced by a
+    ``RuntimeError`` carrying their repr (the traceback text crosses
+    regardless).
+    """
+    import pickle
+
+    fn, cells = payload
+    os.environ[WORKER_ENV] = "1"
+    outcomes: "List[Tuple[str, Any, Any]]" = []
+    for kwargs in cells:
+        started = time.perf_counter()
+        try:
+            value = fn(**kwargs)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            text = _traceback.format_exc()
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+            outcomes.append(("err", exc, text))
+        else:
+            outcomes.append(
+                ("ok", time.perf_counter() - started, value))
+    return outcomes
 
 
 def _sweep_event(event: str, **fields: Any) -> None:
@@ -480,10 +542,48 @@ class SweepRunner:
     def _execute(self, fn: Callable[..., Any],
                  pending: List[_Pending],
                  finish: Callable[..., None]) -> None:
+        """Probe-based dispatch: serial, pool, or chunked pool.
+
+        The first cell always runs in-process and is timed.  If the
+        measured cost projected over the remaining cells cannot repay
+        spawning the pool (:data:`POOL_SPAWN_COST_S` per worker), the
+        sweep stays serial -- small grids on small machines no longer
+        pay a 0.76x "speedup" for four workers they cannot feed.
+        Cheap-but-numerous cells (< :data:`CHEAP_CELL_S`) go to the
+        pool in chunks so the per-future pickle/dispatch overhead is
+        amortized across several cells.
+        """
         if self.workers <= 1 or len(pending) <= 1:
             self._execute_serial(fn, pending, finish)
-        else:
+            return
+        policy = self.resilience
+        if policy is not None and policy.cell_timeout is not None:
+            # Wall-clock timeouts can only be enforced by killing a
+            # worker process; hang protection outranks spawn cost.
             self._execute_pool(fn, pending, finish)
+            return
+        probe_started = time.perf_counter()
+        self._execute_serial(fn, pending[:1], finish)
+        probe_s = time.perf_counter() - probe_started
+        remaining = pending[1:]
+        width = min(self.workers, len(remaining))
+        if probe_s * len(remaining) < POOL_SPAWN_COST_S * width:
+            registry = _metrics.get_registry()
+            registry.counter(
+                "perf.sweep.serial_fallbacks_total").inc()
+            _sweep_event(
+                "serial_fallback",
+                experiment=self.experiment_id
+                or getattr(fn, "__name__", "sweep"),
+                probe_s=probe_s, cells=len(remaining),
+                workers=self.workers)
+            self._execute_serial(fn, remaining, finish)
+            return
+        chunk = 1
+        if probe_s < CHEAP_CELL_S:
+            # Target ~4 chunks per worker so stragglers still balance.
+            chunk = min(-(-len(remaining) // (width * 4)), MAX_CHUNK)
+        self._execute_pool(fn, remaining, finish, chunk=chunk)
 
     def _execute_serial(self, fn: Callable[..., Any],
                         pending: List[_Pending],
@@ -562,8 +662,15 @@ class SweepRunner:
 
     def _execute_pool(self, fn: Callable[..., Any],
                       pending: List[_Pending],
-                      finish: Callable[..., None]) -> None:
-        """Supervised fan-out: timeouts, retries, respawn, degrade."""
+                      finish: Callable[..., None],
+                      chunk: int = 1) -> None:
+        """Supervised fan-out: timeouts, retries, respawn, degrade.
+
+        ``chunk`` groups that many cells into one worker round trip
+        (outcomes stay per-cell; see :func:`_run_chunk`).  Per-cell
+        wall-clock timeouts need the future to *be* one cell, so an
+        armed ``cell_timeout`` forces ``chunk = 1``.
+        """
         policy = self.resilience
         label = self.experiment_id or getattr(fn, "__name__", "sweep")
         registry = _metrics.get_registry()
@@ -571,9 +678,12 @@ class SweepRunner:
         timeout = policy.cell_timeout if policy is not None else None
         max_respawns = policy.max_pool_respawns if policy is not None \
             else DEFAULT_POOL_RESPAWNS
+        if timeout is not None:
+            chunk = 1
+        chunk = max(int(chunk), 1)
 
         waiting: List[_Pending] = list(pending)
-        inflight: Dict[Any, _Pending] = {}
+        inflight: Dict[Any, List[_Pending]] = {}
         submitted_at: Dict[Any, float] = {}
         width = min(self.workers, len(pending))
         breakages = 0  # at the current worker width
@@ -596,18 +706,19 @@ class SweepRunner:
             cell already took its strike; bystanders re-dispatch
             free).
             """
-            for future, entry in list(inflight.items()):
-                if kind == "worker-lost":
-                    entry.lost += 1
-                    entry.last_kind = "worker-lost"
-                    entry.last_error = None
-                    entry.last_traceback = ""
-                    registry.counter(
-                        "perf.sweep.worker_lost_total").inc()
-                    if self._exhausted(entry):
-                        self._quarantine(fn, entry, finish)
-                        continue
-                requeue(entry)
+            for future, group in list(inflight.items()):
+                for entry in group:
+                    if kind == "worker-lost":
+                        entry.lost += 1
+                        entry.last_kind = "worker-lost"
+                        entry.last_error = None
+                        entry.last_traceback = ""
+                        registry.counter(
+                            "perf.sweep.worker_lost_total").inc()
+                        if self._exhausted(entry):
+                            self._quarantine(fn, entry, finish)
+                            continue
+                    requeue(entry)
             inflight.clear()
             submitted_at.clear()
 
@@ -619,8 +730,10 @@ class SweepRunner:
                     if executor is not None:
                         self._kill_executor(executor)
                         executor = None
-                    remaining = sorted(waiting + list(inflight.values()),
-                                       key=lambda entry: entry.index)
+                    remaining = sorted(
+                        waiting + [entry for group in inflight.values()
+                                   for entry in group],
+                        key=lambda entry: entry.index)
                     waiting, inflight = [], {}
                     self._execute_serial(fn, remaining, finish)
                     clean_exit = True
@@ -638,28 +751,30 @@ class SweepRunner:
                         continue
 
                 now = time.monotonic()
-                # Submit ready cells up to pool capacity.
+                # Submit ready cells up to pool capacity, ``chunk``
+                # cells per future.
                 broken = False
-                index = 0
-                while index < len(waiting) and len(inflight) < width:
-                    entry = waiting[index]
-                    if entry.not_before > now:
-                        index += 1
-                        continue
-                    waiting.pop(index)
+                while len(inflight) < width:
+                    group: List[_Pending] = []
+                    index = 0
+                    while index < len(waiting) and len(group) < chunk:
+                        if waiting[index].not_before > now:
+                            index += 1
+                            continue
+                        group.append(waiting.pop(index))
+                    if not group:
+                        break
                     try:
                         future = executor.submit(
-                            _run_cell_timed, (fn, entry.cell))
-                    except BrokenExecutor:
-                        waiting.append(entry)
+                            _run_chunk,
+                            (fn, [entry.cell for entry in group]))
+                    except (BrokenExecutor, RuntimeError):
+                        # RuntimeError: shutdown race, treat as
+                        # breakage like a broken pool.
+                        waiting.extend(group)
                         broken = True
                         break
-                    except RuntimeError:
-                        # shutdown race: treat as breakage
-                        waiting.append(entry)
-                        broken = True
-                        break
-                    inflight[future] = entry
+                    inflight[future] = group
                     submitted_at[future] = time.monotonic()
 
                 if not broken and not inflight:
@@ -679,7 +794,7 @@ class SweepRunner:
                     poll = _MAX_POLL_S
                     now = time.monotonic()
                     if timeout is not None:
-                        for future, entry in inflight.items():
+                        for future in inflight:
                             deadline = submitted_at[future] + timeout
                             poll = min(poll, deadline - now)
                     for entry in waiting:
@@ -689,43 +804,59 @@ class SweepRunner:
                         list(inflight), timeout=max(poll, _MIN_POLL_S),
                         return_when=FIRST_COMPLETED)
 
+                    def fail(entry: _Pending, exc: BaseException,
+                             text: str = "") -> None:
+                        self._record_failure(entry, exc, "exception",
+                                             text)
+                        if self._exhausted(entry):
+                            self._quarantine(fn, entry, finish)
+                        else:
+                            registry.counter(
+                                "perf.sweep.retries_total").inc()
+                            _sweep_event(
+                                "cell_retry", experiment=label,
+                                index=entry.index,
+                                attempt=entry.failures,
+                                error_type=type(exc).__name__)
+                            requeue(entry,
+                                    policy.backoff(entry.failures))
+
                     for future in done:
-                        entry = inflight.pop(future)
+                        group = inflight.pop(future)
                         submitted_at.pop(future, None)
                         try:
-                            elapsed, value = future.result()
+                            outcomes = future.result()
                         except (KeyboardInterrupt, SystemExit):
                             raise
                         except BrokenExecutor:
-                            # Put the cell back with the others; the
+                            # Put the cells back with the others; the
                             # breakage path below strikes every
                             # in-flight cell uniformly.
-                            inflight[future] = entry
+                            inflight[future] = group
                             broken = True
                             break
                         except BaseException as exc:
+                            # Transport failure (e.g. unpicklable
+                            # return value): every cell in the chunk
+                            # shares the exception.
                             if policy is None:
                                 raise
-                            self._record_failure(
-                                entry, exc, "exception")
-                            if self._exhausted(entry):
-                                self._quarantine(fn, entry, finish)
+                            for entry in group:
+                                fail(entry, exc)
+                            continue
+                        for entry, outcome in zip(group, outcomes):
+                            if outcome[0] == "ok":
+                                _, elapsed, value = outcome
+                                busy += elapsed
+                                histogram.observe(elapsed)
+                                finish(entry, value,
+                                       entry.failures + entry.lost + 1,
+                                       elapsed)
                             else:
-                                registry.counter(
-                                    "perf.sweep.retries_total").inc()
-                                _sweep_event(
-                                    "cell_retry", experiment=label,
-                                    index=entry.index,
-                                    attempt=entry.failures,
-                                    error_type=type(exc).__name__)
-                                requeue(entry, policy.backoff(
-                                    entry.failures))
-                        else:
-                            busy += elapsed
-                            histogram.observe(elapsed)
-                            finish(entry, value,
-                                   entry.failures + entry.lost + 1,
-                                   elapsed)
+                                _, exc, text = outcome
+                                if policy is None:
+                                    raise exc
+                                fail(entry, exc, text)
 
                 if broken:
                     breakages += 1
@@ -751,29 +882,32 @@ class SweepRunner:
                 if timeout is not None and inflight:
                     now = time.monotonic()
                     expired = [
-                        (future, entry)
-                        for future, entry in inflight.items()
+                        (future, group)
+                        for future, group in inflight.items()
                         if now - submitted_at[future] > timeout
                         and not future.done()]
                     if expired:
-                        for future, entry in expired:
+                        for future, group in expired:
                             inflight.pop(future)
                             submitted_at.pop(future, None)
-                            exc = TimeoutError(
-                                f"cell exceeded {timeout:g}s "
-                                f"wall-clock budget")
-                            self._record_failure(entry, exc, "timeout")
-                            registry.counter(
-                                "perf.sweep.timeouts_total").inc()
-                            _sweep_event(
-                                "cell_timeout", experiment=label,
-                                index=entry.index,
-                                attempt=entry.failures,
-                                timeout_s=timeout)
-                            if self._exhausted(entry):
-                                self._quarantine(fn, entry, finish)
-                            else:
-                                requeue(entry)
+                            for entry in group:
+                                exc = TimeoutError(
+                                    f"cell exceeded {timeout:g}s "
+                                    f"wall-clock budget")
+                                self._record_failure(entry, exc,
+                                                     "timeout")
+                                registry.counter(
+                                    "perf.sweep.timeouts_total").inc()
+                                _sweep_event(
+                                    "cell_timeout", experiment=label,
+                                    index=entry.index,
+                                    attempt=entry.failures,
+                                    timeout_s=timeout)
+                                if self._exhausted(entry):
+                                    self._quarantine(fn, entry,
+                                                     finish)
+                                else:
+                                    requeue(entry)
                         registry.counter(
                             "perf.sweep.pool_respawns_total").inc()
                         self._kill_executor(executor)

@@ -1,0 +1,305 @@
+"""Hybrid fluid/packet execution: elephants as ODEs, mice as packets.
+
+The packet engine's cost scales with packets on the wire; long-lived
+("elephant") flows dominate that cost while their aggregate behaviour
+is exactly what the paper's fluid model (Fig. 1, Eqs. 4-7) describes
+well.  Hybrid mode therefore splits the flow population:
+
+* **Elephants** (``size_bytes=None``) are *not* installed as packet
+  agents.  Their DCQCN RP state (``alpha``, ``R_T``, ``R_C``) and
+  their share of the bottleneck queue advance on a fixed tick via an
+  explicit-Euler step of the same Eq. 4-7 right-hand side the fluid
+  backend integrates (:func:`repro.core.fluid.dcqcn.qcn_event_rates`),
+  with the control-loop delay ``tau*`` realized by a ring buffer of
+  past states.
+* **Mice** (finite flows) stay packet-accurate on the event engine.
+
+Coupling, both directions, at the bottleneck port:
+
+* *fluid -> packet*: the fluid backlog is added to the queue
+  occupancy the port's ECN marker sees (:class:`CoupledMarker`), so
+  mice experience the elephants' congestion; the port's service rate
+  is scaled down by the elephants' bandwidth share each tick, so mice
+  get only the residual capacity.
+* *packet -> fluid*: packet-mode bytes actually transmitted through
+  the port during a tick reduce the capacity available to the fluid
+  queue in Eq. 4, and the packet queue occupancy is included in the
+  delayed queue the fluid marking probability is evaluated on.
+
+What hybrid mode is for -- and not for
+--------------------------------------
+
+The fluid step reproduces *aggregate* queue trajectories and rate
+dynamics (validated statistically against the packet oracle; see
+``tests/test_hybrid.py`` and the bench's compat gate), at a fraction
+of the event cost: a tick costs one event regardless of how many
+packets the elephants would have generated.  It does not reproduce
+per-packet artifacts -- RED sampling noise, packet-granularity
+sawtooth, PFC interactions (topologies with PFC reject hybrid
+installation).  Use it for parameter sweeps and mice-FCT studies on
+top of elephant background traffic, not for bit-exact validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.fluid.dcqcn import MIN_RATE, qcn_event_rates
+from repro.core.params import DCQCNParams
+from repro.sim.topology import Network
+
+#: Fluid bandwidth share above which mice would be starved outright;
+#: the service-rate scaling floors the residual at this fraction.
+MIN_RESIDUAL_FRACTION = 0.02
+
+#: Default coupling tick, seconds.  Small enough to resolve the
+#: paper's control-loop delays (tau* >= 4 us, the Fig. 5 pathology at
+#: 85 us) while keeping one-event-per-tick cost negligible.
+DEFAULT_TICK = 2e-6
+
+
+class CoupledMarker:
+    """Marker shim adding the fluid backlog to the marker's queue view.
+
+    Wraps the port's real marker: every packet-path marking decision
+    sees ``occupancy + fluid_backlog_bytes``, so mice are marked as if
+    the elephants' queue were physically present.  Counters and the
+    periodic-update contract delegate to the wrapped marker.
+    """
+
+    def __init__(self, inner, coupler: "HybridDCQCNCoupler"):
+        self.inner = inner
+        self.coupler = coupler
+
+    @property
+    def update_interval(self):
+        return self.inner.update_interval
+
+    @property
+    def mark_trials(self):
+        return self.inner.mark_trials
+
+    @property
+    def marks(self):
+        return self.inner.marks
+
+    def marking_probability(self, queue_bytes: float) -> float:
+        return self.inner.marking_probability(
+            queue_bytes + self.coupler.fluid_backlog_bytes)
+
+    def should_mark(self, queue_bytes: float) -> bool:
+        return self.inner.should_mark(
+            queue_bytes + self.coupler.fluid_backlog_bytes)
+
+    def update(self, queue_bytes: float, now: float) -> None:
+        self.inner.update(
+            queue_bytes + self.coupler.fluid_backlog_bytes, now)
+
+
+class HybridDCQCNCoupler:
+    """Tick-stepped DCQCN fluid elephants coupled to a packet network.
+
+    Parameters
+    ----------
+    net:
+        A built :func:`~repro.sim.topology.single_switch` network
+        (``engine="hybrid"``).  The coupler attaches to its bottleneck
+        port.
+    params:
+        DCQCN configuration; ``params.num_flows`` elephants are
+        simulated (their count is the fluid model's ``N``).
+    tick:
+        Coupling step, seconds (explicit Euler; keep well under the
+        protocol time constants).
+    extra_feedback_delay:
+        Added to ``params.tau_star`` for the control-loop lag, the
+        same knob the packet topology's ``feedback_extra_delay``
+        turns.
+    """
+
+    def __init__(self, net: Network, params: DCQCNParams,
+                 tick: float = DEFAULT_TICK,
+                 extra_feedback_delay: float = 0.0):
+        if net.engine != "hybrid":
+            raise ValueError(
+                f"hybrid coupling needs a network built with "
+                f"engine='hybrid', got {net.engine!r}")
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        for switch in net.switches.values():
+            if switch.pfc is not None:
+                raise ValueError(
+                    "hybrid mode does not model PFC; use the packet "
+                    "engine for lossless-fabric experiments")
+        self.net = net
+        self.params = params
+        self.tick = float(tick)
+        self.n = params.num_flows
+        self.port = net.bottleneck_port
+        self.mtu = params.mtu_bytes
+        #: Full line rate, bytes/s, before residual scaling.
+        self.line_rate_bytes = self.port.rate
+        #: Bottleneck capacity in the fluid unit (packets/s).
+        self.capacity_pkts = self.line_rate_bytes / self.mtu
+
+        # Fluid state: elephants start at line rate with alpha = 1,
+        # exactly like packet DCQCN senders (Section 3.1).
+        self.alpha = np.ones(self.n)
+        self.rt = np.full(self.n, self.capacity_pkts)
+        self.rc = np.full(self.n, self.capacity_pkts)
+        #: Elephant backlog contribution, packets (fluid Eq. 4 queue).
+        self.q_fluid = 0.0
+
+        # Delay line: one (total queue pkts, rc vector) entry per tick,
+        # long enough to look back tau* + extra.
+        self.lag = params.tau_star + extra_feedback_delay
+        depth = max(int(round(self.lag / self.tick)), 1) + 1
+        self._history: deque = deque(maxlen=depth)
+        self._lag_index = depth - 1
+
+        self._last_tx_bytes = self.port.bytes_transmitted
+        self._started = False
+        #: Tick-resolution trace of (time, total queue bytes), the
+        #: hybrid counterpart of a :class:`QueueMonitor` series.
+        self.times: List[float] = []
+        self.queue_bytes_trace: List[float] = []
+
+        if self.port.marker is not None:
+            self.port.marker = CoupledMarker(self.port.marker, self)
+
+    # -- coupling views -------------------------------------------------------
+
+    @property
+    def fluid_backlog_bytes(self) -> float:
+        """Elephant queue contribution, bytes."""
+        return self.q_fluid * self.mtu
+
+    @property
+    def total_queue_bytes(self) -> float:
+        """Shared bottleneck queue: packet occupancy + fluid backlog."""
+        return self.port.queue.size_bytes + self.fluid_backlog_bytes
+
+    @property
+    def elephant_rates(self) -> np.ndarray:
+        """Current elephant rates, bytes/s."""
+        return self.rc * self.mtu
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin tick stepping (idempotent guard, like senders)."""
+        if self._started:
+            raise RuntimeError("hybrid coupler already started")
+        self._started = True
+        self.net.sim.schedule(self.tick, self._step)
+
+    def _delayed(self):
+        """(queue pkts, rc) one control-loop delay ago."""
+        if len(self._history) <= self._lag_index:
+            # Startup transient: nothing old enough yet; the packet
+            # engine has the same blind spot (first CNPs take tau* to
+            # arrive), so mirror it with the oldest known state.
+            if self._history:
+                return self._history[0]
+            return 0.0, self.rc
+        return self._history[-1 - self._lag_index]
+
+    def _step(self) -> None:
+        p = self.params
+        dt = self.tick
+        now = self.net.sim.now
+
+        # packet -> fluid: bytes the mice actually pushed through the
+        # bottleneck this tick consume capacity the fluid queue cannot
+        # use (Eq. 4 with a measured cross-traffic term).
+        tx = self.port.bytes_transmitted
+        mice_pkts_per_s = (tx - self._last_tx_bytes) / self.mtu / dt
+        self._last_tx_bytes = tx
+
+        delayed_q, delayed_rc = self._delayed()
+        mark_p = p.red.marking_probability(delayed_q)
+        delayed_rc = np.maximum(delayed_rc, MIN_RATE)
+        events = qcn_event_rates(mark_p, delayed_rc, p)
+
+        # Eq. 4 (queue), 5 (alpha), 6 (target), 7 (rate) -- the same
+        # right-hand side as DCQCNFluidModel.derivatives, advanced one
+        # Euler step at tick resolution.
+        dq = float(np.sum(self.rc)) + mice_pkts_per_s - self.capacity_pkts
+        if self.q_fluid <= 0.0 and dq < 0.0:
+            dq = 0.0
+        if mark_p > 0.0:
+            alpha_target = -np.expm1(
+                p.tau_prime * delayed_rc
+                * np.log1p(-min(mark_p, 1.0 - 1e-12)))
+        else:
+            alpha_target = np.zeros(self.n)
+        dalpha = (p.g / p.tau_prime) * (alpha_target - self.alpha)
+        drt = (-(self.rt - self.rc) / p.tau * events.mark_fraction
+               + p.rate_ai * (events.byte_ai_rate
+                              + events.timer_ai_rate))
+        drc = (-(self.rc * self.alpha) / (2.0 * p.tau)
+               * events.mark_fraction
+               + (self.rt - self.rc) / 2.0
+               * (events.byte_rate + events.timer_rate))
+
+        self.q_fluid = max(self.q_fluid + dq * dt, 0.0)
+        self.alpha = np.clip(self.alpha + dalpha * dt, 0.0, 1.0)
+        self.rt = np.clip(self.rt + drt * dt, MIN_RATE,
+                          self.capacity_pkts)
+        self.rc = np.clip(self.rc + drc * dt, MIN_RATE,
+                          self.capacity_pkts)
+
+        # fluid -> packet: mice serve at the residual line rate.
+        share = min(float(np.sum(self.rc)) / self.capacity_pkts, 1.0)
+        residual = max(1.0 - share, MIN_RESIDUAL_FRACTION)
+        self.port.rate = self.line_rate_bytes * residual
+
+        total_q_pkts = self.total_queue_bytes / self.mtu
+        self._history.append((total_q_pkts, self.rc))
+        self.times.append(now)
+        self.queue_bytes_trace.append(self.total_queue_bytes)
+
+        self.net.sim.schedule(dt, self._step)
+
+    # -- analysis helpers -----------------------------------------------------
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Queue trace as ``(times, queue_bytes)`` arrays."""
+        return np.asarray(self.times), np.asarray(self.queue_bytes_trace)
+
+    def tail_mean_bytes(self, window: float) -> float:
+        """Mean total queue over the trailing ``window`` seconds."""
+        times, queue = self.as_arrays()
+        if times.size == 0:
+            return 0.0
+        mask = times >= (times[-1] - window)
+        return float(queue[mask].mean())
+
+    def tail_std_bytes(self, window: float) -> float:
+        """Std-dev of the total queue over the trailing window."""
+        times, queue = self.as_arrays()
+        if times.size == 0:
+            return 0.0
+        mask = times >= (times[-1] - window)
+        return float(queue[mask].std())
+
+
+def attach_hybrid(net: Network, params: DCQCNParams,
+                  tick: float = DEFAULT_TICK,
+                  extra_feedback_delay: float = 0.0,
+                  start: bool = True) -> HybridDCQCNCoupler:
+    """Build (and by default start) a hybrid coupler on ``net``.
+
+    The elephants are ``params.num_flows`` long-lived DCQCN flows;
+    finite mice flows are installed separately through the usual
+    :func:`~repro.sim.topology.install_flow` packet path.
+    """
+    coupler = HybridDCQCNCoupler(
+        net, params, tick=tick,
+        extra_feedback_delay=extra_feedback_delay)
+    if start:
+        coupler.start()
+    return coupler

@@ -1,0 +1,329 @@
+"""Calendar-queue event scheduler for near-monotone event horizons.
+
+The binary heap in :mod:`repro.sim.engine` pays two ``O(log n)``
+sift operations per event.  Simulation workloads here are *near
+monotone*: pacing timers, serialization finishes and propagation
+deliveries are almost always scheduled a short, bounded delay ahead
+of the clock, and many land close together.  A calendar queue
+exploits that shape: events are appended O(1) into a coarse time
+bucket, and only the imminent bucket is ever sorted -- once, as a
+batch, by timsort in C.
+
+Structure (a dict-keyed calendar with ladder-style adaptation):
+
+* ``_buckets`` -- ``{int(time / width): [entries...]}``.  Push is
+  an integer divide, a dict lookup and a ``list.append``.
+* ``_keyheap`` -- a ``heapq`` of *occupied bucket keys*, one push
+  per bucket creation (not per event), so advancing skips idle gaps
+  in ``O(log #buckets)`` instead of scanning empty slots the way
+  classic array calendars do, and with no year-wrap bookkeeping.
+* ``_near`` -- the bucket currently being served, sorted once when
+  opened, consumed by advancing ``_cursor`` (no pops, no memmove).
+  A push *into* the open window (a pacing timer shorter than the
+  bucket width) merges with ``bisect.insort``; the insertion point
+  is bounded below by the cursor since nothing schedules into the
+  past.
+* Width adapts where the batch size is known: a bucket that opens
+  oversized halves the width (rehash; geometric, so rare), a long
+  run of under-filled buckets doubles it, and an open window that
+  keeps absorbing pushes is split with its tail handed back to the
+  calendar -- the ladder-queue move that keeps ``insort`` memmoves
+  bounded.
+
+Correctness does not depend on floating-point bucket arithmetic.
+``t -> int(t / width)`` is *monotone* (float division and truncation
+both are), so serving buckets in key order and each bucket in
+``(time, seq)`` order is exactly the global ``(time, seq)`` order,
+ulp wobble at bucket boundaries notwithstanding.  Pushes route into
+the open window only when ``time <= `` the window's last entry --
+a direct time comparison, consistent with the key order by the same
+monotonicity.  Equal timestamps always share a bucket, and the
+engine's sequence numbers break ties exactly as the heap does: the
+calendar backend is **bit-for-bit order-equivalent** to the heap
+(property-tested in ``tests/test_scheduler.py``), not approximately
+so.
+
+Cancellation stays lazy (the engine skips ``event.cancelled`` at
+serve time), and ``__len__`` counts cancelled-but-unserved entries,
+matching ``Simulator.pending_events`` semantics on the heap.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+#: Bucket-size adaptation targets.  A bucket opening with more than
+#: SPAN_MAX_BATCH entries (of more than one timestamp) halves the
+#: width; a long run of buckets below SPAN_MIN_BATCH doubles it.
+SPAN_MIN_BATCH = 16
+SPAN_MAX_BATCH = 4096
+
+#: Unserved open-window length at which a push splits the window and
+#: returns the tail to the calendar (see :meth:`CalendarScheduler.push`).
+#: This bounds the ``insort`` memmove a push into the open window can
+#: pay, so it is deliberately much smaller than the sort-batch target
+#: (ladder queues keep their bottom rung small for the same reason);
+#: a window that receives no pushes never pays a split, however big.
+NEAR_SPLIT_LIMIT = 512
+
+#: Consecutive under-filled buckets tolerated before the width grows.
+GROW_PATIENCE = 32
+
+#: Floor for the adaptive width, seconds.  Sub-nanosecond buckets
+#: would push ``t / width`` beyond exact-integer float range for
+#: typical sim times; simulations here resolve microseconds.
+WIDTH_MIN_SECONDS = 1e-9
+
+#: Initial bucket width, seconds.  64 us covers a serialization time
+#: plus propagation on the paper's 10-40 Gbps fabrics, so steady-state
+#: traffic lands a bucket or two ahead of the one being served.
+DEFAULT_WIDTH = 64e-6
+
+
+class CalendarScheduler:
+    """Pending-event set with calendar-queue cost profile.
+
+    The public surface mirrors what the engine loop needs: ``push``,
+    ``peek``/``pop`` (tests, slow paths), ``__len__``, and the
+    internals ``_near``/``_cursor``/``_advance`` that
+    :meth:`repro.sim.engine.Simulator.run` drives directly to keep
+    per-event overhead at heap-loop levels.  ``_near`` is guaranteed
+    to stay the *same list object* for the scheduler's lifetime, so
+    the run loop may bind it once.
+    """
+
+    __slots__ = ("_near", "_cursor", "_width", "_buckets", "_keyheap",
+                 "_count", "_small_run", "_split_at")
+
+    def __init__(self, width: float = DEFAULT_WIDTH):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        #: Open (currently served) window, sorted; stable list object.
+        self._near: List[tuple] = []
+        self._cursor = 0
+        self._width = width
+        self._buckets: Dict[int, List[tuple]] = {}
+        self._keyheap: List[int] = []
+        #: Entries held in ``_buckets`` (``__len__`` without iteration).
+        self._count = 0
+        self._small_run = 0
+        #: Unserved-window length that triggers the next split attempt.
+        #: Normally NEAR_SPLIT_LIMIT; doubled past the current length
+        #: when a split fails (giant equal-time run), so a failed
+        #: attempt's backward scan is amortized against the pushes
+        #: that grew the window since the last one.
+        self._split_at = NEAR_SPLIT_LIMIT
+
+    def __len__(self) -> int:
+        return len(self._near) - self._cursor + self._count
+
+    @property
+    def width(self) -> float:
+        """Current adaptive bucket width, seconds (introspection)."""
+        return self._width
+
+    def push(self, entry: Tuple[float, int, object]) -> None:
+        """Add ``(time, seq, event)``; O(1) except into the open window.
+
+        An entry joins the open window when it precedes (or ties,
+        losing on seq) something already there, or when it precedes
+        every occupied bucket -- ``keyheap[0]`` is always the true
+        minimum occupied key, so a lone self-rescheduling chain
+        (pacing timer, serialization loop) runs entirely through
+        window appends without ever touching a bucket.  Both tests
+        are order-exact by key monotonicity in time.  Nothing can be
+        scheduled before the entry being served (time >= now, seq is
+        monotone), so the insertion point is at or after the cursor
+        -- passed as the bisect lower bound.
+        """
+        near = self._near
+        cursor = self._cursor
+        if cursor > NEAR_SPLIT_LIMIT and cursor * 2 >= len(near):
+            # Compact the served prefix: unlike the heap, serving
+            # advances a cursor instead of popping, so a window fed
+            # by its own callbacks would otherwise retain every
+            # served entry for the length of the run.  Only when the
+            # prefix dominates the list, so the O(len) delete is
+            # amortized O(1) against the serves that built it up.
+            del near[:cursor]
+            self._cursor = cursor = 0
+            # Whatever giant equal-time run backed the split trigger
+            # off has been served and compacted away; re-arm it.
+            self._split_at = NEAR_SPLIT_LIMIT
+        if near and entry[0] <= near[-1][0]:
+            insort(near, entry, cursor)
+            if len(near) - cursor > self._split_at:
+                self._split_window()
+            return
+        # Past here the entry is strictly later than everything in the
+        # window, so joining the window is a plain append -- the only
+        # question is whether it should go to a bucket instead.
+        keyheap = self._keyheap
+        if not keyheap:
+            near.append(entry)
+            return
+        key = int(entry[0] / self._width)
+        if key < keyheap[0]:
+            near.append(entry)
+            return
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [entry]
+            heappush(keyheap, key)
+        else:
+            bucket.append(entry)
+        self._count += 1
+
+    def push_batch(self, entries) -> None:
+        """Add many entries at once (batched link deliveries)."""
+        push = self.push
+        for entry in entries:
+            push(entry)
+
+    def _advance(self) -> bool:
+        """Open the next occupied bucket; False when nothing is pending.
+
+        Pops bucket keys in time order, sorts the winning bucket into
+        the (stable) ``_near`` list.  Width adaptation happens here,
+        where the batch size is known: an oversized multi-timestamp
+        bucket halves the width and rehashes; a long run of tiny
+        batches doubles it.
+        """
+        near = self._near
+        del near[:]
+        self._cursor = 0
+        self._split_at = NEAR_SPLIT_LIMIT
+        while self._keyheap:
+            key = heappop(self._keyheap)
+            bucket = self._buckets.pop(key, None)
+            if bucket is None:
+                continue  # stale key left behind by a rehash
+            if len(bucket) > SPAN_MAX_BATCH:
+                tmin = tmax = bucket[0][0]
+                for entry in bucket:
+                    t = entry[0]
+                    if t < tmin:
+                        tmin = t
+                    elif t > tmax:
+                        tmax = t
+                if tmax != tmin:
+                    # Oversized and splittable: jump the width straight
+                    # to the bucket's observed density (halving one
+                    # step at a time would pay an O(n) rehash per step
+                    # for tightly clustered buckets).  If the width is
+                    # already at its floor, fall through and serve the
+                    # batch as-is rather than loop.
+                    new_width = max(
+                        min(self._width * 0.5,
+                            (tmax - tmin) / (SPAN_MAX_BATCH // 4)),
+                        WIDTH_MIN_SECONDS)
+                    if new_width != self._width:
+                        self._buckets[key] = bucket
+                        self._rehash(new_width)
+                        continue
+            self._count -= len(bucket)
+            bucket.sort()
+            near.extend(bucket)
+            if len(bucket) < SPAN_MIN_BATCH and self._buckets:
+                self._small_run += 1
+                if self._small_run > GROW_PATIENCE:
+                    self._rehash(self._width * 2.0)
+            else:
+                self._small_run = 0
+            return True
+        return False
+
+    def _split_window(self) -> None:
+        """Hand the open window's tail back to the calendar.
+
+        Without this, a window opened under light load would absorb
+        every later push that precedes its last entry, and ``insort``
+        into the ever-growing window would turn quadratic under dense
+        traffic.  The boundary backs off so equal timestamps never
+        straddle it (they re-unite in one bucket anyway, but keeping
+        them together preserves the window's ``near[-1]`` routing
+        invariant cheaply).
+        """
+        near = self._near
+        cursor = self._cursor
+        end = len(near)
+        split = cursor + (end - cursor) // 2
+        boundary = near[split][0]
+        while split > cursor and near[split - 1][0] == boundary:
+            split -= 1
+        if split <= cursor:
+            # The lower half is one equal-time run.  Try splitting
+            # *after* the run instead -- equal timestamps must stay
+            # together in the window (``near[-1]`` routing invariant)
+            # but anything strictly later can leave.
+            split = cursor + (end - cursor) // 2 + 1
+            while split < end and near[split][0] == boundary:
+                split += 1
+        if split >= end:
+            # The entire unserved window is one equal-time run:
+            # nothing splittable.  Insort stays cheap -- ties append
+            # at the end -- but back the trigger off geometrically so
+            # a failed attempt's scan is paid for by the pushes that
+            # grew the window since the last one, not by every push.
+            self._split_at = (end - cursor) * 2
+            return
+        self._split_at = NEAR_SPLIT_LIMIT
+        tsplit = near[split][0]
+        tmax = near[end - 1][0]
+        if tmax > tsplit and int(tsplit / self._width) == int(tmax / self._width):
+            # The whole tail would collapse into one bucket, which the
+            # next advance hands straight back to the window -- a
+            # near<->bucket ping-pong that moves every entry many
+            # times.  The event horizon is finer than the bucket
+            # width; shrink it so the tail spreads out.
+            self._rehash(max((tmax - tsplit) / 4.0, WIDTH_MIN_SECONDS))
+        width = self._width
+        buckets = self._buckets
+        keyheap = self._keyheap
+        for entry in near[split:]:
+            key = int(entry[0] / width)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [entry]
+                heappush(keyheap, key)
+            else:
+                bucket.append(entry)
+        self._count += len(near) - split
+        del near[split:]
+
+    def _rehash(self, new_width: float) -> None:
+        """Re-bucket every pending calendar entry under ``new_width``."""
+        new_width = max(new_width, WIDTH_MIN_SECONDS)
+        if new_width == self._width:
+            return
+        old = self._buckets
+        self._width = new_width
+        self._buckets = buckets = {}
+        self._small_run = 0
+        for bucket in old.values():
+            for entry in bucket:
+                key = int(entry[0] / new_width)
+                existing = buckets.get(key)
+                if existing is None:
+                    buckets[key] = [entry]
+                else:
+                    existing.append(entry)
+        self._keyheap = list(buckets)
+        heapify(self._keyheap)
+
+    # -- convenience surface (tests, non-hot callers) -------------------------
+
+    def peek(self) -> Optional[Tuple[float, int, object]]:
+        """The earliest pending entry, or None; does not remove it."""
+        if self._cursor >= len(self._near) and not self._advance():
+            return None
+        return self._near[self._cursor]
+
+    def pop(self) -> Optional[Tuple[float, int, object]]:
+        """Remove and return the earliest pending entry, or None."""
+        entry = self.peek()
+        if entry is not None:
+            self._cursor += 1
+        return entry

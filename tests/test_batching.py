@@ -1,0 +1,397 @@
+"""Struct-of-arrays batching: exactness, FIFO order, protocol parity."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.flows import Flow
+from repro.sim.link import Link, Port
+from repro.sim.node import Host
+from repro.sim.packet import (
+    CONTROL_PACKET_BYTES,
+    PACKET_POOL,
+    Packet,
+    PacketBatch,
+    PacketPool,
+)
+from repro.sim.protocols.dcqcn import DCQCNReceiver, DCQCNSender
+from repro.sim.protocols.dctcp import DCTCPReceiver, DCTCPSender
+from repro.sim.protocols.timely import TimelySender
+from repro.sim.queues import ByteFIFO
+from repro.sim.red import REDMarker
+from repro.sim.switch import Switch, connect
+from repro.core.params import DCQCNParams, REDParams, TimelyParams
+
+
+class RecordingSink:
+    """Terminal device recording exact per-packet arrival stamps."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "sink"
+        self.arrivals = []
+
+    def receive(self, packet, ingress=None):
+        self.arrivals.append((self.sim.now, packet.seq,
+                              packet.size_bytes))
+
+    def receive_window(self, payload, arrival_times, ingress=None):
+        if isinstance(payload, PacketBatch):
+            for i in range(payload.count):
+                self.arrivals.append((float(arrival_times[i]),
+                                      int(payload.seq[i]),
+                                      int(payload.size_bytes[i])))
+        else:
+            for t, packet in zip(arrival_times, payload):
+                self.arrivals.append((float(t), packet.seq,
+                                      packet.size_bytes))
+
+
+class ScalarSink:
+    """Sink without a batched entry point (forces port fallback)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "sink"
+        self.arrivals = []
+
+    def receive(self, packet, ingress=None):
+        self.arrivals.append((self.sim.now, packet.seq,
+                              packet.size_bytes))
+
+
+def _port(sim, sink, rate=1.25e9, delay=4e-6, batch_window=None,
+          marker=None, capacity=None):
+    link = Link(sim, delay, sink, ingress_label="src")
+    return Port(sim, rate, link, marker=marker,
+                capacity_bytes=capacity, batch_window=batch_window)
+
+
+class TestWindowExactness:
+    def test_batch_arrivals_bit_identical_to_scalar_path(self):
+        # Same packet train through a windowed port and a scalar port:
+        # every arrival timestamp must match to the last bit, because
+        # np.add.accumulate left-folds exactly like the sequential
+        # finish-time recurrence.
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(64, 1500, size=257).astype(float)
+
+        sim_s = Simulator()
+        sink_s = ScalarSink(sim_s)
+        port_s = _port(sim_s, sink_s)
+        for seq, size in enumerate(sizes):
+            port_s.send(Packet(1, int(size), "h", "sink", seq=seq))
+        sim_s.run()
+
+        sim_b = Simulator()
+        sink_b = RecordingSink(sim_b)
+        port_b = _port(sim_b, sink_b, batch_window=64)
+        batch = PacketBatch(1, sizes, "h", "sink")
+        port_b.send_batch(batch)
+        sim_b.run()
+
+        assert sink_b.arrivals == sink_s.arrivals
+
+    def test_drain_window_arrivals_bit_identical(self):
+        # Object packets queued behind a busy windowed port drain as
+        # vectorized windows; stamps still match the scalar engine.
+        rng = np.random.default_rng(4)
+        sizes = rng.integers(64, 1500, size=200).astype(float)
+        arrivals = {}
+        for window in (None, 16):
+            sim = Simulator()
+            sink = RecordingSink(sim) if window else ScalarSink(sim)
+            port = _port(sim, sink, batch_window=window)
+            for seq, size in enumerate(sizes):
+                port.send(Packet(1, int(size), "h", "sink", seq=seq))
+            sim.run()
+            arrivals[window] = sink.arrivals
+        assert arrivals[16] == arrivals[None]
+
+    def test_event_count_collapses(self):
+        sizes = np.full(1000, 1024.0)
+        counts = {}
+        for window in (None, 100):
+            sim = Simulator()
+            sink = RecordingSink(sim) if window else ScalarSink(sim)
+            port = _port(sim, sink, batch_window=window)
+            if window:
+                port.send_batch(PacketBatch(1, sizes, "h", "sink"))
+            else:
+                for seq in range(1000):
+                    port.send(Packet(1, 1024, "h", "sink", seq=seq))
+            sim.run()
+            counts[window] = sim.events_processed
+        assert counts[100] * 50 < counts[None]
+
+    def test_fifo_order_with_interleaved_scalars(self):
+        # A batch accepted while idle, then scalar packets arriving
+        # mid-window: the backlog predates the scalars, so all batch
+        # seqs serve first.
+        sim = Simulator()
+        sink = RecordingSink(sim)
+        port = _port(sim, sink, batch_window=32)
+        port.send_batch(PacketBatch.uniform(1, 10, 1024, "h", "sink"))
+        # Arrives while the window is serializing.
+        sim.schedule(1e-7, lambda: port.send(
+            Packet(1, 1024, "h", "sink", seq=99)))
+        sim.run()
+        seqs = [seq for _, seq, _ in sink.arrivals]
+        assert seqs == list(range(10)) + [99]
+
+
+class TestEligibilityFallback:
+    def test_marked_port_materializes(self):
+        sim = Simulator()
+        sink = ScalarSink(sim)
+        marker = REDMarker(REDParams(kmin=0.5, kmax=1.0, pmax=1.0),
+                           mtu_bytes=1024, seed=1)
+        port = _port(sim, sink, batch_window=16, marker=marker)
+        port.send_batch(PacketBatch.uniform(1, 8, 1024, "h", "sink"))
+        sim.run()
+        assert len(sink.arrivals) == 8
+        assert port.ecn_marks > 0  # marker actually consulted
+
+    def test_scalar_only_dst_materializes(self):
+        sim = Simulator()
+        sink = ScalarSink(sim)
+        port = _port(sim, sink, batch_window=16)
+        port.send_batch(PacketBatch.uniform(1, 8, 1024, "h", "sink"))
+        sim.run()
+        assert [seq for _, seq, _ in sink.arrivals] == list(range(8))
+
+    def test_capacity_port_materializes_and_drops(self):
+        sim = Simulator()
+        sink = ScalarSink(sim)
+        port = _port(sim, sink, batch_window=16, capacity=3 * 1024)
+        port.send_batch(PacketBatch.uniform(1, 50, 1024, "h", "sink"))
+        sim.run()
+        assert port.queue.dropped_packets > 0
+        assert len(sink.arrivals) < 50
+
+    def test_batch_window_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            _port(sim, ScalarSink(sim), batch_window=1)
+
+
+class TestDequeueWindow:
+    def test_accounting_matches_scalar_dequeue(self):
+        fifo = ByteFIFO()
+        for seq in range(10):
+            fifo.enqueue(Packet(1, 100 + seq, "a", "b", seq=seq))
+        window, total = fifo.dequeue_window(4)
+        assert [p.seq for p in window] == [0, 1, 2, 3]
+        assert total == sum(100 + s for s in range(4))
+        assert fifo.audit() is None
+        window, total = fifo.dequeue_window(100)
+        assert len(window) == 6
+        assert fifo.is_empty and fifo.audit() is None
+
+
+class TestPacketPool:
+    def test_acquire_release_cycle(self):
+        pool = PacketPool(max_free=4)
+        p = pool.acquire(1, 1024, "a", "b")
+        assert p.pooled
+        p.ecn_marked = True
+        p.echo_time = 3.0
+        pool.release(p)
+        assert not p.pooled
+        pool.release(p)  # idempotent
+        q = pool.acquire(2, 64, "c", "d", kind="ack", seq=7)
+        assert q is p  # recycled
+        assert not q.ecn_marked and q.echo_time is None
+        assert (q.flow_id, q.seq, q.kind) == (2, 7, "ack")
+        assert pool.reused == 1
+
+    def test_unpooled_packets_ignored(self):
+        pool = PacketPool()
+        p = Packet(1, 1024, "a", "b")
+        pool.release(p)
+        assert len(pool) == 0
+
+    def test_batch_materialization_uses_pool(self):
+        pool = PacketPool()
+        batch = PacketBatch.uniform(5, 3, 512, "a", "b")
+        batch.sent_time = np.array([1.0, 2.0, 3.0])
+        packets = batch.packets(pool)
+        assert [p.seq for p in packets] == [0, 1, 2]
+        assert [p.sent_time for p in packets] == [1.0, 2.0, 3.0]
+        assert all(p.pooled for p in packets)
+        single = batch.packet_at(1, pool)
+        assert (single.seq, single.sent_time) == (1, 2.0)
+
+
+def _dcqcn_pair(sim, params, cnp_timeout=None):
+    host_s, host_r = Host(sim, "s"), Host(sim, "r")
+    flow = Flow(1, "s", "r", None, 0.0)
+    sender = DCQCNSender(sim, host_s, flow, params,
+                         cnp_timeout=cnp_timeout)
+    receiver = DCQCNReceiver(sim, host_r, flow, params)
+    return sender, receiver
+
+
+class TestProtocolBatchParity:
+    """Batch hooks must leave the agent in the scalar loop's state."""
+
+    def test_dcqcn_cnp_batch_matches_scalar_loop(self):
+        params = DCQCNParams.paper_default(capacity_gbps=40.0,
+                                           num_flows=2)
+        states = {}
+        for mode in ("scalar", "batch"):
+            sim = Simulator()
+            sender, _ = _dcqcn_pair(sim, params)
+            sender._started = True  # timers unarmed; pure state test
+            sim._now = 1e-3
+            times = np.array([1e-3, 1e-3, 1e-3])
+            if mode == "batch":
+                batch = PacketBatch.uniform(1, 3, CONTROL_PACKET_BYTES,
+                                            "r", "s", kind="cnp")
+                batch.sent_time = times - 20e-6
+                sender.on_cnp_batch(batch, times)
+            else:
+                for t in times:
+                    cnp = Packet(1, CONTROL_PACKET_BYTES, "r", "s",
+                                 kind="cnp")
+                    cnp.sent_time = t - 20e-6
+                    sender.on_cnp(cnp)
+            states[mode] = (sender.rate, sender.alpha,
+                            sender.target_rate, sender.cnps_received,
+                            sender.cnp_delay_sum, sender.cnp_delay_max)
+        assert states["batch"] == pytest.approx(states["scalar"])
+
+    def test_dcqcn_np_batch_tau_gating_matches_scalar(self):
+        params = DCQCNParams.paper_default(capacity_gbps=40.0,
+                                           num_flows=2)
+        results = {}
+        for mode in ("scalar", "batch"):
+            sim = Simulator()
+            _, receiver = _dcqcn_pair(sim, params)
+            receiver.host.port = _port(sim, ScalarSink(sim))
+            # Marks spaced straddling tau: some gated, some passed.
+            gaps = np.array([0.0, params.tau * 0.4, params.tau * 0.7,
+                             params.tau * 1.2, params.tau * 1.3])
+            times = 1e-3 + np.add.accumulate(gaps)
+            if mode == "batch":
+                batch = PacketBatch.uniform(1, 5, 1024, "s", "r")
+                batch.ecn_marked[:] = True
+                batch.sent_time = times - 1e-5
+                sim._now = float(times[-1])
+                receiver.on_data_batch(batch, times)
+            else:
+                for t in times:
+                    sim._now = float(t)
+                    pkt = Packet(1, 1024, "s", "r")
+                    pkt.ecn_marked = True
+                    pkt.sent_time = t - 1e-5
+                    receiver.on_data(pkt)
+            results[mode] = (receiver.cnps_sent,
+                            receiver.flow.bytes_delivered)
+            receiver.flow.bytes_delivered = 0
+        assert results["batch"] == results["scalar"]
+
+    def test_timely_ack_batch_matches_scalar_loop(self):
+        params = TimelyParams.paper_default(capacity_gbps=10.0,
+                                            num_flows=2)
+        rates = {}
+        for mode in ("scalar", "batch"):
+            sim = Simulator()
+            host = Host(sim, "s")
+            flow = Flow(1, "s", "r", None, 0.0)
+            sender = TimelySender(sim, host, flow, params)
+            sender._started = True
+            gaps = np.full(40, params.min_rtt * 0.6)
+            times = 1e-3 + np.add.accumulate(gaps)
+            rtts = params.min_rtt * (1.0 + 0.5 * np.sin(
+                np.arange(40.0)))
+            if mode == "batch":
+                sim._now = float(times[-1])
+                batch = PacketBatch.uniform(1, 40, CONTROL_PACKET_BYTES,
+                                            "r", "s", kind="ack")
+                batch.echo_time = times - rtts
+                sender.on_ack_batch(batch, times)
+            else:
+                for t, rtt in zip(times, rtts):
+                    sim._now = float(t)
+                    ack = Packet(1, CONTROL_PACKET_BYTES, "r", "s",
+                                 kind="ack")
+                    ack.echo_time = t - rtt
+                    sender.on_ack(ack)
+            rates[mode] = (sender.rate, sender.rtt_diff,
+                           sender.prev_rtt, sender.rtt_samples)
+        assert rates["batch"] == pytest.approx(rates["scalar"])
+
+    def test_dctcp_ack_batch_matches_scalar_loop(self):
+        states = {}
+        for mode in ("scalar", "batch"):
+            sim = Simulator()
+            host = Host(sim, "s")
+            flow = Flow(1, "s", "r", None, 0.0)
+            sender = DCTCPSender(sim, host, flow)
+            sender._started = True
+            sender._inflight = 20 * 1024
+            sender._window_end_bytes = 10 * 1024
+            sender._stopped = True  # state walk only, no re-emission
+            acked = 1024 * np.arange(1, 13, dtype=np.int64)
+            marked = np.zeros(12, dtype=bool)
+            marked[4:7] = True
+            if mode == "batch":
+                batch = PacketBatch.uniform(1, 12, CONTROL_PACKET_BYTES,
+                                            "r", "s", kind="ack")
+                batch.acked_bytes = acked
+                batch.ecn_marked = marked
+                sender.on_ack_batch(batch, np.full(12, 1e-3))
+            else:
+                for a, m in zip(acked, marked):
+                    ack = Packet(1, CONTROL_PACKET_BYTES, "r", "s",
+                                 kind="ack")
+                    ack.acked_bytes = int(a)
+                    ack.ecn_marked = bool(m)
+                    sender.on_ack(ack)
+            states[mode] = (sender.cwnd, sender.alpha,
+                            sender._inflight, sender.windows_completed,
+                            sender._last_cumulative_ack)
+        assert states["batch"] == pytest.approx(states["scalar"])
+
+
+class TestEndToEndBatched:
+    def _run_dctcp(self, batch_window):
+        sim = Simulator()
+        switch = Switch(sim, "sw")
+        h1, h2 = Host(sim, "h1"), Host(sim, "h2")
+        for a, b in ((h1, switch), (switch, h2), (h2, switch),
+                     (switch, h1)):
+            connect(sim, a, b, 1.25e9, 2e-6,
+                    batch_window=batch_window)
+        switch.add_route("h2", "h2")
+        switch.add_route("h1", "h1")
+        flow = Flow(1, "h1", "h2", 2_000_000, 0.0)
+        done = []
+        sender = DCTCPSender(sim, h1, flow)
+        DCTCPReceiver(sim, h2, flow, on_complete=done.append)
+        sender.start()
+        sim.run(until=1.0)
+        return sim, flow, done
+
+    def test_flow_completes_with_windows(self):
+        sim_s, flow_s, done_s = self._run_dctcp(None)
+        sim_b, flow_b, done_b = self._run_dctcp(64)
+        assert done_s and done_b
+        assert flow_b.bytes_delivered == flow_s.bytes_delivered
+        # Window mode coalesces ACK delivery at chunk boundaries, so
+        # self-clocking refills slightly later than the scalar engine;
+        # the documented drift bound is a couple of window spans.
+        assert flow_b.fct == pytest.approx(flow_s.fct, rel=0.2)
+        # The point of the exercise: far fewer events.
+        assert sim_b.events_processed * 5 < sim_s.events_processed
+
+    def test_pool_recycles_on_live_traffic(self):
+        # Warm the pool with one full run; a repeat must then serve
+        # entirely from the freelist, allocating nothing new.
+        self._run_dctcp(None)
+        allocated = PACKET_POOL.allocated
+        reused_before = PACKET_POOL.reused
+        self._run_dctcp(None)
+        assert PACKET_POOL.reused > reused_before
+        assert PACKET_POOL.allocated == allocated

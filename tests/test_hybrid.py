@@ -1,0 +1,162 @@
+"""Hybrid fluid/packet mode: validation, coupling, oracle compatibility.
+
+The hybrid backend is *not* bit-identical to the packet engine -- the
+elephants are Euler-stepped fluid state.  The contract tested here is
+the one ``docs/PERFORMANCE.md`` documents:
+
+* tail-mean queue within +/-50% of the heap packet oracle on the
+  Fig. 5 scenario, and
+* the stability *ordering* preserved: the 85 us extra-delay run keeps
+  a higher queue coefficient of variation than the low-delay run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.params import DCQCNParams
+from repro.experiments import fig05_dcqcn_sim_instability as fig05
+from repro.sim.hybrid import (
+    DEFAULT_TICK,
+    CoupledMarker,
+    HybridDCQCNCoupler,
+    attach_hybrid,
+)
+from repro.sim.pfc import PFCController
+from repro.sim.red import REDMarker
+from repro.sim.topology import install_flow, single_switch
+
+
+def _params(n=2):
+    return DCQCNParams.paper_default(capacity_gbps=40.0, num_flows=n)
+
+
+class TestValidation:
+    def test_rejects_non_hybrid_engine(self):
+        net = single_switch(2, engine="heap")
+        with pytest.raises(ValueError, match="engine='hybrid'"):
+            HybridDCQCNCoupler(net, _params())
+
+    def test_rejects_bad_tick(self):
+        net = single_switch(2, engine="hybrid")
+        with pytest.raises(ValueError, match="tick"):
+            HybridDCQCNCoupler(net, _params(), tick=0.0)
+
+    def test_rejects_pfc_switches(self):
+        net = single_switch(2, engine="hybrid")
+        net.switches["sw"].pfc = PFCController(net.sim, 1_000, 500)
+        with pytest.raises(ValueError, match="PFC"):
+            HybridDCQCNCoupler(net, _params())
+
+    def test_double_start_raises(self):
+        net = single_switch(2, engine="hybrid")
+        coupler = attach_hybrid(net, _params(), start=True)
+        with pytest.raises(RuntimeError, match="already started"):
+            coupler.start()
+
+    def test_attach_without_start_schedules_nothing(self):
+        net = single_switch(2, engine="hybrid")
+        attach_hybrid(net, _params(), start=False)
+        net.sim.run(until=10 * DEFAULT_TICK)
+        assert net.sim.events_processed == 0
+
+
+class TestCoupledMarker:
+    def test_marker_sees_fluid_backlog(self):
+        params = _params()
+        marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+        net = single_switch(2, link_gbps=40.0, marker=marker,
+                            engine="hybrid")
+        coupler = attach_hybrid(net, params, start=False)
+        wrapped = net.bottleneck_port.marker
+        assert isinstance(wrapped, CoupledMarker)
+        # Push the fluid backlog above kmax: a zero-occupancy packet
+        # queue must now mark with the inner marker's pmax certainty.
+        coupler.q_fluid = 10.0 * params.red.kmax
+        assert wrapped.marking_probability(0.0) == \
+            marker.marking_probability(coupler.fluid_backlog_bytes)
+        assert wrapped.marking_probability(0.0) > 0.0
+
+    def test_counters_delegate(self):
+        params = _params()
+        marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+        net = single_switch(2, link_gbps=40.0, marker=marker,
+                            engine="hybrid")
+        attach_hybrid(net, params, start=False)
+        wrapped = net.bottleneck_port.marker
+        assert wrapped.mark_trials == marker.mark_trials
+        assert wrapped.marks == marker.marks
+        assert wrapped.update_interval == marker.update_interval
+
+
+class TestFluidStepping:
+    def test_elephants_converge_toward_capacity(self):
+        """With no mice, summed elephant rates track the line rate."""
+        params = _params(n=4)
+        net = single_switch(4, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, params)
+        net.sim.run(until=0.01)
+        total = float(np.sum(coupler.rc))
+        assert total == pytest.approx(coupler.capacity_pkts, rel=0.25)
+        assert len(coupler.times) > 1000
+
+    def test_residual_rate_scaling(self):
+        """Elephants at full rate squeeze the port to the floor rate."""
+        params = _params(n=4)
+        net = single_switch(4, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, params)
+        line = coupler.line_rate_bytes
+        net.sim.run(until=0.005)
+        assert net.bottleneck_port.rate < line
+
+    def test_mice_complete_alongside_elephants(self):
+        """A finite packet-mode mouse finishes under fluid pressure."""
+        params = _params(n=4)
+        marker = REDMarker(params.red, params.mtu_bytes, seed=1)
+        net = single_switch(4, link_gbps=40.0, marker=marker,
+                            engine="hybrid")
+        attach_hybrid(net, params)
+        install_flow(net, "dcqcn", "s0", "recv", 200 * 1024, 0.0,
+                     params)
+        net.sim.run(until=0.05)
+        flow = net.registry[0]
+        assert flow.completed
+        # The mouse shared the port with elephants at ~line rate, so
+        # its FCT must exceed the unloaded transfer time.
+        unloaded = 200 * 1024 / net.link_rate_bytes
+        assert flow.fct > unloaded
+
+
+class TestOracleCompatibility:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        duration = 0.02
+        oracle = fig05.run(duration=duration, engine="heap")
+        hybrid = fig05.run(duration=duration, engine="hybrid")
+        return oracle, hybrid
+
+    def test_tail_mean_within_tolerance(self, rows):
+        oracle, hybrid = rows
+        for o, h in zip(oracle, hybrid):
+            assert h.queue_mean_kb == pytest.approx(o.queue_mean_kb,
+                                                    rel=0.5), \
+                f"extra_delay={o.extra_delay_us}us"
+
+    def test_stability_ordering_preserved(self, rows):
+        _, hybrid = rows
+        by_delay = {r.extra_delay_us: r for r in hybrid}
+        stable = by_delay[0.0]
+        unstable = by_delay[85.0]
+        assert unstable.coefficient_of_variation > \
+            stable.coefficient_of_variation
+
+    def test_hybrid_is_cheaper_than_packet(self, rows):
+        """One event per tick: far below the packet engine's count."""
+        duration = 0.02
+        net = single_switch(10, link_gbps=40.0, engine="hybrid")
+        attach_hybrid(
+            net, DCQCNParams.paper_default(capacity_gbps=40.0,
+                                           num_flows=10),
+            extra_feedback_delay=units.us(85.0))
+        net.sim.run(until=duration)
+        assert net.sim.events_processed < duration / DEFAULT_TICK + 10

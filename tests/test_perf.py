@@ -20,6 +20,12 @@ from repro.perf import (CacheStats, ResultCache, SweepRunner,
 from repro.perf.sweep import WORKER_ENV
 
 
+def _poison(x):
+    if x == 7:
+        raise ValueError(f"poison {x}")
+    return x
+
+
 def square(x):
     """Module-level so worker processes can unpickle it."""
     return x * x
@@ -226,6 +232,45 @@ class TestSweepRunner:
         runner = SweepRunner(cache=cache, experiment_id="exp")
         assert runner.map(square, [{"x": 3}]) == [9]
         assert runner.map(seeded_draw, [{"seed": 3}]) != [9]
+
+
+class TestProbeDispatch:
+    """The probe-based serial fallback and chunked submission."""
+
+    def test_cheap_grid_stays_serial(self, monkeypatch):
+        # Cells this cheap can never repay a pool spawn; the probe
+        # keeps the sweep in-process -- the executor must never even
+        # be constructed.
+        from repro.perf import sweep as sweep_module
+
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("pool spawned for a cheap grid")
+
+        monkeypatch.setattr(sweep_module, "ProcessPoolExecutor",
+                            _no_pool)
+        cells = [{"x": i} for i in range(8)]
+        assert SweepRunner(workers=4).map(square, cells) == \
+            [i * i for i in range(8)]
+
+    def test_chunked_pool_identical_to_serial(self, monkeypatch):
+        # Spawn cost pinned to zero forces the pool even for cheap
+        # cells, which then take the chunked (multi-cell-per-future)
+        # path; order and values must match the serial run.
+        from repro.perf import sweep as sweep_module
+        monkeypatch.setattr(sweep_module, "POOL_SPAWN_COST_S", 0.0)
+        cells = [{"seed": derive_seed(7, i)} for i in range(24)]
+        serial = SweepRunner(workers=1).map(seeded_draw, cells)
+        chunked = SweepRunner(workers=2).map(seeded_draw, cells)
+        assert all(np.array_equal(a, b)
+                   for a, b in zip(serial, chunked))
+
+    def test_chunked_pool_reports_per_cell_errors(self, monkeypatch):
+        from repro.perf import sweep as sweep_module
+        monkeypatch.setattr(sweep_module, "POOL_SPAWN_COST_S", 0.0)
+        runner = SweepRunner(workers=2, experiment_id="poison")
+
+        with pytest.raises(ValueError, match="poison"):
+            runner.map(_poison, [{"x": i} for i in range(12)])
 
 
 class TestExperimentDeterminism:

@@ -211,11 +211,14 @@ class TestTimeouts:
 
 
 class TestPoolSupervision:
-    def test_sigkilled_worker_sweep_still_completes(self):
+    def test_sigkilled_worker_sweep_still_completes(self, monkeypatch):
         # Every parallel attempt of cell 2 kills its worker; the
         # runner respawns the pool, halves its width past the respawn
         # budget, and the final serial drain (parent process, no
-        # WORKER_ENV) completes the cell.
+        # WORKER_ENV) completes the cell.  Spawn cost pinned to zero
+        # so the cheap grid still goes through the pool under test.
+        from repro.perf import sweep as sweep_module
+        monkeypatch.setattr(sweep_module, "POOL_SPAWN_COST_S", 0.0)
         policy = ResiliencePolicy(max_pool_respawns=1, max_retries=3,
                                   backoff_base=0.0,
                                   write_capsules=False)
@@ -224,10 +227,15 @@ class TestPoolSupervision:
         result = runner.map(crash_cell, [{"x": i} for i in range(5)])
         assert result == [0, 5, 10, 15, 20]
 
-    def test_no_policy_worker_loss_still_raises(self):
+    def test_no_policy_worker_loss_still_raises(self, monkeypatch):
         # Pool supervision is always on, but without a policy a cell
         # that keeps losing its worker must surface an error -- never
-        # a silent CellFailure placeholder.
+        # a silent CellFailure placeholder.  The grid is cheap, so pin
+        # the spawn-cost estimate to keep the probe dispatcher from
+        # (correctly) keeping it serial -- the pool path is the one
+        # under test.
+        from repro.perf import sweep as sweep_module
+        monkeypatch.setattr(sweep_module, "POOL_SPAWN_COST_S", 0.0)
         runner = SweepRunner(workers=2, experiment_id="crash")
         with pytest.raises(RuntimeError, match="lost its worker"):
             runner.map(crash_cell, [{"x": i} for i in range(5)])

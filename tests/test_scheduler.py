@@ -1,0 +1,233 @@
+"""Calendar scheduler: heap-equivalence properties, adaptation, resume."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import SCHEDULERS, SimulationAborted, Simulator
+from repro.sim.scheduler import (
+    NEAR_SPLIT_LIMIT,
+    SPAN_MAX_BATCH,
+    CalendarScheduler,
+)
+
+
+def _random_workload(sim, rng, total_events):
+    """Drive ``sim`` with a randomized self-extending schedule.
+
+    Exercises every ordering hazard at once: simultaneous events
+    (zero-delay ties resolved by scheduling order), events scheduling
+    into the open window, far-future jumps, and cancellations.  The
+    returned trace captures ``(time, tag)`` in serve order, so two
+    backends agree iff they serve the exact same event sequence.
+    """
+    trace = []
+    handles = []
+
+    def fire(tag):
+        trace.append((sim.now, tag))
+        if len(trace) >= total_events:
+            return
+        for _ in range(rng.randrange(3)):
+            delay = rng.choice(
+                [0.0, 0.0, 1e-9, rng.random() * 1e-6,
+                 rng.random() * 1e-4, rng.random() * 1e-2])
+            handles.append(sim.schedule(delay, fire, len(trace)))
+        if handles and rng.random() < 0.05:
+            handles[rng.randrange(len(handles))].cancel()
+
+    for i in range(50):
+        handles.append(sim.schedule(rng.random() * 1e-4, fire, -i))
+    for i in range(0, 50, 7):
+        handles[i].cancel()
+    sim.run()
+    return trace
+
+
+class TestHeapEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_schedules_identical(self, seed):
+        traces = {}
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            traces[backend] = _random_workload(
+                sim, random.Random(seed), total_events=3000)
+        assert traces["calendar"] == traces["heap"]
+
+    def test_fifo_ties_across_bucket_sizes(self):
+        # Many equal timestamps, scheduled from different engine states,
+        # must serve in scheduling order on both backends.
+        logs = {}
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            log = []
+            for i in range(2 * NEAR_SPLIT_LIMIT):
+                sim.schedule(1e-3, log.append, i)
+                sim.schedule(2e-3, log.append, -i)
+            sim.run()
+            logs[backend] = log
+        assert logs["calendar"] == logs["heap"]
+
+    def test_cancelled_events_skipped(self):
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            log = []
+            keep = sim.schedule(1e-3, log.append, "keep")
+            drop = sim.schedule(1e-3, log.append, "drop")
+            late = sim.schedule(2e-3, log.append, "late")
+            drop.cancel()
+            assert sim.pending_events == 3  # lazy removal counts it
+            sim.run()
+            assert log == ["keep", "late"]
+            assert not keep.cancelled and late.cancelled is False
+
+    def test_cancel_from_inside_callback(self):
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            log = []
+            victim = sim.schedule(2e-3, log.append, "victim")
+            sim.schedule(1e-3, victim.cancel)
+            sim.schedule(3e-3, log.append, "after")
+            sim.run()
+            assert log == ["after"]
+
+    def test_dense_timer_wheel_identical(self):
+        # The width-adaptation stress shape: many concurrent periodic
+        # timers with near-identical periods.  Forces window splits,
+        # rehashes and compaction on the calendar backend.
+        logs = {}
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            log = []
+
+            def tick(tag, gap, sim=sim, log=log):
+                log.append((sim.now, tag))
+                if len(log) < 20_000:
+                    sim.schedule(gap, tick, tag, gap)
+
+            for i in range(SPAN_MAX_BATCH + 100):
+                sim.schedule(0.0, tick, i, 1e-6 + i * 3e-9)
+            sim.run()
+            logs[backend] = log
+        assert logs["calendar"] == logs["heap"]
+
+
+class TestCalendarResume:
+    def test_max_events_abort_then_resume_matches_oracle(self):
+        oracle = Simulator(scheduler="heap")
+        reference = _random_workload(
+            oracle, random.Random(99), total_events=2000)
+
+        sim = Simulator(scheduler="calendar")
+        trace = []
+        handles = []
+        rng = random.Random(99)
+
+        def fire(tag):
+            trace.append((sim.now, tag))
+            if len(trace) >= 2000:
+                return
+            for _ in range(rng.randrange(3)):
+                delay = rng.choice(
+                    [0.0, 0.0, 1e-9, rng.random() * 1e-6,
+                     rng.random() * 1e-4, rng.random() * 1e-2])
+                handles.append(sim.schedule(delay, fire, len(trace)))
+            if handles and rng.random() < 0.05:
+                handles[rng.randrange(len(handles))].cancel()
+
+        for i in range(50):
+            handles.append(sim.schedule(rng.random() * 1e-4, fire, -i))
+        for i in range(0, 50, 7):
+            handles[i].cancel()
+
+        aborts = 0
+        while True:
+            try:
+                sim.run(max_events=137)
+                break
+            except SimulationAborted as exc:
+                aborts += 1
+                assert exc.reason == "max_events"
+                assert exc.events_processed == 137
+        assert aborts >= 2  # actually exercised mid-run resume
+        assert trace == reference
+
+    def test_until_pauses_and_resumes(self):
+        for backend in SCHEDULERS:
+            sim = Simulator(scheduler=backend)
+            log = []
+            for t in (1e-3, 2e-3, 3e-3):
+                sim.schedule_at(t, log.append, t)
+            sim.run(until=1.5e-3)
+            assert log == [1e-3]
+            assert sim.now == pytest.approx(1.5e-3)
+            sim.run()
+            assert log == [1e-3, 2e-3, 3e-3]
+
+    def test_stop_then_resume(self):
+        sim = Simulator(scheduler="calendar")
+        log = []
+        sim.schedule(1e-3, log.append, "a")
+        sim.schedule(2e-3, sim.stop)
+        sim.schedule(3e-3, log.append, "b")
+        sim.run()
+        assert log == ["a"]
+        sim.run()
+        assert log == ["a", "b"]
+
+
+class TestCalendarInternals:
+    def test_pop_order_random(self):
+        rng = random.Random(7)
+        cal = CalendarScheduler()
+        entries = [(rng.random() * rng.choice([1e-6, 1e-3, 1.0]), seq, None)
+                   for seq in range(5000)]
+        for e in entries:
+            cal.push(e)
+        served = []
+        while True:
+            entry = cal.pop()
+            if entry is None:
+                break
+            served.append(entry)
+        assert served == sorted(entries)
+        assert len(cal) == 0
+
+    def test_len_and_peek(self):
+        cal = CalendarScheduler()
+        assert cal.peek() is None and len(cal) == 0
+        cal.push((2.0, 1, None))
+        cal.push((1.0, 2, None))
+        assert len(cal) == 2
+        assert cal.peek() == (1.0, 2, None)
+        assert len(cal) == 2  # peek does not consume
+        assert cal.pop() == (1.0, 2, None)
+        assert len(cal) == 1
+
+    def test_push_batch(self):
+        cal = CalendarScheduler()
+        cal.push_batch([(3.0, 1, None), (1.0, 2, None), (2.0, 3, None)])
+        assert [cal.pop() for _ in range(3)] == [
+            (1.0, 2, None), (2.0, 3, None), (3.0, 1, None)]
+
+    def test_width_shrinks_under_dense_horizon(self):
+        # A pending set far denser than the default width must force
+        # the adaptive rehash; otherwise serving degenerates into
+        # window<->bucket ping-pong (the pathology this guards).
+        cal = CalendarScheduler()
+        start = cal.width
+        order = list(range(4 * SPAN_MAX_BATCH))
+        random.Random(11).shuffle(order)
+        for seq, t in enumerate(order):
+            cal.push((t * 1e-9, seq, None))
+        while cal.pop() is not None:
+            pass
+        assert cal.width < start
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(width=0.0)
+
+    def test_invalid_scheduler_name_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(scheduler="wheel")
