@@ -16,8 +16,12 @@ Usage::
     python -m repro replay CAPSULE.json          # re-run a failed cell
     python -m repro bench                # write BENCH_PR7.json
     python -m repro run fig05 --engine calendar  # pick event backend
+    python -m repro run fig05 --profile          # sampling profiler
     python -m repro worker /shared/queue         # drain a sweep queue
     python -m repro run fig14 --backend queue --queue-dir /shared/queue
+    python -m repro serve /shared/queue          # live fleet metrics/events
+    python -m repro watch --serve http://host:9876   # remote dashboard
+    python -m repro report --fleet /shared/queue # stitched fleet trace
 
 Each run prints the table of numbers the corresponding paper figure
 plots, via the same drivers the benchmarks use.  ``--workers`` fans
@@ -47,6 +51,17 @@ same directory (see :mod:`repro.perf.backend`).  Workers heartbeat
 their leases; dead workers' cells are re-leased automatically, and a
 coordinator that sees no live worker degrades back to local
 execution instead of hanging.
+
+``serve`` exposes the fleet observability plane over HTTP next to a
+queue or telemetry directory: merged Prometheus ``/metrics``
+(coordinator + per-worker heartbeat snapshots), a ``/events`` SSE
+stream of the run-log shards, ``/fleet`` liveness JSON and the
+stitched ``/trace`` tree (see :mod:`repro.obs.serve`).  ``watch
+--serve URL`` follows such a plane from a host without the shared
+filesystem, and ``report --fleet DIR`` renders the coordinator ->
+workers -> cells trace tree of the latest distributed sweep.
+``run --profile`` samples the engine hot loops from a sidecar thread
+(:mod:`repro.obs.profile`) and prints where the wall time went.
 """
 
 from __future__ import annotations
@@ -91,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="DIR", default=None,
                      help="record metrics, spans, health findings and "
                           "a JSONL run log per experiment into DIR")
+    run.add_argument("--profile", action="store_true",
+                     help="sample the engine hot loops from a sidecar "
+                          "thread and print the per-category time "
+                          "shares after each experiment")
     run.add_argument("--telemetry-fsync", action="store_true",
                      help="fsync every run-log event (promptest "
                           "'repro watch' tail; costs a syscall per "
@@ -134,18 +153,27 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("runlog",
                         help="a <run-id>.jsonl file written by "
                              "--telemetry, or a directory of them "
-                             "(every *.jsonl inside is rendered)")
+                             "(every *.jsonl inside is rendered); "
+                             "with --fleet, a queue directory "
+                             "holding traces/ shards")
     report.add_argument("--validate-only", action="store_true",
                         help="check the log(s) against the RunLog "
                              "schema and exit without rendering")
+    report.add_argument("--fleet", action="store_true",
+                        help="render the stitched cross-host trace "
+                             "tree of a distributed sweep instead of "
+                             "run-log dashboards")
+    report.add_argument("--trace-id", default=None, metavar="ID",
+                        help="with --fleet, pick a specific trace "
+                             "(default: the most recent)")
 
     watch = sub.add_parser(
         "watch", help="live dashboard tailing a run log as it is "
                       "written")
-    watch.add_argument("target",
+    watch.add_argument("target", nargs="?", default=None,
                        help="a run-log .jsonl path, or a telemetry "
                             "directory (newest log inside is "
-                            "followed)")
+                            "followed); omit with --serve")
     watch.add_argument("--experiment", default=None, metavar="ID",
                        help="with a directory target, follow the "
                             "newest log of this experiment")
@@ -154,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                                          "(default 0.5s)")
     watch.add_argument("--once", action="store_true",
                        help="render the current state once and exit")
+    watch.add_argument("--serve", default=None, metavar="URL",
+                       dest="serve_url",
+                       help="follow a 'repro serve' plane's "
+                            "/events.json instead of a local file "
+                            "(e.g. http://host:9876)")
 
     compare = sub.add_parser(
         "compare", help="diff two runs: bench reports or telemetry "
@@ -217,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--telemetry", metavar="DIR", default=None,
                         help="record this worker's cell events and "
                              "metrics into DIR")
+
+    serve = sub.add_parser(
+        "serve", help="HTTP observability plane: merged /metrics, "
+                      "/events stream, /fleet liveness, /trace tree")
+    serve.add_argument("root",
+                       help="a queue directory (workers/ inside), a "
+                            "telemetry directory of run logs, or a "
+                            "directory that is both")
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default 127.0.0.1; "
+                            "0.0.0.0 exposes the plane to the fleet)")
+    serve.add_argument("--port", type=int, default=9876, metavar="N",
+                       help="bind port (default 9876; 0 picks a "
+                            "free port and prints it)")
+    serve.add_argument("--worker-ttl", type=float, default=None,
+                       metavar="S",
+                       help="seconds before a worker registration "
+                            "(and its metrics snapshot) stops "
+                            "counting as live (default 30)")
     return parser
 
 
@@ -310,7 +362,8 @@ def run_experiments(names: List[str],
                     queue_dir: "str | None" = None,
                     lease_ttl: Optional[float] = None,
                     worker_grace: Optional[float] = None,
-                    engine: "str | None" = None) -> int:
+                    engine: "str | None" = None,
+                    profile: bool = False) -> int:
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -348,10 +401,28 @@ def run_experiments(names: List[str],
         # experiment builds internally, so sweeps run distributed
         # without each experiment growing a backend parameter.
         extra = {"engine": engine} if engine is not None else {}
-        with use_backend(backend_obj):
-            result = experiment.run(workers=workers, cache=cache,
-                                    telemetry=telemetry,
-                                    resilience=resilience, **extra)
+        profiler = None
+        if profile:
+            from repro.obs.profile import SamplingProfiler
+            profiler = SamplingProfiler().start()
+            if telemetry is not None:
+                # Telemetry stops it during finalization and logs
+                # the summary as a ``profile`` run-log event before
+                # the log closes; the later stop() is a no-op.
+                telemetry.profiler = profiler
+        try:
+            with use_backend(backend_obj):
+                result = experiment.run(workers=workers, cache=cache,
+                                        telemetry=telemetry,
+                                        resilience=resilience,
+                                        **extra)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+                profiler.publish()
+        if profiler is not None:
+            print(f"[profile: {name}]")
+            print(profiler.format_report())
         failures = []
         if resilience is not None:
             from repro.perf import collect_failures
@@ -472,6 +543,29 @@ def run_worker(queue_dir: str,
     return 0
 
 
+def serve_plane(root: str, host: str, port: int,
+                worker_ttl: "float | None" = None) -> int:
+    """Run the HTTP observability plane until interrupted."""
+    from repro.obs.serve import DEFAULT_WORKER_TTL, ObservabilityServer
+
+    try:
+        server = ObservabilityServer(
+            root=root, host=host, port=port,
+            worker_ttl=DEFAULT_WORKER_TTL if worker_ttl is None
+            else worker_ttl)
+    except (OSError, ValueError) as error:
+        print(f"cannot serve {root}: {error}", file=sys.stderr)
+        return 2
+    print(f"[observability plane for {root} at {server.url}]")
+    print("[endpoints: /metrics /events /events.json /fleet "
+          "/trace /healthz -- ctrl-c to stop]")
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
+
+
 def report_runlog(path: str, validate_only: bool = False) -> int:
     """Validate (and by default render) ``--telemetry`` run logs.
 
@@ -519,14 +613,19 @@ def main(argv: "List[str] | None" = None) -> int:
         list_experiments()
         return 0
     if args.command == "report":
+        if args.fleet:
+            from repro.obs.report import render_fleet
+            print(render_fleet(args.runlog, trace_id=args.trace_id))
+            return 0
         return report_runlog(args.runlog,
                              validate_only=args.validate_only)
     if args.command == "watch":
         from repro.obs.live import watch
         try:
             return watch(args.target, experiment=args.experiment,
-                         interval=args.interval, once=args.once)
-        except FileNotFoundError as error:
+                         interval=args.interval, once=args.once,
+                         serve_url=args.serve_url)
+        except (FileNotFoundError, ValueError) as error:
             print(error, file=sys.stderr)
             return 2
     if args.command == "compare":
@@ -553,6 +652,9 @@ def main(argv: "List[str] | None" = None) -> int:
                           max_idle=args.max_idle,
                           max_cells=args.max_cells,
                           telemetry_dir=args.telemetry)
+    if args.command == "serve":
+        return serve_plane(args.root, host=args.host, port=args.port,
+                           worker_ttl=args.worker_ttl)
     return run_experiments(args.experiments, csv_dir=args.csv,
                            workers=args.workers,
                            use_cache=args.cache,
@@ -566,7 +668,8 @@ def main(argv: "List[str] | None" = None) -> int:
                            queue_dir=args.queue_dir,
                            lease_ttl=args.lease_ttl,
                            worker_grace=args.worker_grace,
-                           engine=args.engine)
+                           engine=args.engine,
+                           profile=args.profile)
 
 
 if __name__ == "__main__":

@@ -111,7 +111,7 @@ def _run_hybrid(extra_delays_us: Sequence[float], num_flows: int,
                 capacity_gbps: float,
                 duration: float) -> List[SimStabilityRow]:
     """The same scenario with all ten flows as fluid elephants."""
-    from repro.sim.hybrid import attach_hybrid
+    from repro.sim.hybrid import attach_drift_monitor, attach_hybrid
 
     rows = []
     window = duration / 2.0
@@ -122,7 +122,14 @@ def _run_hybrid(extra_delays_us: Sequence[float], num_flows: int,
                             engine="hybrid")
         coupler = attach_hybrid(
             net, params, extra_feedback_delay=units.us(extra_us))
+        # Hybrid-drift health rides the same 20 us cadence as the
+        # packet runs' sampler; None while telemetry is off.
+        drift = attach_drift_monitor(
+            coupler, interval=20e-6, window=duration / 4.0,
+            context=f"extra_delay={extra_us}us,N={num_flows}")
         net.sim.run(until=duration)
+        if drift is not None:
+            drift.finalize()
         _, occupancy = coupler.as_arrays()
         rows.append(SimStabilityRow(
             extra_delay_us=extra_us,

@@ -47,10 +47,24 @@ the DDE fluid integrator, and the parallel sweep runner):
     ``python -m repro compare``: cross-run regression diffing over
     telemetry directories or bench reports, with noise-aware
     thresholds and new/resolved health findings -- the CI gate.
+
+:mod:`repro.obs.serve`
+    ``python -m repro serve``: the fleet observability plane -- a
+    stdlib HTTP server next to a queue or telemetry directory
+    exposing merged Prometheus ``/metrics`` (coordinator registry +
+    per-worker heartbeat snapshots), a ``/events`` SSE stream of the
+    run-log shards, ``/fleet`` liveness JSON, and the stitched
+    cross-host ``/trace`` tree.
+
+:mod:`repro.obs.profile`
+    Sampling profiler for the engine hot loops: a sidecar thread
+    attributes wall time to scheduler/port/protocol/engine frames
+    with zero per-event cost in the profiled thread.
 """
 
 from repro.obs.health import (Detector, HealthFinding, HealthMonitor,
-                              HealthSession, PauseStormDetector,
+                              HealthSession, HybridDriftDetector,
+                              PauseStormDetector,
                               QueueOscillationDetector,
                               StalledConvergenceDetector,
                               UnfairnessDriftDetector,
@@ -59,9 +73,14 @@ from repro.obs.health import (Detector, HealthFinding, HealthMonitor,
 from repro.obs.metrics import (MetricsRegistry, NullRegistry,
                                NULL_REGISTRY, get_registry,
                                sanitize, set_registry, use_registry)
+from repro.obs.profile import (SamplingProfiler, profiled,
+                               publish_engine_rates)
 from repro.obs.runlog import RunLog, read_events, validate_file
 from repro.obs.scrape import scrape_network, scrape_port
-from repro.obs.spans import SpanRecorder, format_span_tree, span
+from repro.obs.serve import FleetAggregator, ObservabilityServer
+from repro.obs.spans import (SpanRecorder, build_fleet_tree,
+                             format_span_tree, new_trace_id,
+                             read_trace_records, span)
 from repro.obs.telemetry import Telemetry, current
 
 __all__ = [
@@ -70,10 +89,14 @@ __all__ = [
     "RunLog", "read_events", "validate_file",
     "scrape_network", "scrape_port",
     "SpanRecorder", "format_span_tree", "span",
+    "build_fleet_tree", "new_trace_id", "read_trace_records",
+    "FleetAggregator", "ObservabilityServer",
+    "SamplingProfiler", "profiled", "publish_engine_rates",
     "Telemetry", "current",
     "Detector", "HealthFinding", "HealthMonitor", "HealthSession",
     "QueueOscillationDetector", "UnfairnessDriftDetector",
     "PauseStormDetector", "StalledConvergenceDetector",
+    "HybridDriftDetector",
     "attach_packet_health", "current_session", "set_session",
     "use_session", "verdict_for",
 ]

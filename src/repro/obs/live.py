@@ -88,6 +88,43 @@ class RunLogTailer:
         return events
 
 
+class ServeTailer:
+    """The :class:`RunLogTailer` twin over a ``repro serve`` plane.
+
+    Polls ``<base_url>/events.json?offset=N`` and resumes from the
+    returned offset, so a dashboard can follow a sweep on a host
+    that does not mount the queue filesystem at all.  Network
+    hiccups return an empty batch (the offset does not advance) --
+    same skip-don't-crash discipline as the file tailer.
+    """
+
+    def __init__(self, base_url: str,
+                 experiment: Optional[str] = None,
+                 timeout: float = 5.0):
+        self.base_url = base_url.rstrip("/")
+        self.experiment = experiment
+        self.timeout = timeout
+        self._offset = 0
+
+    def poll(self) -> List[dict]:
+        import urllib.parse
+        import urllib.request
+        query = {"offset": str(self._offset)}
+        if self.experiment:
+            query["experiment"] = self.experiment
+        url = (f"{self.base_url}/events.json?"
+               f"{urllib.parse.urlencode(query)}")
+        try:
+            with urllib.request.urlopen(
+                    url, timeout=self.timeout) as response:
+                payload = json.loads(
+                    response.read().decode("utf-8"))
+        except (OSError, ValueError):
+            return []
+        self._offset = int(payload.get("offset", self._offset))
+        return list(payload.get("events", []))
+
+
 class WatchState:
     """Latest-known view of a run, folded from its events in order."""
 
@@ -151,7 +188,8 @@ class WatchState:
             return None
         return self.workers.setdefault(
             worker_id, {"status": "live", "completed": 0,
-                        "failed": 0, "last_ts": None})
+                        "failed": 0, "claimed": 0,
+                        "first_cell_ts": None, "last_ts": None})
 
     def _apply_worker(self, event: dict) -> None:
         """Fold one distributed-queue ``worker`` event."""
@@ -168,10 +206,19 @@ class WatchState:
         elif kind == "worker_stopped":
             if slot is not None:
                 slot["status"] = "stopped"
+        elif kind == "cell_claimed":
+            if slot is not None:
+                slot["status"] = "live"
+                slot["claimed"] += 1
+                if slot["first_cell_ts"] is None:
+                    slot["first_cell_ts"] = event.get("ts")
         elif kind == "cell_completed":
             if slot is not None:
                 slot["status"] = "live"
                 slot["completed"] += 1
+                # Late-attaching watcher may have missed the claim.
+                if slot["first_cell_ts"] is None:
+                    slot["first_cell_ts"] = event.get("ts")
         elif kind == "cell_failed":
             if slot is not None:
                 slot["status"] = "live"
@@ -188,6 +235,20 @@ class WatchState:
             self.cells_quarantined += 1
         elif kind == "backend_fallback":
             self.backend_fallback = event
+
+    def worker_rate_per_min(self,
+                            worker_id: str) -> Optional[float]:
+        """Completed cells per minute of this worker's active span
+        (first claim to last event), or None before it can be
+        judged."""
+        slot = self.workers.get(worker_id)
+        if slot is None or not slot["completed"]:
+            return None
+        start = slot["first_cell_ts"]
+        end = slot["last_ts"]
+        if start is None or end is None or end <= start:
+            return None
+        return slot["completed"] / ((end - start) / 60.0)
 
     def apply_all(self, events: List[dict]) -> None:
         for event in events:
@@ -229,7 +290,7 @@ def _metric_rows(snapshot: Dict[str, dict],
 
 
 def render_dashboard(state: WatchState, now: Optional[float] = None,
-                     path: Optional[Path] = None) -> str:
+                     path: Union[str, Path, None] = None) -> str:
     """Render the current view as a text dashboard (pure)."""
     lines: List[str] = []
     title = state.experiment or "(waiting for run_start)"
@@ -276,10 +337,14 @@ def render_dashboard(state: WatchState, now: Optional[float] = None,
             slot = state.workers[worker_id]
             badge = {"live": "+", "lost": "x",
                      "stopped": "-"}.get(slot["status"], "?")
-            lines.append(f"  [{badge}] {worker_id:<28} "
-                         f"{slot['status']:<8} "
-                         f"done={slot['completed']} "
-                         f"failed={slot['failed']}")
+            row = (f"  [{badge}] {worker_id:<28} "
+                   f"{slot['status']:<8} "
+                   f"done={slot['completed']} "
+                   f"failed={slot['failed']}")
+            rate = state.worker_rate_per_min(worker_id)
+            if rate is not None:
+                row += f" {rate:.1f} cells/min"
+            lines.append(row)
         if state.backend_fallback is not None:
             reason = state.backend_fallback.get("cells")
             lines.append(f"  [!] coordinator fell back to local "
@@ -346,24 +411,34 @@ def resolve_target(target: Union[str, Path],
     return logs[-1]
 
 
-def watch(target: Union[str, Path],
+def watch(target: Union[str, Path, None] = None,
           experiment: Optional[str] = None,
           interval: float = DEFAULT_INTERVAL,
           once: bool = False,
           stream=None,
           clock: Callable[[], float] = time.time,
           sleep: Callable[[float], None] = time.sleep,
-          max_polls: Optional[int] = None) -> int:
+          max_polls: Optional[int] = None,
+          serve_url: Optional[str] = None) -> int:
     """Follow a run log until ``run_end`` (or forever, pre-run).
 
     ``once`` renders the current state a single time and returns --
-    usable in scripts and CI.  ``stream``/``clock``/``sleep``/
-    ``max_polls`` exist for deterministic tests.
+    usable in scripts and CI.  ``serve_url`` follows a remote
+    ``repro serve`` plane's ``/events.json`` instead of a local
+    file.  ``stream``/``clock``/``sleep``/``max_polls`` exist for
+    deterministic tests.
     """
     if stream is None:
         stream = sys.stdout
-    path = resolve_target(target, experiment)
-    tailer = RunLogTailer(path)
+    if serve_url is not None:
+        path: Union[str, Path] = serve_url
+        tailer: Union[RunLogTailer, ServeTailer] = ServeTailer(
+            serve_url, experiment=experiment)
+    elif target is not None:
+        path = resolve_target(target, experiment)
+        tailer = RunLogTailer(path)
+    else:
+        raise ValueError("watch needs a target path or --serve URL")
     state = WatchState()
     live_tty = (not once) and hasattr(stream, "isatty") \
         and stream.isatty()

@@ -53,6 +53,14 @@ Event types:
     ``cell_stolen``, ``cell_quarantined``, ``backend_fallback``; see
     :mod:`repro.perf.backend` and :mod:`repro.perf.worker`), with
     context such as the worker id, cell key and lease age.
+``trace``
+    A cross-host fleet-trace anchor: the queue coordinator records
+    the ``trace_id`` it stamped into the tasks of a dispatch (plus
+    the queue dir), linking this run log to the per-worker trace
+    shards ``python -m repro report --fleet`` stitches.
+``profile``
+    A sampling-profiler summary (``samples`` plus the per-category
+    share breakdown; see :mod:`repro.obs.profile`).
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -72,12 +80,15 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 #: 2 added the ``health`` event type (PR 4).
 #: 3 added the ``sweep`` and ``retry`` event types (PR 5).
 #: 4 added the ``worker`` event type (PR 6, distributed queue).
-RUNLOG_VERSION = 4
+#: 5 added the ``trace`` and ``profile`` event types (PR 8, fleet
+#: observability plane).
+RUNLOG_VERSION = 5
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
                          "warning", "note", "fault", "health",
-                         "sweep", "retry", "worker"})
+                         "sweep", "retry", "worker", "trace",
+                         "profile"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -92,6 +103,8 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "sweep": frozenset({"event"}),
     "retry": frozenset({"component"}),
     "worker": frozenset({"event"}),
+    "trace": frozenset({"trace_id"}),
+    "profile": frozenset({"samples"}),
 }
 
 #: Envelope fields every event must carry.
@@ -191,6 +204,14 @@ class RunLog:
     def worker(self, event: str, **fields: Any) -> dict:
         """Record a distributed-queue worker/lease transition."""
         return self.emit("worker", event=event, **fields)
+
+    def trace(self, trace_id: str, **fields: Any) -> dict:
+        """Anchor this run to a cross-host fleet trace."""
+        return self.emit("trace", trace_id=trace_id, **fields)
+
+    def profile(self, samples: int, **fields: Any) -> dict:
+        """Record a sampling-profiler summary."""
+        return self.emit("profile", samples=int(samples), **fields)
 
     def health(self, detector: str, severity: str, message: str,
                **fields: Any) -> dict:

@@ -92,6 +92,11 @@ class Telemetry:
                                             registry=self.registry)
         self.export_paths: "list[Path]" = []
         self.verdict: Optional[str] = None
+        #: Attach a started :class:`repro.obs.profile.SamplingProfiler`
+        #: here and finalization stops it, publishes its gauges into
+        #: this bundle's registry, and logs the ``profile`` event
+        #: before the run log closes.
+        self.profiler = None
 
     @classmethod
     def ensure(cls, value: "Union[Telemetry, str, Path]",
@@ -159,6 +164,10 @@ class Telemetry:
             self._finalize(status, error)
 
     def _finalize(self, status: str, error: Optional[str]) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
+            self.profiler.publish(self.registry)
+            self.run_log.profile(**self.profiler.report())
         for record in self.spans.records:
             self.run_log.span(record)
         # Verdict before the final snapshot so the finding counters

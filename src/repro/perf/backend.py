@@ -231,9 +231,17 @@ class QueueLayout:
 
 def make_task(experiment: str, index: int, key: str, fn_spec: str,
               kwargs: Dict[str, Any], fingerprint: str,
-              max_attempts: int, max_steals: int) -> dict:
-    """The JSON payload one queued cell travels as."""
-    return {"version": TASK_VERSION, "experiment": experiment,
+              max_attempts: int, max_steals: int,
+              trace_id: Optional[str] = None,
+              trace_root: Optional[str] = None) -> dict:
+    """The JSON payload one queued cell travels as.
+
+    ``trace_id``/``trace_root`` stitch the cell into a cross-host
+    fleet trace (see :mod:`repro.obs.spans`): whichever worker
+    eventually executes the cell -- the original claimer or a
+    stealer -- records its span under the coordinator's root.
+    """
+    task = {"version": TASK_VERSION, "experiment": experiment,
             "index": index, "key": key, "fn": fn_spec,
             "kwargs": encode_value(kwargs),
             "fingerprint": fingerprint,
@@ -241,6 +249,11 @@ def make_task(experiment: str, index: int, key: str, fn_spec: str,
             "max_attempts": int(max_attempts),
             "max_steals": int(max_steals),
             "enqueued_ts": time.time()}
+    if trace_id:
+        task["trace_id"] = trace_id
+        task["trace_root"] = trace_root \
+            or f"coordinator[{experiment}]"
+    return task
 
 
 def make_result(task: dict, value: Any, elapsed: float,
@@ -341,6 +354,18 @@ def _worker_event(event: str, **fields: Any) -> None:
         return
     try:
         bundle.run_log.worker(event, **fields)
+    except ValueError:
+        pass  # run log already finished/closed
+
+
+def _trace_event(trace_id: str, **fields: Any) -> None:
+    """Anchor the active run log to a fleet trace, if any."""
+    from repro.obs import telemetry as _telemetry
+    bundle = _telemetry.current()
+    if bundle is None:
+        return
+    try:
+        bundle.run_log.trace(trace_id, **fields)
     except ValueError:
         pass  # run log already finished/closed
 
@@ -447,6 +472,7 @@ class QueueBackend(SweepBackend):
     # -- coordinator ------------------------------------------------------
 
     def execute(self, runner, fn, pending, finish) -> None:
+        from repro.obs import spans as _spans
         from repro.perf.cache import code_fingerprint
         from repro.perf.resilience import _qualified_name
         from repro.perf.sweep import DEFAULT_POOL_RESPAWNS, _sweep_event
@@ -465,6 +491,11 @@ class QueueBackend(SweepBackend):
                                     else DEFAULT_POOL_RESPAWNS)
         sleep = policy.sleep if policy is not None else time.sleep
         fn_spec = _qualified_name(fn)
+        trace_id = _spans.new_trace_id(label)
+        trace_root = f"coordinator[{label}]"
+        dispatch_ts = time.time()
+        dispatch_wall = time.perf_counter()
+        dispatch_cpu = time.process_time()
 
         outstanding: Dict[str, Any] = {}
         enqueued = 0
@@ -479,15 +510,20 @@ class QueueBackend(SweepBackend):
             task = make_task(label, entry.index, entry.key, fn_spec,
                              entry.cell, fingerprint,
                              max_attempts=max_retries + 1,
-                             max_steals=max_steals)
+                             max_steals=max_steals,
+                             trace_id=trace_id,
+                             trace_root=trace_root)
             _atomic_write_json(layout.task_path(entry.key), task)
             outstanding[entry.key] = entry
             enqueued += 1
 
         _sweep_event("queue_dispatch", experiment=label,
                      queue_dir=str(layout.root), cells=enqueued)
+        _trace_event(trace_id, queue_dir=str(layout.root),
+                     cells=enqueued)
         known_workers: Dict[str, float] = {}
         grace_started = time.monotonic()
+        status = "ok"
         try:
             while outstanding:
                 progressed = False
@@ -517,6 +553,7 @@ class QueueBackend(SweepBackend):
                 elif self.worker_grace is not None and \
                         time.monotonic() - grace_started \
                         > self.worker_grace:
+                    status = "fallback"
                     self._fall_back(runner, fn, outstanding, finish)
                     return
                 if outstanding:
@@ -524,8 +561,37 @@ class QueueBackend(SweepBackend):
         except BaseException:
             # Interrupt or coordinator-side failure: leave no orphan
             # tasks for unrelated sweeps to trip over.
+            status = "error"
             self._withdraw(outstanding)
             raise
+        finally:
+            self._record_trace_root(
+                trace_id, trace_root, dispatch_ts,
+                wall_s=time.perf_counter() - dispatch_wall,
+                cpu_s=time.process_time() - dispatch_cpu,
+                cells=enqueued, status=status)
+
+    def _record_trace_root(self, trace_id: str, trace_root: str,
+                           ts: float, wall_s: float, cpu_s: float,
+                           cells: int, status: str) -> None:
+        """Append the coordinator's root span to its trace shard, so
+        ``repro report --fleet`` has a real (not synthesized) root
+        covering the whole dispatch."""
+        import socket as _socket
+
+        from repro.obs import spans as _spans
+        from repro.obs.metrics import sanitize
+        shard = (f"coordinator-{sanitize(_socket.gethostname())}"
+                 f"-{os.getpid()}")
+        record = {"trace_id": trace_id, "name": trace_root,
+                  "path": trace_root, "ts": ts, "wall_s": wall_s,
+                  "cpu_s": cpu_s, "cells": cells, "status": status}
+        try:
+            _spans.append_trace_record(
+                _spans.trace_shard_path(self.layout.root, shard),
+                record)
+        except OSError:  # pragma: no cover - transient shared-FS
+            pass
 
     # -- coordinator helpers ----------------------------------------------
 

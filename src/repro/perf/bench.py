@@ -43,7 +43,10 @@ from repro.perf.cache import ResultCache
 #:   batched (struct-of-arrays window) port throughput, the fig05
 #:   calendar-vs-heap bit-identity check and the hybrid fluid/packet
 #:   statistical-compatibility gate (PR 7).
-REPORT_VERSION = 6
+#: 7 added the profiler section: event-loop throughput with the
+#:   sampling profiler attached, the on/off ratio CI gates at
+#:   >= 0.95, and the sampled category shares (PR 8).
+REPORT_VERSION = 7
 
 #: Default output file, repo-root relative.
 DEFAULT_REPORT = "BENCH_PR7.json"
@@ -230,6 +233,35 @@ def bench_telemetry_overhead(n_events: int = 100_000) -> dict:
         float("inf"),
         "off_over_health_ratio": off_rate / health_rate
         if health_rate else float("inf"),
+    }
+
+
+def bench_profiler_overhead(n_events: int = 200_000) -> dict:
+    """Event-loop throughput with the sampling profiler off vs on.
+
+    The profiler's contract is that the profiled thread pays nothing
+    per event (a sidecar thread reads its stack from outside), so the
+    on/off throughput ratio must stay near 1.0; CI gates it at
+    >= 0.95 (the ISSUE's <= 5% overhead bound).  The sampled category
+    shares ride along so the report shows where a pure event-loop
+    spin actually lands (engine + scheduler frames).
+    """
+    from repro.obs.profile import SamplingProfiler
+
+    off_rate = bench_event_loop(n_events)
+    profiler = SamplingProfiler()
+    profiler.start()
+    try:
+        on_rate = bench_event_loop(n_events)
+    finally:
+        profiler.stop()
+    return {
+        "events_per_sec_off": off_rate,
+        "events_per_sec_on": on_rate,
+        "on_over_off_ratio": on_rate / off_rate if off_rate
+        else float("inf"),
+        "samples": profiler.total_samples,
+        "shares": profiler.shares(),
     }
 
 
@@ -492,6 +524,7 @@ def run_benchmarks(workers: int = 4, full: bool = False,
             "stability_map_row_s": bench_stability_row(),
         },
         "telemetry": bench_telemetry_overhead(),
+        "profiler": bench_profiler_overhead(),
         "engines": bench_engines(),
         "sweeps": bench_sweeps(workers=workers, full=full),
         "resilience": bench_resilience(workers=workers),

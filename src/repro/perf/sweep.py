@@ -376,6 +376,7 @@ class SweepRunner:
         journal = self.journal
         registry = _metrics.get_registry()
         backend = self._effective_backend()
+        sweep_started = time.perf_counter()
         with _spans.span(f"sweep:{label}"):
             results: List[Any] = [None] * len(cells)
             need_keys = self.cache is not None or journal is not None \
@@ -459,6 +460,12 @@ class SweepRunner:
                     journal.compact()
                 except Exception:
                     journal.flush()  # unreadable sibling shard etc.
+            # End-of-sweep aggregation point: the live throughput
+            # gauge ``repro serve`` merges into the fleet /metrics.
+            sweep_wall = time.perf_counter() - sweep_started
+            if sweep_wall > 0:
+                registry.gauge("perf.sweep.cells_per_sec").set(
+                    len(cells) / sweep_wall)
             return results
 
     # -- shared failure handling -------------------------------------------

@@ -122,12 +122,35 @@ class QueueWorker:
 
     # -- registration and heartbeats --------------------------------------
 
+    def _metrics_snapshot(self) -> dict:
+        """This worker's registry snapshot plus synthesized progress
+        counters, piggybacked onto every heartbeat registration so
+        the observability plane (:mod:`repro.obs.serve`) can merge
+        fleet-wide metrics without any extra write traffic.  The
+        progress counters are synthesized from plain attributes so
+        the fleet ``/metrics`` endpoint works even when the worker
+        runs without ``--telemetry`` (null registry)."""
+        try:
+            snapshot = dict(_metrics.get_registry().snapshot())
+        except Exception:  # pragma: no cover - racing registration
+            snapshot = {}
+        snapshot["perf.worker.cells_completed"] = {
+            "type": "counter", "value": self.completed}
+        snapshot["perf.worker.cells_failed"] = {
+            "type": "counter", "value": self.failed}
+        snapshot["perf.worker.leases_stolen"] = {
+            "type": "counter", "value": self.stolen}
+        snapshot["perf.worker.heartbeats_total"] = {
+            "type": "counter", "value": self._beats}
+        return snapshot
+
     def _registration(self) -> dict:
         return {"worker": self.worker_id, "pid": os.getpid(),
                 "host": socket.gethostname(),
                 "python": sys.version.split()[0],
                 "fingerprint": self.fingerprint,
-                "beats": self._beats, "ts": time.time()}
+                "beats": self._beats, "ts": time.time(),
+                "metrics": self._metrics_snapshot()}
 
     def register(self) -> None:
         self.layout.ensure()
@@ -241,6 +264,33 @@ class QueueWorker:
         except OSError:
             pass
 
+    def _trace_record(self, task: dict, ts: float, wall_s: float,
+                      cpu_s: float, status: str) -> None:
+        """Append this cell's span to the worker's fleet-trace shard
+        (see :mod:`repro.obs.spans`) when the coordinator stamped a
+        ``trace_id`` into the task.  A stolen cell keeps its original
+        trace id, so the stitched tree shows the recompute under the
+        surviving worker."""
+        trace_id = task.get("trace_id")
+        if not trace_id:
+            return
+        from repro.obs import spans as _spans
+        root = task.get("trace_root") or "coordinator"
+        name = f"cell[{task.get('index')}]"
+        record = {"trace_id": trace_id, "name": name,
+                  "path": f"{root}/worker:{self.worker_id}/{name}",
+                  "ts": ts, "wall_s": wall_s, "cpu_s": cpu_s,
+                  "worker": self.worker_id, "key": task.get("key"),
+                  "steals": task.get("steals", 0),
+                  "attempts": task.get("attempts", 0),
+                  "status": status}
+        try:
+            _spans.append_trace_record(
+                _spans.trace_shard_path(self.layout.root,
+                                        self.worker_id), record)
+        except OSError:  # pragma: no cover - transient shared-FS
+            pass
+
     def step(self) -> bool:
         """Claim and run one cell; False when nothing was claimable."""
         claimed = self._claim()
@@ -253,7 +303,9 @@ class QueueWorker:
         _worker_event("cell_claimed", key=task["key"],
                       index=task.get("index"), worker=self.worker_id,
                       experiment=task.get("experiment"))
+        started_ts = time.time()
         started = time.perf_counter()
+        cpu_started = time.process_time()
         try:
             fn = _resolve_callable(task["fn"])
             kwargs = decode_value(task["kwargs"])
@@ -263,9 +315,15 @@ class QueueWorker:
             raise
         except BaseException as exc:
             elapsed = time.perf_counter() - started
+            self._trace_record(task, started_ts, elapsed,
+                               time.process_time() - cpu_started,
+                               status="error")
             self._handle_cell_error(claim_path, task, exc, elapsed)
             return True
         elapsed = time.perf_counter() - started
+        self._trace_record(task, started_ts, elapsed,
+                           time.process_time() - cpu_started,
+                           status="ok")
         self._finish(claim_path,
                      make_result(task, value, elapsed,
                                  self.worker_id))

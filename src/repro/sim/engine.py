@@ -259,7 +259,8 @@ class Simulator:
         processed = 0
         heap = self._heap
         pop = heapq.heappop
-        wall_start = _time.monotonic() if max_wall_seconds is not None \
+        wall_begin = _time.monotonic()
+        wall_start = wall_begin if max_wall_seconds is not None \
             else None
         watchdogs = max_events is not None or wall_start is not None
         try:
@@ -320,7 +321,7 @@ class Simulator:
             self._processed += processed
             self._running = False
             # Telemetry publishes per *run* call, never per event --
-            # with telemetry off this is four no-op calls on the
+            # with telemetry off these are no-op calls on the
             # process-wide null registry (see repro.obs.metrics), so
             # the hot loop above is byte-for-byte unaffected.
             registry = _metrics.get_registry()
@@ -328,6 +329,9 @@ class Simulator:
             registry.counter("sim.engine.events_total").inc(processed)
             registry.gauge("sim.engine.pending_events").set(len(heap))
             registry.gauge("sim.engine.sim_time_s").set(self._now)
+            self._publish_scheduler_metrics(registry, processed,
+                                            _time.monotonic()
+                                            - wall_begin)
 
     def _run_calendar(self, until: Optional[float],
                       max_events: Optional[int],
@@ -347,7 +351,8 @@ class Simulator:
         cal = self._cal
         near = cal._near
         advance = cal._advance
-        wall_start = _time.monotonic() if max_wall_seconds is not None \
+        wall_begin = _time.monotonic()
+        wall_start = wall_begin if max_wall_seconds is not None \
             else None
         watchdogs = max_events is not None or wall_start is not None
         try:
@@ -417,6 +422,35 @@ class Simulator:
             registry.counter("sim.engine.events_total").inc(processed)
             registry.gauge("sim.engine.pending_events").set(len(cal))
             registry.gauge("sim.engine.sim_time_s").set(self._now)
+            self._publish_scheduler_metrics(registry, processed,
+                                            _time.monotonic()
+                                            - wall_begin)
+
+    def _publish_scheduler_metrics(self, registry, processed: int,
+                                   wall_s: float) -> None:
+        """Per-run scheduler telemetry (one publish per ``run`` call,
+        never per event): which backend ran, its lifetime event
+        count, per-run throughput, and -- on the calendar backend --
+        the wheel internals (adaptive width, occupancy, rehash and
+        overflow-spill counts) that make engine choice visible in
+        telemetry, not just in bench JSON."""
+        registry.counter(
+            f"sim.scheduler.{self.scheduler}_runs_total").inc()
+        registry.gauge("sim.scheduler.events_processed").set(
+            self._processed)
+        if processed and wall_s > 0:
+            registry.gauge("sim.engine.events_per_sec").set(
+                processed / wall_s)
+        if self._cal is not None:
+            stats = self._cal.stats()
+            registry.gauge("sim.scheduler.width_s").set(
+                stats["width_s"])
+            registry.gauge("sim.scheduler.buckets").set(
+                stats["buckets"])
+            registry.gauge("sim.scheduler.rehashes").set(
+                stats["rehashes"])
+            registry.gauge("sim.scheduler.spills").set(
+                stats["spills"])
 
     def _abort_metrics(self, reason: str) -> None:
         """Count a watchdog abort (rare path, outside the fast loop)."""

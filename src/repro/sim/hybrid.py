@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.fluid.dcqcn import MIN_RATE, qcn_event_rates
 from repro.core.params import DCQCNParams
+from repro.obs import metrics as _metrics
 from repro.sim.topology import Network
 
 #: Fluid bandwidth share above which mice would be starved outright;
@@ -59,6 +60,12 @@ MIN_RESIDUAL_FRACTION = 0.02
 #: paper's control-loop delays (tau* >= 4 us, the Fig. 5 pathology at
 #: 85 us) while keeping one-event-per-tick cost negligible.
 DEFAULT_TICK = 2e-6
+
+#: Time constant, seconds, of the exponential moving average the
+#: tail-drift signal is measured against -- long enough to smooth
+#: over RED sampling noise, short enough to track the Fig. 5 limit
+#: cycle's period.
+DRIFT_EMA_WINDOW = 1e-3
 
 
 class CoupledMarker:
@@ -167,6 +174,15 @@ class HybridDCQCNCoupler:
         self.times: List[float] = []
         self.queue_bytes_trace: List[float] = []
 
+        # Drift telemetry: latest residual fraction granted to the
+        # mice, an EMA of the total queue the tail-drift signal is
+        # measured against, and the gauges cached per registry so the
+        # tick pays name-lookup cost only when telemetry flips.
+        self._last_residual = 1.0
+        self._queue_ema = 0.0
+        self._gauge_registry = None
+        self._gauges = None
+
         if self.port.marker is not None:
             self.port.marker = CoupledMarker(self.port.marker, self)
 
@@ -256,13 +272,68 @@ class HybridDCQCNCoupler:
         share = min(float(np.sum(self.rc)) / self.capacity_pkts, 1.0)
         residual = max(1.0 - share, MIN_RESIDUAL_FRACTION)
         self.port.rate = self.line_rate_bytes * residual
+        self._last_residual = residual
 
-        total_q_pkts = self.total_queue_bytes / self.mtu
+        total_q_bytes = self.total_queue_bytes
+        total_q_pkts = total_q_bytes / self.mtu
         self._history.append((total_q_pkts, self.rc))
         self.times.append(now)
-        self.queue_bytes_trace.append(self.total_queue_bytes)
+        self.queue_bytes_trace.append(total_q_bytes)
+
+        # Drift telemetry: each tick already aggregates the whole
+        # packet interval, so publishing here honours the
+        # aggregation-point rule; with the null registry the three
+        # sets are inert no-ops next to the tick's numpy work.
+        self._queue_ema += (total_q_bytes - self._queue_ema) \
+            * min(dt / DRIFT_EMA_WINDOW, 1.0)
+        delta_g, residual_g, drift_g = self._drift_gauges()
+        delta_g.set(self.fluid_backlog_bytes
+                    - self.port.queue.size_bytes)
+        residual_g.set(residual)
+        drift_g.set(total_q_bytes - self._queue_ema)
 
         self.net.sim.schedule(dt, self._step)
+
+    def _drift_gauges(self):
+        """The three ``sim.hybrid.*`` gauges, re-resolved only when
+        the active registry changes identity (telemetry toggled)."""
+        registry = _metrics.get_registry()
+        if registry is not self._gauge_registry:
+            self._gauge_registry = registry
+            self._gauges = (
+                registry.gauge("sim.hybrid.backlog_delta_bytes"),
+                registry.gauge("sim.hybrid.rate_residual"),
+                registry.gauge("sim.hybrid.tail_drift_bytes"))
+        return self._gauges
+
+    def drift_signals(self) -> dict:
+        """Current fluid-vs-packet divergence signals.
+
+        The dict's keys are the signal names
+        :class:`repro.obs.health.HybridDriftDetector` consumes:
+
+        ``hybrid_backlog_delta_bytes``
+            Fluid backlog minus packet queue occupancy -- where the
+            two halves disagree about the bytes at the bottleneck.
+        ``hybrid_queue_bytes``
+            Total shared queue (packet + fluid), the scale the delta
+            is judged against.
+        ``hybrid_rate_residual``
+            Fraction of line rate granted to the packet mice after
+            the elephants' share (clamped at
+            :data:`MIN_RESIDUAL_FRACTION`).
+        ``hybrid_tail_drift_bytes``
+            Total queue minus its :data:`DRIFT_EMA_WINDOW` moving
+            average -- how fast the operating point is moving.
+        """
+        total = self.total_queue_bytes
+        return {
+            "hybrid_backlog_delta_bytes":
+                self.fluid_backlog_bytes - self.port.queue.size_bytes,
+            "hybrid_queue_bytes": total,
+            "hybrid_rate_residual": self._last_residual,
+            "hybrid_tail_drift_bytes": total - self._queue_ema,
+        }
 
     # -- analysis helpers -----------------------------------------------------
 
@@ -303,3 +374,39 @@ def attach_hybrid(net: Network, params: DCQCNParams,
     if start:
         coupler.start()
     return coupler
+
+
+def attach_drift_monitor(coupler: HybridDCQCNCoupler,
+                         interval: float,
+                         window: Optional[float] = None,
+                         context: str = "",
+                         stop: Optional[float] = None,
+                         session=None):
+    """Attach a :class:`~repro.obs.health.HybridDriftDetector` to a
+    running coupler.
+
+    Samples :meth:`HybridDCQCNCoupler.drift_signals` every
+    ``interval`` seconds of sim time through the engine's
+    ``sample_every`` hook and feeds them to a
+    :class:`~repro.obs.health.HealthMonitor`, turning sustained
+    fluid-vs-packet divergence into health findings.  Mirrors
+    :func:`repro.obs.health.attach_packet_health`: returns ``None``
+    without touching the simulation when no health session is active,
+    so hybrid runs stay zero-cost while telemetry is off.  Call
+    ``finalize()`` on the returned monitor after ``sim.run``.
+    """
+    from repro.obs import health as _health
+    if session is None:
+        session = _health.current_session()
+    if session is None:
+        return None
+    detector = _health.HybridDriftDetector(
+        window=window if window is not None else 10 * interval)
+    monitor = _health.HealthMonitor([detector], context=context,
+                                    session=session)
+
+    def sample(now: float) -> None:
+        monitor.sample(now, **coupler.drift_signals())
+
+    coupler.net.sim.sample_every(interval, sample, stop=stop)
+    return monitor

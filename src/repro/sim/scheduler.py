@@ -95,7 +95,8 @@ class CalendarScheduler:
     """
 
     __slots__ = ("_near", "_cursor", "_width", "_buckets", "_keyheap",
-                 "_count", "_small_run", "_split_at")
+                 "_count", "_small_run", "_split_at", "rehashes",
+                 "spills")
 
     def __init__(self, width: float = DEFAULT_WIDTH):
         if width <= 0:
@@ -115,6 +116,14 @@ class CalendarScheduler:
         #: attempt's backward scan is amortized against the pushes
         #: that grew the window since the last one.
         self._split_at = NEAR_SPLIT_LIMIT
+        #: Lifetime width adaptations (halvings, doublings, ladder
+        #: shrinks).  Plain ints bumped on the cold paths only; the
+        #: engine publishes them as ``sim.scheduler.*`` gauges at the
+        #: end of each run (aggregation-point rule).
+        self.rehashes = 0
+        #: Lifetime open-window splits (overflow spills back into the
+        #: calendar).
+        self.spills = 0
 
     def __len__(self) -> int:
         return len(self._near) - self._cursor + self._count
@@ -123,6 +132,15 @@ class CalendarScheduler:
     def width(self) -> float:
         """Current adaptive bucket width, seconds (introspection)."""
         return self._width
+
+    def stats(self) -> Dict[str, float]:
+        """Internals snapshot for telemetry: width, wheel occupancy
+        (occupied buckets), lifetime rehash/spill counts."""
+        return {"width_s": self._width,
+                "buckets": len(self._buckets),
+                "rehashes": self.rehashes,
+                "spills": self.spills,
+                "pending": len(self)}
 
     def push(self, entry: Tuple[float, int, object]) -> None:
         """Add ``(time, seq, event)``; O(1) except into the open window.
@@ -270,6 +288,7 @@ class CalendarScheduler:
             self._split_at = (end - cursor) * 2
             return
         self._split_at = NEAR_SPLIT_LIMIT
+        self.spills += 1
         tsplit = near[split][0]
         tmax = near[end - 1][0]
         if tmax > tsplit and int(tsplit / self._width) == int(tmax / self._width):
@@ -298,6 +317,7 @@ class CalendarScheduler:
         new_width = max(new_width, WIDTH_MIN_SECONDS)
         if new_width == self._width:
             return
+        self.rehashes += 1
         old = self._buckets
         self._width = new_width
         self._buckets = buckets = {}

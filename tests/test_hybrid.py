@@ -160,3 +160,59 @@ class TestOracleCompatibility:
             extra_feedback_delay=units.us(85.0))
         net.sim.run(until=duration)
         assert net.sim.events_processed < duration / DEFAULT_TICK + 10
+
+
+class TestDriftTelemetry:
+    def run_coupled(self, until=2e-3):
+        net = single_switch(2, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, _params())
+        net.sim.run(until=until)
+        return coupler
+
+    def test_drift_signals_keys_and_sanity(self):
+        coupler = self.run_coupled()
+        signals = coupler.drift_signals()
+        assert set(signals) == {"hybrid_backlog_delta_bytes",
+                                "hybrid_queue_bytes",
+                                "hybrid_rate_residual",
+                                "hybrid_tail_drift_bytes"}
+        assert signals["hybrid_queue_bytes"] >= 0.0
+        assert 0.0 <= signals["hybrid_rate_residual"] <= 1.0
+
+    def test_gauges_published_under_active_registry(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+        net = single_switch(2, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, _params())
+        with use_registry(MetricsRegistry()) as registry:
+            net.sim.run(until=2e-3)
+            snapshot = registry.snapshot()
+        for name in ("sim.hybrid.backlog_delta_bytes",
+                     "sim.hybrid.rate_residual",
+                     "sim.hybrid.tail_drift_bytes"):
+            assert snapshot[name]["type"] == "gauge"
+        assert snapshot["sim.hybrid.rate_residual"]["value"] \
+            == coupler.drift_signals()["hybrid_rate_residual"]
+
+    def test_attach_drift_monitor_noop_without_session(self):
+        from repro.sim.hybrid import attach_drift_monitor
+        net = single_switch(2, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, _params(), start=False)
+        assert attach_drift_monitor(coupler, interval=1e-4) is None
+        # Nothing was scheduled: the zero-cost contract.
+        net.sim.run(until=10 * DEFAULT_TICK)
+        assert net.sim.events_processed == 0
+
+    def test_attach_drift_monitor_samples_with_session(self):
+        from repro.obs import health as H
+        from repro.sim.hybrid import attach_drift_monitor
+        net = single_switch(2, link_gbps=40.0, engine="hybrid")
+        coupler = attach_hybrid(net, _params())
+        session = H.HealthSession()
+        monitor = attach_drift_monitor(coupler, interval=1e-4,
+                                       session=session,
+                                       context="test-cell")
+        assert monitor is not None
+        net.sim.run(until=2e-3)
+        monitor.finalize()
+        detector = monitor.detectors[0]
+        assert len(detector._times) > 10

@@ -239,3 +239,114 @@ class TestCompare:
         assert "NEW HEALTH FINDINGS" in text
         assert "clean -> pathological" in text
         assert "RESULT: regressions detected" in text
+
+
+class TestWorkerRates:
+    def worker_event(self, kind, worker="w1", ts=0.0):
+        return {"type": "worker", "event": kind, "worker": worker,
+                "ts": ts}
+
+    def test_cells_per_min_from_claim_to_last_event(self):
+        state = WatchState()
+        state.apply(self.worker_event("cell_claimed", ts=100.0))
+        state.apply(self.worker_event("cell_completed", ts=130.0))
+        state.apply(self.worker_event("cell_claimed", ts=130.0))
+        state.apply(self.worker_event("cell_completed", ts=160.0))
+        # 2 cells over the 60 s span from first claim to last event.
+        assert state.worker_rate_per_min("w1") \
+            == pytest.approx(2.0)
+
+    def test_rate_none_before_judgeable(self):
+        state = WatchState()
+        assert state.worker_rate_per_min("absent") is None
+        state.apply(self.worker_event("worker_started", ts=1.0))
+        assert state.worker_rate_per_min("w1") is None  # 0 done
+        state.apply(self.worker_event("cell_completed", ts=1.0))
+        # first cell at the last event: zero-width span, no rate.
+        assert state.worker_rate_per_min("w1") is None
+
+    def test_missed_claim_still_rates(self):
+        # A late-attaching watcher that never saw the claim uses the
+        # first completion as the span start.
+        state = WatchState()
+        state.apply(self.worker_event("cell_completed", ts=10.0))
+        state.apply(self.worker_event("cell_completed", ts=40.0))
+        assert state.worker_rate_per_min("w1") \
+            == pytest.approx(4.0)
+
+    def test_dashboard_renders_cells_per_min(self):
+        state = WatchState()
+        state.apply({"type": "run_start", "run_id": "r",
+                     "experiment": "demo", "ts": 0.0})
+        state.apply(self.worker_event("cell_claimed", ts=100.0))
+        state.apply(self.worker_event("cell_completed", ts=130.0))
+        state.apply(self.worker_event("cell_completed", ts=160.0))
+        board = render_dashboard(state)
+        assert "2.0 cells/min" in board
+
+
+class TestServeTailer:
+    def test_polls_and_resumes_offset(self, tmp_path):
+        from repro.obs.live import ServeTailer
+        from repro.obs.serve import ObservabilityServer
+        write_run(tmp_path, run_id="demo-1")
+        with ObservabilityServer(telemetry_dir=tmp_path) as server:
+            tailer = ServeTailer(server.url)
+            events = tailer.poll()
+            assert events and events[0]["type"] == "run_start"
+            assert tailer.poll() == []  # offset advanced
+            write_run(tmp_path, run_id="demo-2")
+            fresh = tailer.poll()
+            assert fresh and all(e["_shard"] == "demo-2"
+                                 for e in fresh)
+
+    def test_network_error_returns_empty(self):
+        from repro.obs.live import ServeTailer
+        tailer = ServeTailer("http://127.0.0.1:1", timeout=0.2)
+        assert tailer.poll() == []
+        assert tailer._offset == 0  # did not advance
+
+    def test_watch_over_serve_url(self, tmp_path):
+        from repro.obs.serve import ObservabilityServer
+        write_run(tmp_path, findings=[CRITICAL])
+        out = io.StringIO()
+        with ObservabilityServer(telemetry_dir=tmp_path) as server:
+            assert watch(serve_url=server.url, once=True,
+                         stream=out) == 0
+        assert "repro watch :: demo" in out.getvalue()
+
+    def test_watch_without_target_or_url_raises(self):
+        with pytest.raises(ValueError, match="target"):
+            watch()
+
+
+class TestCompareEngines:
+    def bench(self, tmp_path, name, batched_pps, tolerance_ok):
+        (tmp_path / name).write_text(json.dumps({
+            "version": 7,
+            "engines": {
+                "batched": {"port_packets_per_sec": batched_pps},
+                "hybrid": {
+                    "tail_mean_within_tolerance": tolerance_ok,
+                    "cov_ordering_preserved": True}}}))
+        return tmp_path / name
+
+    def test_batched_throughput_drop_names_engine(self, tmp_path):
+        a = self.bench(tmp_path, "a.json", 1000.0, True)
+        b = self.bench(tmp_path, "b.json", 400.0, True)
+        report = compare(a, b)
+        assert [d.name for d in report.regressions] \
+            == ["engines.batched.port_packets_per_sec"]
+
+    def test_tolerance_flag_flip_is_regression(self, tmp_path):
+        a = self.bench(tmp_path, "a.json", 1000.0, True)
+        b = self.bench(tmp_path, "b.json", 1000.0, False)
+        report = compare(a, b)
+        assert [d.name for d in report.regressions] \
+            == ["engines.hybrid.tail_mean_within_tolerance"]
+        assert report.exit_code(fail_on_regression=True) == 1
+
+    def test_identical_engines_clean(self, tmp_path):
+        a = self.bench(tmp_path, "a.json", 1000.0, True)
+        b = self.bench(tmp_path, "b.json", 1010.0, True)
+        assert not compare(a, b).has_regressions
