@@ -9,6 +9,9 @@ Usage::
     python -m repro run fig14 --workers 4 --cache
     python -m repro run fig14 --resume --cell-timeout 300
     python -m repro run fig04 --telemetry obs/   # metrics + run log
+    python -m repro run ext_incast_pfc --telemetry obs/ --forensics
+    python -m repro explain obs/ext_incast_pfc-*.jsonl --worst 3
+    python -m repro explain obs/ --flow 7        # one flow's story
     python -m repro report obs/fig04-*.jsonl     # render a run log
     python -m repro report obs/                  # render every log in DIR
     python -m repro watch obs/                   # live dashboard of a run
@@ -33,7 +36,12 @@ health findings into DIR (see :mod:`repro.obs`); ``report`` turns the
 resulting JSONL logs back into human-readable dashboards, ``watch``
 tails one live from another terminal, and ``compare`` diffs two
 telemetry directories (or two bench reports) with noise-aware
-regression thresholds.
+regression thresholds.  ``--forensics`` additionally attributes every
+flow's completion time to named components (serialization, queueing,
+PFC pause, rate limiting; see :mod:`repro.obs.forensics`) and logs
+one ``flow`` event per flow; ``explain`` renders those attributions
+with their causal chains (which switch marked the flow, which pause
+storm throttled it).
 
 ``--resume`` journals every completed sweep cell so a crashed or
 interrupted run picks up where it stopped, bit-identical to an
@@ -110,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sample the engine hot loops from a sidecar "
                           "thread and print the per-category time "
                           "shares after each experiment")
+    run.add_argument("--forensics", action="store_true",
+                     help="attribute each flow's FCT to named "
+                          "components and log per-flow 'flow' events "
+                          "for 'repro explain' (requires --telemetry)")
     run.add_argument("--telemetry-fsync", action="store_true",
                      help="fsync every run-log event (promptest "
                           "'repro watch' tail; costs a syscall per "
@@ -166,6 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace-id", default=None, metavar="ID",
                         help="with --fleet, pick a specific trace "
                              "(default: the most recent)")
+
+    explain = sub.add_parser(
+        "explain", help="per-flow FCT attribution and causal chain "
+                        "from a --forensics run log")
+    explain.add_argument("runlog",
+                         help="a <run-id>.jsonl file from a "
+                              "'run --forensics --telemetry' "
+                              "invocation, or a directory (newest "
+                              "log inside is used)")
+    explain.add_argument("--flow", type=int, default=None, metavar="N",
+                         help="explain one flow id (all contexts it "
+                              "appears in)")
+    explain.add_argument("--worst", type=int, default=5, metavar="K",
+                         help="show the K worst completed flows by "
+                              "FCT (default 5)")
+    explain.add_argument("--context", default=None, metavar="C",
+                         help="restrict to one experiment context "
+                              "(e.g. 'dcqcn+pfc')")
 
     watch = sub.add_parser(
         "watch", help="live dashboard tailing a run log as it is "
@@ -363,7 +393,12 @@ def run_experiments(names: List[str],
                     lease_ttl: Optional[float] = None,
                     worker_grace: Optional[float] = None,
                     engine: "str | None" = None,
-                    profile: bool = False) -> int:
+                    profile: bool = False,
+                    forensics: bool = False) -> int:
+    if forensics and telemetry_dir is None:
+        print("--forensics needs --telemetry DIR (flow events land "
+              "in the run log)", file=sys.stderr)
+        return 2
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -397,6 +432,9 @@ def run_experiments(names: List[str],
             from repro.obs import Telemetry
             telemetry = Telemetry(telemetry_dir, experiment=name,
                                   fsync=telemetry_fsync)
+            if forensics:
+                from repro.obs.forensics import FlowLedger
+                telemetry.forensics = FlowLedger()
         # The ambient default reaches every SweepRunner the
         # experiment builds internally, so sweeps run distributed
         # without each experiment growing a backend parameter.
@@ -445,6 +483,11 @@ def run_experiments(names: List[str],
             print(f"[run log: {telemetry.runlog_path}]")
             if telemetry.verdict is not None:
                 print(f"[health verdict: {telemetry.verdict}]")
+            if telemetry.forensics is not None:
+                flows = len(telemetry.forensics.records())
+                print(f"[forensics: {flows} flow(s) attributed; "
+                      f"explain with: python -m repro explain "
+                      f"{telemetry.runlog_path} --worst 5]")
             for path in telemetry.export_paths:
                 print(f"[metrics export: {path}]")
         if cache is not None:
@@ -607,6 +650,45 @@ def report_runlog(path: str, validate_only: bool = False) -> int:
     return 1 if failures else 0
 
 
+def explain_runlog(path: str, flow_id: "int | None" = None,
+                   worst: int = 5,
+                   context: "str | None" = None) -> int:
+    """Render per-flow FCT attributions (the ``explain`` command).
+
+    ``path`` may be one ``.jsonl`` run log or a telemetry directory
+    (the newest log inside is used).  Exit 2 when the target has no
+    ``flow`` events -- i.e. the run was made without ``--forensics``.
+    """
+    from pathlib import Path
+
+    from repro.obs.forensics import render_explain
+    from repro.obs.runlog import read_events
+
+    target = Path(path)
+    if target.is_dir():
+        logs = sorted(target.glob("*.jsonl"),
+                      key=lambda p: p.stat().st_mtime)
+        if not logs:
+            print(f"{path}: no run logs (*.jsonl) found",
+                  file=sys.stderr)
+            return 2
+        target = logs[-1]
+    try:
+        events = read_events(target)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {target}: {error}", file=sys.stderr)
+        return 2
+    flows = [e for e in events if e.get("type") == "flow"]
+    if not flows:
+        print(f"{target}: no flow events -- re-run with "
+              f"'--telemetry DIR --forensics'", file=sys.stderr)
+        return 2
+    print(f"[{target}]")
+    print(render_explain(flows, flow_id=flow_id, worst=worst,
+                         context=context))
+    return 0
+
+
 def main(argv: "List[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -619,6 +701,10 @@ def main(argv: "List[str] | None" = None) -> int:
             return 0
         return report_runlog(args.runlog,
                              validate_only=args.validate_only)
+    if args.command == "explain":
+        return explain_runlog(args.runlog, flow_id=args.flow,
+                              worst=args.worst,
+                              context=args.context)
     if args.command == "watch":
         from repro.obs.live import watch
         try:
@@ -669,7 +755,8 @@ def main(argv: "List[str] | None" = None) -> int:
                            lease_ttl=args.lease_ttl,
                            worker_grace=args.worker_grace,
                            engine=args.engine,
-                           profile=args.profile)
+                           profile=args.profile,
+                           forensics=args.forensics)
 
 
 if __name__ == "__main__":

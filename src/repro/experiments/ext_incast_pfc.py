@@ -30,6 +30,7 @@ from repro import units
 from repro.analysis.reporting import format_table
 from repro.core.params import DCQCNParams, TimelyParams
 from repro.obs import health as _health
+from repro.obs.forensics import attach_flow_forensics
 from repro.obs.scrape import scrape_network
 from repro.sim.engine import Simulator
 from repro.sim.flows import FlowRegistry
@@ -122,6 +123,10 @@ def run(configs: Sequence[str] = CONFIGS,
             if use_dcqcn else None
         net = build_incast_network(n_senders, link_gbps, buffer_kb,
                                    use_pfc, marker)
+        # Per-flow FCT attribution (no-op unless --forensics); wired
+        # before install_flow so flows register under this config's
+        # context (flow ids restart at 0 for every config).
+        attach_flow_forensics(net, context=config)
         done = []
         if use_timely:
             timely = TimelyParams.paper_default(

@@ -16,6 +16,7 @@ from repro.analysis.reporting import format_table
 from repro.core.fixedpoint.dcqcn import solve_fixed_point
 from repro.core.params import DCQCNParams
 from repro.obs import health as _health
+from repro.obs.forensics import attach_flow_forensics
 from repro.obs.scrape import scrape_network
 from repro.sim.monitors import QueueMonitor
 from repro.sim.red import REDMarker
@@ -72,6 +73,10 @@ def run(extra_delays_us: Sequence[float] = (0.0, 85.0),
                             marker=marker,
                             feedback_extra_delay=units.us(extra_us),
                             engine=engine)
+        # Per-flow forensics (no-op unless --forensics); before
+        # install_flow so flows land in this delay point's context.
+        attach_flow_forensics(
+            net, context=f"extra_delay={extra_us}us,N={num_flows}")
         for i in range(num_flows):
             install_flow(net, "dcqcn", f"s{i}", "recv", None, 0.0, params)
         monitor = QueueMonitor(net.sim, net.bottleneck_port,

@@ -133,6 +133,9 @@ def _telemetry_run(fn: Callable[..., object],
             return fn(*args, **kwargs)
         from repro.obs.telemetry import Telemetry
         bundle = Telemetry.ensure(telemetry, experiment=experiment_id)
+        from repro.obs import forensics as _forensics
+        if _forensics.requested() and bundle.forensics is None:
+            bundle.forensics = _forensics.FlowLedger()
         params = {key: value for key, value in kwargs.items()
                   if key not in PERF_KWARGS}
         with bundle.activate(params=params):

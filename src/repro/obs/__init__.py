@@ -60,6 +60,15 @@ the DDE fluid integrator, and the parallel sweep runner):
     Sampling profiler for the engine hot loops: a sidecar thread
     attributes wall time to scheduler/port/protocol/engine frames
     with zero per-event cost in the profiled thread.
+
+:mod:`repro.obs.forensics`
+    Per-flow causal FCT attribution: a
+    :class:`~repro.obs.forensics.FlowLedger` folds cheap sim hooks
+    into one record per flow, decomposing each completion time into
+    serialization / queueing / PFC pause / rate-limited components
+    with causal annotations; ``python -m repro run --forensics``
+    records ``flow`` events and ``python -m repro explain`` renders
+    them.
 """
 
 from repro.obs.health import (Detector, HealthFinding, HealthMonitor,
@@ -70,6 +79,9 @@ from repro.obs.health import (Detector, HealthFinding, HealthMonitor,
                               UnfairnessDriftDetector,
                               attach_packet_health, current_session,
                               set_session, use_session, verdict_for)
+from repro.obs.forensics import (FlowLedger, active_ledger,
+                                 attach_flow_forensics, render_explain,
+                                 render_flow, set_ledger, use_ledger)
 from repro.obs.metrics import (MetricsRegistry, NullRegistry,
                                NULL_REGISTRY, get_registry,
                                sanitize, set_registry, use_registry)
@@ -99,4 +111,6 @@ __all__ = [
     "HybridDriftDetector",
     "attach_packet_health", "current_session", "set_session",
     "use_session", "verdict_for",
+    "FlowLedger", "active_ledger", "attach_flow_forensics",
+    "render_explain", "render_flow", "set_ledger", "use_ledger",
 ]

@@ -49,13 +49,21 @@ NOISY_RTOL = 0.25
 _HIGHER_BETTER = ("per_sec", "per_second", "speedup", "throughput",
                   "hit_rate", "hits", "utilization", "goodput",
                   "jain", "identical", "within_tolerance",
-                  "preserved")
+                  "preserved", "flows_completed",
+                  "off_over_on_ratio")
 
-#: Name fragments marking a metric as lower-is-better.
+#: Name fragments marking a metric as lower-is-better.  The
+#: ``*_share`` entries are the forensics FCT-attribution components
+#: (:mod:`repro.obs.forensics`): more of a flow's completion time
+#: spent paused, queueing, rate-limited -- or unattributed -- is
+#: worse; serialization/propagation shares stay neutral (they grow
+#: exactly when the bad shares shrink).
 _LOWER_BETTER = ("wall_s", "cpu_s", "_seconds", "seconds_total",
                  "latency", "rtt", "misses", "drops", "drop_rate",
                  "aborts", "retries", "pauses", "divergence",
-                 "findings", "occupancy", "pending", "_s")
+                 "findings", "occupancy", "pending", "_s",
+                 "paused_share", "queueing_share",
+                 "rate_limited_share", "residual_share")
 
 #: Name fragments marking a metric as timing-noisy (wide tolerance).
 _NOISY = ("wall_s", "cpu_s", "_seconds", "per_sec", "per_second",

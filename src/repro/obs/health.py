@@ -807,6 +807,11 @@ class HealthSession:
         self.run_log = run_log
         self.registry = registry
         self.findings: List[HealthFinding] = []
+        #: Forensics cross-link: the worst pause-hit flows (as emitted
+        #: by :meth:`repro.obs.forensics.FlowLedger.worst_paused`),
+        #: set by telemetry finalization before :meth:`emit_verdict`
+        #: so a non-clean verdict can name its victims.
+        self.flow_context: Optional[List[dict]] = None
 
     def add(self, finding: HealthFinding) -> None:
         self.findings.append(finding)
@@ -844,6 +849,9 @@ class HealthSession:
             1 for finding in self.findings
             if finding.severity == severity)
             for severity in SEVERITIES}
+        extra = {}
+        if self.flow_context and verdict != "clean":
+            extra["worst_flows"] = self.flow_context
         if self.run_log is not None:
             try:
                 self.run_log.health(
@@ -851,7 +859,7 @@ class HealthSession:
                     message=f"run verdict: {verdict} "
                             f"({len(self.findings)} finding(s))",
                     verdict=verdict, findings=len(self.findings),
-                    by_severity=counts)
+                    by_severity=counts, **extra)
             except ValueError:
                 pass
         return verdict

@@ -3,7 +3,8 @@
 ``python -m repro watch obs/`` follows the newest (or a named) run
 log while the experiment writes it from another process, showing run
 identity, the latest metrics snapshot, health findings as they fire,
-fault events, and finally the run verdict.  Three pieces:
+fault events, the slowest forensics-attributed flows (``--forensics``
+runs), and finally the run verdict.  Three pieces:
 
 :class:`RunLogTailer`
     Incremental JSONL reader.  Remembers its byte offset between
@@ -149,6 +150,11 @@ class WatchState:
         self.cells_stolen = 0
         self.cells_quarantined = 0
         self.backend_fallback: Optional[dict] = None
+        #: Flow-forensics fold (``--forensics`` runs): totals plus the
+        #: slowest completed flows seen so far, worst first.
+        self.flows = 0
+        self.flows_completed = 0
+        self.worst_flows: List[dict] = []
 
     @property
     def finished(self) -> bool:
@@ -178,6 +184,8 @@ class WatchState:
             self.warnings.append(event)
         elif event_type == "worker":
             self._apply_worker(event)
+        elif event_type == "flow":
+            self._apply_flow(event)
         elif event_type == "run_end":
             self.status = event.get("status")
             self.wall_s = event.get("wall_s")
@@ -235,6 +243,18 @@ class WatchState:
             self.cells_quarantined += 1
         elif kind == "backend_fallback":
             self.backend_fallback = event
+
+    def _apply_flow(self, event: dict) -> None:
+        """Fold one forensics ``flow`` event (keeps the worst few)."""
+        self.flows += 1
+        if not event.get("completed"):
+            return
+        self.flows_completed += 1
+        if event.get("fct_s") is None:
+            return
+        self.worst_flows.append(event)
+        self.worst_flows.sort(key=lambda e: -e["fct_s"])
+        del self.worst_flows[TAIL_LINES:]
 
     def worker_rate_per_min(self,
                             worker_id: str) -> Optional[float]:
@@ -354,6 +374,21 @@ def render_dashboard(state: WatchState, now: Optional[float] = None,
     if state.metrics:
         lines.append("metrics (latest snapshot):")
         lines.extend(_metric_rows(state.metrics))
+        lines.append("")
+
+    if state.flows:
+        lines.append(f"flows: {state.flows} attributed, "
+                     f"{state.flows_completed} completed "
+                     f"(python -m repro explain for detail)")
+        for event in state.worst_flows[:4]:
+            components = event.get("components", {})
+            dominant = max(components, key=components.get) \
+                if components else "?"
+            where = f" [{event['context']}]" \
+                if event.get("context") else ""
+            lines.append(f"  flow {event.get('flow_id')}{where}: "
+                         f"fct={event['fct_s'] * 1e3:.3f}ms, "
+                         f"mostly {dominant.rsplit('_', 1)[0]}")
         lines.append("")
 
     if state.faults:

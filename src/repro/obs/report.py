@@ -5,7 +5,10 @@
 * a run header (id, experiment, params hash, seed, status, wall),
 * the span tree (flame-style aggregation of every recorded span),
 * top counters/gauges by magnitude,
-* quantile tables for every histogram, and
+* quantile tables for every histogram,
+* the per-flow FCT breakdown when the run was made with
+  ``--forensics`` (completion-time CDF plus the component-share
+  distribution across flows), and
 * any warnings and fault events the run recorded.
 
 Everything is derived from the JSONL alone -- the dashboard works on
@@ -78,6 +81,43 @@ def _metrics_sections(snapshot: Dict[str, dict]) -> List[str]:
     return sections
 
 
+#: Quantile grid for the forensics CDF tables.
+_FLOW_QUANTILES = (0.0, 0.5, 0.9, 0.99, 1.0)
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list."""
+    index = min(int(q * (len(sorted_values) - 1) + 0.5),
+                len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _forensics_section(flows: List[dict]) -> Optional[str]:
+    """FCT CDF + component-share distribution over ``flow`` events."""
+    from repro.obs.forensics import COMPONENTS
+    done = [e for e in flows if e.get("fct_s") is not None
+            and e.get("fct_s") > 0]
+    if not done:
+        return (f"flow forensics\n  {len(flows)} flow(s) recorded, "
+                "none completed")
+    headers = ["", "mean"] + [f"p{int(q * 100)}"
+                              for q in _FLOW_QUANTILES]
+    fcts = sorted(e["fct_s"] for e in done)
+    rows = [["fct_ms", sum(fcts) / len(fcts) * 1e3]
+            + [_quantile(fcts, q) * 1e3 for q in _FLOW_QUANTILES]]
+    for key in COMPONENTS:
+        shares = sorted(e["components"].get(key, 0.0) / e["fct_s"]
+                        for e in done)
+        rows.append([f"{key[:-2]}_share",
+                     sum(shares) / len(shares)]
+                    + [_quantile(shares, q) for q in _FLOW_QUANTILES])
+    incomplete = len(flows) - len(done)
+    title = (f"flow forensics -- {len(done)} completed flow(s)"
+             + (f", {incomplete} incomplete" if incomplete else "")
+             + " (explain with 'python -m repro explain')")
+    return format_table(headers, rows, title=title)
+
+
 def render_events(events: List[dict]) -> str:
     """Render the dashboard for already-parsed run-log events."""
     sections = [_header(events)]
@@ -93,6 +133,12 @@ def render_events(events: List[dict]) -> str:
             break
     if snapshot:
         sections.extend(_metrics_sections(snapshot))
+
+    flows = [e for e in events if e["type"] == "flow"]
+    if flows:
+        forensics = _forensics_section(flows)
+        if forensics:
+            sections.append(forensics)
 
     warnings = [e for e in events if e["type"] == "warning"]
     if warnings:

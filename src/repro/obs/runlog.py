@@ -61,6 +61,11 @@ Event types:
 ``profile``
     A sampling-profiler summary (``samples`` plus the per-category
     share breakdown; see :mod:`repro.obs.profile`).
+``flow``
+    One flow's forensic record (``flow_id``, ``completed``, the
+    ``components`` FCT decomposition, plus causal annotations; see
+    :mod:`repro.obs.forensics`).  Emitted at finalization for every
+    flow of a ``--forensics`` run; ``repro explain`` renders them.
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -82,13 +87,14 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 #: 4 added the ``worker`` event type (PR 6, distributed queue).
 #: 5 added the ``trace`` and ``profile`` event types (PR 8, fleet
 #: observability plane).
-RUNLOG_VERSION = 5
+#: 6 added the ``flow`` event type (PR 9, flow forensics).
+RUNLOG_VERSION = 6
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
                          "warning", "note", "fault", "health",
                          "sweep", "retry", "worker", "trace",
-                         "profile"})
+                         "profile", "flow"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -105,6 +111,7 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "worker": frozenset({"event"}),
     "trace": frozenset({"trace_id"}),
     "profile": frozenset({"samples"}),
+    "flow": frozenset({"flow_id", "completed", "components"}),
 }
 
 #: Envelope fields every event must carry.
@@ -212,6 +219,13 @@ class RunLog:
     def profile(self, samples: int, **fields: Any) -> dict:
         """Record a sampling-profiler summary."""
         return self.emit("profile", samples=int(samples), **fields)
+
+    def flow(self, flow_id: int, completed: bool, components: dict,
+             **fields: Any) -> dict:
+        """Record one flow's forensic FCT attribution."""
+        return self.emit("flow", flow_id=flow_id,
+                         completed=bool(completed),
+                         components=components, **fields)
 
     def health(self, detector: str, severity: str, message: str,
                **fields: Any) -> dict:

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
+from repro.obs import forensics as _forensics
 from repro.obs import health as _health
 from repro.obs import spans as _spans
 from repro.obs.export import write_exports
@@ -97,6 +98,14 @@ class Telemetry:
         #: this bundle's registry, and logs the ``profile`` event
         #: before the run log closes.
         self.profiler = None
+        #: Attach a :class:`repro.obs.forensics.FlowLedger` here (the
+        #: experiment registry does when ``--forensics`` requested it)
+        #: and :meth:`activate` installs it as the ambient ledger;
+        #: finalization computes the FCT attributions, emits one
+        #: ``flow`` event per flow, publishes aggregate
+        #: ``obs.forensics.*`` metrics, and cross-links the worst
+        #: pause-hit flows into the health verdict.
+        self.forensics = None
 
     @classmethod
     def ensure(cls, value: "Union[Telemetry, str, Path]",
@@ -133,6 +142,8 @@ class Telemetry:
         _current = self
         previous_recorder = _spans.set_recorder(self.spans)
         previous_session = _health.set_session(self.health)
+        previous_ledger = _forensics.set_ledger(self.forensics) \
+            if self.forensics is not None else None
         previous_show = _warnings.showwarning
 
         def capture(message, category, filename, lineno, file=None,
@@ -158,6 +169,8 @@ class Telemetry:
             _warnings.showwarning = previous_show
             _spans.set_recorder(previous_recorder)
             _health.set_session(previous_session)
+            if self.forensics is not None:
+                _forensics.set_ledger(previous_ledger)
             _current = previous_telemetry
             if started_tracing:
                 tracemalloc.stop()
@@ -168,6 +181,14 @@ class Telemetry:
             self.profiler.stop()
             self.profiler.publish(self.registry)
             self.run_log.profile(**self.profiler.report())
+        if self.forensics is not None:
+            self.forensics.finalize()
+            for event in self.forensics.flow_events():
+                self.run_log.flow(**event)
+            self.forensics.publish(self.registry)
+            # Before emit_verdict() below, so a pathological pause
+            # verdict can name the worst-hit flows.
+            self.health.flow_context = self.forensics.worst_paused(3)
         for record in self.spans.records:
             self.run_log.span(record)
         # Verdict before the final snapshot so the finding counters

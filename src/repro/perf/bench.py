@@ -46,7 +46,11 @@ from repro.perf.cache import ResultCache
 #: 7 added the profiler section: event-loop throughput with the
 #:   sampling profiler attached, the on/off ratio CI gates at
 #:   >= 0.95, and the sampled category shares (PR 8).
-REPORT_VERSION = 7
+#: 8 added the forensics section: port throughput with the flow
+#:   ledger detached vs attached; the off/on ratio CI gates at
+#:   >= 0.95 (the forensics-off hot path must keep short-circuiting
+#:   on the ``ledger is None`` guards) (PR 9).
+REPORT_VERSION = 8
 
 #: Default output file, repo-root relative.
 DEFAULT_REPORT = "BENCH_PR7.json"
@@ -262,6 +266,53 @@ def bench_profiler_overhead(n_events: int = 200_000) -> dict:
         else float("inf"),
         "samples": profiler.total_samples,
         "shares": profiler.shares(),
+    }
+
+
+def bench_forensics_overhead(n_packets: int = 50_000) -> dict:
+    """Port throughput with the flow-forensics ledger off vs on.
+
+    The forensics hooks live inside :class:`~repro.sim.link.Port`'s
+    hot paths behind ``if self.ledger is not None`` guards, so the
+    default (ledger-off) path must cost nothing beyond that attribute
+    test -- CI gates ``off_over_on_ratio >= 0.95``, which only fails
+    if the off path stops short-circuiting and starts paying the
+    bookkeeping itself.  ``on_cost_fraction`` records what a
+    ``--forensics`` run pays in the worst case: a pure port loop with
+    no protocol or marker work to dilute the per-packet ledger
+    update (real experiments pay far less).  Cross-version off-path
+    regressions are caught separately by ``repro compare`` on
+    ``micro.port_packets_per_sec`` (the identical code path).
+    """
+    from repro.obs.forensics import FlowLedger
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link, Port
+    from repro.sim.packet import Packet
+
+    class Sink:
+        name = "sink"
+
+        def receive(self, packet, ingress=None):
+            pass
+
+    def run(ledger) -> None:
+        sim = Simulator()
+        port = Port(sim, 1.25e9, Link(sim, 1e-6, Sink()))
+        port.ledger = ledger
+        for seq in range(n_packets):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+
+    off_rate = n_packets / _best_of(lambda: run(None))
+    on_rate = n_packets / _best_of(lambda: run(FlowLedger()))
+    return {
+        "port_packets_per_sec_off": off_rate,
+        "port_packets_per_sec_on": on_rate,
+        "off_over_on_ratio": off_rate / on_rate if on_rate
+        else float("inf"),
+        "on_cost_fraction": 1.0 - (on_rate / off_rate if off_rate
+                                   else 0.0),
     }
 
 
@@ -525,6 +576,7 @@ def run_benchmarks(workers: int = 4, full: bool = False,
         },
         "telemetry": bench_telemetry_overhead(),
         "profiler": bench_profiler_overhead(),
+        "forensics": bench_forensics_overhead(),
         "engines": bench_engines(),
         "sweeps": bench_sweeps(workers=workers, full=full),
         "resilience": bench_resilience(workers=workers),

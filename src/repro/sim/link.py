@@ -31,12 +31,17 @@ and the window travels as **one** finish event plus **one** delivery
 event carrying exact per-packet arrival timestamps.
 
 Eligibility is structural, checked per window: no AQM marker, no
-``on_transmit``/``on_drop`` hooks (PFC switches install those), no
-strict-priority control queue, not paused, and a downstream that
-implements ``receive_window``.  Anything else falls back to the exact
-per-packet path -- a port with ``batch_window=None`` (the default)
-never batches at all, which is what keeps the paper experiments
-bit-identical to the oracle.
+strict-priority control queue, not paused, a downstream that
+implements ``receive_window``, and no ``on_transmit`` hook *unless*
+an ``on_transmit_window`` companion is installed (monitors that
+understand windows -- the packet tracer -- chain both and keep the
+vectorized path; PFC switches install only the scalar hooks and stay
+exact).  ``on_drop`` never affects eligibility: drops happen at
+enqueue time in :meth:`Port.send`, which the window path bypasses
+only when no drop-tail capacity is configured.  Anything else falls
+back to the exact per-packet path -- a port with
+``batch_window=None`` (the default) never batches at all, which is
+what keeps the paper experiments bit-identical to the oracle.
 
 The semantic trade, documented for hybrid/throughput scenarios that
 opt in: per-packet *times* stay exact, but downstream *processing* of
@@ -112,8 +117,8 @@ class Port:
                  "queue", "priority_control", "control_queue", "name",
                  "busy", "paused", "bytes_transmitted",
                  "packets_transmitted", "ecn_marks", "on_transmit",
-                 "on_drop", "batch_window", "_batch_backlog",
-                 "_dst_batched")
+                 "on_transmit_window", "on_drop", "batch_window",
+                 "_batch_backlog", "_dst_batched", "ledger")
 
     def __init__(self, sim: Simulator, rate_bytes_per_s: float,
                  link: Link, marker: Optional[object] = None,
@@ -154,9 +159,19 @@ class Port:
         #: Hook called when a packet finishes serialization (monitors,
         #: PFC accounting).  Signature: ``fn(packet)``.
         self.on_transmit: Optional[Callable[[Packet], None]] = None
+        #: Window-aware companion to ``on_transmit``: called once per
+        #: serialized window with ``fn(payload, finish_times)`` where
+        #: ``payload`` is a PacketBatch or a list of packets.  A port
+        #: with ``on_transmit`` set stays window-capable only when
+        #: this is also set (see :meth:`_window_capable`).
+        self.on_transmit_window: Optional[Callable] = None
         #: Hook called when the (finite) queue drops a packet, so
         #: switch-level accounting can release the buffered bytes.
         self.on_drop: Optional[Callable[[Packet], None]] = None
+        #: Flow-forensics ledger (:mod:`repro.obs.forensics`); None
+        #: whenever forensics is off, and every call site guards on
+        #: that so the off path costs one attribute load per event.
+        self.ledger = None
         #: Max packets serialized per vectorized window; None disables
         #: batching entirely (the exact per-packet path).
         self.batch_window = batch_window
@@ -194,9 +209,13 @@ class Port:
     def _window_capable(self) -> bool:
         """Structural eligibility for the vectorized window path."""
         if self.batch_window is None or self.marker is not None or \
-                self.on_transmit is not None or \
-                self.on_drop is not None or \
                 self.control_queue is not None:
+            return False
+        if self.on_transmit is not None and \
+                self.on_transmit_window is None:
+            # A scalar-only monitor (PFC egress accounting) must see
+            # every packet; window-aware monitors chain both hooks
+            # and keep the vectorized path.
             return False
         if self._dst_batched is None:
             self._dst_batched = hasattr(self.link.dst, "receive_window")
@@ -214,6 +233,8 @@ class Port:
         """
         if self._window_capable() and self.queue.is_empty and \
                 self.queue.capacity_bytes is None:
+            if self.ledger is not None:
+                self.ledger.on_batch_enqueue(self, batch)
             self._batch_backlog.append(batch)
             if not self.busy and not self.paused:
                 self._start_batch_window()
@@ -255,6 +276,10 @@ class Port:
         self.busy = False
         self.bytes_transmitted += total_bytes
         self.packets_transmitted += count
+        if self.on_transmit_window is not None:
+            self.on_transmit_window(payload, finishes)
+        if self.ledger is not None:
+            self.ledger.on_window(self, payload, finishes)
         self.link.deliver_window(payload, finishes)
         self._maybe_start()
 
@@ -280,7 +305,11 @@ class Port:
         if not target.enqueue(packet):
             if self.on_drop is not None:
                 self.on_drop(packet)
+            if self.ledger is not None:
+                self.ledger.on_drop(self, packet)
             return
+        if self.ledger is not None:
+            self.ledger.on_enqueue(self, packet)
         if not self.busy:
             self._maybe_start()
 
@@ -294,12 +323,16 @@ class Port:
         the congestion.
         """
         self.paused = True
+        if self.ledger is not None:
+            self.ledger.on_pause(self)
 
     def resume(self) -> None:
         """PFC RESUME: restart transmissions if backlog exists."""
         if not self.paused:
             return
         self.paused = False
+        if self.ledger is not None:
+            self.ledger.on_resume(self)
         if not self.busy:
             self._maybe_start()
 
@@ -392,6 +425,8 @@ class Port:
         self.packets_transmitted += 1
         if self.on_transmit is not None:
             self.on_transmit(packet)
+        if self.ledger is not None:
+            self.ledger.on_departure(self, packet)
         self.link.deliver(packet)
         if self.batch_window is None and not self._batch_backlog:
             # Exact-path fast tail: queue selection only, no window

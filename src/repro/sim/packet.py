@@ -60,7 +60,7 @@ class Packet:
     __slots__ = ("flow_id", "size_bytes", "src", "dst",
                  "kind", "sent_time", "ecn_marked", "echo_time",
                  "acked_bytes", "seq", "pfc_ingress", "corrupted",
-                 "pooled")
+                 "pooled", "enqueue_time")
 
     def __init__(self, flow_id: int, size_bytes: int, src: str, dst: str,
                  kind: str = "data", seq: int = 0):
@@ -82,6 +82,9 @@ class Packet:
         #: host, which discards it (RoCE has no payload recovery).
         self.corrupted = False
         self.pooled = False
+        #: Stamped by the flow-forensics ledger when the packet enters
+        #: an egress FIFO; None whenever forensics is off.
+        self.enqueue_time: Optional[float] = None
 
     @property
     def is_control(self) -> bool:
@@ -138,6 +141,7 @@ class PacketPool:
             packet.acked_bytes = 0
             packet.pfc_ingress = None
             packet.corrupted = False
+            packet.enqueue_time = None
         else:
             self.allocated += 1
             packet = Packet(flow_id, size_bytes, src, dst, kind=kind,

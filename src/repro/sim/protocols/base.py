@@ -68,6 +68,10 @@ class RateBasedSender:
         self._started = False
         self._finished_sending = False
         self._sequence = 0
+        #: Flow-forensics ledger; installed by
+        #: :func:`repro.sim.topology.install_flow` when forensics is
+        #: on, None otherwise.
+        self.ledger = None
 
     @property
     def rate(self) -> float:
@@ -78,6 +82,12 @@ class RateBasedSender:
     def rate(self, value: float) -> None:
         old = self._rate
         self._rate = min(max(value, self.min_rate), self.line_rate)
+        # All rate transitions -- DCQCN CNP cuts and FR/AI/HAI raises,
+        # TIMELY gradient updates -- funnel through this setter, so
+        # one hook point covers every protocol's rate state machine.
+        if self.ledger is not None and self._rate != old:
+            self.ledger.on_rate_change(self.flow.flow_id, old,
+                                       self._rate, self.sim.now)
         self._reschedule_emission(old)
 
     def _reschedule_emission(self, old_rate: float) -> None:

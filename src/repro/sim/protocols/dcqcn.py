@@ -144,6 +144,9 @@ class DCQCNSender(RateBasedSender):
     def on_cnp(self, packet: Packet) -> None:
         """Eq. 1: multiplicative decrease plus full increase-state reset."""
         self.cnps_received += 1
+        if self.ledger is not None:
+            self.ledger.on_control(self.flow.flow_id, "cnp", 1,
+                                   self.sim.now)
         if packet.sent_time is not None:
             delay = self.sim.now - packet.sent_time
             self.cnp_delay_sum += delay
@@ -169,6 +172,9 @@ class DCQCNSender(RateBasedSender):
         """
         n = batch.count
         self.cnps_received += n
+        if self.ledger is not None:
+            self.ledger.on_control(self.flow.flow_id, "cnp", n,
+                                   self.sim.now)
         sent = batch.sent_time
         if sent is not None:
             delays = arrival_times - sent

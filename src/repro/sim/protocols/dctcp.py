@@ -84,6 +84,9 @@ class DCTCPSender:
         self._last_cumulative_ack = 0
         self.windows_completed = 0
         self.marked_windows = 0
+        #: Flow-forensics ledger (window-based analogue of
+        #: :class:`~repro.sim.protocols.base.RateBasedSender.ledger`).
+        self.ledger = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -201,8 +204,18 @@ class DCTCPSender:
         if fraction > 0.0:
             self.marked_windows += 1
             self.in_slow_start = False
+            old_cwnd = self.cwnd
             self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0),
                             float(self.mtu_bytes))
+            if self.ledger is not None:
+                # cwnd transitions are DCTCP's rate state machine;
+                # the ledger classifies the cut just like a rate cut.
+                self.ledger.on_rate_change(self.flow.flow_id,
+                                           old_cwnd, self.cwnd,
+                                           self.sim.now)
+                self.ledger.on_control(self.flow.flow_id,
+                                       "marked_window", 1,
+                                       self.sim.now)
         elif self.in_slow_start:
             self.cwnd *= 2.0
         else:

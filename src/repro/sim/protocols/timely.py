@@ -161,6 +161,9 @@ class TimelySender(RateBasedSender):
             raise ValueError("TIMELY ACK without an echoed timestamp")
         rtt = self.sim.now - packet.echo_time
         self.rtt_samples += 1
+        if self.ledger is not None:
+            self.ledger.on_control(self.flow.flow_id, "ack", 1,
+                                   self.sim.now)
         if self._reject_outlier(rtt):
             return
         if self._last_update is not None and \
@@ -182,6 +185,9 @@ class TimelySender(RateBasedSender):
             raise ValueError("TIMELY ACK without an echoed timestamp")
         n = batch.count
         self.rtt_samples += n
+        if self.ledger is not None:
+            self.ledger.on_control(self.flow.flow_id, "ack", n,
+                                   self.sim.now)
         min_rtt = self.params.min_rtt
         for i in range(n):
             now = float(arrival_times[i])

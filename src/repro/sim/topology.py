@@ -232,6 +232,15 @@ def install_flow(net: Network, protocol: str, src: str, dst: str,
         receiver = PatchedTimelyReceiver(net.sim, dst_host, flow, params,
                                          on_complete=on_complete)
 
+    from repro.obs.forensics import active_ledger
+    ledger = active_ledger()
+    if ledger is not None:
+        # Registered before start() so even the first emission is
+        # attributed; attach_flow_forensics must already have wired
+        # the net (it sets the ledger's current context).
+        ledger.register_flow(flow, protocol=protocol, sender=sender)
+        sender.ledger = ledger
+
     sender.start()
     net.senders[flow.flow_id] = sender
     net.receivers[flow.flow_id] = receiver

@@ -2,13 +2,20 @@
 
 ns-3 ships pcap/ascii traces; this is the equivalent for this
 simulator: a :class:`PacketTracer` hooks one or more ports'
-``on_transmit`` and records ``(time, port, packet)`` events, with
-optional kind/flow filters so a DCQCN debugging session can watch,
-say, only the CNPs crossing the bottleneck.
+``on_transmit`` (and its batched companion ``on_transmit_window``)
+and records ``(time, port, packet)`` events, with optional kind/flow
+filters so a DCQCN debugging session can watch, say, only the CNPs
+crossing the bottleneck.  Tail drops are recorded too, via
+``on_drop``, flagged inline so a trace shows losses and not just
+departures.
 
-The tracer chains politely: if a port already has an ``on_transmit``
-hook (PFC accounting at switches), the tracer calls it first, so
-tracing never changes behaviour.
+The tracer chains politely: if a port already has a hook installed
+(PFC accounting at switches), the tracer calls it first, so tracing
+never changes behaviour.  Because it chains the window hook as well,
+attaching a tracer does not kick a ``batch_window`` port off the
+vectorized path -- and the per-packet finish stamps of a window are
+bit-identical to the scalar recurrence, so the recorded stream is
+the same either way.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.link import Port
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketBatch
 
 
 class TraceEvent:
@@ -29,11 +36,12 @@ class TraceEvent:
     """
 
     __slots__ = ("time", "port_name", "kind", "flow_id", "seq",
-                 "size_bytes", "ecn_marked", "sent_time")
+                 "size_bytes", "ecn_marked", "sent_time", "dropped")
 
     def __init__(self, time: float, port_name: str, kind: str,
                  flow_id: int, seq: int, size_bytes: int,
-                 ecn_marked: bool, sent_time: Optional[float] = None):
+                 ecn_marked: bool, sent_time: Optional[float] = None,
+                 dropped: bool = False):
         self.time = time
         self.port_name = port_name
         self.kind = kind
@@ -44,6 +52,9 @@ class TraceEvent:
         #: Emission timestamp the sender stamped, if any -- makes
         #: ``time - sent_time`` the sender-to-this-port latency.
         self.sent_time = sent_time
+        #: True when this event is a tail drop at the port's FIFO
+        #: (the packet never departed; ``time`` is the drop instant).
+        self.dropped = dropped
 
     @property
     def latency(self) -> Optional[float]:
@@ -54,9 +65,10 @@ class TraceEvent:
 
     def __str__(self) -> str:
         mark = " CE" if self.ecn_marked else ""
+        drop = " DROP" if self.dropped else ""
         return (f"{self.time * 1e6:10.2f}us {self.port_name:<18} "
                 f"{self.kind:<5} flow={self.flow_id} seq={self.seq} "
-                f"{self.size_bytes}B{mark}")
+                f"{self.size_bytes}B{mark}{drop}")
 
 
 class PacketTracer:
@@ -96,17 +108,44 @@ class PacketTracer:
         self.filtered_events = 0
 
     def attach(self, port: Port) -> None:
-        """Hook a port, chaining any existing ``on_transmit``."""
+        """Hook a port, chaining any existing hooks.
+
+        All three departure surfaces are chained: ``on_transmit``
+        (scalar path), ``on_transmit_window`` (batched path -- so
+        tracing does not silently disable PR 7's vectorized windows),
+        and ``on_drop`` (tail losses, recorded with ``dropped=True``).
+        """
         previous = port.on_transmit
 
         def hook(packet: Packet, _prev=previous, _port=port) -> None:
             if _prev is not None:
                 _prev(packet)
-            self._record(_port, packet)
+            self._record(_port, packet, self.sim.now)
 
         port.on_transmit = hook
 
-    def _record(self, port: Port, packet: Packet) -> None:
+        previous_window = port.on_transmit_window
+
+        def window_hook(payload, finishes, _prev=previous_window,
+                        _port=port) -> None:
+            if _prev is not None:
+                _prev(payload, finishes)
+            self._record_window(_port, payload, finishes)
+
+        port.on_transmit_window = window_hook
+
+        previous_drop = port.on_drop
+
+        def drop_hook(packet: Packet, _prev=previous_drop,
+                      _port=port) -> None:
+            if _prev is not None:
+                _prev(packet)
+            self._record(_port, packet, self.sim.now, dropped=True)
+
+        port.on_drop = drop_hook
+
+    def _record(self, port: Port, packet: Packet, time: float,
+                dropped: bool = False) -> None:
         if self.kinds is not None and packet.kind not in self.kinds:
             self.filtered_events += 1
             return
@@ -118,14 +157,49 @@ class PacketTracer:
             self.dropped_events += 1
             return
         self.events.append(TraceEvent(
-            time=self.sim.now,
+            time=time,
             port_name=port.name,
             kind=packet.kind,
             flow_id=packet.flow_id,
             seq=packet.seq,
             size_bytes=packet.size_bytes,
             ecn_marked=packet.ecn_marked,
-            sent_time=packet.sent_time))
+            sent_time=packet.sent_time,
+            dropped=dropped))
+
+    def _record_window(self, port: Port, payload, finishes) -> None:
+        """Record a serialized window's departures.
+
+        List payloads (queue drains) reuse the per-packet recorder
+        with each packet's exact finish stamp.  ``PacketBatch``
+        payloads are read column-wise -- no materialization -- and
+        produce the same events the scalar path would have.
+        """
+        if not isinstance(payload, PacketBatch):
+            for i, packet in enumerate(payload):
+                self._record(port, packet, float(finishes[i]))
+            return
+        if self.kinds is not None and payload.kind not in self.kinds:
+            self.filtered_events += payload.count
+            return
+        if self.flow_ids is not None and \
+                payload.flow_id not in self.flow_ids:
+            self.filtered_events += payload.count
+            return
+        sent = payload.sent_time
+        for i in range(payload.count):
+            if len(self.events) >= self.max_events:
+                self.dropped_events += payload.count - i
+                return
+            self.events.append(TraceEvent(
+                time=float(finishes[i]),
+                port_name=port.name,
+                kind=payload.kind,
+                flow_id=payload.flow_id,
+                seq=int(payload.seq[i]),
+                size_bytes=int(payload.size_bytes[i]),
+                ecn_marked=bool(payload.ecn_marked[i]),
+                sent_time=None if sent is None else float(sent[i])))
 
     def marked_fraction(self) -> float:
         """Fraction of recorded data packets carrying a CE mark.
@@ -138,7 +212,8 @@ class PacketTracer:
         try/except.  Check with ``math.isnan`` when the distinction
         matters.
         """
-        data = [e for e in self.events if e.kind == "data"]
+        data = [e for e in self.events
+                if e.kind == "data" and not e.dropped]
         if not data:
             return float("nan")
         return sum(e.ecn_marked for e in data) / len(data)

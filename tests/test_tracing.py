@@ -3,12 +3,14 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.params import DCQCNParams
 from repro.sim.red import REDMarker
 from repro.sim.engine import Simulator
 from repro.sim.link import Link, Port
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketBatch
 from repro.sim.topology import install_flow, single_switch
 from repro.sim.tracing import PacketTracer
 
@@ -134,6 +136,193 @@ class TestRecording:
         assert order == ["pfc"]
         assert tracer.events == []
         assert tracer.filtered_events == 1
+
+
+class BatchSink:
+    """Sink with a batched entry point (keeps ports window-capable)."""
+
+    name = "sink"
+
+    def receive(self, packet, ingress=None):
+        pass
+
+    def receive_window(self, payload, arrivals, ingress=None):
+        pass
+
+
+class TestDropVisibility:
+    def _drop_three(self, tracer_factory):
+        # capacity 2048 B: the first packet goes straight to the
+        # wire, two fill the FIFO, the fourth tail-drops.
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, Sink()), name="p0",
+                    capacity_bytes=2048)
+        tracer = tracer_factory(sim, port)
+        for seq in range(4):
+            port.send(Packet(0, 1024, "s", "sink", kind="data",
+                             seq=seq))
+        sim.run()
+        return tracer
+
+    def test_drops_recorded_with_flag(self):
+        def factory(sim, port):
+            tracer = PacketTracer(sim)
+            tracer.attach(port)
+            return tracer
+        tracer = self._drop_three(factory)
+        # The drop lands first: it happens at enqueue time (t=0),
+        # before any of the accepted packets finish serializing.
+        assert [e.dropped for e in tracer.events] == \
+            [True, False, False, False]
+        (drop,) = [e for e in tracer.events if e.dropped]
+        # The drop is stamped at the rejection instant (t=0, while
+        # the port was still serializing packet 0) with the dropped
+        # packet's identity.
+        assert drop.seq == 3
+        assert drop.time == 0.0
+        assert "DROP" in tracer.dump()
+
+    def test_chains_preexisting_on_drop(self):
+        seen = []
+
+        def factory(sim, port):
+            port.on_drop = seen.append
+            tracer = PacketTracer(sim)
+            tracer.attach(port)
+            return tracer
+        tracer = self._drop_three(factory)
+        assert [p.seq for p in seen] == [3]
+        assert sum(e.dropped for e in tracer.events) == 1
+
+    def test_drops_excluded_from_marked_fraction(self):
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, Sink()), name="p0",
+                    capacity_bytes=1024)
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        marked = Packet(0, 1024, "s", "sink", kind="data", seq=0)
+        marked.ecn_marked = True
+        port.send(marked)                     # departs, CE-marked
+        port.send(Packet(0, 1024, "s", "sink", kind="data", seq=1))
+        port.send(Packet(0, 1024, "s", "sink", kind="data", seq=2))
+        sim.run()
+        # One drop among three events; the mark rate is over the two
+        # *departed* packets only.
+        assert sum(e.dropped for e in tracer.events) == 1
+        assert tracer.marked_fraction() == pytest.approx(0.5)
+
+
+class TestWindowChaining:
+    def test_tracer_keeps_port_window_capable(self):
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, BatchSink()), name="p0",
+                    batch_window=4)
+        assert port._window_capable()
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        # The tracer installs the window companion alongside
+        # on_transmit, so attaching it must not kick the port onto
+        # the slow scalar path.
+        assert port.on_transmit is not None
+        assert port._window_capable()
+
+    def test_scalar_only_hook_still_disables_window(self):
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, BatchSink()), name="p0",
+                    batch_window=4)
+        port.on_transmit = lambda packet: None
+        assert not port._window_capable()
+
+    def test_window_departures_recorded(self):
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, BatchSink()), name="p0",
+                    batch_window=4)
+        tracer = PacketTracer(sim)
+        tracer.attach(port)
+        port.send_batch(PacketBatch.uniform(0, 6, 1024, "s", "sink"))
+        sim.run()
+        assert port.packets_transmitted == 6
+        assert [e.seq for e in tracer.events] == list(range(6))
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)
+        # Finish stamps follow the serialization recurrence exactly.
+        for gap in tracer.interarrival_times():
+            assert gap == pytest.approx(1024 / 1e9, rel=1e-12)
+
+    def test_window_path_respects_filters_and_cap(self):
+        sim = Simulator()
+        port = Port(sim, 1e9, Link(sim, 0.0, BatchSink()), name="p0",
+                    batch_window=4)
+        tracer = PacketTracer(sim, flow_ids=[0], max_events=3)
+        tracer.attach(port)
+        port.send_batch(PacketBatch.uniform(0, 5, 1024, "s", "sink"))
+        sim.run()
+        port.send_batch(PacketBatch.uniform(9, 2, 1024, "s", "sink"))
+        sim.run()
+        assert len(tracer.events) == 3
+        assert tracer.dropped_events == 2     # flow 0 beyond the cap
+        assert tracer.filtered_events == 2    # the flow-9 batch
+
+
+def _trace_stream(ops, scheduler, batch_window):
+    """Drive one port with ``ops`` and return its event stream."""
+    sim = Simulator(scheduler=scheduler)
+    port = Port(sim, 1e9, Link(sim, 0.0, BatchSink()), name="p0",
+                batch_window=batch_window)
+    tracer = PacketTracer(sim)
+    tracer.attach(port)
+    seq = 0
+    for when, batched, count, size in ops:
+        if batched:
+            sim.schedule_at(when, port.send_batch,
+                            PacketBatch.uniform(0, count, size, "s",
+                                                "sink",
+                                                seq_start=seq))
+        else:
+            for i in range(count):
+                sim.schedule_at(when, port.send,
+                                Packet(0, size, "s", "sink",
+                                       kind="data", seq=seq + i))
+        seq += count
+    sim.run()
+    return [(e.time, e.port_name, e.kind, e.flow_id, e.seq,
+             e.size_bytes, e.ecn_marked, e.dropped)
+            for e in tracer.events]
+
+
+@st.composite
+def _op_schedules(draw):
+    """Injection schedules mixing batches and scalar bursts."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    times = draw(st.lists(st.integers(min_value=0, max_value=40),
+                          min_size=n, max_size=n, unique=True))
+    return [(t * 1e-6,
+             draw(st.booleans()),
+             draw(st.integers(min_value=1, max_value=6)),
+             draw(st.sampled_from((512, 1024, 1500))))
+            for t in sorted(times)]
+
+
+class TestSchedulerWindowEquivalence:
+    """ISSUE 9 property: one trace, whatever the engine internals.
+
+    The tracer stream (times, identities, flags) must be invariant
+    across the heap and calendar schedulers and across the scalar vs
+    vectorized-window transmit paths -- otherwise traces could not be
+    compared between runs that differ only in engine configuration.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_op_schedules())
+    def test_identical_streams(self, ops):
+        reference = _trace_stream(ops, "heap", None)
+        assert len(reference) == sum(op[2] for op in ops)
+        for scheduler in ("heap", "calendar"):
+            for batch_window in (None, 4):
+                if (scheduler, batch_window) == ("heap", None):
+                    continue
+                assert _trace_stream(ops, scheduler, batch_window) \
+                    == reference, (scheduler, batch_window)
 
 
 class TestOnRealScenario:
