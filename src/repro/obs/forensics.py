@@ -38,7 +38,7 @@ bit-identical to one built before this module existed.
 Surfaces:
 
 * ``repro run --forensics`` attaches a ledger; per-flow ``flow``
-  events land in the run log (RUNLOG_VERSION 6).
+  events land in the run log (RUNLOG_VERSION 6+).
 * ``repro explain LOG --flow N | --worst K`` renders attribution
   tables and causal chains from those events.
 * :meth:`FlowLedger.publish` feeds component-share histograms into

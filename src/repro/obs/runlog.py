@@ -66,6 +66,17 @@ Event types:
     ``components`` FCT decomposition, plus causal annotations; see
     :mod:`repro.obs.forensics`).  Emitted at finalization for every
     flow of a ``--forensics`` run; ``repro explain`` renders them.
+``abort``
+    An engine watchdog stopped a run (``reason`` one of
+    ``max_events``/``wall_clock``, plus ``sim_time`` and
+    ``events_processed``); emitted just before the engine raises
+    :class:`~repro.sim.engine.SimulationAborted`, so live surfaces
+    show *why* a run died.
+``fuzz``
+    A chaos-conformance harness transition (``event`` one of
+    ``scenario_start``, ``scenario_ok``, ``violation``, ``shrunk``,
+    ``summary``; see :mod:`repro.qa`), with context such as the
+    scenario digest, seed and the violated oracle.
 ``run_end``
     ``status`` (``ok``/``error``) and total ``wall_s``.
 
@@ -88,13 +99,15 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 #: 5 added the ``trace`` and ``profile`` event types (PR 8, fleet
 #: observability plane).
 #: 6 added the ``flow`` event type (PR 9, flow forensics).
-RUNLOG_VERSION = 6
+#: 7 added the ``abort`` and ``fuzz`` event types (PR 10, chaos
+#: conformance harness).
+RUNLOG_VERSION = 7
 
 #: Every event type a run log may contain.
 EVENT_TYPES = frozenset({"run_start", "run_end", "span", "metrics",
                          "warning", "note", "fault", "health",
                          "sweep", "retry", "worker", "trace",
-                         "profile", "flow"})
+                         "profile", "flow", "abort", "fuzz"})
 
 #: Required payload fields per event type (beyond the envelope).
 REQUIRED_FIELDS: Dict[str, frozenset] = {
@@ -112,6 +125,8 @@ REQUIRED_FIELDS: Dict[str, frozenset] = {
     "trace": frozenset({"trace_id"}),
     "profile": frozenset({"samples"}),
     "flow": frozenset({"flow_id", "completed", "components"}),
+    "abort": frozenset({"reason", "sim_time", "events_processed"}),
+    "fuzz": frozenset({"event"}),
 }
 
 #: Envelope fields every event must carry.
@@ -226,6 +241,18 @@ class RunLog:
         return self.emit("flow", flow_id=flow_id,
                          completed=bool(completed),
                          components=components, **fields)
+
+    def abort(self, reason: str, sim_time: float,
+              events_processed: int, **fields: Any) -> dict:
+        """Record an engine-watchdog abort (cause + engine state)."""
+        return self.emit("abort", reason=reason,
+                         sim_time=float(sim_time),
+                         events_processed=int(events_processed),
+                         **fields)
+
+    def fuzz(self, event: str, **fields: Any) -> dict:
+        """Record a chaos-conformance harness transition."""
+        return self.emit("fuzz", event=event, **fields)
 
     def health(self, detector: str, severity: str, message: str,
                **fields: Any) -> dict:

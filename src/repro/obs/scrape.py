@@ -42,6 +42,8 @@ def scrape_network(registry=None, network=None) -> int:
     """
     if registry is None:
         registry = get_registry()
+    from repro.sim.packet import PACKET_POOL
+    PACKET_POOL.publish_metrics(registry)
     scraped = 0
     for host in getattr(network, "hosts", {}).values():
         port = getattr(host, "port", None)

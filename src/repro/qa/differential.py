@@ -1,0 +1,126 @@
+"""Differential execution of one scenario across the engine matrix.
+
+The matrix has a baseline (heap scheduler, scalar transmit, no
+forensics) and four comparison classes:
+
+========== ============================== ======================
+class      variant                        contract
+========== ============================== ======================
+scheduler  calendar-queue scheduler       bit-identical digest
+window     vectorized transmit windows    bit-identical digest
+forensics  FlowLedger attribution on      bit-identical digest
+hybrid     fluid elephants + packet mice  statistical (PR 7)
+========== ============================== ======================
+
+Classes self-gate on the spec: ``window`` only runs when
+:attr:`~repro.qa.scenario.ScenarioSpec.window_exact` holds (see its
+docstring for the envelope) and ``hybrid`` only when
+:attr:`~repro.qa.scenario.ScenarioSpec.hybrid_eligible`.  Per-run
+oracles fire on every executed variant; pair oracles compare each
+non-baseline variant against the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.qa.oracles import OracleSuite, Violation
+from repro.qa.scenario import (
+    ScenarioOutcome,
+    ScenarioSpec,
+    Variant,
+    run_scenario,
+)
+
+#: The full engine matrix, baseline first.
+MATRIX: Dict[str, Variant] = {
+    "baseline": Variant("baseline"),
+    "scheduler": Variant("scheduler", scheduler="calendar"),
+    "window": Variant("window", window=8),
+    "forensics": Variant("forensics", forensics=True),
+    "hybrid": Variant("hybrid", hybrid=True),
+}
+
+#: Matrix selections the CLI accepts.
+DEFAULT_CLASSES = ("scheduler", "window", "forensics", "hybrid")
+
+
+@dataclass
+class Verdict:
+    """Everything one differential scenario execution produced."""
+
+    spec: ScenarioSpec
+    violations: List[Violation] = field(default_factory=list)
+    outcomes: Dict[str, ScenarioOutcome] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def oracles_failed(self) -> List[str]:
+        """Stable, deduplicated oracle names that fired."""
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.oracle not in seen:
+                seen.append(violation.oracle)
+        return seen
+
+
+class DifferentialRunner:
+    """Run specs across the matrix and collect oracle verdicts.
+
+    Parameters
+    ----------
+    classes:
+        Comparison classes to exercise (default: all four).  The
+        baseline always runs -- it is the reference side of every
+        pair and the per-run oracles' primary subject.
+    oracles:
+        The oracle suite; a custom one mostly makes sense for
+        triage (skipping a known-failing oracle).
+    """
+
+    def __init__(self, classes: Optional[List[str]] = None,
+                 oracles: Optional[OracleSuite] = None):
+        names = list(classes) if classes is not None \
+            else list(DEFAULT_CLASSES)
+        unknown = [n for n in names if n not in MATRIX
+                   or n == "baseline"]
+        if unknown:
+            raise ValueError(
+                f"unknown matrix classes {unknown}; choose from "
+                f"{sorted(set(MATRIX) - {'baseline'})}")
+        self.classes = names
+        self.oracles = oracles if oracles is not None else OracleSuite()
+
+    def applicable_classes(self, spec: ScenarioSpec) -> List[str]:
+        """The selected classes this spec's envelopes admit."""
+        out = []
+        for name in self.classes:
+            if name == "window" and not spec.window_exact:
+                continue
+            if name == "hybrid" and not spec.hybrid_eligible:
+                continue
+            out.append(name)
+        return out
+
+    def run(self, spec: ScenarioSpec) -> Verdict:
+        """Execute the spec across the matrix and check every oracle."""
+        verdict = Verdict(spec=spec)
+        base = run_scenario(spec, MATRIX["baseline"])
+        verdict.outcomes["baseline"] = base
+        verdict.violations.extend(self.oracles.check_run(spec, base))
+
+        applicable = self.applicable_classes(spec)
+        verdict.skipped = [n for n in self.classes
+                           if n not in applicable]
+        for name in applicable:
+            outcome = run_scenario(spec, MATRIX[name])
+            verdict.outcomes[name] = outcome
+            verdict.violations.extend(
+                self.oracles.check_run(spec, outcome))
+            verdict.violations.extend(
+                self.oracles.check_pair(spec, base, outcome))
+        return verdict

@@ -1,0 +1,200 @@
+"""Delta-debugging reduction of a violating scenario.
+
+Given a spec that trips an oracle, the shrinker searches for a
+*smaller* spec that trips the **same oracle** (same name -- matching
+messages would over-fit to incidental detail).  Reduction moves along
+structured axes rather than raw bytes, so every candidate is a valid
+scenario by construction:
+
+1. drop flows (greedy, one at a time, then halves);
+2. drop faults, then whole fault kinds;
+3. drop parameter overrides;
+4. shrink the topology (fewer senders/pairs/segments/leaves);
+5. round parameters to defaults (AQM args, link speed/delay);
+6. halve flow sizes and the duration.
+
+The loop runs each axis to fixpoint and repeats until a full pass
+makes no progress.  Each candidate re-executes the differential
+matrix, so shrinking a scenario costs (candidates x matrix width)
+simulation runs; the fuzzer's scenarios are small enough that a
+shrink typically finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.qa.differential import DifferentialRunner, Verdict
+from repro.qa.scenario import ScenarioSpec, host_names
+
+#: Safety valve: maximum candidate evaluations per shrink.
+MAX_CANDIDATES = 400
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """The reduced scenario plus the search's bookkeeping."""
+
+    spec: ScenarioSpec            #: minimal reproducer found
+    verdict: Verdict              #: its (still-violating) verdict
+    oracle: str                   #: the oracle that anchors the search
+    candidates_tried: int = 0
+    candidates_accepted: int = 0
+
+    @property
+    def reduced(self) -> bool:
+        return self.candidates_accepted > 0
+
+
+class Shrinker:
+    """Reduce a violating spec while preserving the failing oracle."""
+
+    def __init__(self, runner: DifferentialRunner,
+                 max_candidates: int = MAX_CANDIDATES):
+        self.runner = runner
+        self.max_candidates = max_candidates
+
+    def shrink(self, spec: ScenarioSpec, oracle: str,
+               log: Optional[Callable[[str], None]] = None
+               ) -> ShrinkResult:
+        """Reduce ``spec`` keeping oracle ``oracle`` firing."""
+        verdict = self.runner.run(spec)
+        if oracle not in verdict.oracles_failed():
+            raise ValueError(
+                f"spec does not trip oracle {oracle!r}; it trips "
+                f"{verdict.oracles_failed() or 'nothing'}")
+        result = ShrinkResult(spec=spec, verdict=verdict,
+                              oracle=oracle)
+        progress = True
+        while progress and \
+                result.candidates_tried < self.max_candidates:
+            progress = False
+            for axis in (self._drop_flows, self._drop_faults,
+                         self._drop_overrides, self._shrink_topology,
+                         self._round_parameters, self._halve_sizes):
+                for candidate in axis(result.spec):
+                    if result.candidates_tried >= self.max_candidates:
+                        break
+                    accepted = self._try(candidate, result)
+                    if accepted and log is not None:
+                        log(f"shrink: accepted {axis.__name__} -> "
+                            f"{_shape(result.spec)}")
+                    progress = progress or accepted
+        return result
+
+    def _try(self, candidate: ScenarioSpec,
+             result: ShrinkResult) -> bool:
+        try:
+            candidate.validate()
+        except ValueError:
+            return False
+        result.candidates_tried += 1
+        verdict = self.runner.run(candidate)
+        if result.oracle in verdict.oracles_failed():
+            result.spec = candidate
+            result.verdict = verdict
+            result.candidates_accepted += 1
+            return True
+        return False
+
+    # -- axes (generators of candidates based on the CURRENT spec) -------
+
+    def _drop_flows(self, spec: ScenarioSpec
+                    ) -> Iterable[ScenarioSpec]:
+        flows = spec.flows
+        if len(flows) <= 1:
+            return
+        half = len(flows) // 2
+        yield spec.replace(flows=flows[:half])
+        yield spec.replace(flows=flows[half:])
+        for i in range(len(flows)):
+            yield spec.replace(flows=flows[:i] + flows[i + 1:])
+
+    def _drop_faults(self, spec: ScenarioSpec
+                     ) -> Iterable[ScenarioSpec]:
+        faults = spec.faults
+        if not faults:
+            return
+        yield spec.replace(faults=())
+        for i in range(len(faults)):
+            yield spec.replace(faults=faults[:i] + faults[i + 1:])
+
+    def _drop_overrides(self, spec: ScenarioSpec
+                        ) -> Iterable[ScenarioSpec]:
+        if spec.param_overrides:
+            yield spec.replace(param_overrides={})
+        for proto in spec.param_overrides:
+            trimmed = {p: dict(v) for p, v
+                       in spec.param_overrides.items() if p != proto}
+            yield spec.replace(param_overrides=trimmed)
+        if spec.pfc:
+            yield spec.replace(pfc=False)
+        if spec.buffer_kb is not None:
+            yield spec.replace(buffer_kb=None)
+
+    def _shrink_topology(self, spec: ScenarioSpec
+                         ) -> Iterable[ScenarioSpec]:
+        args = spec.topology_args
+        for key in ("n_senders", "n_pairs", "n_segments", "n_leaves",
+                    "n_spines", "hosts_per_leaf"):
+            value = args.get(key)
+            floor = 2 if key == "n_leaves" else 1
+            if value is not None and value > floor:
+                smaller = dict(args)
+                smaller[key] = value - 1
+                candidate = spec.replace(topology_args=smaller)
+                if _flows_fit(candidate):
+                    yield candidate
+        # Collapse multi-switch shapes onto the star when the flows
+        # allow it (same-name hosts exist there).
+        if spec.topology != "single_switch":
+            n = max(8, len(spec.flows))
+            candidate = spec.replace(
+                topology="single_switch",
+                topology_args={"n_senders": n},
+                pfc=False, buffer_kb=None)
+            if _flows_fit(candidate):
+                yield candidate
+
+    def _round_parameters(self, spec: ScenarioSpec
+                          ) -> Iterable[ScenarioSpec]:
+        if spec.aqm_args:
+            yield spec.replace(aqm_args={})
+        if spec.aqm != "none" and not spec.long_lived:
+            yield spec.replace(aqm="none", aqm_args={})
+        if spec.link_gbps != 10.0:
+            yield spec.replace(link_gbps=10.0)
+        if spec.link_delay_us != 2.0:
+            yield spec.replace(link_delay_us=2.0)
+        if any(f.start_time for f in spec.flows):
+            yield spec.replace(flows=tuple(
+                dataclasses.replace(f, start_time=0.0)
+                for f in spec.flows))
+
+    def _halve_sizes(self, spec: ScenarioSpec
+                     ) -> Iterable[ScenarioSpec]:
+        sizes = [f.size_bytes for f in spec.flows]
+        if any(s is not None and s > 8192 for s in sizes):
+            yield spec.replace(flows=tuple(
+                f if f.size_bytes is None or f.size_bytes <= 8192
+                else dataclasses.replace(
+                    f, size_bytes=max(8192, f.size_bytes // 2))
+                for f in spec.flows))
+        if spec.duration > 0.002:
+            yield spec.replace(duration=spec.duration / 2.0)
+
+
+def _flows_fit(spec: ScenarioSpec) -> bool:
+    """Whether every flow endpoint still exists in the topology."""
+    try:
+        hosts = set(host_names(spec))
+    except ValueError:
+        return False
+    return all(f.src in hosts and f.dst in hosts for f in spec.flows)
+
+
+def _shape(spec: ScenarioSpec) -> str:
+    return (f"{spec.topology}{spec.topology_args} "
+            f"flows={len(spec.flows)} faults={len(spec.faults)} "
+            f"dur={spec.duration:.4f}")

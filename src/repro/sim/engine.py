@@ -295,21 +295,17 @@ class Simulator:
                     processed += 1
                     if max_events is not None and \
                             processed >= max_events:
-                        self._abort_metrics("max_events")
-                        raise SimulationAborted(
-                            "max_events", processed, self._now,
-                            len(heap),
-                            detail=f"exceeded max_events={max_events}")
+                        raise self._abort(
+                            "max_events", processed, len(heap),
+                            f"exceeded max_events={max_events}")
                     if wall_start is not None and \
                             processed % WALL_CHECK_STRIDE == 0 and \
                             _time.monotonic() - wall_start \
                             > max_wall_seconds:
-                        self._abort_metrics("wall_clock")
-                        raise SimulationAborted(
-                            "wall_clock", processed, self._now,
-                            len(heap),
-                            detail=f"exceeded max_wall_seconds="
-                                   f"{max_wall_seconds}")
+                        raise self._abort(
+                            "wall_clock", processed, len(heap),
+                            f"exceeded max_wall_seconds="
+                            f"{max_wall_seconds}")
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -397,21 +393,17 @@ class Simulator:
                     processed += 1
                     if max_events is not None and \
                             processed >= max_events:
-                        self._abort_metrics("max_events")
-                        raise SimulationAborted(
-                            "max_events", processed, self._now,
-                            len(cal),
-                            detail=f"exceeded max_events={max_events}")
+                        raise self._abort(
+                            "max_events", processed, len(cal),
+                            f"exceeded max_events={max_events}")
                     if wall_start is not None and \
                             processed % WALL_CHECK_STRIDE == 0 and \
                             _time.monotonic() - wall_start \
                             > max_wall_seconds:
-                        self._abort_metrics("wall_clock")
-                        raise SimulationAborted(
-                            "wall_clock", processed, self._now,
-                            len(cal),
-                            detail=f"exceeded max_wall_seconds="
-                                   f"{max_wall_seconds}")
+                        raise self._abort(
+                            "wall_clock", processed, len(cal),
+                            f"exceeded max_wall_seconds="
+                            f"{max_wall_seconds}")
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -456,6 +448,31 @@ class Simulator:
         """Count a watchdog abort (rare path, outside the fast loop)."""
         _metrics.get_registry().counter(
             f"sim.engine.aborts_{reason}_total").inc()
+
+    def _abort(self, reason: str, processed: int, pending: int,
+               detail: str) -> SimulationAborted:
+        """Build the watchdog exception, accounting the abort first.
+
+        Bumps the abort counter and -- when a telemetry bundle is
+        active -- emits a structured ``abort`` run-log event (cause,
+        sim time, events processed) *before* the raise, so ``watch``
+        and ``serve`` surfaces show why a run died instead of going
+        silent.  Rare path: the import and the ambient lookup cost
+        nothing in the hot loops.
+        """
+        self._abort_metrics(reason)
+        from repro.obs import telemetry as _telemetry
+        active = _telemetry.current()
+        if active is not None:
+            try:
+                active.run_log.abort(
+                    reason=reason, sim_time=self._now,
+                    events_processed=processed, pending=pending,
+                    detail=detail)
+            except ValueError:
+                pass  # run log already finished/closed
+        return SimulationAborted(reason, processed, self._now,
+                                 pending, detail=detail)
 
     def stop(self) -> None:
         """Abort :meth:`run` after the current callback returns."""

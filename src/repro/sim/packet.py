@@ -21,12 +21,29 @@ Three tiers, by hot-path temperature:
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 import numpy as np
 
 #: Size of control packets (ACKs, CNPs, PFC frames), bytes.
 CONTROL_PACKET_BYTES = 64
+
+#: Poison ``kind`` stamped on released packets while the pool runs in
+#: debug mode.  Any component that dispatches a quarantined packet
+#: afterwards hits the terminal host's unknown-kind branch, turning a
+#: silent use-after-release into a loud error.
+RELEASED_KIND = "__released__"
+
+
+class PoolMisuseError(RuntimeError):
+    """A pooled packet was released twice or after recycling.
+
+    Raised only in strict debug mode (see
+    :meth:`PacketPool.debug_session`); outside it misuse is counted
+    but tolerated, preserving the historical idempotent-``release``
+    contract."""
 
 
 class Packet:
@@ -112,15 +129,37 @@ class PacketPool:
 
     ``max_free`` bounds freelist growth so a transient burst does not
     pin its high-water packet count forever.
+
+    Debug mode (:meth:`debug_session`) adds a misuse guard for the
+    fuzz harness: every loan is tracked by object identity, releases
+    of non-loaned packets are counted as double-releases, and released
+    packets are *quarantined* with a poisoned ``kind`` instead of
+    recycled, so any later dispatch of a stale reference raises
+    through the terminal host's unknown-kind check.  Outstanding loans
+    at scrape time surface as the ``sim.packet.pool_leaked_total``
+    gauge, which the fuzz leak oracle reconciles against known sinks
+    (drop-tail losses, fault drops, held packets).
     """
 
-    __slots__ = ("_free", "max_free", "allocated", "reused")
+    __slots__ = ("_free", "max_free", "allocated", "reused", "debug",
+                 "strict", "_loans", "_quarantine", "double_releases")
 
     def __init__(self, max_free: int = 8192):
         self._free: list = []
         self.max_free = max_free
         self.allocated = 0
         self.reused = 0
+        #: True while a :meth:`debug_session` is active.
+        self.debug = False
+        #: In debug mode, raise :class:`PoolMisuseError` on misuse
+        #: instead of only counting it.
+        self.strict = False
+        #: Live loans by ``id(packet)`` (strong refs, so ids are
+        #: never aliased by the garbage collector).
+        self._loans: dict = {}
+        #: Released-but-not-recycled packets (debug mode only).
+        self._quarantine: deque = deque(maxlen=4 * max_free)
+        self.double_releases = 0
 
     def acquire(self, flow_id: int, size_bytes: int, src: str, dst: str,
                 kind: str = "data", seq: int = 0) -> Packet:
@@ -147,15 +186,78 @@ class PacketPool:
             packet = Packet(flow_id, size_bytes, src, dst, kind=kind,
                             seq=seq)
         packet.pooled = True
+        if self.debug:
+            self._loans[id(packet)] = packet
         return packet
 
     def release(self, packet: Packet) -> None:
         """Return a pooled packet to the freelist (idempotent)."""
         if not packet.pooled:
+            if self.debug:
+                self.double_releases += 1
+                if self.strict:
+                    raise PoolMisuseError(
+                        f"double release of {packet!r}")
             return
         packet.pooled = False
+        if self.debug:
+            self._loans.pop(id(packet), None)
+            packet.kind = RELEASED_KIND
+            self._quarantine.append(packet)
+            return
         if len(self._free) < self.max_free:
             self._free.append(packet)
+
+    # -- debug / misuse guard -------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Packets currently on loan (0 unless debug mode tracked them)."""
+        return len(self._loans)
+
+    def outstanding_packets(self, limit: int = 8) -> list:
+        """Reprs of up to ``limit`` live loans, for leak diagnostics."""
+        out = []
+        for packet in self._loans.values():
+            out.append(repr(packet))
+            if len(out) >= limit:
+                break
+        return out
+
+    @contextmanager
+    def debug_session(self, strict: bool = False) -> Iterator["PacketPool"]:
+        """Run a block with loan tracking and the misuse guard on.
+
+        Counters (:attr:`outstanding`, :attr:`double_releases`) are
+        reset on entry and *kept* on exit so callers can assert on
+        them after the block; the quarantine is cleared on exit to
+        drop its held references (the loan table survives until the
+        next session so leak reports stay readable).  Sessions do not
+        nest (the inner session would steal the outer's loans).
+        """
+        if self.debug:
+            raise RuntimeError("pool debug sessions do not nest")
+        self._loans.clear()
+        self._quarantine.clear()
+        self.double_releases = 0
+        self.debug = True
+        self.strict = strict
+        try:
+            yield self
+        finally:
+            self.debug = False
+            self.strict = False
+            self._quarantine.clear()
+
+    def publish_metrics(self, registry, prefix: str = "sim.packet") -> None:
+        """Scrape pool counters; the leak gauge feeds the fuzz oracle."""
+        registry.gauge(f"{prefix}.pool_allocated").set(self.allocated)
+        registry.gauge(f"{prefix}.pool_reused").set(self.reused)
+        registry.gauge(f"{prefix}.pool_free").set(len(self._free))
+        registry.gauge(f"{prefix}.pool_leaked_total").set(
+            self.outstanding)
+        registry.gauge(f"{prefix}.pool_double_releases_total").set(
+            self.double_releases)
 
     def __len__(self) -> int:
         return len(self._free)

@@ -719,7 +719,7 @@ class TestWorkerEvents:
     def test_runlog_worker_event(self, tmp_path):
         from repro.obs.runlog import (RUNLOG_VERSION, RunLog,
                                       read_events, validate_events)
-        assert RUNLOG_VERSION == 6
+        assert RUNLOG_VERSION == 7
         path = tmp_path / "log.jsonl"
         with RunLog(path, run_id="r1") as log:
             log.start("exp", params_hash="abc")

@@ -237,3 +237,52 @@ class TestWatchdogs:
             return log
 
         assert build_and_run() == build_and_run()
+
+
+class TestAbortRunlogEvent:
+    """Watchdog aborts surface as structured run-log events."""
+
+    def _runaway(self, sim):
+        def forever():
+            sim.schedule(0.1, forever)
+        sim.schedule(0.0, forever)
+
+    def test_max_events_abort_emits_event(self, tmp_path):
+        from repro.obs.runlog import read_events
+        from repro.obs.telemetry import Telemetry
+
+        bundle = Telemetry.ensure(tmp_path, experiment="abort-smoke")
+        with bundle.activate(params={}):
+            sim = Simulator()
+            self._runaway(sim)
+            with pytest.raises(SimulationAborted):
+                sim.run(max_events=50)
+        aborts = [e for e in read_events(bundle.runlog_path)
+                  if e["type"] == "abort"]
+        assert len(aborts) == 1
+        event = aborts[0]
+        assert event["reason"] == "max_events"
+        assert event["events_processed"] == 50
+        assert event["sim_time"] == pytest.approx(4.9)
+        assert event["pending"] == 1
+
+    def test_wall_clock_abort_emits_event(self, tmp_path):
+        from repro.obs.runlog import read_events
+        from repro.obs.telemetry import Telemetry
+
+        bundle = Telemetry.ensure(tmp_path, experiment="abort-smoke")
+        with bundle.activate(params={}):
+            sim = Simulator()
+            self._runaway(sim)
+            with pytest.raises(SimulationAborted):
+                sim.run(max_wall_seconds=0.0)
+        aborts = [e for e in read_events(bundle.runlog_path)
+                  if e["type"] == "abort"]
+        assert [e["reason"] for e in aborts] == ["wall_clock"]
+
+    def test_no_telemetry_no_event_no_crash(self):
+        # The rare path must stay safe without an active bundle.
+        sim = Simulator()
+        self._runaway(sim)
+        with pytest.raises(SimulationAborted):
+            sim.run(max_events=10)

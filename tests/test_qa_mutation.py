@@ -1,0 +1,123 @@
+"""Acceptance path: an injected engine bug travels the whole harness.
+
+A deliberately broken :class:`CalendarScheduler` (a 1 ns skew on a
+subset of pushed entries -- the kind of off-by-one-tick defect a real
+scheduler regression would introduce) must be
+
+1. caught by the ``bit_identical`` oracle of the differential matrix,
+2. reduced by the :class:`~repro.qa.shrink.Shrinker` to a smaller
+   scenario that still trips the same oracle, and
+3. persisted as a crash capsule that *reproduces* under ``repro
+   replay`` while the bug is live and replays *clean* once the
+   mutation is reverted (the fixed-bug / regression-corpus workflow).
+"""
+
+import pytest
+
+from repro.perf.resilience import replay_capsule
+from repro.qa import (
+    DifferentialRunner,
+    FaultSpec,
+    FlowSpec,
+    ScenarioSpec,
+    Shrinker,
+)
+from repro.qa.capsule import capsule_for_verdict, write_capsule
+from repro.sim.scheduler import CalendarScheduler
+
+_REAL_PUSH = CalendarScheduler.push
+
+
+def _skewed_push(self, entry):
+    """The injected bug: every 7th-ish entry lands 1 ns late.
+
+    Time only ever *increases*, so the scheduler's own invariants
+    (entries never precede the cursor, serve order stays sorted)
+    hold -- the mutation is invisible to the per-run oracles and
+    detectable only by differencing against the heap baseline.
+    """
+    time, seq, event = entry
+    if seq % 7 == 3:
+        entry = (time + 1e-9, seq, event)
+    _REAL_PUSH(self, entry)
+
+
+def mutation_spec():
+    """A deliberately over-dressed scenario (so the shrinker has
+    flows, a fault and overrides to strip)."""
+    return ScenarioSpec(
+        topology="single_switch",
+        topology_args={"n_senders": 4},
+        aqm="red",
+        flows=tuple(FlowSpec("dcqcn", f"s{i}", "recv", 32768)
+                    for i in range(4)),
+        param_overrides={"dcqcn": {"g": 0.125}},
+        faults=(FaultSpec("delay", "sw->recv", extra=1e-5,
+                          start=0.0, stop=0.001),),
+        duration=0.006, seed=11)
+
+
+class TestDeliberateMutation:
+    def test_clean_engine_passes_the_matrix(self):
+        runner = DifferentialRunner(classes=["scheduler"])
+        verdict = runner.run(mutation_spec())
+        assert verdict.ok, [str(v) for v in verdict.violations]
+
+    def test_mutation_is_caught_shrunk_and_replayed(self, tmp_path,
+                                                    monkeypatch):
+        spec = mutation_spec()
+        runner = DifferentialRunner(classes=["scheduler"])
+
+        with monkeypatch.context() as patch:
+            patch.setattr(CalendarScheduler, "push", _skewed_push)
+
+            # 1. The oracle catches the mutation.
+            verdict = runner.run(spec)
+            assert verdict.oracles_failed() == ["bit_identical"]
+
+            # 2. The shrinker reduces it, preserving the oracle.
+            result = Shrinker(runner).shrink(spec, "bit_identical")
+            assert result.reduced
+            shrunk = result.spec
+            assert "bit_identical" in \
+                result.verdict.oracles_failed()
+            assert len(shrunk.flows) < len(spec.flows)
+            assert not shrunk.faults
+            assert not shrunk.param_overrides
+
+            # 3. The capsule reproduces while the bug is live.
+            capsule = capsule_for_verdict(
+                result.verdict, fuzz_seed=0, index=0,
+                matrix=["scheduler"])
+            assert capsule.fn == "repro.qa.capsule:check_scenario"
+            assert capsule.error_type == "OracleViolation"
+            path = write_capsule(capsule, tmp_path)
+            replay = replay_capsule(path)
+            assert replay.reproduced
+            assert replay.error_type == "OracleViolation"
+            assert "bit_identical" in replay.error_message
+
+        # 4. With the mutation reverted ("bug fixed"), the same
+        # capsule replays clean -- exactly what the regression
+        # corpus asserts about shipped code.
+        assert CalendarScheduler.push is _REAL_PUSH
+        replay = replay_capsule(path)
+        assert not replay.reproduced
+
+    def test_mutated_tie_order_is_caught(self, monkeypatch):
+        # A second, orthogonal defect family: breaking the (time,
+        # seq) FIFO tie contract instead of the clock.  Simultaneous
+        # events serve LIFO under the mutation, which the digest of
+        # any tie-heavy scenario (incast, simultaneous starts)
+        # exposes.
+        def lifo_ties(self, entry):
+            time, seq, event = entry
+            _REAL_PUSH(self, (time, -seq, event))
+
+        spec = mutation_spec().replace(faults=(),
+                                       param_overrides={})
+        runner = DifferentialRunner(classes=["scheduler"])
+        with monkeypatch.context() as patch:
+            patch.setattr(CalendarScheduler, "push", lifo_ties)
+            verdict = runner.run(spec)
+        assert "bit_identical" in verdict.oracles_failed()

@@ -1,0 +1,197 @@
+"""Adversarial CalendarScheduler workloads, cross-checked vs the heap.
+
+The shapes the original property tests (``test_scheduler.py``) under-
+sample, each a known calendar-queue failure mode:
+
+* **far-future spills** -- entries landing far beyond the open
+  window while it is mid-split, exercising the overflow spill path;
+* **mass re-bucketing during rotation** -- width adaptations forced
+  *between* pops, so buckets are rehashed while the wheel is being
+  served;
+* **tie-heavy boundary traffic** -- equal timestamps pinned to exact
+  bucket-width multiples, where a bucketing bug would break the
+  ``(time, seq)`` FIFO contract without moving any clock.
+
+Every test drives the calendar and a plain heap through the same
+operation sequence and requires identical serve order -- the same
+contract the ``repro fuzz`` scheduler class checks end to end.
+"""
+
+import heapq
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.scheduler import (
+    DEFAULT_WIDTH,
+    NEAR_SPLIT_LIMIT,
+    SPAN_MAX_BATCH,
+    CalendarScheduler,
+)
+
+
+def _drive(cal, heap, ops, rng, make_offset):
+    """Interleave pushes and pops, asserting identical serve order.
+
+    Respects the engine contract the scheduler is specified against:
+    nothing is ever pushed before the last served time, and ``seq``
+    is monotone.
+    """
+    now = 0.0
+    seq = 0
+    for _ in range(ops):
+        if rng.random() < 0.6 or not heap:
+            for _ in range(rng.randrange(1, 40)):
+                entry = (now + make_offset(rng), seq, None)
+                seq += 1
+                cal.push(entry)
+                heapq.heappush(heap, entry)
+        else:
+            for _ in range(rng.randrange(1, 30)):
+                if not heap:
+                    break
+                expected = heapq.heappop(heap)
+                assert cal.pop() == expected
+                now = expected[0]
+    while heap:
+        expected = heapq.heappop(heap)
+        assert cal.pop() == expected
+    assert cal.pop() is None and len(cal) == 0
+
+
+class TestFarFutureSpills:
+    def test_spill_path_keeps_sorted_order(self):
+        # Grow the open window past the split trigger, then rain
+        # far-future entries into it: the split must spill overflow
+        # into buckets without reordering anything.
+        rng = random.Random(3)
+        cal = CalendarScheduler()
+        heap = []
+
+        def offsets(rng):
+            return rng.choice([
+                rng.random() * 1e-7,            # open window
+                rng.random() * 1e-2,            # a few buckets out
+                1.0 + rng.random() * 1e3,       # far future
+            ])
+
+        _drive(cal, heap, ops=300, rng=rng, make_offset=offsets)
+        assert cal.spills > 0
+
+    def test_descending_pushes_grow_and_split_the_window(self):
+        cal = CalendarScheduler()
+        n = 4 * NEAR_SPLIT_LIMIT
+        entries = [(1.0 + (n - i) * 1e-9, i, None) for i in range(n)]
+        for entry in entries:                  # descending times:
+            cal.push(entry)                    # every push insorts
+        assert cal.spills > 0
+        served = []
+        while True:
+            entry = cal.pop()
+            if entry is None:
+                break
+            served.append(entry)
+        assert served == sorted(entries)
+
+
+class TestRebucketingDuringRotation:
+    def test_width_adaptation_mid_serve(self):
+        # Alternate dense nanosecond clusters (forcing the width
+        # down) with sparse multi-second horizons (forcing it back
+        # up), popping in between so every rehash happens on a
+        # partially-served wheel.
+        rng = random.Random(17)
+        cal = CalendarScheduler()
+        heap = []
+        phase = [0]
+
+        def offsets(rng):
+            phase[0] += 1
+            if (phase[0] // 500) % 2 == 0:
+                return rng.random() * 1e-9 * SPAN_MAX_BATCH
+            return rng.random() * 10.0
+
+        _drive(cal, heap, ops=400, rng=rng, make_offset=offsets)
+        assert cal.rehashes > 0
+
+    def test_engine_level_dense_sparse_alternation(self):
+        logs = {}
+        for backend in ("heap", "calendar"):
+            sim = Simulator(scheduler=backend)
+            log = []
+
+            def burst(tag, sim=sim, log=log):
+                log.append((sim.now, tag))
+                if len(log) >= 6000:
+                    return
+                # Dense cluster now, a sparse far echo later.
+                sim.schedule(1e-9 * (tag % 97), burst, tag + 1)
+                if tag % 13 == 0:
+                    sim.schedule(0.5 + 1e-6 * tag, burst, tag + 7)
+
+            for i in range(40):
+                sim.schedule(i * 1e-8, burst, i)
+            sim.run()
+            logs[backend] = log
+        assert logs["calendar"] == logs["heap"]
+
+
+class TestBoundaryTies:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_ties_at_bucket_boundaries(self, seed):
+        # Timestamps pinned to exact width multiples (bucket edges)
+        # with heavy duplication: FIFO among equal times must match
+        # the heap under any bucket assignment.
+        rng = random.Random(seed)
+        cal = CalendarScheduler()
+        heap = []
+
+        def offsets(rng):
+            k = rng.randrange(0, 5)
+            return rng.choice([
+                0.0,                            # tie with `now`
+                k * DEFAULT_WIDTH,              # exact bucket edge
+                k * DEFAULT_WIDTH + 1e-12,      # just past the edge
+            ])
+
+        _drive(cal, heap, ops=120, rng=rng, make_offset=offsets)
+
+    def test_giant_equal_time_run(self):
+        # A run of equal timestamps longer than the split trigger:
+        # the split cannot separate them (single key), so the window
+        # must keep FIFO order through the failed-split fallback.
+        cal = CalendarScheduler()
+        n = 3 * NEAR_SPLIT_LIMIT
+        entries = [(1e-3, i, None) for i in range(n)]
+        entries += [(2e-3, n + i, None) for i in range(16)]
+        for entry in entries:
+            cal.push(entry)
+        served = [cal.pop() for _ in range(len(entries))]
+        assert served == entries
+        assert cal.pop() is None
+
+    def test_engine_level_boundary_ties(self):
+        logs = {}
+        for backend in ("heap", "calendar"):
+            sim = Simulator(scheduler=backend)
+            log = []
+            rng = random.Random(23)
+
+            def tick(tag, sim=sim, log=log, rng=rng):
+                log.append((sim.now, tag))
+                if len(log) >= 5000:
+                    return
+                gap = rng.choice([0.0, DEFAULT_WIDTH,
+                                  2 * DEFAULT_WIDTH])
+                sim.schedule(gap, tick, tag + 1)
+                if tag % 11 == 0:
+                    sim.schedule(0.0, tick, -tag)
+
+            for i in range(30):
+                sim.schedule(i * DEFAULT_WIDTH, tick, i)
+            sim.run()
+            logs[backend] = log
+        assert logs["calendar"] == logs["heap"]
